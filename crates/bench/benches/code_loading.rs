@@ -1,0 +1,18 @@
+//! E7 — lazy code loading: a full journey over cold caches vs the
+//! steady-state warm round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use naplet_bench::code_loading_experiment;
+
+fn bench_code_loading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_code_loading");
+    group.sample_size(15);
+    group.bench_function("cold_then_warm_4_rounds", |b| {
+        b.iter(|| code_loading_experiment(6, 4, 42));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_code_loading);
+criterion_main!(benches);

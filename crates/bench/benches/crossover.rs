@@ -1,0 +1,44 @@
+//! E1 — traffic crossover over variables/device: wall time of one
+//! round per paradigm as payload grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use naplet_man::{health_oids, ManWorld};
+use naplet_net::{Bandwidth, LatencyModel};
+
+fn world() -> ManWorld {
+    let mut w = ManWorld::build(
+        8,
+        4,
+        LatencyModel::Constant(2),
+        Bandwidth::fast_ethernet(),
+        42,
+    );
+    w.tick_devices(10_000);
+    w.warm().expect("warm");
+    w
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_crossover");
+    group.sample_size(15);
+    for vars in [4usize, 16, 64] {
+        let oids = health_oids(vars, 4);
+        group.bench_with_input(BenchmarkId::new("agent_filtering", vars), &vars, |b, _| {
+            let mut w = world();
+            b.iter(|| w.agent_poll(&oids, true, Some(0)).expect("agent"));
+        });
+        group.bench_with_input(BenchmarkId::new("central_per_var", vars), &vars, |b, _| {
+            let mut w = world();
+            b.iter(|| w.centralized_poll(&oids, true).expect("central"));
+        });
+        group.bench_with_input(BenchmarkId::new("central_batched", vars), &vars, |b, _| {
+            let mut w = world();
+            b.iter(|| w.centralized_poll(&oids, false).expect("central batched"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

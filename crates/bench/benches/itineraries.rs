@@ -1,0 +1,20 @@
+//! E3 — itinerary shapes (paper §3 Examples 1-3): full simulated
+//! journey per shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use naplet_bench::itinerary_experiment;
+
+fn bench_itineraries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_itineraries");
+    group.sample_size(20);
+    for shape in ["seq", "par", "par-of-seqs"] {
+        group.bench_with_input(BenchmarkId::from_parameter(shape), &shape, |b, &shape| {
+            b.iter(|| itinerary_experiment(8, shape, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_itineraries);
+criterion_main!(benches);

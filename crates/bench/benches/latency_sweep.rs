@@ -1,0 +1,50 @@
+//! E2 — overcoming latency: the interface-table walk (round-trip-bound
+//! get-next chain) vs agents walking on site, across link latencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use naplet_man::ManWorld;
+use naplet_net::{Bandwidth, LatencyModel};
+use naplet_snmp::oids;
+
+fn world(latency_ms: u64) -> ManWorld {
+    let mut w = ManWorld::build(
+        4,
+        4,
+        LatencyModel::Constant(latency_ms),
+        Bandwidth::fast_ethernet(),
+        42,
+    );
+    w.tick_devices(10_000);
+    w.warm().expect("warm");
+    w
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_latency_walk");
+    group.sample_size(10);
+    for latency in [1u64, 20, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("agent_walk", latency),
+            &latency,
+            |b, &lat| {
+                let mut w = world(lat);
+                let root = oids::if_entry();
+                b.iter(|| w.agent_walk(&root).expect("agent walk"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("central_walk", latency),
+            &latency,
+            |b, &lat| {
+                let mut w = world(lat);
+                let root = oids::if_entry();
+                b.iter(|| w.centralized_walk(&root).expect("central walk"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E4 — location & communication modes under mobility: the messaging
+//! experiment per mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use naplet_bench::messaging_experiment;
+use naplet_server::LocationMode;
+
+fn bench_location(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_location_modes");
+    group.sample_size(10);
+    for (label, mode) in [
+        (
+            "central_directory",
+            LocationMode::CentralDirectory("home".into()),
+        ),
+        ("home_managers", LocationMode::HomeManagers),
+        ("forwarding_trace", LocationMode::ForwardingTrace),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
+            b.iter(|| messaging_experiment(8, 2, mode.clone(), 8, 40, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_location);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! F3 — MAN (mobile agents) vs centralized SNMP: one management round
+//! over `n` devices, 16 variables each. Criterion measures the wall
+//! time of the whole simulated round; the `figures` binary prints the
+//! byte/virtual-time tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use naplet_bench::RingWorld; // ensure crate links
+use naplet_man::{health_oids, ManWorld};
+use naplet_net::{Bandwidth, LatencyModel};
+
+fn build_world(devices: usize) -> ManWorld {
+    let mut w = ManWorld::build(
+        devices,
+        4,
+        LatencyModel::Constant(2),
+        Bandwidth::fast_ethernet(),
+        42,
+    );
+    w.tick_devices(10_000);
+    w.warm().expect("warm");
+    w
+}
+
+fn bench_man_vs_snmp(c: &mut Criterion) {
+    let _ = RingWorld::build(
+        1,
+        naplet_server::LocationMode::ForwardingTrace,
+        LatencyModel::Constant(1),
+        1,
+        1,
+    );
+    let mut group = c.benchmark_group("f3_man_vs_snmp");
+    group.sample_size(20);
+    for devices in [2usize, 8, 16] {
+        let oids = health_oids(16, 4);
+        group.bench_with_input(
+            BenchmarkId::new("agent_broadcast", devices),
+            &devices,
+            |b, &devices| {
+                let mut w = build_world(devices);
+                b.iter(|| w.agent_poll(&oids, true, None).expect("agent poll"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("centralized_fine", devices),
+            &devices,
+            |b, &devices| {
+                let mut w = build_world(devices);
+                b.iter(|| w.centralized_poll(&oids, true).expect("central poll"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_man_vs_snmp);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Microbenchmarks of the framework substrate: wire codec, naplet
+//! identifiers, itinerary traversal, agent serialization and the VM
+//! interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use naplet_core::clock::Millis;
+use naplet_core::credential::SigningKey;
+use naplet_core::itinerary::{ActionSpec, GuardEnv, Itinerary, Pattern, Step};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::state::NapletState;
+use naplet_core::value::Value;
+use naplet_core::{codec, NapletId};
+
+fn sample_naplet() -> Naplet {
+    let key = SigningKey::new("czxu", b"k");
+    let hosts: Vec<String> = (0..16).map(|i| format!("host-{i}")).collect();
+    let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let it = Itinerary::new(Pattern::seq_of_hosts(&refs, None))
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    let mut n = Naplet::create(
+        &key,
+        "czxu",
+        "home",
+        Millis(1),
+        "cb",
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap();
+    n.state.set("payload", Value::Bytes(vec![7; 1024]));
+    n.state.set(
+        "readings",
+        Value::List((0..64i64).map(Value::Int).collect()),
+    );
+    n
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let naplet = sample_naplet();
+    let bytes = naplet.to_wire().unwrap();
+    c.bench_function("codec_encode_naplet", |b| {
+        b.iter(|| naplet.to_wire().unwrap())
+    });
+    c.bench_function("codec_decode_naplet", |b| {
+        b.iter(|| Naplet::from_wire(&bytes).unwrap())
+    });
+    let v = Value::map([
+        ("oid", Value::from("1.3.6.1.2.1.2.2.1.10.3")),
+        ("value", Value::Int(123_456)),
+    ]);
+    c.bench_function("codec_encode_small_value", |b| {
+        b.iter(|| codec::to_bytes(&v).unwrap())
+    });
+}
+
+fn bench_ids(c: &mut Criterion) {
+    let id = NapletId::new("czxu", "ece.eng.wayne.edu", Millis(10512172720))
+        .unwrap()
+        .clone_child(2)
+        .clone_child(1);
+    let text = id.to_string();
+    c.bench_function("id_display", |b| b.iter(|| id.to_string()));
+    c.bench_function("id_parse", |b| b.iter(|| text.parse::<NapletId>().unwrap()));
+}
+
+fn bench_itinerary(c: &mut Criterion) {
+    let hosts: Vec<String> = (0..64).map(|i| format!("h{i}")).collect();
+    let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let it = Itinerary::new(Pattern::seq_of_hosts(&refs, None)).unwrap();
+    let state = NapletState::new();
+    c.bench_function("itinerary_walk_64", |b| {
+        b.iter(|| {
+            let mut cursor = it.start();
+            let mut hops = 0usize;
+            loop {
+                match cursor.next(&GuardEnv {
+                    state: &state,
+                    hops,
+                }) {
+                    Step::Visit { .. } => hops += 1,
+                    Step::Done => break hops,
+                    _ => {}
+                }
+            }
+        })
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let fib = naplet_vm::assemble(
+        r#"
+        .program fib
+        .func main
+            int 18
+            call fib 1
+            halt
+        .end
+        .func fib args=1
+            load 0
+            int 2
+            lt
+            jmpf rec
+            load 0
+            ret
+        rec:
+            load 0
+            int 1
+            sub
+            call fib 1
+            load 0
+            int 2
+            sub
+            call fib 1
+            add
+            ret
+        .end
+        "#,
+    )
+    .unwrap();
+    c.bench_function("vm_fib_18", |b| {
+        b.iter(|| {
+            let mut image = naplet_vm::VmImage::new(fib.clone()).unwrap();
+            let mut host = naplet_vm::MockHost::new("bench");
+            naplet_vm::run(&mut image, &mut host, u64::MAX).unwrap()
+        })
+    });
+    let image = naplet_vm::VmImage::new(fib).unwrap();
+    c.bench_function("vm_image_wire_round_trip", |b| {
+        b.iter(|| naplet_vm::VmImage::from_wire(&image.to_wire().unwrap()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_ids, bench_itinerary, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E6 — monitor enforcement overhead: interpreter throughput under
+//! different gas-slice sizes (smaller slice = more frequent
+//! scheduling decisions by the NapletMonitor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn spin_program() -> naplet_vm::Program {
+    naplet_vm::assemble(
+        r#"
+        .program spin
+        .func main locals=1
+            int 0
+            store 0
+        head:
+            load 0
+            int 20000
+            lt
+            jmpf done
+            load 0
+            int 1
+            add
+            store 0
+            jmp head
+        done:
+            load 0
+            halt
+        .end
+        "#,
+    )
+    .unwrap()
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let program = spin_program();
+    let mut group = c.benchmark_group("e6_monitor_overhead");
+    for slice in [500u64, 5_000, 50_000, u64::MAX] {
+        let label = if slice == u64::MAX {
+            "unlimited".to_string()
+        } else {
+            slice.to_string()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &slice, |b, &slice| {
+            b.iter(|| {
+                let mut image = naplet_vm::VmImage::new(program.clone()).unwrap();
+                let mut host = naplet_vm::MockHost::new("bench");
+                loop {
+                    match naplet_vm::run(&mut image, &mut host, slice).unwrap() {
+                        naplet_vm::VmYield::OutOfGas => continue,
+                        naplet_vm::VmYield::Done(v) => break v,
+                        naplet_vm::VmYield::Travel => unreachable!(),
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # naplet-bench
+//!
+//! Experiment drivers and benchmark harness: every table/figure row in
+//! EXPERIMENTS.md regenerates through this crate, either via the
+//! `figures` binary (`cargo run -p naplet-bench --bin figures`) or the
+//! criterion benches (`cargo bench`).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scenarios;
+
+pub use experiments::{
+    exp_e1_crossover, exp_e2_latency, exp_e2_walk, exp_f3_devices, exp_filtering, exp_vm_vs_native,
+    render_man_table, ManRow,
+};
+pub use scenarios::{
+    accumulation_experiment, bench_key, code_loading_experiment, itinerary_experiment,
+    messaging_experiment, probe_registry, scheduling_experiment, AccumulationOutcome,
+    CodeLoadingOutcome, ItineraryOutcome, MessagingOutcome, Probe, RingWorld, PROBE_CODEBASE,
+    PROBE_CODE_SIZE,
+};

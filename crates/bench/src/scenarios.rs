@@ -1,0 +1,541 @@
+//! Reusable experiment scenarios built on the framework.
+//!
+//! These power both the criterion benches and the `figures` binary,
+//! so every number in EXPERIMENTS.md regenerates from one code path.
+
+use naplet_core::behavior::NapletBehavior;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::CodebaseRegistry;
+use naplet_core::context::NapletContext;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::Result;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::message::{Payload, Sender};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::{LocationMode, MonitorPolicy, ServerConfig, SimRuntime};
+
+/// Codebase name for the probe behaviour.
+pub const PROBE_CODEBASE: &str = "naplet://code/probe.jar";
+/// Declared probe code size.
+pub const PROBE_CODE_SIZE: u64 = 8 * 1024;
+
+/// Probe behaviour: records visits and received messages (value +
+/// forwarding hop count) into state.
+pub struct Probe;
+
+impl NapletBehavior for Probe {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+        let host = ctx.host_name().to_string();
+        let mut visits = match ctx.state().get("visits") {
+            Value::List(l) => l,
+            _ => Vec::new(),
+        };
+        visits.push(Value::Str(host));
+        ctx.state().set("visits", Value::List(visits));
+
+        let mut inbox = match ctx.state().get("inbox") {
+            Value::List(l) => l,
+            _ => Vec::new(),
+        };
+        while let Some(m) = ctx.get_message()? {
+            if let Payload::User(v) = m.payload {
+                inbox.push(Value::map([
+                    ("value", v),
+                    ("hops", Value::Int(m.forward_hops as i64)),
+                ]));
+            }
+        }
+        ctx.state().set("inbox", Value::List(inbox));
+        Ok(())
+    }
+}
+
+/// Registry holding the probe behaviour.
+pub fn probe_registry() -> CodebaseRegistry {
+    let mut r = CodebaseRegistry::new();
+    r.register(PROBE_CODEBASE, PROBE_CODE_SIZE, || Probe);
+    r
+}
+
+/// The signing key experiments use.
+pub fn bench_key() -> SigningKey {
+    SigningKey::new("czxu", b"bench-secret")
+}
+
+/// A ring world: home + `n` servers `s0..s(n-1)` with one location
+/// mode and a configurable dwell time.
+pub struct RingWorld {
+    /// The runtime.
+    pub rt: SimRuntime,
+    /// Worker host names.
+    pub hosts: Vec<String>,
+    /// The home host.
+    pub home: String,
+}
+
+impl RingWorld {
+    /// Build the world.
+    pub fn build(
+        n: usize,
+        mode: LocationMode,
+        latency: LatencyModel,
+        dwell_ms: u64,
+        seed: u64,
+    ) -> RingWorld {
+        let fabric = Fabric::new(latency, Bandwidth::fast_ethernet(), seed);
+        let mut rt = SimRuntime::new(fabric);
+        let reg = probe_registry();
+        let policy = MonitorPolicy {
+            native_dwell_ms: dwell_ms,
+            ..MonitorPolicy::default()
+        };
+        let add = |rt: &mut SimRuntime, host: &str| {
+            let mut cfg = ServerConfig::open(host, mode.clone());
+            cfg.codebase = reg.clone();
+            cfg.monitor_policy = policy.clone();
+            rt.add_server(cfg);
+        };
+        add(&mut rt, "home");
+        let hosts: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+        for h in &hosts {
+            add(&mut rt, h);
+        }
+        RingWorld {
+            rt,
+            hosts,
+            home: "home".into(),
+        }
+    }
+
+    /// A probe naplet that walks the ring `laps` times and reports.
+    pub fn probe_naplet(&self, laps: usize, ts: u64) -> Naplet {
+        let mut route: Vec<&str> = Vec::new();
+        for _ in 0..laps {
+            route.extend(self.hosts.iter().map(String::as_str));
+        }
+        let it = Itinerary::new(Pattern::seq_of_hosts(&route, None))
+            .unwrap()
+            .with_final_action(ActionSpec::ReportHome);
+        Naplet::create(
+            &bench_key(),
+            "czxu",
+            &self.home,
+            Millis(ts),
+            PROBE_CODEBASE,
+            AgentKind::Native,
+            it,
+            vec![],
+        )
+        .unwrap()
+    }
+}
+
+/// Outcome of the location/communication experiment (E4/E5).
+#[derive(Debug, Clone)]
+pub struct MessagingOutcome {
+    /// Messages posted.
+    pub posted: usize,
+    /// Messages the agent actually received (from its final report).
+    pub delivered: usize,
+    /// Mean confirmation latency (virtual ms) over confirmed messages.
+    pub mean_confirm_latency_ms: f64,
+    /// Messages confirmed delivered somewhere (post-office view).
+    pub confirmed: usize,
+    /// Messages dropped at the forwarding cap.
+    pub undeliverable: u64,
+    /// Forwarding hops performed across all messengers.
+    pub forwards: u64,
+    /// Maximum forwarding hops observed on a delivered message.
+    pub max_hops: u32,
+    /// Messages waiting in special mailboxes at the end (early
+    /// messages whose naplet finished before pickup).
+    pub stranded_early: usize,
+    /// Control traffic bytes (directory queries/registrations).
+    pub control_bytes: u64,
+    /// Message traffic bytes.
+    pub message_bytes: u64,
+    /// Journey completion (virtual ms).
+    pub completion_ms: u64,
+}
+
+/// Drive a probe around the ring while the owner posts `n_messages`
+/// spaced `spacing_ms` apart; measure delivery behaviour under the
+/// given location mode (experiments E4/E5).
+pub fn messaging_experiment(
+    n_hosts: usize,
+    laps: usize,
+    mode: LocationMode,
+    n_messages: usize,
+    spacing_ms: u64,
+    seed: u64,
+) -> MessagingOutcome {
+    // dwell long enough that the posting schedule fits inside the
+    // journey (messages posted after the agent dies can never deliver)
+    let mut world = RingWorld::build(n_hosts, mode, LatencyModel::Constant(2), 30, seed);
+    let before = world.rt.fabric().stats().snapshot();
+    let naplet = world.probe_naplet(laps, 1);
+    let id = naplet.id().clone();
+    let t0 = world.rt.now();
+    world.rt.launch(naplet).unwrap();
+
+    let mut send_times = Vec::with_capacity(n_messages);
+    for k in 0..n_messages {
+        let due = Millis(t0.0 + 5 + spacing_ms * k as u64);
+        world.rt.run_until(due);
+        send_times.push(world.rt.now());
+        world
+            .rt
+            .owner_post(
+                &world.home.clone(),
+                id.clone(),
+                Payload::User(Value::Int(k as i64)),
+            )
+            .unwrap();
+    }
+    world.rt.run_to_quiescence(50_000_000);
+
+    // delivered messages from the agent's report
+    let reports = world.rt.drain_reports(&world.home);
+    let mut delivered = 0usize;
+    let mut max_hops = 0u32;
+    for (_, report) in &reports {
+        if let Value::List(inbox) = report.get("inbox") {
+            delivered += inbox.len();
+            for entry in &inbox {
+                if let Ok(h) = entry.get("hops").as_int() {
+                    max_hops = max_hops.max(h as u32);
+                }
+            }
+        }
+    }
+
+    // confirmation latencies at the home messenger
+    let home = world.rt.server(&world.home).unwrap();
+    let mut latencies = Vec::new();
+    for (k, sent) in send_times.iter().enumerate() {
+        let seq = (k + 1) as u64;
+        if let Some(c) = home
+            .messenger
+            .confirmation(&Sender::Owner(world.home.clone()), seq)
+        {
+            latencies.push(c.at.since(*sent) as f64);
+        }
+    }
+    let mean_confirm_latency_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+
+    let mut forwards = 0;
+    let mut stranded = 0;
+    let mut undeliverable = 0;
+    for host in world.rt.server_hosts() {
+        let s = world.rt.server(&host).unwrap();
+        forwards += s.messenger.forwards_performed;
+        stranded += s.messenger.early_waiting();
+        undeliverable += s.messenger.undeliverable;
+    }
+    let stats = world.rt.fabric().stats().snapshot().since(&before);
+    MessagingOutcome {
+        posted: n_messages,
+        delivered,
+        mean_confirm_latency_ms,
+        confirmed: latencies.len(),
+        undeliverable,
+        forwards,
+        max_hops,
+        stranded_early: stranded,
+        control_bytes: stats.bytes(naplet_net::TrafficClass::Control),
+        message_bytes: stats.bytes(naplet_net::TrafficClass::Message),
+        completion_ms: world.rt.now().since(t0),
+    }
+}
+
+/// Outcome of an itinerary-shape run (E3).
+#[derive(Debug, Clone)]
+pub struct ItineraryOutcome {
+    /// Shape label.
+    pub shape: &'static str,
+    /// Virtual completion time.
+    pub completion_ms: u64,
+    /// Total bytes on the wire.
+    pub total_bytes: u64,
+    /// Agents used (original + clones).
+    pub agents: usize,
+    /// Migrations performed.
+    pub migrations: u64,
+}
+
+/// Run one itinerary shape over `n` hosts and measure it (E3).
+pub fn itinerary_experiment(n: usize, shape: &'static str, seed: u64) -> ItineraryOutcome {
+    let world = RingWorld::build(
+        n,
+        LocationMode::CentralDirectory("home".into()),
+        LatencyModel::Constant(5),
+        10,
+        seed,
+    );
+    let mut rt = world.rt;
+    let hosts: Vec<&str> = world.hosts.iter().map(String::as_str).collect();
+
+    let pattern = match shape {
+        "seq" => Pattern::seq_of_hosts(&hosts, None),
+        "par" => Pattern::par_singletons(&hosts, Some(ActionSpec::ReportHome)),
+        "par-of-seqs" => {
+            let mid = hosts.len() / 2;
+            Pattern::par(vec![
+                Pattern::seq_of_hosts(&hosts[..mid], None),
+                Pattern::seq_of_hosts(&hosts[mid..], None),
+            ])
+        }
+        other => panic!("unknown shape {other}"),
+    };
+    let mut it = Itinerary::new(pattern).unwrap();
+    if shape != "par" {
+        it = it.with_final_action(ActionSpec::ReportHome);
+    }
+    let agents = it.agents_required();
+    let naplet = Naplet::create(
+        &bench_key(),
+        "czxu",
+        "home",
+        Millis(1),
+        PROBE_CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap();
+
+    let before = rt.fabric().stats().snapshot();
+    let t0 = rt.now();
+    rt.launch(naplet).unwrap();
+    rt.run_to_quiescence(50_000_000);
+    let stats = rt.fabric().stats().snapshot().since(&before);
+    ItineraryOutcome {
+        shape,
+        completion_ms: rt.now().since(t0),
+        total_bytes: stats.total_bytes(),
+        agents,
+        migrations: stats.messages(naplet_net::TrafficClass::Migration),
+    }
+}
+
+/// Code-loading outcome (E7).
+#[derive(Debug, Clone)]
+pub struct CodeLoadingOutcome {
+    /// Round index (0 = cold).
+    pub round: usize,
+    /// Code bytes transferred this round.
+    pub code_bytes: u64,
+    /// Completion time this round.
+    pub completion_ms: u64,
+}
+
+/// Send the same agent over the same route repeatedly; round 0 pays
+/// the lazy code load on every host, later rounds hit the cache (E7).
+pub fn code_loading_experiment(n: usize, rounds: usize, seed: u64) -> Vec<CodeLoadingOutcome> {
+    let world = RingWorld::build(
+        n,
+        LocationMode::ForwardingTrace,
+        LatencyModel::Constant(5),
+        5,
+        seed,
+    );
+    let mut rt = world.rt;
+    let hosts: Vec<&str> = world.hosts.iter().map(String::as_str).collect();
+    let mut out = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let it = Itinerary::new(Pattern::seq_of_hosts(&hosts, None))
+            .unwrap()
+            .with_final_action(ActionSpec::ReportHome);
+        let naplet = Naplet::create(
+            &bench_key(),
+            "czxu",
+            "home",
+            Millis(1 + round as u64),
+            PROBE_CODEBASE,
+            AgentKind::Native,
+            it,
+            vec![],
+        )
+        .unwrap();
+        let before = rt.fabric().stats().snapshot();
+        let t0 = rt.now();
+        rt.launch(naplet).unwrap();
+        rt.run_to_quiescence(50_000_000);
+        let stats = rt.fabric().stats().snapshot().since(&before);
+        out.push(CodeLoadingOutcome {
+            round,
+            code_bytes: stats.bytes(naplet_net::TrafficClass::Code),
+            completion_ms: rt.now().since(t0),
+        });
+        rt.drain_reports("home");
+    }
+    out
+}
+
+/// Ablation: migration wire-size growth as gathered state accumulates
+/// (sequential collector) vs the broadcast pattern whose clones carry
+/// only their own findings. Returns per-hop migration bytes for the
+/// sequential agent and the (constant) per-clone cost for broadcast.
+#[derive(Debug, Clone)]
+pub struct AccumulationOutcome {
+    /// Migration bytes per sequential hop, in hop order.
+    pub seq_hop_bytes: Vec<u64>,
+    /// Mean migration bytes per broadcast clone.
+    pub broadcast_clone_bytes: u64,
+}
+
+/// Measure state-accumulation growth (DESIGN.md ablation; motivates
+/// the broadcast NM itinerary and on-site filtering).
+pub fn accumulation_experiment(
+    n: usize,
+    payload_per_visit: usize,
+    seed: u64,
+) -> AccumulationOutcome {
+    /// Collector that grows its private state by a fixed payload per visit.
+    struct Hoarder(usize);
+    impl NapletBehavior for Hoarder {
+        fn on_start(&mut self, ctx: &mut dyn naplet_core::context::NapletContext) -> Result<()> {
+            let host = ctx.host_name().to_string();
+            let blob = Value::Bytes(vec![0x5a; self.0]);
+            ctx.state().update("hoard", |v| {
+                if let Value::Map(m) = v {
+                    m.insert(host.clone(), blob.clone());
+                }
+            })?;
+            Ok(())
+        }
+    }
+
+    let build = |seed: u64, payload: usize| {
+        let mut reg = CodebaseRegistry::new();
+        // zero-size codebase: per-link byte counters then show only the
+        // migration itself plus the constant handshake overhead
+        reg.register("hoarder", 0, move || Hoarder(payload));
+        let fabric = Fabric::new(LatencyModel::Constant(2), Bandwidth::fast_ethernet(), seed);
+        let mut rt = SimRuntime::new(fabric);
+        for host in std::iter::once("home".to_string()).chain((0..n).map(|i| format!("s{i}"))) {
+            let mut cfg = ServerConfig::open(&host, LocationMode::ForwardingTrace);
+            cfg.codebase = reg.clone();
+            rt.add_server(cfg);
+        }
+        rt
+    };
+    let hosts: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+    let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let naplet = |pattern, ts| {
+        let it = Itinerary::new(pattern)
+            .unwrap()
+            .with_final_action(ActionSpec::ReportHome);
+        let mut nap = Naplet::create(
+            &bench_key(),
+            "czxu",
+            "home",
+            Millis(ts),
+            "hoarder",
+            AgentKind::Native,
+            it,
+            vec![],
+        )
+        .unwrap();
+        nap.state
+            .set("hoard", Value::map::<[(&str, Value); 0], &str>([]));
+        nap
+    };
+
+    // sequential: per-hop migration bytes from per-link counters
+    let mut rt = build(seed, payload_per_visit);
+    rt.launch(naplet(Pattern::seq_of_hosts(&refs, None), 1))
+        .unwrap();
+    rt.run_to_quiescence(10_000_000);
+    let snap = rt.fabric().stats().snapshot();
+    let mut seq_hop_bytes = Vec::with_capacity(n);
+    let mut prev = "home".to_string();
+    for h in &hosts {
+        let bytes = snap
+            .by_link
+            .get(&(prev.clone(), h.clone()))
+            .map(|c| c.bytes)
+            .unwrap_or(0);
+        seq_hop_bytes.push(bytes);
+        prev = h.clone();
+    }
+
+    // broadcast: total migration bytes / clones
+    let mut rt = build(seed ^ 1, payload_per_visit);
+    rt.launch(naplet(
+        Pattern::par_singletons(&refs, Some(ActionSpec::ReportHome)),
+        2,
+    ))
+    .unwrap();
+    rt.run_to_quiescence(10_000_000);
+    let snap = rt.fabric().stats().snapshot();
+    let broadcast_clone_bytes = snap.bytes(naplet_net::TrafficClass::Migration) / n.max(1) as u64;
+
+    AccumulationOutcome {
+        seq_hop_bytes,
+        broadcast_clone_bytes,
+    }
+}
+
+/// Scheduling-policy ablation (E9): journey time of one probe agent
+/// per priority tier, on an otherwise busy server, under each policy.
+pub fn scheduling_experiment(
+    policy: naplet_server::SchedulingPolicy,
+    priority: Option<&str>,
+    coresidents: usize,
+    seed: u64,
+) -> u64 {
+    let mut reg = CodebaseRegistry::new();
+    reg.register(PROBE_CODEBASE, 0, || Probe);
+    let fabric = Fabric::new(LatencyModel::Constant(1), Bandwidth(None), seed);
+    let mut rt = SimRuntime::new(fabric);
+    for host in ["home", "busy"] {
+        let mut cfg = ServerConfig::open(host, LocationMode::ForwardingTrace);
+        cfg.codebase = reg.clone();
+        cfg.monitor_policy = MonitorPolicy {
+            native_dwell_ms: 50,
+            scheduling: policy,
+            ..MonitorPolicy::default()
+        };
+        rt.add_server(cfg);
+    }
+    let agent = |prio: Option<&str>, ts: u64| {
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["busy"], None))
+            .unwrap()
+            .with_final_action(ActionSpec::ReportHome);
+        let attrs = prio
+            .map(|p| vec![("priority".to_string(), p.to_string())])
+            .unwrap_or_default();
+        Naplet::create(
+            &bench_key(),
+            "czxu",
+            "home",
+            Millis(ts),
+            PROBE_CODEBASE,
+            AgentKind::Native,
+            it,
+            attrs,
+        )
+        .unwrap()
+    };
+    for k in 0..coresidents {
+        rt.launch(agent(None, 100 + k as u64)).unwrap();
+    }
+    rt.run_until(Millis(10));
+    let probe = agent(priority, 1);
+    let id = probe.id().clone();
+    rt.launch(probe).unwrap();
+    rt.run_to_quiescence(1_000_000);
+    rt.server("home")
+        .unwrap()
+        .manager
+        .table_entry(&id)
+        .map(|e| e.updated.0)
+        .unwrap_or(0)
+}

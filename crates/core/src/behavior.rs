@@ -1,0 +1,173 @@
+//! Naplet behaviours: the lifecycle hooks of the `Naplet` class
+//! (paper §2.1).
+//!
+//! A behaviour holds the application's server-specific business logic
+//! `S`. The paper's hooks map one-to-one:
+//!
+//! * `onStart()` — abstract, "the single entry point when the naplet
+//!   arrives at a host" → [`NapletBehavior::on_start`] (required);
+//! * `onInterrupt()` — remote control reaction → `on_interrupt`;
+//! * `onStop()` — before departure → `on_stop`;
+//! * `onDestroy()` — before the naplet is destroyed → `on_destroy`.
+//!
+//! Behaviours are deliberately **stateless across migration**: all
+//! persistent agent state lives in the carried [`NapletState`]
+//! container, as in the paper. On each arrival the server materializes
+//! a fresh behaviour instance from the codebase registry (the lazy
+//! code-loading model) and drives its hooks.
+//!
+//! Post-actions `T` (the paper's `Operable`) are modelled by
+//! [`Operable`] and dispatched by name via [`ActionRegistry`].
+//!
+//! [`NapletState`]: crate::state::NapletState
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::context::NapletContext;
+use crate::error::{NapletError, Result};
+use crate::message::ControlVerb;
+
+/// Application-specific agent logic, instantiated per arrival.
+pub trait NapletBehavior: Send {
+    /// Entry point on arrival at a host (the abstract `onStart()`).
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()>;
+
+    /// Reaction to a system (control) message cast onto the naplet.
+    /// Default: ignore (the paper leaves the reaction unspecified,
+    /// to be defined by the creator).
+    fn on_interrupt(&mut self, _ctx: &mut dyn NapletContext, _verb: &ControlVerb) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called when the naplet is about to leave the host.
+    fn on_stop(&mut self, _ctx: &mut dyn NapletContext) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called when the naplet is about to be destroyed (journey end or
+    /// termination).
+    fn on_destroy(&mut self, _ctx: &mut dyn NapletContext) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A post-action `T` run after a visit (the paper's `Operable`
+/// interface with its single `operate(Naplet)` method).
+pub trait Operable: Send + Sync {
+    /// Perform the itinerary-dependent control logic.
+    fn operate(&self, ctx: &mut dyn NapletContext) -> Result<()>;
+}
+
+impl<F> Operable for F
+where
+    F: Fn(&mut dyn NapletContext) -> Result<()> + Send + Sync,
+{
+    fn operate(&self, ctx: &mut dyn NapletContext) -> Result<()> {
+        self(ctx)
+    }
+}
+
+/// Registry resolving [`ActionSpec::Named`] post-actions to code at the
+/// executing server.
+///
+/// [`ActionSpec::Named`]: crate::itinerary::ActionSpec::Named
+#[derive(Default, Clone)]
+pub struct ActionRegistry {
+    actions: HashMap<String, Arc<dyn Operable>>,
+}
+
+impl ActionRegistry {
+    /// Empty registry.
+    pub fn new() -> ActionRegistry {
+        ActionRegistry::default()
+    }
+
+    /// Register an operable under `name`, replacing any previous one.
+    pub fn register(&mut self, name: &str, op: impl Operable + 'static) {
+        self.actions.insert(name.to_string(), Arc::new(op));
+    }
+
+    /// Resolve a named action.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Operable>> {
+        self.actions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| NapletError::NotFound(format!("no registered action `{name}`")))
+    }
+
+    /// Registered action names (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.actions.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl std::fmt::Debug for ActionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActionRegistry")
+            .field("actions", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Millis;
+    use crate::context::LocalContext;
+    use crate::id::NapletId;
+    use crate::value::Value;
+
+    struct Collector;
+
+    impl NapletBehavior for Collector {
+        fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+            let host = ctx.host_name().to_string();
+            ctx.state().update("visits", |v| {
+                if let Value::List(l) = v {
+                    l.push(Value::Str(host.clone()));
+                }
+            })?;
+            Ok(())
+        }
+        fn on_interrupt(&mut self, ctx: &mut dyn NapletContext, verb: &ControlVerb) -> Result<()> {
+            ctx.log(&format!("interrupted: {verb:?}"));
+            Ok(())
+        }
+    }
+
+    fn ctx() -> LocalContext {
+        let id = NapletId::new("u", "h", Millis(1)).unwrap();
+        let mut c = LocalContext::new("s1", id);
+        c.state.set("visits", Value::list([]));
+        c
+    }
+
+    #[test]
+    fn lifecycle_hooks_run() {
+        let mut b = Collector;
+        let mut c = ctx();
+        b.on_start(&mut c).unwrap();
+        assert_eq!(c.state.get("visits").as_list().unwrap().len(), 1);
+        b.on_interrupt(&mut c, &ControlVerb::Callback).unwrap();
+        assert_eq!(c.log_lines.len(), 1);
+        b.on_stop(&mut c).unwrap();
+        b.on_destroy(&mut c).unwrap();
+    }
+
+    #[test]
+    fn closures_are_operable() {
+        let mut reg = ActionRegistry::new();
+        reg.register("report", |ctx: &mut dyn NapletContext| {
+            let snapshot = ctx.state().get("visits");
+            ctx.report_home(snapshot)
+        });
+        let mut c = ctx();
+        reg.get("report").unwrap().operate(&mut c).unwrap();
+        assert_eq!(c.reports.len(), 1);
+        assert!(reg.get("missing").is_err());
+        assert_eq!(reg.names(), vec!["report".to_string()]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Lazy code loading (paper §2.1).
+//!
+//! "The Naplet system supports lazy code loading. It allows classes
+//! loaded on demand and at the last moment possible. The codebase URL
+//! points to the location of the classes required by the naplet … all
+//! the classes and resources needed are transported at a time."
+//!
+//! Rust cannot ship native code, so the codebase model splits in two
+//! (see DESIGN.md §2):
+//!
+//! * **Native behaviours** — every "host" in the in-process fabric
+//!   shares the binary, mirroring a Java network where every JVM *can*
+//!   load any class. The [`CodebaseRegistry`] plays the role of the
+//!   codebase server: it maps a codebase URL to a behaviour factory
+//!   and a declared *code size*. A per-host [`CodeCache`] models the
+//!   lazy JAR fetch: the first instantiation on a host "downloads" the
+//!   code (the caller meters those bytes on the fabric); later
+//!   arrivals hit the cache and transfer nothing.
+//! * **VM programs** — truly mobile bytecode, carried inside the
+//!   naplet itself (crate `naplet-vm`); they never consult this
+//!   registry.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::behavior::NapletBehavior;
+use crate::error::{NapletError, Result};
+
+/// Factory producing a fresh behaviour instance per arrival.
+pub type BehaviorFactory = Arc<dyn Fn() -> Box<dyn NapletBehavior> + Send + Sync>;
+
+/// One registered codebase: factory plus the size of the "JAR" that
+/// must be transferred to a host that has never loaded it.
+#[derive(Clone)]
+struct CodebaseEntry {
+    factory: BehaviorFactory,
+    code_size: u64,
+}
+
+/// The codebase server: resolves codebase URLs to behaviour factories.
+#[derive(Clone, Default)]
+pub struct CodebaseRegistry {
+    entries: HashMap<String, CodebaseEntry>,
+}
+
+impl CodebaseRegistry {
+    /// Empty registry.
+    pub fn new() -> CodebaseRegistry {
+        CodebaseRegistry::default()
+    }
+
+    /// Register a behaviour under a codebase URL with a declared code
+    /// size in bytes (what a first-time host must download).
+    pub fn register<F, B>(&mut self, codebase: &str, code_size: u64, factory: F)
+    where
+        F: Fn() -> B + Send + Sync + 'static,
+        B: NapletBehavior + 'static,
+    {
+        self.entries.insert(
+            codebase.to_string(),
+            CodebaseEntry {
+                factory: Arc::new(move || Box::new(factory()) as Box<dyn NapletBehavior>),
+                code_size,
+            },
+        );
+    }
+
+    /// Instantiate a behaviour from a codebase URL.
+    pub fn instantiate(&self, codebase: &str) -> Result<Box<dyn NapletBehavior>> {
+        self.entries
+            .get(codebase)
+            .map(|e| (e.factory)())
+            .ok_or_else(|| NapletError::NotFound(format!("unknown codebase `{codebase}`")))
+    }
+
+    /// Declared code size for a codebase.
+    pub fn code_size(&self, codebase: &str) -> Result<u64> {
+        self.entries
+            .get(codebase)
+            .map(|e| e.code_size)
+            .ok_or_else(|| NapletError::NotFound(format!("unknown codebase `{codebase}`")))
+    }
+
+    /// Is this codebase registered?
+    pub fn contains(&self, codebase: &str) -> bool {
+        self.entries.contains_key(codebase)
+    }
+
+    /// Registered codebase URLs (sorted, diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.entries.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl std::fmt::Debug for CodebaseRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodebaseRegistry")
+            .field("codebases", &self.names())
+            .finish()
+    }
+}
+
+/// Per-host record of which codebases have already been fetched.
+///
+/// [`CodeCache::load`] returns the number of bytes that had to be
+/// transferred: the full code size on a cold load, `0` on a cache hit.
+/// The hosting server adds those bytes to the fabric's `Code` traffic
+/// class — this is what experiment E7 measures.
+#[derive(Debug, Default, Clone)]
+pub struct CodeCache {
+    loaded: HashSet<String>,
+}
+
+impl CodeCache {
+    /// Empty cache (a freshly installed server).
+    pub fn new() -> CodeCache {
+        CodeCache::default()
+    }
+
+    /// Ensure `codebase` is present on this host, returning the bytes
+    /// transferred to make it so.
+    pub fn load(&mut self, registry: &CodebaseRegistry, codebase: &str) -> Result<u64> {
+        let size = registry.code_size(codebase)?;
+        if self.loaded.insert(codebase.to_string()) {
+            Ok(size)
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Is the codebase already cached here?
+    pub fn is_cached(&self, codebase: &str) -> bool {
+        self.loaded.contains(codebase)
+    }
+
+    /// Drop everything (e.g. server reconfiguration).
+    pub fn clear(&mut self) {
+        self.loaded.clear();
+    }
+
+    /// Number of cached codebases.
+    pub fn len(&self) -> usize {
+        self.loaded.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.loaded.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Millis;
+    use crate::context::{LocalContext, NapletContext};
+    use crate::id::NapletId;
+
+    struct Nop;
+    impl NapletBehavior for Nop {
+        fn on_start(&mut self, _ctx: &mut dyn NapletContext) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    fn registry() -> CodebaseRegistry {
+        let mut r = CodebaseRegistry::new();
+        r.register("naplet://code/nop.jar", 4096, || Nop);
+        r
+    }
+
+    #[test]
+    fn instantiate_known_codebase() {
+        let r = registry();
+        let mut b = r.instantiate("naplet://code/nop.jar").unwrap();
+        let id = NapletId::new("u", "h", Millis(0)).unwrap();
+        let mut ctx = LocalContext::new("s", id);
+        b.on_start(&mut ctx).unwrap();
+        assert!(r.contains("naplet://code/nop.jar"));
+        assert_eq!(r.code_size("naplet://code/nop.jar").unwrap(), 4096);
+    }
+
+    #[test]
+    fn unknown_codebase_errors() {
+        let r = registry();
+        assert!(r.instantiate("naplet://code/missing.jar").is_err());
+        assert!(r.code_size("naplet://code/missing.jar").is_err());
+        assert!(!r.contains("naplet://code/missing.jar"));
+    }
+
+    #[test]
+    fn cold_load_pays_code_size_once() {
+        let r = registry();
+        let mut cache = CodeCache::new();
+        assert!(!cache.is_cached("naplet://code/nop.jar"));
+        assert_eq!(cache.load(&r, "naplet://code/nop.jar").unwrap(), 4096);
+        assert_eq!(cache.load(&r, "naplet://code/nop.jar").unwrap(), 0);
+        assert!(cache.is_cached("naplet://code/nop.jar"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_forces_refetch() {
+        let r = registry();
+        let mut cache = CodeCache::new();
+        cache.load(&r, "naplet://code/nop.jar").unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.load(&r, "naplet://code/nop.jar").unwrap(), 4096);
+    }
+
+    #[test]
+    fn loading_unknown_codebase_fails_without_caching() {
+        let r = registry();
+        let mut cache = CodeCache::new();
+        assert!(cache.load(&r, "nope").is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,473 @@
+//! Runtime itinerary traversal (paper §3).
+//!
+//! A [`Cursor`] is the serializable "where am I in the journey" state a
+//! naplet carries. Servers drive it: [`Cursor::next`] yields the next
+//! [`Step`] — travel to a host, fork clones for a `Par`, run a
+//! post-action, or finish. Guards are evaluated at decision time
+//! against the naplet's state and hop count, so the same pattern can
+//! unfold differently depending on what the agent has learned
+//! (conditional visits).
+//!
+//! ## `Par` semantics
+//!
+//! "par(P,Q) refers to a pattern that the visits of P and Q are carried
+//! out in parallel by a naplet and its clone." On reaching a `Par` the
+//! cursor emits [`Step::Fork`] carrying one fresh cursor per *extra*
+//! branch; the emitting naplet itself continues with the first branch
+//! **and whatever follows the `Par`**, while spawned clones finish when
+//! their branch completes. This makes the originator (heritage `.0`)
+//! the natural carrier of sequels and final actions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::state::NapletState;
+
+use super::pattern::{ActionSpec, Pattern};
+
+/// Environment a guard sees at decision time.
+pub struct GuardEnv<'a> {
+    /// The naplet's own state.
+    pub state: &'a NapletState,
+    /// Completed visits so far (from the navigation log).
+    pub hops: usize,
+}
+
+/// One traversal directive for the hosting server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Travel to `host`; after the naplet's business logic runs there,
+    /// execute `action` (the visit's `T`).
+    Visit {
+        /// Destination host.
+        host: String,
+        /// Post-action for this visit, if any.
+        action: Option<ActionSpec>,
+    },
+    /// Spawn one clone per cursor in `clones`; the current naplet
+    /// continues traversal (first branch already queued internally).
+    Fork {
+        /// Traversal state for each spawned clone.
+        clones: Vec<Cursor>,
+    },
+    /// Run a pattern-level action without travelling (e.g. a `Par`
+    /// branch's completion action or the itinerary's final action).
+    Action(ActionSpec),
+    /// The journey is complete.
+    Done,
+}
+
+/// A pending unit of traversal work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum WorkItem {
+    Pat(Pattern),
+    Act(ActionSpec),
+}
+
+/// Serializable traversal state. The stack's top is its last element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Cursor {
+    stack: Vec<WorkItem>,
+}
+
+impl Cursor {
+    /// Begin traversing `pattern`; `final_action` (if any) runs after
+    /// everything else, on the originator branch.
+    pub(super) fn begin(pattern: Pattern, final_action: Option<ActionSpec>) -> Cursor {
+        let mut stack = Vec::with_capacity(2);
+        if let Some(act) = final_action {
+            stack.push(WorkItem::Act(act));
+        }
+        stack.push(WorkItem::Pat(pattern));
+        Cursor { stack }
+    }
+
+    /// A cursor that is already finished (used for clones of empty
+    /// branches and as a default).
+    pub fn done() -> Cursor {
+        Cursor { stack: Vec::new() }
+    }
+
+    /// True when the journey has no remaining work.
+    pub fn is_done(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Advance to the next directive, consuming skipped visits.
+    pub fn next(&mut self, env: &GuardEnv<'_>) -> Step {
+        loop {
+            let Some(item) = self.stack.pop() else {
+                return Step::Done;
+            };
+            match item {
+                WorkItem::Act(a) => return Step::Action(a),
+                WorkItem::Pat(Pattern::Singleton(v)) => {
+                    if v.guard.eval(env) {
+                        return Step::Visit {
+                            host: v.host,
+                            action: v.action,
+                        };
+                    }
+                    // guard failed: conditional visit skipped
+                }
+                WorkItem::Pat(Pattern::Seq(parts)) => {
+                    // push in reverse so the first part is on top
+                    for p in parts.into_iter().rev() {
+                        self.stack.push(WorkItem::Pat(p));
+                    }
+                }
+                WorkItem::Pat(Pattern::Alt(alts)) => {
+                    // take the first alternative whose entry guard
+                    // passes; when none does, the Alt is skipped whole
+                    if let Some(chosen) = alts.into_iter().find(|p| entry_guard_passes(p, env)) {
+                        self.stack.push(WorkItem::Pat(chosen));
+                    }
+                }
+                WorkItem::Pat(Pattern::Par {
+                    mut branches,
+                    after,
+                }) => {
+                    if branches.is_empty() {
+                        continue;
+                    }
+                    let first = branches.remove(0);
+                    // spawned clones: just their branch + completion action
+                    let clones: Vec<Cursor> = branches
+                        .into_iter()
+                        .map(|b| {
+                            let mut stack = Vec::with_capacity(2);
+                            if let Some(a) = after.clone() {
+                                stack.push(WorkItem::Act(a));
+                            }
+                            stack.push(WorkItem::Pat(b));
+                            Cursor { stack }
+                        })
+                        .collect();
+                    // the emitting naplet continues with branch 0 (and
+                    // its completion action) before the existing sequel
+                    if let Some(a) = after {
+                        self.stack.push(WorkItem::Act(a));
+                    }
+                    self.stack.push(WorkItem::Pat(first));
+                    if !clones.is_empty() {
+                        return Step::Fork { clones };
+                    }
+                }
+            }
+        }
+    }
+
+    /// The host of the next visit *if* traversal were advanced now,
+    /// without consuming anything. Forks and actions yield `None`.
+    pub fn peek_next_host(&self, env: &GuardEnv<'_>) -> Option<String> {
+        let mut probe = self.clone();
+        match probe.next(env) {
+            Step::Visit { host, .. } => Some(host),
+            _ => None,
+        }
+    }
+
+    /// Remaining work items (diagnostic).
+    pub fn remaining_depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Would this pattern's first reachable visit run, under `env`?
+/// Decision procedure for `Alt`: `Seq` looks at its head, `Alt`/`Par`
+/// accept when any alternative/branch could start.
+fn entry_guard_passes(p: &Pattern, env: &GuardEnv<'_>) -> bool {
+    match p {
+        Pattern::Singleton(v) => v.guard.eval(env),
+        Pattern::Seq(parts) => parts.first().is_some_and(|p| entry_guard_passes(p, env)),
+        Pattern::Alt(alts) => alts.iter().any(|p| entry_guard_passes(p, env)),
+        Pattern::Par { branches, .. } => branches.iter().any(|p| entry_guard_passes(p, env)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::guard::Guard;
+    use super::super::pattern::Visit;
+    use super::super::Itinerary;
+    use super::*;
+
+    fn env(state: &NapletState, hops: usize) -> GuardEnv<'_> {
+        GuardEnv { state, hops }
+    }
+
+    /// Drive a cursor to completion with all guards implicitly passing,
+    /// collecting (hosts, actions) in order; panics on Fork.
+    fn run_linear(mut c: Cursor, state: &NapletState) -> (Vec<String>, Vec<ActionSpec>) {
+        let mut hosts = Vec::new();
+        let mut actions = Vec::new();
+        let mut hops = 0;
+        loop {
+            match c.next(&env(state, hops)) {
+                Step::Visit { host, action } => {
+                    hosts.push(host);
+                    hops += 1;
+                    if let Some(a) = action {
+                        actions.push(a);
+                    }
+                }
+                Step::Action(a) => actions.push(a),
+                Step::Fork { .. } => panic!("unexpected fork in linear itinerary"),
+                Step::Done => return (hosts, actions),
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_visits_in_order() {
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["a", "b", "c"], None)).unwrap();
+        let state = NapletState::new();
+        let (hosts, actions) = run_linear(it.start(), &state);
+        assert_eq!(hosts, ["a", "b", "c"]);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn per_visit_actions_emitted() {
+        let it = Itinerary::new(Pattern::seq_of_hosts(
+            &["a", "b"],
+            Some(ActionSpec::DataComm),
+        ))
+        .unwrap();
+        let state = NapletState::new();
+        let (hosts, actions) = run_linear(it.start(), &state);
+        assert_eq!(hosts.len(), 2);
+        assert_eq!(actions, vec![ActionSpec::DataComm, ActionSpec::DataComm]);
+    }
+
+    #[test]
+    fn final_action_runs_last() {
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["a"], None))
+            .unwrap()
+            .with_final_action(ActionSpec::ReportHome);
+        let state = NapletState::new();
+        let mut c = it.start();
+        assert!(matches!(c.next(&env(&state, 0)), Step::Visit { .. }));
+        assert_eq!(
+            c.next(&env(&state, 1)),
+            Step::Action(ActionSpec::ReportHome)
+        );
+        assert_eq!(c.next(&env(&state, 1)), Step::Done);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn guarded_visits_skip_when_found() {
+        // sequential search: stop visiting once state says found
+        let keep = Guard::not(Guard::state_truthy("found"));
+        let it = Itinerary::new(Pattern::conditional_route(&["a", "b", "c"], keep)).unwrap();
+        let mut state = NapletState::new();
+        let mut c = it.start();
+
+        let Step::Visit { host, .. } = c.next(&env(&state, 0)) else {
+            panic!()
+        };
+        assert_eq!(host, "a");
+        // found it at `a`: remaining conditional visits are skipped
+        state.set("found", true);
+        assert_eq!(c.next(&env(&state, 1)), Step::Done);
+    }
+
+    #[test]
+    fn alt_takes_first_passing_alternative() {
+        let p = Pattern::alt(
+            Pattern::visit(Visit::to("mirror").when(Guard::state_truthy("mirror-up"))),
+            Pattern::singleton("origin"),
+        );
+        let it = Itinerary::new(p).unwrap();
+
+        // mirror down → origin
+        let state = NapletState::new();
+        let (hosts, _) = run_linear(it.start(), &state);
+        assert_eq!(hosts, ["origin"]);
+
+        // mirror up → mirror
+        let mut state = NapletState::new();
+        state.set("mirror-up", true);
+        let (hosts, _) = run_linear(it.start(), &state);
+        assert_eq!(hosts, ["mirror"]);
+    }
+
+    #[test]
+    fn alt_with_no_passing_alternative_is_skipped() {
+        let p = Pattern::seq2(
+            Pattern::alt(
+                Pattern::visit(Visit::to("x").when(Guard::Never)),
+                Pattern::visit(Visit::to("y").when(Guard::Never)),
+            ),
+            Pattern::singleton("z"),
+        );
+        let it = Itinerary::new(p).unwrap();
+        let state = NapletState::new();
+        let (hosts, _) = run_linear(it.start(), &state);
+        assert_eq!(hosts, ["z"]);
+    }
+
+    #[test]
+    fn alt_entry_guard_looks_into_seq_head() {
+        let p = Pattern::alt(
+            Pattern::seq2(
+                Pattern::visit(Visit::to("s1").when(Guard::Never)),
+                Pattern::singleton("s2"),
+            ),
+            Pattern::singleton("fallback"),
+        );
+        let it = Itinerary::new(p).unwrap();
+        let state = NapletState::new();
+        let (hosts, _) = run_linear(it.start(), &state);
+        assert_eq!(hosts, ["fallback"]);
+    }
+
+    #[test]
+    fn par_forks_clones_and_continues_first_branch() {
+        // par(seq(s0,s1), seq(s2,s3)) — paper Example 3
+        let p = Pattern::par(vec![
+            Pattern::seq_of_hosts(&["s0", "s1"], None),
+            Pattern::seq_of_hosts(&["s2", "s3"], None),
+        ]);
+        let it = Itinerary::new(p).unwrap();
+        let state = NapletState::new();
+        let mut c = it.start();
+
+        let Step::Fork { clones } = c.next(&env(&state, 0)) else {
+            panic!("expected fork")
+        };
+        assert_eq!(clones.len(), 1);
+
+        // originator walks s0, s1
+        let (hosts, _) = run_linear(c, &state);
+        assert_eq!(hosts, ["s0", "s1"]);
+        // clone walks s2, s3
+        let (hosts, _) = run_linear(clones.into_iter().next().unwrap(), &state);
+        assert_eq!(hosts, ["s2", "s3"]);
+    }
+
+    #[test]
+    fn par_completion_action_runs_on_every_executor() {
+        let p = Pattern::par_with_action(
+            vec![Pattern::singleton("a"), Pattern::singleton("b")],
+            ActionSpec::DataComm,
+        );
+        let it = Itinerary::new(p).unwrap();
+        let state = NapletState::new();
+        let mut c = it.start();
+        let Step::Fork { clones } = c.next(&env(&state, 0)) else {
+            panic!()
+        };
+
+        let (hosts, actions) = run_linear(c, &state);
+        assert_eq!(hosts, ["a"]);
+        assert_eq!(actions, vec![ActionSpec::DataComm]);
+
+        let (hosts, actions) = run_linear(clones.into_iter().next().unwrap(), &state);
+        assert_eq!(hosts, ["b"]);
+        assert_eq!(actions, vec![ActionSpec::DataComm]);
+    }
+
+    #[test]
+    fn sequel_after_par_stays_with_originator() {
+        let p = Pattern::seq2(
+            Pattern::par2(Pattern::singleton("a"), Pattern::singleton("b")),
+            Pattern::singleton("home-stretch"),
+        );
+        let it = Itinerary::new(p)
+            .unwrap()
+            .with_final_action(ActionSpec::ReportHome);
+        let state = NapletState::new();
+        let mut c = it.start();
+        let Step::Fork { clones } = c.next(&env(&state, 0)) else {
+            panic!()
+        };
+
+        // clone: only its branch, no sequel, no final action
+        let (hosts, actions) = run_linear(clones.into_iter().next().unwrap(), &state);
+        assert_eq!(hosts, ["b"]);
+        assert!(actions.is_empty());
+
+        // originator: branch 0, then sequel, then final action
+        let (hosts, actions) = run_linear(c, &state);
+        assert_eq!(hosts, ["a", "home-stretch"]);
+        assert_eq!(actions, vec![ActionSpec::ReportHome]);
+    }
+
+    #[test]
+    fn broadcast_forks_n_minus_one_clones() {
+        let it = Itinerary::new(Pattern::par_singletons(
+            &["d1", "d2", "d3", "d4", "d5"],
+            Some(ActionSpec::ReportHome),
+        ))
+        .unwrap();
+        let state = NapletState::new();
+        let mut c = it.start();
+        let Step::Fork { clones } = c.next(&env(&state, 0)) else {
+            panic!()
+        };
+        assert_eq!(clones.len(), 4);
+    }
+
+    #[test]
+    fn hop_budget_guard_uses_env_hops() {
+        let p = Pattern::Seq(
+            ["a", "b", "c", "d"]
+                .iter()
+                .map(|h| Pattern::visit(Visit::to(*h).when(Guard::HopsLessThan(2))))
+                .collect(),
+        );
+        let it = Itinerary::new(p).unwrap();
+        let state = NapletState::new();
+        let mut c = it.start();
+        let mut hosts = Vec::new();
+        let mut hops = 0;
+        loop {
+            match c.next(&env(&state, hops)) {
+                Step::Visit { host, .. } => {
+                    hosts.push(host);
+                    hops += 1;
+                }
+                Step::Done => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(hosts, ["a", "b"]);
+    }
+
+    #[test]
+    fn cursor_serializes_mid_journey() {
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["a", "b", "c"], None)).unwrap();
+        let state = NapletState::new();
+        let mut c = it.start();
+        let _ = c.next(&env(&state, 0)); // consume visit to `a`
+
+        let bytes = crate::codec::to_bytes(&c).unwrap();
+        let mut back: Cursor = crate::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+
+        let Step::Visit { host, .. } = back.next(&env(&state, 1)) else {
+            panic!()
+        };
+        assert_eq!(host, "b");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["a", "b"], None)).unwrap();
+        let state = NapletState::new();
+        let c = it.start();
+        assert_eq!(c.peek_next_host(&env(&state, 0)), Some("a".to_string()));
+        assert_eq!(c.peek_next_host(&env(&state, 0)), Some("a".to_string()));
+        assert_eq!(c.remaining_depth(), 1);
+    }
+
+    #[test]
+    fn done_cursor_stays_done() {
+        let mut c = Cursor::done();
+        let state = NapletState::new();
+        assert!(c.is_done());
+        assert_eq!(c.next(&env(&state, 0)), Step::Done);
+        assert_eq!(c.next(&env(&state, 0)), Step::Done);
+    }
+}

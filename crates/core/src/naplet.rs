@@ -1,0 +1,373 @@
+//! The `Naplet` itself (paper §2.1): the serializable agent that
+//! travels between servers.
+//!
+//! A naplet bundles its immutable identity (`NapletId`, codebase,
+//! credential), its protected application state, its itinerary and
+//! traversal cursor, its address book and its navigation log. The
+//! execution context is *not* part of the naplet — it is transient,
+//! attached by the hosting server on arrival (see
+//! [`crate::context::NapletContext`]).
+//!
+//! Two agent kinds exist (DESIGN.md §2):
+//! * [`AgentKind::Native`] — business logic resolved from the
+//!   [`CodebaseRegistry`](crate::codebase::CodebaseRegistry) at each
+//!   host (weak mobility, like the paper's Java classes);
+//! * [`AgentKind::Vm`] — bytecode and execution image carried inside
+//!   the naplet (strong mobility; interpreted by `naplet-vm`). The
+//!   image is opaque bytes at this layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address_book::AddressBook;
+use crate::clock::Millis;
+use crate::codec;
+use crate::credential::{Credential, SigningKey};
+use crate::error::{NapletError, Result};
+use crate::id::NapletId;
+use crate::itinerary::{Cursor, GuardEnv, Itinerary, Step};
+use crate::navlog::NavigationLog;
+use crate::state::NapletState;
+
+/// How the naplet's business logic is carried.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// Logic lives in the codebase registry; only the codebase URL
+    /// travels (lazy code loading).
+    Native,
+    /// Logic travels with the agent as an opaque VM image
+    /// (serialized `naplet_vm::VmImage`), giving strong mobility.
+    Vm(Vec<u8>),
+}
+
+/// The mobile agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Naplet {
+    id: NapletId,
+    codebase: String,
+    credential: Credential,
+    kind: AgentKind,
+    /// Application state container (naplet-side full access; servers
+    /// only ever get the mode-checked view).
+    pub state: NapletState,
+    itinerary: Itinerary,
+    cursor: Cursor,
+    /// Known peers for messaging.
+    pub address_book: AddressBook,
+    /// Travel history.
+    pub nav_log: NavigationLog,
+    next_clone_ordinal: u32,
+}
+
+impl Naplet {
+    /// Create a new original naplet.
+    ///
+    /// `key` signs the credential over the immutable attributes
+    /// (id + codebase + attribute claims).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        key: &SigningKey,
+        user: &str,
+        home: &str,
+        created: Millis,
+        codebase: &str,
+        kind: AgentKind,
+        itinerary: Itinerary,
+        attributes: Vec<(String, String)>,
+    ) -> Result<Naplet> {
+        let id = NapletId::new(user, home, created)?;
+        let credential = Credential::issue(key, id.clone(), codebase, attributes);
+        Ok(Naplet {
+            id,
+            codebase: codebase.to_string(),
+            credential,
+            kind,
+            state: NapletState::new(),
+            cursor: itinerary.start(),
+            itinerary,
+            address_book: AddressBook::new(),
+            nav_log: NavigationLog::new(),
+            next_clone_ordinal: 1,
+        })
+    }
+
+    /// Immutable identifier.
+    pub fn id(&self) -> &NapletId {
+        &self.id
+    }
+
+    /// Immutable codebase URL.
+    pub fn codebase(&self) -> &str {
+        &self.codebase
+    }
+
+    /// The signed credential.
+    pub fn credential(&self) -> &Credential {
+        &self.credential
+    }
+
+    /// Agent kind (native vs VM image).
+    pub fn kind(&self) -> &AgentKind {
+        &self.kind
+    }
+
+    /// Mutable access to a VM image payload, used by the hosting
+    /// monitor to persist execution progress between hops.
+    pub fn kind_mut(&mut self) -> &mut AgentKind {
+        &mut self.kind
+    }
+
+    /// The naplet's home server, derived from its identifier — this
+    /// derivability is what enables home-manager directory service
+    /// (paper §4.1).
+    pub fn home(&self) -> &str {
+        self.id.home()
+    }
+
+    /// The static itinerary (travel plan).
+    pub fn itinerary(&self) -> &Itinerary {
+        &self.itinerary
+    }
+
+    /// The live traversal cursor.
+    pub fn cursor(&self) -> &Cursor {
+        &self.cursor
+    }
+
+    /// Verify the credential and that it certifies this naplet's
+    /// family: clones carry the family credential, so the certified id
+    /// must be this id or one of its ancestors.
+    pub fn verify(&self, key: &SigningKey) -> Result<()> {
+        self.credential.verify(key)?;
+        let cert_id = &self.credential.naplet_id;
+        let certified = cert_id == &self.id || cert_id.is_ancestor_of(&self.id);
+        if !certified {
+            return Err(NapletError::SecurityDenied {
+                permission: "VERIFY".into(),
+                subject: format!(
+                    "credential certifies {cert_id}, which does not cover {}",
+                    self.id
+                ),
+            });
+        }
+        if self.credential.codebase != self.codebase {
+            return Err(NapletError::Immutable(format!(
+                "codebase `{}` differs from certified `{}`",
+                self.codebase, self.credential.codebase
+            )));
+        }
+        Ok(())
+    }
+
+    /// Advance the itinerary: evaluate guards against the current
+    /// state and travel history and return the next directive.
+    pub fn advance(&mut self) -> Step {
+        let env = GuardEnv {
+            state: &self.state,
+            hops: self.nav_log.hops(),
+        };
+        self.cursor.next(&env)
+    }
+
+    /// The next destination host without consuming traversal state.
+    pub fn peek_next_host(&self) -> Option<String> {
+        let env = GuardEnv {
+            state: &self.state,
+            hops: self.nav_log.hops(),
+        };
+        self.cursor.peek_next_host(&env)
+    }
+
+    /// True when the journey has completed.
+    pub fn journey_done(&self) -> bool {
+        self.cursor.is_done()
+    }
+
+    /// Spawn a clone to execute a `Par` branch (paper §3): the clone
+    /// receives the branch cursor, a copy of the state, the inherited
+    /// address book (including this naplet at `current_host`), a fresh
+    /// navigation log, and the next heritage ordinal. Ordinal `0` is
+    /// reserved: the continuing parent *is* the `.0` branch.
+    pub fn clone_for_branch(&mut self, branch: Cursor, current_host: &str) -> Naplet {
+        let ordinal = self.next_clone_ordinal;
+        self.next_clone_ordinal += 1;
+        let clone_id = self.id.clone_child(ordinal);
+        let address_book = self.address_book.inherited(&self.id, current_host);
+        // the parent also learns about its clone, starting here
+        self.address_book.put(clone_id.clone(), current_host);
+        Naplet {
+            id: clone_id,
+            codebase: self.codebase.clone(),
+            credential: self.credential.clone(),
+            kind: self.kind.clone(),
+            state: self.state.clone(),
+            cursor: branch,
+            itinerary: self.itinerary.clone(),
+            address_book,
+            nav_log: NavigationLog::new(),
+            next_clone_ordinal: 1,
+        }
+    }
+
+    /// Serialized wire size in bytes — what a migration of this naplet
+    /// costs on the fabric (code transfer excluded; that is metered by
+    /// the code cache).
+    pub fn wire_size(&self) -> Result<u64> {
+        codec::encoded_size(self)
+    }
+
+    /// Serialize for migration.
+    pub fn to_wire(&self) -> Result<Vec<u8>> {
+        codec::to_bytes(self)
+    }
+
+    /// Deserialize a migrated naplet.
+    pub fn from_wire(bytes: &[u8]) -> Result<Naplet> {
+        codec::from_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itinerary::{ActionSpec, Pattern};
+    use crate::value::Value;
+
+    fn key() -> SigningKey {
+        SigningKey::new("czxu", b"secret")
+    }
+
+    fn sample() -> Naplet {
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["s1", "s2"], None))
+            .unwrap()
+            .with_final_action(ActionSpec::ReportHome);
+        Naplet::create(
+            &key(),
+            "czxu",
+            "home.host",
+            Millis(7),
+            "naplet://code/demo.jar",
+            AgentKind::Native,
+            it,
+            vec![("role".into(), "demo".into())],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn creation_sets_immutables() {
+        let n = sample();
+        assert_eq!(n.id().user(), "czxu");
+        assert_eq!(n.home(), "home.host");
+        assert_eq!(n.codebase(), "naplet://code/demo.jar");
+        assert!(n.id().is_original());
+        n.verify(&key()).unwrap();
+    }
+
+    #[test]
+    fn verification_rejects_wrong_key_and_tampered_codebase() {
+        let mut n = sample();
+        assert!(n.verify(&SigningKey::new("czxu", b"wrong")).is_err());
+        n.codebase = "naplet://code/evil.jar".into();
+        assert!(n.verify(&key()).is_err());
+    }
+
+    #[test]
+    fn advance_walks_itinerary() {
+        let mut n = sample();
+        let Step::Visit { host, .. } = n.advance() else {
+            panic!()
+        };
+        assert_eq!(host, "s1");
+        n.nav_log.record_arrival("s1", Millis(10));
+        n.nav_log.record_departure(Millis(20));
+        let Step::Visit { host, .. } = n.advance() else {
+            panic!()
+        };
+        assert_eq!(host, "s2");
+        assert_eq!(n.advance(), Step::Action(ActionSpec::ReportHome));
+        assert_eq!(n.advance(), Step::Done);
+        assert!(n.journey_done());
+    }
+
+    #[test]
+    fn clone_gets_next_ordinal_and_inherited_book() {
+        let mut n = sample();
+        n.state.set("shared", Value::Int(1));
+        n.address_book
+            .put(NapletId::new("peer", "p", Millis(0)).unwrap(), "ps");
+
+        let c1 = n.clone_for_branch(Cursor::done(), "here");
+        let c2 = n.clone_for_branch(Cursor::done(), "here");
+
+        assert_eq!(c1.id().heritage(), [1]);
+        assert_eq!(c2.id().heritage(), [2]);
+        assert!(n.id().is_ancestor_of(c1.id()));
+        // clone inherits peers + parent location
+        assert!(c1.address_book.knows(n.id()));
+        assert!(c1
+            .address_book
+            .knows(&NapletId::new("peer", "p", Millis(0)).unwrap()));
+        // parent learns about clones
+        assert!(n.address_book.knows(c1.id()));
+        assert!(n.address_book.knows(c2.id()));
+        // state copied, log fresh
+        assert_eq!(c1.state.get("shared"), Value::Int(1));
+        assert_eq!(c1.nav_log.hops(), 0);
+        // clones verify under the family credential
+        c1.verify(&key()).unwrap();
+        c2.verify(&key()).unwrap();
+    }
+
+    #[test]
+    fn recursive_clone_heritage() {
+        let mut n = sample();
+        let mut c2 = n.clone_for_branch(Cursor::done(), "h");
+        let mut c2x = c2.clone_for_branch(Cursor::done(), "h");
+        let c2y = c2.clone_for_branch(Cursor::done(), "h");
+        assert_eq!(c2x.id().heritage(), [1, 1]);
+        assert_eq!(c2y.id().heritage(), [1, 2]);
+        c2x.verify(&key()).unwrap();
+        let deep = c2x.clone_for_branch(Cursor::done(), "h");
+        assert_eq!(deep.id().heritage(), [1, 1, 1]);
+        deep.verify(&key()).unwrap();
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_everything() {
+        let mut n = sample();
+        n.state.set("gathered", Value::list([Value::Int(3)]));
+        n.nav_log.record_arrival("s1", Millis(10));
+        let bytes = n.to_wire().unwrap();
+        assert_eq!(bytes.len() as u64, n.wire_size().unwrap());
+        let back = Naplet::from_wire(&bytes).unwrap();
+        assert_eq!(back, n);
+        back.verify(&key()).unwrap();
+    }
+
+    #[test]
+    fn wire_size_grows_with_state() {
+        let mut n = sample();
+        let before = n.wire_size().unwrap();
+        n.state.set("blob", Value::Bytes(vec![0; 2048]));
+        assert!(n.wire_size().unwrap() >= before + 2048);
+    }
+
+    #[test]
+    fn vm_kind_carries_image() {
+        let it = Itinerary::new(Pattern::singleton("s1")).unwrap();
+        let n = Naplet::create(
+            &key(),
+            "czxu",
+            "h",
+            Millis(1),
+            "vm:demo",
+            AgentKind::Vm(vec![1, 2, 3]),
+            it,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(n.kind(), &AgentKind::Vm(vec![1, 2, 3]));
+        let back = Naplet::from_wire(&n.to_wire().unwrap()).unwrap();
+        assert_eq!(back.kind(), &AgentKind::Vm(vec![1, 2, 3]));
+    }
+}

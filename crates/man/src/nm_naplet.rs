@@ -1,0 +1,279 @@
+//! The network-management naplet (paper §6.2).
+//!
+//! `NMNaplet` carries a `;`-separated MIB parameter list, queries each
+//! visited device through the `serviceImpl.NetManagement` channel and
+//! accumulates per-device status in a protected state entry
+//! `DeviceStatus`, reporting home at journey end — the paper's code,
+//! behaviour-for-behaviour. Additional variants:
+//!
+//! * **threshold filtering** (`threshold` state entry): the agent
+//!   keeps only bindings whose integer value exceeds the threshold —
+//!   on-site analysis that ships anomalies, not raw data (the
+//!   "reducing the network load" argument of §1);
+//! * a **VM bytecode** NM agent ([`nm_vm_program`]) demonstrating the
+//!   same application as truly mobile code.
+
+use naplet_core::behavior::NapletBehavior;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::CodebaseRegistry;
+use naplet_core::context::NapletContext;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::Result;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+
+use crate::service::NET_MANAGEMENT;
+
+/// Codebase URL the NM behaviour is registered under.
+pub const NM_CODEBASE: &str = "naplet://code/netmgmt.jar";
+/// Declared size of the NM "JAR" (drives lazy code-loading costs).
+pub const NM_CODE_SIZE: u64 = 16 * 1024;
+
+/// The network-management behaviour.
+pub struct NmBehavior;
+
+impl NapletBehavior for NmBehavior {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+        let host = ctx.host_name().to_string();
+        let params = ctx.state().get("parameters");
+        let params = params.as_str().unwrap_or("").to_string();
+
+        // NapletWriter → ServiceReader: pass parameters; then read
+        // result lines from the NapletReader side
+        let reply = ctx.channel_exchange(NET_MANAGEMENT, Value::Str(params))?;
+        let lines: Vec<Value> = match reply {
+            Value::List(l) => l,
+            Value::Nil => Vec::new(),
+            single => vec![single],
+        };
+
+        // optional on-site filtering: keep anomalies only
+        let threshold = ctx.state().get("threshold");
+        let kept: Vec<Value> = match threshold.as_int() {
+            Ok(t) => lines
+                .into_iter()
+                .filter(|line| line.get("value").as_int().map(|v| v > t).unwrap_or(true))
+                .collect(),
+            Err(_) => lines,
+        };
+
+        // status.put(serverName, resultVector)
+        ctx.state().update("DeviceStatus", |v| {
+            if let Value::Map(m) = v {
+                m.insert(host.clone(), Value::List(kept.clone()));
+            }
+        })?;
+        Ok(())
+    }
+}
+
+/// Register the NM behaviour in a codebase registry.
+pub fn register_nm_codebase(registry: &mut CodebaseRegistry) {
+    registry.register(NM_CODEBASE, NM_CODE_SIZE, || NmBehavior);
+}
+
+/// Construct an `NMNaplet` (paper §6.2): name, servers to visit, MIB
+/// parameters, with the protected `DeviceStatus` space and a chosen
+/// itinerary shape.
+pub fn nm_naplet(
+    key: &SigningKey,
+    user: &str,
+    home: &str,
+    created: Millis,
+    devices: &[&str],
+    parameters: &str,
+    broadcast: bool,
+) -> Result<Naplet> {
+    // "Since NMItinerary defines a broadcast pattern, the naplet will
+    // spawn a child naplet for each server. The spawned naplets will
+    // report their results individually."
+    let itinerary = if broadcast {
+        Itinerary::new(Pattern::par_singletons(
+            devices,
+            Some(ActionSpec::ReportHome),
+        ))?
+    } else {
+        Itinerary::new(Pattern::seq_of_hosts(devices, None))?
+            .with_final_action(ActionSpec::ReportHome)
+    };
+    let mut naplet = Naplet::create(
+        key,
+        user,
+        home,
+        created,
+        NM_CODEBASE,
+        AgentKind::Native,
+        itinerary,
+        vec![("role".into(), "net-mgmt".into())],
+    )?;
+    naplet.state.set_public("parameters", parameters);
+    // ProtectedNapletState: device status readable by the home server
+    naplet.state.set_protected(
+        "DeviceStatus",
+        Value::map::<[(&str, Value); 0], &str>([]),
+        [home],
+    );
+    Ok(naplet)
+}
+
+/// Enable on-site threshold filtering on an NM naplet.
+pub fn with_threshold(mut naplet: Naplet, threshold: i64) -> Naplet {
+    naplet.state.set_public("threshold", threshold);
+    naplet
+}
+
+/// The VM-bytecode variant of the NM agent: at every host it exchanges
+/// the parameter string with the NetManagement channel and appends
+/// `{host, lines}` to its result list; at journey end it reports the
+/// accumulated list home. Demonstrates the same application as truly
+/// mobile code with strong mobility.
+pub fn nm_vm_program(parameters: &str) -> naplet_vm::Program {
+    let escaped = parameters.replace('\\', "\\\\").replace('"', "\\\"");
+    let src = format!(
+        r#"
+        .program nm-vm
+        .func main locals=2
+            mklist 0
+            store 0              ; results
+        visit:
+            const "{NET_MANAGEMENT}"
+            const "{escaped}"
+            hcall chan_exchange
+            store 1              ; device reply
+            hcall host_name
+            ; build {{host: <name>, data: <reply>}}
+            const "host"
+            swap
+            const "data"
+            load 1
+            mkmap 2
+            store 1
+            load 0
+            load 1
+            lpush
+            store 0
+            hcall travel_next
+            dup
+            jmpf done
+            pop
+            jmp visit
+        done:
+            pop
+            load 0
+            hcall report
+            pop
+            nil
+            halt
+        .end
+        "#
+    );
+    naplet_vm::assemble(&src).expect("nm vm program assembles")
+}
+
+/// Build a VM-agent NM naplet.
+pub fn nm_vm_naplet(
+    key: &SigningKey,
+    user: &str,
+    home: &str,
+    created: Millis,
+    devices: &[&str],
+    parameters: &str,
+) -> Result<Naplet> {
+    let itinerary = Itinerary::new(Pattern::seq_of_hosts(devices, None))?;
+    let image = naplet_vm::VmImage::new(nm_vm_program(parameters))?;
+    Naplet::create(
+        key,
+        user,
+        home,
+        created,
+        "vm:nm",
+        AgentKind::Vm(image.to_wire()?),
+        itinerary,
+        vec![("role".into(), "net-mgmt".into())],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naplet_core::context::LocalContext;
+    use naplet_core::id::NapletId;
+
+    fn ctx_with_service() -> LocalContext {
+        let id = NapletId::new("czxu", "noc", Millis(0)).unwrap();
+        let mut ctx = LocalContext::new("d0", id);
+        ctx.state
+            .set_public("parameters", "1.3.6.1.2.1.1.5;1.3.6.1.2.1.1.3");
+        ctx.state
+            .set("DeviceStatus", Value::map::<[(&str, Value); 0], &str>([]));
+        ctx.register_channel(NET_MANAGEMENT, |req| {
+            let params = req.as_str()?.to_string();
+            Ok(Value::List(
+                params
+                    .split(';')
+                    .map(|p| Value::map([("oid", Value::from(p)), ("value", Value::Int(42))]))
+                    .collect(),
+            ))
+        });
+        ctx
+    }
+
+    #[test]
+    fn behavior_stores_device_status() {
+        let mut ctx = ctx_with_service();
+        NmBehavior.on_start(&mut ctx).unwrap();
+        let status = ctx.state.get("DeviceStatus");
+        let lines = status.get("d0");
+        assert_eq!(lines.as_list().unwrap().len(), 2);
+        assert_eq!(lines.as_list().unwrap()[0].get("value"), Value::Int(42));
+    }
+
+    #[test]
+    fn threshold_filters_normal_values() {
+        let mut ctx = ctx_with_service();
+        ctx.state.set_public("threshold", 100i64);
+        NmBehavior.on_start(&mut ctx).unwrap();
+        // all values are 42 <= 100 → filtered out
+        let status = ctx.state.get("DeviceStatus");
+        assert!(status.get("d0").as_list().unwrap().is_empty());
+
+        let mut ctx = ctx_with_service();
+        ctx.state.set_public("threshold", 10i64);
+        NmBehavior.on_start(&mut ctx).unwrap();
+        let status = ctx.state.get("DeviceStatus");
+        assert_eq!(status.get("d0").as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn nm_naplet_shapes() {
+        let key = SigningKey::new("czxu", b"k");
+        let seq = nm_naplet(&key, "czxu", "noc", Millis(1), &["d0", "d1"], "1.3", false).unwrap();
+        assert_eq!(seq.itinerary().agents_required(), 1);
+        assert_eq!(seq.state.get("parameters"), Value::from("1.3"));
+        let par = nm_naplet(
+            &key,
+            "czxu",
+            "noc",
+            Millis(2),
+            &["d0", "d1", "d2"],
+            "1.3",
+            true,
+        )
+        .unwrap();
+        assert_eq!(par.itinerary().agents_required(), 3);
+        // DeviceStatus is protected to the home server
+        let mut s = par.state.clone();
+        assert!(s.server_view("noc").get("DeviceStatus").is_ok());
+        assert!(s.server_view("d0").get("DeviceStatus").is_err());
+    }
+
+    #[test]
+    fn vm_program_assembles_and_naplet_builds() {
+        let p = nm_vm_program("1.3.6.1.2.1.1.5;1.3.6.1.2.1.1.3");
+        p.validate().unwrap();
+        let key = SigningKey::new("czxu", b"k");
+        let n = nm_vm_naplet(&key, "czxu", "noc", Millis(1), &["d0", "d1"], "1.3").unwrap();
+        assert!(matches!(n.kind(), AgentKind::Vm(_)));
+    }
+}

@@ -1,0 +1,203 @@
+//! The `NetManagement` privileged service (paper §6.1).
+//!
+//! "Following is a NetManagement class extended from a naplet
+//! PrivilegedService base class. It is instantiated by the naplet
+//! ResourceManager and associated with a pair of ServiceReader and
+//! ServiceWriter channels … Through the input channel, the
+//! NapletServer gets input parameters from naplets and re-organizes
+//! them into an AdventNet SNMP format … The information is returned to
+//! the naplet through the out channel."
+//!
+//! Here the AdventNet stack is replaced by the local simulated device's
+//! [`naplet_snmp::SnmpAgent`] (DESIGN.md §2). The request protocol mirrors the
+//! paper: a `;`-separated list of MIB parameters, answered one result
+//! line per parameter; a `walk <oid>` form returns a whole subtree.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use naplet_core::error::Result;
+use naplet_core::value::Value;
+use naplet_server::service_channel::{bad_request, ChannelIo, PrivilegedService};
+use naplet_snmp::{Oid, SimulatedDevice, SnmpOp, SnmpRequest};
+
+/// Registered name of the privileged service — incoming naplets access
+/// it exactly as in the paper.
+pub const NET_MANAGEMENT: &str = "serviceImpl.NetManagement";
+
+/// Shared handle to the host's simulated device.
+pub type SharedDevice = Arc<Mutex<SimulatedDevice>>;
+
+/// The privileged MIB-access service.
+pub struct NetManagement {
+    device: SharedDevice,
+    community: String,
+}
+
+impl NetManagement {
+    /// Bind the service to the local device, querying with the given
+    /// community string.
+    pub fn new(device: SharedDevice, community: &str) -> NetManagement {
+        NetManagement {
+            device,
+            community: community.to_string(),
+        }
+    }
+
+    /// The paper's configuration: community "public".
+    pub fn standard(device: SharedDevice) -> NetManagement {
+        NetManagement::new(device, "public")
+    }
+
+    fn get_one(&self, param: &str) -> Value {
+        let Ok(oid) = param.trim().parse::<Oid>() else {
+            return Value::map([
+                ("oid", Value::from(param.trim())),
+                ("error", Value::from("bad oid")),
+            ]);
+        };
+        let mut device = self.device.lock();
+        let agent = device.agent_mut();
+        // the paper appends ".0" for scalars; accept both full
+        // instances and bare object ids
+        let mut resp = agent.handle(&SnmpRequest {
+            community: self.community.clone(),
+            op: SnmpOp::Get(vec![oid.clone()]),
+        });
+        if !resp.is_ok() {
+            resp = agent.handle(&SnmpRequest {
+                community: self.community.clone(),
+                op: SnmpOp::Get(vec![oid.instance()]),
+            });
+        }
+        match resp.bindings.into_iter().next() {
+            Some((bound, value)) if resp.error == naplet_snmp::SnmpError::NoError => {
+                Value::map([("oid", Value::from(bound.to_string())), ("value", value)])
+            }
+            _ => Value::map([
+                ("oid", Value::from(oid.to_string())),
+                ("error", Value::from(format!("{:?}", resp.error))),
+            ]),
+        }
+    }
+
+    fn walk(&self, root: &str) -> Result<Vec<Value>> {
+        let oid: Oid = root
+            .trim()
+            .parse()
+            .map_err(|_| bad_request(format!("bad walk oid `{root}`")))?;
+        let mut device = self.device.lock();
+        let resp = device.agent_mut().handle(&SnmpRequest {
+            community: self.community.clone(),
+            op: SnmpOp::Walk(oid),
+        });
+        Ok(resp
+            .bindings
+            .into_iter()
+            .map(|(o, v)| Value::map([("oid", Value::from(o.to_string())), ("value", v)]))
+            .collect())
+    }
+}
+
+impl PrivilegedService for NetManagement {
+    fn serve(&self, io: &mut ChannelIo<'_>) -> Result<()> {
+        // `for(;;) { cmd = in.readLine(); … out.writeLine(result); }`
+        while let Some(cmd) = io.read_line() {
+            let cmd = cmd
+                .as_str()
+                .map_err(|_| bad_request("command must be a string"))?
+                .to_string();
+            if let Some(root) = cmd.strip_prefix("walk ") {
+                for line in self.walk(root)? {
+                    io.write_line(line);
+                }
+            } else {
+                // `;`-separated MIB parameters, one result line each
+                for param in cmd.split(';').filter(|p| !p.trim().is_empty()) {
+                    io.write_line(self.get_one(param));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naplet_core::clock::Millis;
+    use naplet_core::id::NapletId;
+    use naplet_server::service_channel::ServiceChannel;
+    use naplet_snmp::DeviceProfile;
+
+    fn device() -> SharedDevice {
+        Arc::new(Mutex::new(SimulatedDevice::new(
+            "r1",
+            DeviceProfile::default(),
+            5,
+        )))
+    }
+
+    fn channel() -> ServiceChannel {
+        ServiceChannel::new(NapletId::new("u", "h", Millis(0)).unwrap(), NET_MANAGEMENT)
+    }
+
+    #[test]
+    fn semicolon_separated_parameters() {
+        let svc = NetManagement::standard(device());
+        let mut ch = channel();
+        // paper-style: object ids without instance suffix
+        let reply = ch
+            .exchange(&svc, Value::from("1.3.6.1.2.1.1.5;1.3.6.1.2.1.1.3"))
+            .unwrap();
+        let lines = reply.as_list().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].get("value"), Value::from("r1"));
+        assert_eq!(lines[0].get("oid"), Value::from("1.3.6.1.2.1.1.5.0"));
+        assert_eq!(lines[1].get("value"), Value::Int(0)); // uptime, no ticks
+    }
+
+    #[test]
+    fn full_instances_also_work() {
+        let svc = NetManagement::standard(device());
+        let mut ch = channel();
+        let reply = ch.exchange(&svc, Value::from("1.3.6.1.2.1.1.5.0")).unwrap();
+        assert_eq!(reply.get("value"), Value::from("r1"));
+    }
+
+    #[test]
+    fn unknown_parameter_reports_error_line() {
+        let svc = NetManagement::standard(device());
+        let mut ch = channel();
+        let reply = ch.exchange(&svc, Value::from("9.9.9")).unwrap();
+        assert!(reply.get("error").is_truthy());
+    }
+
+    #[test]
+    fn walk_returns_subtree() {
+        let svc = NetManagement::standard(device());
+        let mut ch = channel();
+        let reply = ch
+            .exchange(&svc, Value::from("walk 1.3.6.1.2.1.1"))
+            .unwrap();
+        assert_eq!(reply.as_list().unwrap().len(), 5); // system scalars
+    }
+
+    #[test]
+    fn queries_go_through_the_real_agent() {
+        let dev = device();
+        let svc = NetManagement::standard(Arc::clone(&dev));
+        let mut ch = channel();
+        ch.exchange(&svc, Value::from("1.3.6.1.2.1.1.5")).unwrap();
+        ch.exchange(&svc, Value::from("1.3.6.1.2.1.1.5")).unwrap();
+        assert!(dev.lock().agent().requests_served >= 2);
+    }
+
+    #[test]
+    fn non_string_command_rejected() {
+        let svc = NetManagement::standard(device());
+        let mut ch = channel();
+        assert!(ch.exchange(&svc, Value::Int(3)).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Management workloads: which MIB variables a task needs.
+//!
+//! The experiments sweep the number of variables polled per device
+//! (`m`), so workloads are generated: a health snapshot draws from the
+//! system/ip/snmp scalars first and then interface-table cells, giving
+//! arbitrarily large but realistic parameter lists.
+
+use naplet_snmp::{oids, Oid};
+
+/// Scalar + table OIDs for a health snapshot of `m` variables on a
+/// device with `interfaces` interfaces.
+pub fn health_oids(m: usize, interfaces: u32) -> Vec<Oid> {
+    let mut pool: Vec<Oid> = vec![
+        oids::sys_descr(),
+        oids::sys_uptime(),
+        oids::sys_name(),
+        oids::sys_location(),
+        oids::if_number(),
+        oids::ip_in_receives(),
+        oids::ip_forw_datagrams(),
+        oids::snmp_in_pkts(),
+    ];
+    let table_cols = [
+        oids::IF_OPER_STATUS,
+        oids::IF_IN_OCTETS,
+        oids::IF_OUT_OCTETS,
+        oids::IF_IN_ERRORS,
+        oids::IF_OUT_ERRORS,
+        oids::IF_SPEED,
+        oids::IF_MTU,
+        oids::IF_DESCR,
+    ];
+    let entry = oids::if_entry();
+    'outer: for col in table_cols {
+        for i in 1..=interfaces.max(1) {
+            pool.push(entry.extend(&[col, i]));
+            if pool.len() >= m {
+                break 'outer;
+            }
+        }
+    }
+    // if still short (huge m), repeat uptime probes — distinct requests
+    // in the protocol sense even when the OID repeats
+    while pool.len() < m {
+        pool.push(oids::sys_uptime());
+    }
+    pool.truncate(m);
+    pool
+}
+
+/// The error-diagnosis variable set: error counters + status per
+/// interface.
+pub fn diagnosis_oids(interfaces: u32) -> Vec<Oid> {
+    let entry = oids::if_entry();
+    let mut v = Vec::new();
+    for i in 1..=interfaces {
+        v.push(entry.extend(&[oids::IF_OPER_STATUS, i]));
+        v.push(entry.extend(&[oids::IF_IN_ERRORS, i]));
+        v.push(entry.extend(&[oids::IF_OUT_ERRORS, i]));
+    }
+    v
+}
+
+/// The paper-style `;`-separated parameter string for a naplet.
+pub fn params_string(oids: &[Oid]) -> String {
+    oids.iter()
+        .map(Oid::to_string)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_oids_sized_exactly() {
+        for m in [1, 4, 8, 12, 40, 100] {
+            assert_eq!(health_oids(m, 4).len(), m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn health_prefers_scalars_first() {
+        let v = health_oids(3, 4);
+        assert_eq!(v[0], oids::sys_descr());
+        assert_eq!(v[1], oids::sys_uptime());
+    }
+
+    #[test]
+    fn diagnosis_covers_every_interface() {
+        let v = diagnosis_oids(5);
+        assert_eq!(v.len(), 15);
+    }
+
+    #[test]
+    fn params_string_round_trips() {
+        let oids = health_oids(5, 2);
+        let s = params_string(&oids);
+        assert_eq!(s.split(';').count(), 5);
+        let back: Vec<Oid> = s.split(';').map(|p| p.parse().unwrap()).collect();
+        assert_eq!(back, oids);
+    }
+}

@@ -1,0 +1,429 @@
+//! The MAN experiment world: a NOC plus `n` managed devices, runnable
+//! under either management paradigm with identical metering.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use naplet_core::clock::Millis;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::{NapletError, Result};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel, StatsSnapshot};
+use naplet_server::{LocationMode, ServerConfig, SimRuntime};
+use naplet_snmp::{DeviceProfile, Oid, SimulatedDevice};
+
+use crate::centralized::{install_snmp_endpoint, CentralizedManager};
+use crate::nm_naplet::{nm_naplet, nm_vm_naplet, register_nm_codebase, with_threshold};
+use crate::service::{NetManagement, SharedDevice, NET_MANAGEMENT};
+use crate::workload::params_string;
+
+/// Outcome of one management round, comparable across paradigms.
+#[derive(Debug, Clone)]
+pub struct PollOutcome {
+    /// Per-device result lines.
+    pub per_device: BTreeMap<String, Value>,
+    /// Virtual completion time of the round (ms).
+    pub completion_ms: u64,
+    /// Traffic delta for the round.
+    pub stats: StatsSnapshot,
+    /// Protocol interactions the management station performed itself
+    /// (request PDUs for the baseline; launches + reports for agents)
+    /// — the "computational overhead on the management station" proxy.
+    pub station_ops: u64,
+}
+
+impl PollOutcome {
+    /// Total bytes this round put on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.total_bytes()
+    }
+}
+
+/// The experiment world.
+pub struct ManWorld {
+    /// The runtime (exposed for custom experiments / fault injection).
+    pub rt: SimRuntime,
+    /// Device host names (`d0`, `d1`, …).
+    pub devices: Vec<String>,
+    /// The simulated hardware behind each device host.
+    pub shared: HashMap<String, SharedDevice>,
+    /// The management/NOC host (agents' home; baseline station).
+    pub noc: String,
+    key: SigningKey,
+    next_ts: u64,
+}
+
+impl ManWorld {
+    /// Build a world of `n_devices` devices, each with `interfaces`
+    /// interfaces, over the given link models. Deterministic under
+    /// `seed`.
+    pub fn build(
+        n_devices: usize,
+        interfaces: u32,
+        latency: LatencyModel,
+        bandwidth: Bandwidth,
+        seed: u64,
+    ) -> ManWorld {
+        let fabric = Fabric::new(latency, bandwidth, seed);
+        let mut rt = SimRuntime::new(fabric);
+        let noc = "noc".to_string();
+        let mode = LocationMode::CentralDirectory(noc.clone());
+
+        let mut codebase = naplet_core::codebase::CodebaseRegistry::new();
+        register_nm_codebase(&mut codebase);
+
+        let mut cfg = ServerConfig::open(&noc, mode.clone());
+        cfg.codebase = codebase.clone();
+        rt.add_server(cfg);
+
+        let mut devices = Vec::with_capacity(n_devices);
+        let mut shared = HashMap::new();
+        for i in 0..n_devices {
+            let host = format!("d{i}");
+            let device: SharedDevice = Arc::new(Mutex::new(SimulatedDevice::new(
+                &host,
+                DeviceProfile {
+                    interfaces,
+                    ..DeviceProfile::default()
+                },
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+            )));
+            let mut cfg = ServerConfig::open(&host, mode.clone());
+            cfg.codebase = codebase.clone();
+            let server = rt.add_server(cfg);
+            server
+                .resources
+                .register_privileged(NET_MANAGEMENT, NetManagement::standard(Arc::clone(&device)));
+            install_snmp_endpoint(server, Arc::clone(&device));
+            shared.insert(host.clone(), device);
+            devices.push(host);
+        }
+        ManWorld {
+            rt,
+            devices,
+            shared,
+            noc,
+            key: SigningKey::new("czxu", b"noc-secret"),
+            next_ts: 0,
+        }
+    }
+
+    /// Advance every device's synthetic workload by `ms`.
+    pub fn tick_devices(&mut self, ms: u64) {
+        for device in self.shared.values() {
+            device.lock().tick(ms);
+        }
+    }
+
+    fn fresh_ts(&mut self) -> Millis {
+        self.next_ts += 1;
+        Millis(self.next_ts)
+    }
+
+    fn device_refs(&self) -> Vec<&str> {
+        self.devices.iter().map(String::as_str).collect()
+    }
+
+    /// Run one mobile-agent management round (paper §6.2):
+    /// `broadcast` picks the Par itinerary (one clone per device),
+    /// otherwise a single agent visits sequentially; `threshold`
+    /// enables on-site filtering.
+    pub fn agent_poll(
+        &mut self,
+        oids: &[Oid],
+        broadcast: bool,
+        threshold: Option<i64>,
+    ) -> Result<PollOutcome> {
+        let before = self.rt.fabric().stats().snapshot();
+        let t0 = self.rt.now();
+        let ts = self.fresh_ts();
+        let devices = self.device_refs();
+        let mut naplet = nm_naplet(
+            &self.key,
+            "czxu",
+            &self.noc,
+            ts,
+            &devices,
+            &params_string(oids),
+            broadcast,
+        )?;
+        if let Some(t) = threshold {
+            naplet = with_threshold(naplet, t);
+        }
+        self.rt.launch(naplet)?;
+        self.rt.run_to_quiescence(50_000_000);
+        let reports = self.rt.drain_reports(&self.noc);
+        if reports.is_empty() {
+            return Err(NapletError::Internal(
+                "agent round produced no reports".into(),
+            ));
+        }
+        let mut per_device = BTreeMap::new();
+        for (_, report) in &reports {
+            if let Value::Map(status) = report.get("DeviceStatus") {
+                for (host, lines) in status {
+                    per_device.insert(host.clone(), lines.clone());
+                }
+            }
+        }
+        Ok(PollOutcome {
+            per_device,
+            completion_ms: self.rt.now().since(t0),
+            stats: self.rt.fabric().stats().snapshot().since(&before),
+            station_ops: 1 + reports.len() as u64,
+        })
+    }
+
+    /// Run one round with the VM-bytecode agent (sequential itinerary,
+    /// strong mobility).
+    pub fn vm_agent_poll(&mut self, oids: &[Oid]) -> Result<PollOutcome> {
+        let before = self.rt.fabric().stats().snapshot();
+        let t0 = self.rt.now();
+        let ts = self.fresh_ts();
+        let devices = self.device_refs();
+        let naplet = nm_vm_naplet(
+            &self.key,
+            "czxu",
+            &self.noc,
+            ts,
+            &devices,
+            &params_string(oids),
+        )?;
+        self.rt.launch(naplet)?;
+        self.rt.run_to_quiescence(50_000_000);
+        let reports = self.rt.drain_reports(&self.noc);
+        if reports.is_empty() {
+            return Err(NapletError::Internal("vm round produced no reports".into()));
+        }
+        let mut per_device = BTreeMap::new();
+        for (_, report) in &reports {
+            if let Value::List(entries) = report {
+                for e in entries {
+                    if let Ok(host) = e.get("host").as_str() {
+                        per_device.insert(host.to_string(), e.get("data"));
+                    }
+                }
+            }
+        }
+        Ok(PollOutcome {
+            per_device,
+            completion_ms: self.rt.now().since(t0),
+            stats: self.rt.fabric().stats().snapshot().since(&before),
+            station_ops: 1 + reports.len() as u64,
+        })
+    }
+
+    /// Warm every host's code cache with one throwaway broadcast round
+    /// (steady-state periodic management never pays the code transfer;
+    /// experiment E7 measures the cold/warm difference itself).
+    pub fn warm(&mut self) -> Result<()> {
+        let oids = [naplet_snmp::oids::sys_uptime()];
+        let _ = self.agent_poll(&oids, true, None)?;
+        Ok(())
+    }
+
+    /// Mobile-agent table retrieval: broadcast clones each walk the
+    /// given subtree locally through the NetManagement channel.
+    pub fn agent_walk(&mut self, root: &Oid) -> Result<PollOutcome> {
+        let before = self.rt.fabric().stats().snapshot();
+        let t0 = self.rt.now();
+        let ts = self.fresh_ts();
+        let devices = self.device_refs();
+        let naplet = nm_naplet(
+            &self.key,
+            "czxu",
+            &self.noc,
+            ts,
+            &devices,
+            &format!("walk {root}"),
+            true,
+        )?;
+        self.rt.launch(naplet)?;
+        self.rt.run_to_quiescence(50_000_000);
+        let reports = self.rt.drain_reports(&self.noc);
+        if reports.is_empty() {
+            return Err(NapletError::Internal(
+                "agent walk produced no reports".into(),
+            ));
+        }
+        let mut per_device = BTreeMap::new();
+        for (_, report) in &reports {
+            if let Value::Map(status) = report.get("DeviceStatus") {
+                for (host, lines) in status {
+                    per_device.insert(host.clone(), lines.clone());
+                }
+            }
+        }
+        Ok(PollOutcome {
+            per_device,
+            completion_ms: self.rt.now().since(t0),
+            stats: self.rt.fabric().stats().snapshot().since(&before),
+            station_ops: 1 + reports.len() as u64,
+        })
+    }
+
+    /// Centralized table retrieval: the station walks the subtree on
+    /// every device with sequential get-next round trips — the classic
+    /// SNMP micro-management cost the paper criticizes.
+    pub fn centralized_walk(&mut self, root: &Oid) -> Result<PollOutcome> {
+        let before = self.rt.fabric().stats().snapshot();
+        let t0 = self.rt.now();
+        let mut manager = CentralizedManager::new(&self.noc);
+        let devices = self.devices.clone();
+        let results = manager.walk(&mut self.rt, &devices, root)?;
+        let per_device = results
+            .into_iter()
+            .map(|(host, bindings)| {
+                let lines: Vec<Value> = bindings
+                    .into_iter()
+                    .map(|(oid, v)| {
+                        Value::map([("oid", Value::from(oid.to_string())), ("value", v)])
+                    })
+                    .collect();
+                (host, Value::List(lines))
+            })
+            .collect();
+        Ok(PollOutcome {
+            per_device,
+            completion_ms: self.rt.now().since(t0),
+            stats: self.rt.fabric().stats().snapshot().since(&before),
+            station_ops: manager.station_ops,
+        })
+    }
+
+    /// Run one centralized-SNMP round (the §6 baseline).
+    pub fn centralized_poll(&mut self, oids: &[Oid], fine_grained: bool) -> Result<PollOutcome> {
+        let before = self.rt.fabric().stats().snapshot();
+        let t0 = self.rt.now();
+        let mut manager = CentralizedManager::new(&self.noc);
+        let devices = self.devices.clone();
+        let results = manager.poll(&mut self.rt, &devices, oids, fine_grained)?;
+        let per_device = results
+            .into_iter()
+            .map(|(host, bindings)| {
+                let lines: Vec<Value> = bindings
+                    .into_iter()
+                    .map(|(oid, v)| {
+                        Value::map([("oid", Value::from(oid.to_string())), ("value", v)])
+                    })
+                    .collect();
+                (host, Value::List(lines))
+            })
+            .collect();
+        Ok(PollOutcome {
+            per_device,
+            completion_ms: self.rt.now().since(t0),
+            stats: self.rt.fabric().stats().snapshot().since(&before),
+            station_ops: manager.station_ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::health_oids;
+    use naplet_net::TrafficClass;
+
+    fn world(n: usize) -> ManWorld {
+        let mut w = ManWorld::build(
+            n,
+            4,
+            LatencyModel::Constant(2),
+            Bandwidth::fast_ethernet(),
+            11,
+        );
+        w.tick_devices(10_000);
+        w
+    }
+
+    #[test]
+    fn agent_round_covers_every_device() {
+        let mut w = world(3);
+        let oids = health_oids(6, 4);
+        let out = w.agent_poll(&oids, false, None).unwrap();
+        assert_eq!(out.per_device.len(), 3);
+        for host in &w.devices {
+            let lines = out.per_device.get(host).unwrap();
+            assert_eq!(lines.as_list().unwrap().len(), 6, "host {host}");
+        }
+        assert!(out.completion_ms > 0);
+        assert!(out.stats.messages(TrafficClass::Migration) >= 3);
+    }
+
+    #[test]
+    fn broadcast_round_covers_every_device() {
+        let mut w = world(4);
+        let oids = health_oids(4, 4);
+        let out = w.agent_poll(&oids, true, None).unwrap();
+        assert_eq!(out.per_device.len(), 4);
+        // one report per clone + the launch
+        assert_eq!(out.station_ops, 5);
+    }
+
+    #[test]
+    fn centralized_round_matches_agent_data_shape() {
+        let mut w = world(2);
+        let oids = health_oids(5, 4);
+        let out = w.centralized_poll(&oids, true).unwrap();
+        assert_eq!(out.per_device.len(), 2);
+        for host in &w.devices {
+            assert_eq!(
+                out.per_device.get(host).unwrap().as_list().unwrap().len(),
+                5
+            );
+        }
+        // micro-management: one PDU per variable per device
+        assert_eq!(out.station_ops, 10);
+        assert_eq!(out.stats.messages(TrafficClass::Snmp), 20); // req+reply
+    }
+
+    #[test]
+    fn vm_agent_round_works() {
+        let mut w = world(2);
+        let oids = health_oids(3, 4);
+        let out = w.vm_agent_poll(&oids).unwrap();
+        assert_eq!(out.per_device.len(), 2);
+        for host in &w.devices {
+            assert_eq!(
+                out.per_device.get(host).unwrap().as_list().unwrap().len(),
+                3,
+                "host {host}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_filtering_shrinks_reports() {
+        let mut w = world(2);
+        // absurdly high threshold: every numeric line filtered on site
+        let oids = crate::workload::diagnosis_oids(4);
+        let full = w.agent_poll(&oids, false, None).unwrap();
+        let filtered = w.agent_poll(&oids, false, Some(i64::MAX)).unwrap();
+        let count = |o: &PollOutcome| -> usize {
+            o.per_device
+                .values()
+                .map(|v| v.as_list().map(|l| l.len()).unwrap_or(0))
+                .sum()
+        };
+        assert!(count(&filtered) < count(&full));
+        assert_eq!(count(&filtered), 0);
+    }
+
+    #[test]
+    fn values_agree_between_paradigms() {
+        let mut w = world(1);
+        // query a stable scalar through both paths
+        let oid: Oid = "1.3.6.1.2.1.1.5".parse().unwrap();
+        let agent = w
+            .agent_poll(std::slice::from_ref(&oid), false, None)
+            .unwrap();
+        let central = w.centralized_poll(&[oid], false).unwrap();
+        let a = agent.per_device.get("d0").unwrap().as_list().unwrap()[0].get("value");
+        let c = central.per_device.get("d0").unwrap().as_list().unwrap()[0].get("value");
+        assert_eq!(a, c);
+        assert_eq!(a, Value::from("d0"));
+    }
+}

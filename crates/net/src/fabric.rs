@@ -1,0 +1,294 @@
+//! The network fabric: topology, failure injection and transfer cost.
+//!
+//! A [`Fabric`] knows which virtual hosts exist, which links are cut or
+//! hosts down, the latency/bandwidth model and the loss probability.
+//! Drivers (the discrete-event runtime in `naplet-server`, or the
+//! threaded transport in [`crate::threaded`]) call [`Fabric::transfer`]
+//! for every send: it meters the traffic statistics and returns the
+//! modelled one-way delay, or `None` when the transfer is lost.
+//!
+//! The fabric is cheaply cloneable; clones share topology, statistics
+//! and the seeded RNG, so concurrent drivers observe one network.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use naplet_core::error::{NapletError, Result};
+
+use crate::latency::{Bandwidth, LatencyModel};
+use crate::stats::{NetStats, TrafficClass};
+
+#[derive(Debug)]
+struct Inner {
+    hosts: HashSet<String>,
+    down: HashSet<String>,
+    cut: HashSet<(String, String)>,
+    latency: LatencyModel,
+    bandwidth: Bandwidth,
+    loss_prob: f64,
+    rng: StdRng,
+}
+
+/// Shared fabric handle.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    inner: Arc<Mutex<Inner>>,
+    stats: NetStats,
+}
+
+impl Fabric {
+    /// New fabric with the given models and a deterministic RNG seed.
+    pub fn new(latency: LatencyModel, bandwidth: Bandwidth, seed: u64) -> Fabric {
+        Fabric {
+            inner: Arc::new(Mutex::new(Inner {
+                hosts: HashSet::new(),
+                down: HashSet::new(),
+                cut: HashSet::new(),
+                latency,
+                bandwidth,
+                loss_prob: 0.0,
+                rng: StdRng::seed_from_u64(seed),
+            })),
+            stats: NetStats::new(),
+        }
+    }
+
+    /// A LAN fabric with default seed — the common test setup.
+    pub fn lan() -> Fabric {
+        Fabric::new(LatencyModel::lan(), Bandwidth::fast_ethernet(), 0x4e41_504c)
+    }
+
+    /// Register a host. Idempotent.
+    pub fn add_host(&self, name: &str) {
+        self.inner.lock().hosts.insert(name.to_string());
+    }
+
+    /// All registered hosts (sorted).
+    pub fn hosts(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.lock().hosts.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Is the host registered and up?
+    pub fn is_up(&self, name: &str) -> bool {
+        let inner = self.inner.lock();
+        inner.hosts.contains(name) && !inner.down.contains(name)
+    }
+
+    /// Shared traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Set the independent per-transfer loss probability `[0, 1)`.
+    pub fn set_loss(&self, p: f64) {
+        self.inner.lock().loss_prob = p.clamp(0.0, 0.999_999);
+    }
+
+    /// Cut the (bidirectional) link between two hosts.
+    pub fn cut_link(&self, a: &str, b: &str) {
+        self.inner.lock().cut.insert(ordered(a, b));
+    }
+
+    /// Restore a previously cut link.
+    pub fn heal_link(&self, a: &str, b: &str) {
+        self.inner.lock().cut.remove(&ordered(a, b));
+    }
+
+    /// Take a host down (it refuses all transfers in and out).
+    pub fn take_down(&self, host: &str) {
+        self.inner.lock().down.insert(host.to_string());
+    }
+
+    /// Bring a host back up.
+    pub fn bring_up(&self, host: &str) {
+        self.inner.lock().down.remove(host);
+    }
+
+    /// Attempt a transfer of `bytes` payload bytes.
+    ///
+    /// * `Err` — an endpoint does not exist (a programming error in the
+    ///   driver, surfaced loudly);
+    /// * `Ok(None)` — the transfer was lost (link cut, host down, or
+    ///   random loss); metered in the drop counter;
+    /// * `Ok(Some(delay_ms))` — the transfer succeeds after the
+    ///   modelled one-way delay; metered per class and link.
+    pub fn transfer(
+        &self,
+        from: &str,
+        to: &str,
+        class: TrafficClass,
+        bytes: u64,
+    ) -> Result<Option<u64>> {
+        let mut inner = self.inner.lock();
+        if !inner.hosts.contains(from) {
+            return Err(NapletError::NotFound(format!(
+                "unknown source host `{from}`"
+            )));
+        }
+        if !inner.hosts.contains(to) {
+            return Err(NapletError::NotFound(format!(
+                "unknown destination host `{to}`"
+            )));
+        }
+        let blocked = inner.down.contains(from)
+            || inner.down.contains(to)
+            || inner.cut.contains(&ordered(from, to));
+        let lost = blocked || {
+            let p = inner.loss_prob;
+            p > 0.0 && inner.rng.gen_bool(p)
+        };
+        if lost {
+            drop(inner);
+            self.stats.record_drop();
+            return Ok(None);
+        }
+        if from == to {
+            // local delivery is free and unmetered
+            return Ok(Some(0));
+        }
+        let prop = {
+            let Inner { latency, rng, .. } = &mut *inner;
+            latency.delay_ms(from, to, rng)
+        };
+        let delay = prop + inner.bandwidth.transfer_ms(bytes);
+        drop(inner);
+        self.stats.record(from, to, class, bytes, delay);
+        Ok(Some(delay))
+    }
+}
+
+fn ordered(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        let f = Fabric::new(LatencyModel::Constant(5), Bandwidth(Some(100)), 1);
+        for h in ["a", "b", "c"] {
+            f.add_host(h);
+        }
+        f
+    }
+
+    #[test]
+    fn transfer_meters_and_delays() {
+        let f = fabric();
+        let d = f
+            .transfer("a", "b", TrafficClass::Message, 250)
+            .unwrap()
+            .unwrap();
+        assert_eq!(d, 5 + 3); // 5ms prop + ceil(250/100)
+        let snap = f.stats().snapshot();
+        assert_eq!(snap.bytes(TrafficClass::Message), 250);
+        assert_eq!(snap.messages(TrafficClass::Message), 1);
+    }
+
+    #[test]
+    fn unknown_hosts_error() {
+        let f = fabric();
+        assert!(f.transfer("a", "zz", TrafficClass::Message, 1).is_err());
+        assert!(f.transfer("zz", "a", TrafficClass::Message, 1).is_err());
+    }
+
+    #[test]
+    fn local_delivery_free() {
+        let f = fabric();
+        assert_eq!(
+            f.transfer("a", "a", TrafficClass::Message, 999).unwrap(),
+            Some(0)
+        );
+        assert_eq!(f.stats().snapshot().total_bytes(), 0);
+    }
+
+    #[test]
+    fn cut_links_drop() {
+        let f = fabric();
+        f.cut_link("a", "b");
+        assert_eq!(
+            f.transfer("a", "b", TrafficClass::Message, 1).unwrap(),
+            None
+        );
+        assert_eq!(
+            f.transfer("b", "a", TrafficClass::Message, 1).unwrap(),
+            None
+        );
+        assert!(f
+            .transfer("a", "c", TrafficClass::Message, 1)
+            .unwrap()
+            .is_some());
+        f.heal_link("a", "b");
+        assert!(f
+            .transfer("a", "b", TrafficClass::Message, 1)
+            .unwrap()
+            .is_some());
+        assert_eq!(f.stats().snapshot().dropped, 2);
+    }
+
+    #[test]
+    fn down_hosts_drop() {
+        let f = fabric();
+        f.take_down("b");
+        assert!(!f.is_up("b"));
+        assert_eq!(
+            f.transfer("a", "b", TrafficClass::Control, 1).unwrap(),
+            None
+        );
+        assert_eq!(
+            f.transfer("b", "c", TrafficClass::Control, 1).unwrap(),
+            None
+        );
+        f.bring_up("b");
+        assert!(f.is_up("b"));
+        assert!(f
+            .transfer("a", "b", TrafficClass::Control, 1)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn loss_probability_drops_roughly_that_fraction() {
+        let f = fabric();
+        f.set_loss(0.5);
+        let mut lost = 0;
+        for _ in 0..400 {
+            if f.transfer("a", "b", TrafficClass::Message, 1)
+                .unwrap()
+                .is_none()
+            {
+                lost += 1;
+            }
+        }
+        assert!((120..=280).contains(&lost), "lost {lost}/400");
+    }
+
+    #[test]
+    fn clones_share_everything() {
+        let f = fabric();
+        let g = f.clone();
+        g.take_down("c");
+        assert!(!f.is_up("c"));
+        g.transfer("a", "b", TrafficClass::Code, 10).unwrap();
+        assert_eq!(f.stats().snapshot().bytes(TrafficClass::Code), 10);
+    }
+
+    #[test]
+    fn hosts_listing_sorted() {
+        let f = fabric();
+        assert_eq!(f.hosts(), ["a", "b", "c"]);
+        f.add_host("a"); // idempotent
+        assert_eq!(f.hosts().len(), 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! Wire framing for the threaded transport.
+//!
+//! A [`Frame`] is what actually crosses a link: source, destination,
+//! traffic class and an opaque payload. Frames encode to a
+//! length-prefixed binary layout over [`bytes::Bytes`] so a stream
+//! transport can delimit them; [`Frame::wire_len`] is the byte count
+//! the fabric meters.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use naplet_core::error::{NapletError, Result};
+
+use crate::stats::TrafficClass;
+
+/// One transport frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending host.
+    pub from: String,
+    /// Destination host.
+    pub to: String,
+    /// Traffic class for metering.
+    pub class: TrafficClass,
+    /// Opaque payload (already codec-encoded by the caller).
+    pub payload: Bytes,
+}
+
+fn class_tag(c: TrafficClass) -> u8 {
+    match c {
+        TrafficClass::Migration => 0,
+        TrafficClass::Code => 1,
+        TrafficClass::Message => 2,
+        TrafficClass::Control => 3,
+        TrafficClass::Snmp => 4,
+        TrafficClass::Other => 5,
+    }
+}
+
+fn tag_class(t: u8) -> Result<TrafficClass> {
+    Ok(match t {
+        0 => TrafficClass::Migration,
+        1 => TrafficClass::Code,
+        2 => TrafficClass::Message,
+        3 => TrafficClass::Control,
+        4 => TrafficClass::Snmp,
+        5 => TrafficClass::Other,
+        other => return Err(NapletError::Codec(format!("bad traffic class tag {other}"))),
+    })
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(from: &str, to: &str, class: TrafficClass, payload: impl Into<Bytes>) -> Frame {
+        Frame {
+            from: from.to_string(),
+            to: to.to_string(),
+            class,
+            payload: payload.into(),
+        }
+    }
+
+    /// Total encoded length in bytes (what the fabric meters).
+    pub fn wire_len(&self) -> u64 {
+        // 4 (frame len) + 1 (class) + 2×(2 + name) + payload
+        (4 + 1 + 2 + self.from.len() + 2 + self.to.len() + self.payload.len()) as u64
+    }
+
+    /// Encode to a self-delimiting byte string.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len() as usize);
+        let body_len = self.wire_len() as u32 - 4;
+        buf.put_u32(body_len);
+        buf.put_u8(class_tag(self.class));
+        buf.put_u16(self.from.len() as u16);
+        buf.put_slice(self.from.as_bytes());
+        buf.put_u16(self.to.len() as u16);
+        buf.put_slice(self.to.as_bytes());
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decode one frame from the start of `buf`, consuming it.
+    /// Returns `Ok(None)` when `buf` does not yet hold a full frame
+    /// (stream reassembly).
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let body_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if buf.len() < 4 + body_len {
+            return Ok(None);
+        }
+        buf.advance(4);
+        let mut body = buf.split_to(body_len);
+        let class = tag_class(get_u8(&mut body)?)?;
+        let from = get_string(&mut body)?;
+        let to = get_string(&mut body)?;
+        let payload = body.freeze();
+        Ok(Some(Frame {
+            from,
+            to,
+            class,
+            payload,
+        }))
+    }
+}
+
+fn get_u8(b: &mut BytesMut) -> Result<u8> {
+    if b.is_empty() {
+        return Err(NapletError::Codec("frame truncated (u8)".into()));
+    }
+    Ok(b.get_u8())
+}
+
+fn get_string(b: &mut BytesMut) -> Result<String> {
+    if b.len() < 2 {
+        return Err(NapletError::Codec("frame truncated (len)".into()));
+    }
+    let n = b.get_u16() as usize;
+    if b.len() < n {
+        return Err(NapletError::Codec("frame truncated (name)".into()));
+    }
+    let raw = b.split_to(n);
+    String::from_utf8(raw.to_vec()).map_err(|e| NapletError::Codec(format!("bad utf8: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = Frame::new("alpha", "beta", TrafficClass::Migration, vec![1u8, 2, 3]);
+        let mut buf = BytesMut::from(&f.encode()[..]);
+        let back = Frame::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(back, f);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        for payload_len in [0usize, 1, 100, 4096] {
+            let f = Frame::new("a", "bb", TrafficClass::Snmp, vec![0u8; payload_len]);
+            assert_eq!(f.encode().len() as u64, f.wire_len());
+        }
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more() {
+        let f = Frame::new("x", "y", TrafficClass::Message, vec![9u8; 50]);
+        let encoded = f.encode();
+        let mut buf = BytesMut::from(&encoded[..10]);
+        assert_eq!(Frame::decode(&mut buf).unwrap(), None);
+        buf.extend_from_slice(&encoded[10..]);
+        assert_eq!(Frame::decode(&mut buf).unwrap(), Some(f));
+    }
+
+    #[test]
+    fn two_frames_in_one_buffer() {
+        let a = Frame::new("a", "b", TrafficClass::Control, vec![1u8]);
+        let b = Frame::new("b", "a", TrafficClass::Other, vec![2u8, 2]);
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&a.encode());
+        buf.extend_from_slice(&b.encode());
+        assert_eq!(Frame::decode(&mut buf).unwrap(), Some(a));
+        assert_eq!(Frame::decode(&mut buf).unwrap(), Some(b));
+        assert_eq!(Frame::decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn all_classes_round_trip() {
+        for &c in TrafficClass::all() {
+            let f = Frame::new("s", "d", c, vec![]);
+            let mut buf = BytesMut::from(&f.encode()[..]);
+            assert_eq!(Frame::decode(&mut buf).unwrap().unwrap().class, c);
+        }
+    }
+
+    #[test]
+    fn corrupt_class_tag_rejected() {
+        let f = Frame::new("s", "d", TrafficClass::Other, vec![]);
+        let mut raw = BytesMut::from(&f.encode()[..]);
+        raw[4] = 99; // class byte
+        assert!(Frame::decode(&mut raw).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # naplet-net
+//!
+//! The network substrate of Naplet-RS: an in-process fabric of virtual
+//! hosts with byte-accurate traffic metering.
+//!
+//! The paper's evaluation environment is a LAN of workstations; here a
+//! [`Fabric`] models the topology (latency, bandwidth, loss, cut links,
+//! dead hosts) and meters every transfer by [`TrafficClass`] — the
+//! backbone of every experiment in EXPERIMENTS.md. Two drivers exist:
+//!
+//! * the deterministic discrete-event core ([`sim::EventQueue`]), used
+//!   by the `naplet-server` simulation runtime for reproducible
+//!   measurements in virtual time;
+//! * a live threaded transport ([`threaded::ThreadedNet`]) where every
+//!   host owns a channel and a timer thread applies modelled delays —
+//!   the "autonomously running servers" deployment shape.
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod frame;
+pub mod latency;
+pub mod sim;
+pub mod stats;
+pub mod threaded;
+
+pub use fabric::Fabric;
+pub use frame::Frame;
+pub use latency::{Bandwidth, LatencyModel};
+pub use sim::EventQueue;
+pub use stats::{Counter, NetStats, StatsSnapshot, TrafficClass};
+pub use threaded::ThreadedNet;

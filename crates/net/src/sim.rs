@@ -1,0 +1,160 @@
+//! Deterministic discrete-event core.
+//!
+//! [`EventQueue`] orders events by virtual time with FIFO tie-breaking
+//! (a monotone sequence number), which makes every simulation run
+//! bit-for-bit reproducible for a given fabric seed. The naplet-server
+//! runtime drives its whole multi-server world off one such queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue over virtual milliseconds.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    now: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so earliest (time, seq) pops first
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue at time 0.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current virtual time (the time of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedule at an absolute virtual time. Times in the past are
+    /// clamped to `now` (events never travel backwards).
+    pub fn push_at(&mut self, time: u64, payload: T) {
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Schedule `delay` ms after the current time.
+    pub fn push_after(&mut self, delay: u64, payload: T) {
+        self.push_at(self.now.saturating_add(delay), payload);
+    }
+
+    /// Time of the earliest pending event, without popping it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event, advancing virtual time to it.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending (quiescence).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_at(30, "c");
+        q.push_at(10, "a");
+        q.push_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.now(), 20);
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push_at(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_after_uses_now() {
+        let mut q = EventQueue::new();
+        q.push_at(100, "x");
+        q.pop();
+        q.push_after(5, "y");
+        assert_eq!(q.pop(), Some((105, "y")));
+    }
+
+    #[test]
+    fn past_times_clamped() {
+        let mut q = EventQueue::new();
+        q.push_at(50, "a");
+        q.pop();
+        q.push_at(10, "late");
+        assert_eq!(q.pop(), Some((50, "late")));
+        assert_eq!(q.now(), 50);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push_at(1, ());
+        q.push_at(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

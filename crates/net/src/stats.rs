@@ -1,0 +1,261 @@
+//! Traffic accounting — the measurement backbone of every experiment.
+//!
+//! The fabric meters every transfer by [`TrafficClass`]: agent
+//! migrations, code (lazy class loading), inter-agent messages,
+//! control-plane traffic (launch/landing handshakes, directory
+//! registrations) and SNMP client/server requests (the centralized
+//! baseline). EXPERIMENTS.md reports these counters; the §6 claim —
+//! centralized SNMP micro-management "tends to generate heavy traffic"
+//! — is tested directly against them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// What kind of payload crossed the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// A serialized naplet in flight (migration).
+    Migration,
+    /// Lazy code loading (first visit of a codebase to a host).
+    Code,
+    /// Inter-naplet user/system messages (post office).
+    Message,
+    /// Control plane: launch/landing permits, directory registration,
+    /// location queries, confirmations.
+    Control,
+    /// Conventional client/server management traffic (SNMP baseline).
+    Snmp,
+    /// Anything else.
+    Other,
+}
+
+impl TrafficClass {
+    /// All classes, for exhaustive reporting.
+    pub fn all() -> &'static [TrafficClass] {
+        &[
+            TrafficClass::Migration,
+            TrafficClass::Code,
+            TrafficClass::Message,
+            TrafficClass::Control,
+            TrafficClass::Snmp,
+            TrafficClass::Other,
+        ]
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficClass::Migration => "migration",
+            TrafficClass::Code => "code",
+            TrafficClass::Message => "message",
+            TrafficClass::Control => "control",
+            TrafficClass::Snmp => "snmp",
+            TrafficClass::Other => "other",
+        }
+    }
+}
+
+/// Counters for one class or link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    /// Number of transfers.
+    pub messages: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Sum of modelled one-way delays (ms) — total latency paid.
+    pub latency_ms: u64,
+}
+
+impl Counter {
+    fn add(&mut self, bytes: u64, latency_ms: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        self.latency_ms += latency_ms;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_class: BTreeMap<TrafficClass, Counter>,
+    by_link: BTreeMap<(String, String), Counter>,
+    dropped: u64,
+}
+
+/// Shared, thread-safe traffic statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// An immutable snapshot of the counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Per-class totals.
+    pub by_class: BTreeMap<TrafficClass, Counter>,
+    /// Per-directed-link totals.
+    pub by_link: BTreeMap<(String, String), Counter>,
+    /// Transfers dropped by loss/partition injection.
+    pub dropped: u64,
+}
+
+impl StatsSnapshot {
+    /// Total bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.by_class.values().map(|c| c.bytes).sum()
+    }
+
+    /// Total transfers across all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.by_class.values().map(|c| c.messages).sum()
+    }
+
+    /// Bytes for one class.
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.by_class.get(&class).map(|c| c.bytes).unwrap_or(0)
+    }
+
+    /// Transfer count for one class.
+    pub fn messages(&self, class: TrafficClass) -> u64 {
+        self.by_class.get(&class).map(|c| c.messages).unwrap_or(0)
+    }
+
+    /// Difference `self - earlier` (per-class counters; links omitted
+    /// from subtraction are kept as-is from `self`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut out = self.clone();
+        for (class, c) in &mut out.by_class {
+            if let Some(e) = earlier.by_class.get(class) {
+                c.messages -= e.messages.min(c.messages);
+                c.bytes -= e.bytes.min(c.bytes);
+                c.latency_ms -= e.latency_ms.min(c.latency_ms);
+            }
+        }
+        out.dropped -= earlier.dropped.min(out.dropped);
+        out
+    }
+}
+
+impl NetStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    /// Record one transfer.
+    pub fn record(&self, from: &str, to: &str, class: TrafficClass, bytes: u64, latency_ms: u64) {
+        let mut inner = self.inner.lock();
+        inner
+            .by_class
+            .entry(class)
+            .or_default()
+            .add(bytes, latency_ms);
+        inner
+            .by_link
+            .entry((from.to_string(), to.to_string()))
+            .or_default()
+            .add(bytes, latency_ms);
+    }
+
+    /// Record a dropped transfer (loss / partition).
+    pub fn record_drop(&self) {
+        self.inner.lock().dropped += 1;
+    }
+
+    /// Take a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let inner = self.inner.lock();
+        StatsSnapshot {
+            by_class: inner.by_class.clone(),
+            by_link: inner.by_link.clone(),
+            dropped: inner.dropped,
+        }
+    }
+
+    /// Reset everything to zero.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        *inner = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let s = NetStats::new();
+        s.record("a", "b", TrafficClass::Migration, 100, 5);
+        s.record("a", "b", TrafficClass::Migration, 50, 3);
+        s.record("b", "a", TrafficClass::Message, 10, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes(TrafficClass::Migration), 150);
+        assert_eq!(snap.messages(TrafficClass::Migration), 2);
+        assert_eq!(snap.bytes(TrafficClass::Message), 10);
+        assert_eq!(snap.total_bytes(), 160);
+        assert_eq!(snap.total_messages(), 3);
+        assert_eq!(
+            snap.by_link
+                .get(&("a".to_string(), "b".to_string()))
+                .unwrap()
+                .bytes,
+            150
+        );
+        assert_eq!(
+            snap.by_class
+                .get(&TrafficClass::Migration)
+                .unwrap()
+                .latency_ms,
+            8
+        );
+    }
+
+    #[test]
+    fn drops_counted() {
+        let s = NetStats::new();
+        s.record_drop();
+        s.record_drop();
+        assert_eq!(s.snapshot().dropped, 2);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = NetStats::new();
+        s.record("a", "b", TrafficClass::Snmp, 7, 1);
+        s.reset();
+        assert_eq!(s.snapshot().total_bytes(), 0);
+        assert_eq!(s.snapshot().dropped, 0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = NetStats::new();
+        s.record("a", "b", TrafficClass::Snmp, 100, 2);
+        let t0 = s.snapshot();
+        s.record("a", "b", TrafficClass::Snmp, 40, 1);
+        s.record_drop();
+        let delta = s.snapshot().since(&t0);
+        assert_eq!(delta.bytes(TrafficClass::Snmp), 40);
+        assert_eq!(delta.messages(TrafficClass::Snmp), 1);
+        assert_eq!(delta.dropped, 1);
+    }
+
+    #[test]
+    fn snapshot_is_shared_across_clones() {
+        let s = NetStats::new();
+        let s2 = s.clone();
+        s2.record("x", "y", TrafficClass::Control, 1, 0);
+        assert_eq!(s.snapshot().messages(TrafficClass::Control), 1);
+    }
+
+    #[test]
+    fn class_labels_unique() {
+        let mut labels: Vec<&str> = TrafficClass::all().iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), TrafficClass::all().len());
+    }
+}

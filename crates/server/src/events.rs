@@ -1,0 +1,298 @@
+//! Wire protocol and server I/O types.
+//!
+//! Servers are written as deterministic event handlers:
+//! `handle(now, Input) -> Vec<Output>`. A driver (the discrete-event
+//! [`crate::runtime::SimRuntime`], or a threaded loop) turns `Output`s
+//! into fabric transfers and scheduled local events. Everything that
+//! crosses a link is a [`Wire`] value, codec-encoded into a
+//! `naplet_net::Frame` so byte counts are exact.
+
+use serde::{Deserialize, Serialize};
+
+use naplet_core::clock::Millis;
+use naplet_core::id::NapletId;
+use naplet_core::itinerary::ActionSpec;
+use naplet_core::message::Message;
+use naplet_core::naplet::Naplet;
+use naplet_core::value::Value;
+use naplet_net::TrafficClass;
+
+use crate::directory::DirEvent;
+use crate::manager::NapletStatus;
+
+/// A naplet in flight plus the post-action of the visit it is heading
+/// into (the `T` of `<S;T>` decided at the previous host).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferEnvelope {
+    /// The serialized agent.
+    pub naplet: Naplet,
+    /// Post-action for the upcoming visit.
+    pub action: Option<ActionSpec>,
+}
+
+/// Everything that crosses the wire between naplet servers.
+///
+/// `Transfer` dwarfs the control variants by design — it carries the
+/// whole agent. Wires are transient (encoded immediately), so the
+/// size skew is harmless.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Wire {
+    /// Navigator → remote navigator: request a LANDING permit
+    /// (paper §2.2). Carries enough for security/resource checks.
+    LandingRequest {
+        /// Correlation token (echoed in the reply).
+        token: u64,
+        /// Requesting server.
+        from_host: String,
+        /// The travelling naplet's credential (identity + claims).
+        credential: naplet_core::credential::Credential,
+        /// The actual (possibly cloned) naplet id.
+        naplet_id: NapletId,
+        /// Estimated transfer size (admission control input).
+        est_bytes: u64,
+    },
+    /// Remote navigator's LANDING decision.
+    LandingReply {
+        /// Echoed token.
+        token: u64,
+        /// Permit granted?
+        granted: bool,
+        /// Denial reason (diagnostics).
+        reason: String,
+    },
+    /// The agent transfer itself (traffic class `Migration`).
+    Transfer(TransferEnvelope),
+    /// Register a movement event with a directory holder (central
+    /// directory host, or the naplet's home manager).
+    DirRegister {
+        /// Moving naplet.
+        id: NapletId,
+        /// Host the event happened at.
+        host: String,
+        /// Arrival or departure.
+        event: DirEvent,
+        /// When set, the registrar requests an acknowledgement sent to
+        /// this host — arrivals postpone execution until acked (§4.1).
+        ack_to: Option<String>,
+    },
+    /// Directory acknowledgement of an arrival registration.
+    DirAck {
+        /// The naplet whose arrival is now registered.
+        id: NapletId,
+    },
+    /// Remove a naplet from the directory (journey ended).
+    DirRemove {
+        /// The finished naplet.
+        id: NapletId,
+    },
+    /// Location query (Messenger → directory holder).
+    DirQuery {
+        /// Correlation token.
+        token: u64,
+        /// Naplet being located.
+        id: NapletId,
+        /// Where to send the reply.
+        reply_to: String,
+    },
+    /// Location reply.
+    DirReply {
+        /// Echoed token.
+        token: u64,
+        /// The naplet.
+        id: NapletId,
+        /// Latest known (host, event), or None when unknown.
+        entry: Option<(String, DirEvent)>,
+    },
+    /// Post-office delivery attempt: the message heading to the server
+    /// believed to host the target (§4.2).
+    Post {
+        /// The routed message.
+        msg: Message,
+        /// Server where the message was originally posted (receives
+        /// the confirmation).
+        origin_host: String,
+    },
+    /// Delivery confirmation back to the origin messenger.
+    PostConfirm {
+        /// Message identity: original sender…
+        sender: naplet_core::message::Sender,
+        /// …and sequence number.
+        seq: u64,
+        /// The naplet the message reached.
+        target: NapletId,
+        /// Server that delivered it (refreshes location caches,
+        /// paper §4.1: caches are "updated … by remote residing
+        /// naplet servers in systems with message forwarding").
+        delivered_at: String,
+    },
+    /// A naplet reporting to its owner's listener at home.
+    Report {
+        /// Reporting naplet.
+        id: NapletId,
+        /// Report body.
+        body: Value,
+    },
+    /// Home notification of a life-cycle end.
+    Notify {
+        /// The naplet.
+        id: NapletId,
+        /// Completed or Destroyed.
+        status: NapletStatus,
+        /// Host where it ended.
+        host: String,
+        /// Human-readable detail (error text for abnormal ends).
+        detail: String,
+    },
+    /// Application-level client/server request (e.g. the centralized
+    /// SNMP baseline). Dispatched to the server's registered app
+    /// handler; metered as `Snmp`/`Other` traffic.
+    AppRequest {
+        /// Correlation token.
+        token: u64,
+        /// Reply destination.
+        reply_to: String,
+        /// Handler dispatch tag.
+        tag: String,
+        /// Opaque request body.
+        body: Vec<u8>,
+    },
+    /// Application-level reply.
+    AppReply {
+        /// Echoed token.
+        token: u64,
+        /// Echoed tag.
+        tag: String,
+        /// Opaque reply body.
+        body: Vec<u8>,
+    },
+}
+
+impl Wire {
+    /// Traffic class used when this wire value crosses a link.
+    pub fn traffic_class(&self) -> TrafficClass {
+        match self {
+            Wire::Transfer(_) => TrafficClass::Migration,
+            Wire::Post { .. } | Wire::Report { .. } => TrafficClass::Message,
+            Wire::AppRequest { .. } | Wire::AppReply { .. } => TrafficClass::Snmp,
+            _ => TrafficClass::Control,
+        }
+    }
+}
+
+/// Local (same-host) events a server schedules for itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LocalEvent {
+    /// The modelled dwell of a visit has elapsed: advance the
+    /// itinerary and depart (or finish).
+    VisitDone {
+        /// The naplet whose visit completed.
+        id: NapletId,
+    },
+    /// Code fetch for a cold codebase completed; start execution.
+    CodeReady {
+        /// The naplet waiting on its code.
+        id: NapletId,
+    },
+}
+
+/// One input to a server's handler.
+#[allow(clippy::large_enum_variant)] // Wire carries whole agents
+#[derive(Debug)]
+pub enum Input {
+    /// A wire value delivered from `from`.
+    Wire {
+        /// Sending host.
+        from: String,
+        /// The payload.
+        wire: Wire,
+    },
+    /// A scheduled local event came due.
+    Local(LocalEvent),
+}
+
+/// One effect a server asks its driver to perform.
+#[allow(clippy::large_enum_variant)] // Wire carries whole agents
+#[derive(Debug)]
+pub enum Output {
+    /// Send a wire value to another host (metered by class).
+    Send {
+        /// Destination host.
+        to: String,
+        /// Payload.
+        wire: Wire,
+    },
+    /// Schedule a local event after a delay.
+    Schedule {
+        /// Delay in modelled ms.
+        delay_ms: u64,
+        /// The event.
+        event: LocalEvent,
+    },
+    /// Fetch code for a cold codebase from `from` (the driver meters a
+    /// `Code`-class transfer of `bytes` and delivers
+    /// [`LocalEvent::CodeReady`] after the modelled delay).
+    FetchCode {
+        /// Codebase origin (the naplet's home).
+        from: String,
+        /// JAR size.
+        bytes: u64,
+        /// Waiting naplet.
+        id: NapletId,
+    },
+}
+
+/// Timestamped, human-readable server log entry (observability; tests
+/// assert against these).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Server time when logged.
+    pub at: Millis,
+    /// Message text.
+    pub line: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_classes() {
+        let id = NapletId::new("u", "h", Millis(0)).unwrap();
+        assert_eq!(
+            Wire::DirAck { id: id.clone() }.traffic_class(),
+            TrafficClass::Control
+        );
+        assert_eq!(
+            Wire::Report {
+                id: id.clone(),
+                body: Value::Nil
+            }
+            .traffic_class(),
+            TrafficClass::Message
+        );
+        assert_eq!(
+            Wire::AppRequest {
+                token: 0,
+                reply_to: "m".into(),
+                tag: "snmp".into(),
+                body: vec![]
+            }
+            .traffic_class(),
+            TrafficClass::Snmp
+        );
+    }
+
+    #[test]
+    fn wire_codec_round_trip() {
+        let id = NapletId::new("u", "h", Millis(0)).unwrap();
+        let w = Wire::DirQuery {
+            token: 9,
+            id,
+            reply_to: "here".into(),
+        };
+        let bytes = naplet_core::codec::to_bytes(&w).unwrap();
+        let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, w);
+    }
+}

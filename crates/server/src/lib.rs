@@ -1,0 +1,44 @@
+//! # naplet-server
+//!
+//! The NapletServer — the dock of naplets (paper §2.2) — and the
+//! runtime that drives a whole naplet space.
+//!
+//! Seven components per server, as in Figure 2 of the paper:
+//! NapletMonitor ([`monitor`]), NapletSecurityManager ([`security`]),
+//! ResourceManager ([`resources`]) with dynamically created
+//! ServiceChannels ([`service_channel`]), NapletManager ([`manager`]),
+//! Messenger ([`messenger`]), Navigator (the migration protocol inside
+//! [`server`]) and Locator ([`locator`]); plus the optional
+//! NapletDirectory ([`directory`]).
+//!
+//! Servers are deterministic event handlers; [`runtime::SimRuntime`]
+//! drives them over a metered fabric in virtual time (measurements),
+//! and the same handlers can be pumped by threads for live operation.
+
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod events;
+pub mod live;
+pub mod locator;
+pub mod manager;
+pub mod messenger;
+pub mod monitor;
+pub mod resources;
+pub mod runtime;
+pub mod security;
+pub mod server;
+pub mod service_channel;
+
+pub use directory::{DirEntry, DirEvent, NapletDirectory};
+pub use events::{Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
+pub use live::LiveRuntime;
+pub use locator::Locator;
+pub use manager::{Footprint, NapletManager, NapletStatus, TableEntry};
+pub use messenger::Messenger;
+pub use monitor::{MonitorPolicy, NapletMonitor, Priority, RunEntry, RunState, SchedulingPolicy};
+pub use resources::ResourceManager;
+pub use runtime::SimRuntime;
+pub use security::{Matcher, Permission, Policy, Rule, SecurityManager};
+pub use server::{LocationMode, NapletServer, ServerConfig};
+pub use service_channel::{ChannelIo, OpenService, PrivilegedService, ServiceChannel};

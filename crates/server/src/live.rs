@@ -1,0 +1,284 @@
+//! Live threaded runtime: every NapletServer on its own OS thread.
+//!
+//! The deterministic [`crate::runtime::SimRuntime`] is the measurement
+//! harness; [`LiveRuntime`] is the deployment shape the paper
+//! describes — "the NapletServers are running autonomously and they
+//! collectively form an agent flow space". The very same event-handler
+//! servers are pumped by threads over the
+//! `naplet_net::ThreadedNet` transport, with modelled
+//! link delays scaled into real sleeps.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use naplet_core::clock::Millis;
+use naplet_core::error::{NapletError, Result};
+use naplet_core::naplet::Naplet;
+use naplet_net::{Fabric, Frame, ThreadedNet, TrafficClass};
+
+use crate::events::{Input, LocalEvent, Output, Wire};
+use crate::server::{NapletServer, ServerConfig};
+
+/// A naplet space running on real threads.
+pub struct LiveRuntime {
+    net: Arc<ThreadedNet>,
+    stop: Arc<AtomicBool>,
+    epoch: Instant,
+    threads: Vec<(String, JoinHandle<NapletServer>)>,
+    /// Servers constructed but not yet started (launch window).
+    staging: Vec<(NapletServer, crossbeam::channel::Receiver<Frame>)>,
+}
+
+impl LiveRuntime {
+    /// Create a live runtime over a fabric. `us_per_ms` scales modelled
+    /// link delay into real sleep (1000 = real time, 0 = as fast as
+    /// possible).
+    pub fn new(fabric: Fabric, us_per_ms: u64) -> LiveRuntime {
+        LiveRuntime {
+            net: Arc::new(ThreadedNet::start(fabric, us_per_ms)),
+            stop: Arc::new(AtomicBool::new(false)),
+            epoch: Instant::now(),
+            threads: Vec::new(),
+            staging: Vec::new(),
+        }
+    }
+
+    /// The underlying fabric (stats, failure injection).
+    pub fn fabric(&self) -> &Fabric {
+        self.net.fabric()
+    }
+
+    /// Add a server. It starts pumping when [`LiveRuntime::start`] is
+    /// called; until then naplets may be launched from it.
+    pub fn add_server(&mut self, config: ServerConfig) -> &mut NapletServer {
+        let rx = self.net.register(&config.host);
+        self.staging.push((NapletServer::new(config), rx));
+        &mut self.staging.last_mut().expect("just pushed").0
+    }
+
+    /// Launch a naplet from its home server. Only valid before
+    /// [`LiveRuntime::start`] (afterwards the server belongs to its
+    /// thread; use owner messages instead).
+    pub fn launch(&mut self, naplet: Naplet) -> Result<()> {
+        let home = naplet.home().to_string();
+        let now = self.now();
+        let (server, _) = self
+            .staging
+            .iter_mut()
+            .find(|(s, _)| s.host() == home)
+            .ok_or_else(|| NapletError::NotFound(format!("no staged server at `{home}`")))?;
+        let outputs = server.launch(naplet, now);
+        // a launch only produces sends (handshakes)
+        let host = home.clone();
+        let net = Arc::clone(&self.net);
+        let mut timers = Vec::new();
+        enact(&host, &net, outputs, &mut timers);
+        debug_assert!(timers.is_empty(), "launch effects are sends only");
+        Ok(())
+    }
+
+    /// Start all staged servers on their threads.
+    pub fn start(&mut self) {
+        for (server, rx) in self.staging.drain(..) {
+            let host = server.host().to_string();
+            let net = Arc::clone(&self.net);
+            let stop = Arc::clone(&self.stop);
+            let epoch = self.epoch;
+            let handle = std::thread::Builder::new()
+                .name(format!("naplet-server-{host}"))
+                .spawn(move || serve(server, net, rx, epoch, stop))
+                .expect("spawn server thread");
+            self.threads.push((host, handle));
+        }
+    }
+
+    /// Wall-clock time since the runtime epoch, in ms.
+    pub fn now(&self) -> Millis {
+        Millis(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    /// Stop every server thread and return the servers for inspection
+    /// (reports, logs, tables), keyed by host.
+    pub fn shutdown(mut self) -> Vec<(String, NapletServer)> {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut out = Vec::new();
+        for (host, handle) in self.threads.drain(..) {
+            if let Ok(server) = handle.join() {
+                out.push((host, server));
+            }
+        }
+        // staged-but-never-started servers are returned too
+        for (server, _) in self.staging.drain(..) {
+            out.push((server.host().to_string(), server));
+        }
+        out
+    }
+}
+
+fn serve(
+    mut server: NapletServer,
+    net: Arc<ThreadedNet>,
+    rx: crossbeam::channel::Receiver<Frame>,
+    epoch: Instant,
+    stop: Arc<AtomicBool>,
+) -> NapletServer {
+    let mut timers: Vec<(Instant, LocalEvent)> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let now = Millis(epoch.elapsed().as_millis() as u64);
+        if let Ok(frame) = rx.recv_timeout(Duration::from_millis(1)) {
+            match naplet_core::codec::from_bytes::<Wire>(&frame.payload) {
+                Ok(wire) => {
+                    let from = frame.from.clone();
+                    let outputs = server.handle(now, Input::Wire { from, wire });
+                    enact(server.host(), &net, outputs, &mut timers);
+                }
+                Err(_) => { /* corrupt frame: drop */ }
+            }
+        }
+        // fire due local events
+        let now_i = Instant::now();
+        let (ready, pending): (Vec<_>, Vec<_>) = timers.drain(..).partition(|(t, _)| *t <= now_i);
+        timers = pending;
+        for (_, event) in ready {
+            let now = Millis(epoch.elapsed().as_millis() as u64);
+            let outputs = server.handle(now, Input::Local(event));
+            enact(server.host(), &net, outputs, &mut timers);
+        }
+    }
+    server
+}
+
+fn enact(
+    host: &str,
+    net: &ThreadedNet,
+    outputs: Vec<Output>,
+    timers: &mut Vec<(Instant, LocalEvent)>,
+) {
+    for output in outputs {
+        match output {
+            Output::Send { to, wire } => {
+                if let Ok(payload) = naplet_core::codec::to_bytes(&wire) {
+                    let frame = Frame::new(host, &to, wire.traffic_class(), payload);
+                    let _ = net.send(frame);
+                }
+            }
+            Output::Schedule { delay_ms, event } => {
+                timers.push((Instant::now() + Duration::from_millis(delay_ms), event));
+            }
+            Output::FetchCode { from, bytes, id } => {
+                let delay = net
+                    .fabric()
+                    .transfer(&from, host, TrafficClass::Code, bytes)
+                    .ok()
+                    .flatten()
+                    .unwrap_or(0);
+                timers.push((
+                    Instant::now() + Duration::from_millis(delay),
+                    LocalEvent::CodeReady { id },
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::LocationMode;
+    use naplet_core::behavior::NapletBehavior;
+    use naplet_core::codebase::CodebaseRegistry;
+    use naplet_core::context::NapletContext;
+    use naplet_core::credential::SigningKey;
+    use naplet_core::itinerary::{Itinerary, Pattern};
+    use naplet_core::naplet::AgentKind;
+    use naplet_core::value::Value;
+    use naplet_net::LatencyModel;
+
+    struct Greeter;
+    impl NapletBehavior for Greeter {
+        fn on_start(&mut self, ctx: &mut dyn NapletContext) -> naplet_core::error::Result<()> {
+            ctx.report_home(Value::from(format!("hi from {}", ctx.host_name())))
+        }
+    }
+
+    fn wait_for_reports(hosts: &[(String, NapletServer)], home: &str) -> Vec<Value> {
+        hosts
+            .iter()
+            .find(|(h, _)| h == home)
+            .map(|(_, s)| s.reports.iter().map(|(_, v)| v.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn live_runtime_completes_a_journey_on_threads() {
+        let mut reg = CodebaseRegistry::new();
+        reg.register("greeter", 256, || Greeter);
+        let fabric = Fabric::new(LatencyModel::Constant(1), naplet_net::Bandwidth(None), 2);
+        let mut live = LiveRuntime::new(fabric, 0); // no real sleeps
+
+        for host in ["home", "a", "b"] {
+            let mut cfg = ServerConfig::open(host, LocationMode::HomeManagers);
+            cfg.codebase = reg.clone();
+            live.add_server(cfg);
+        }
+        let key = SigningKey::new("t", b"k");
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["a", "b"], None)).unwrap();
+        let naplet = Naplet::create(
+            &key,
+            "t",
+            "home",
+            Millis(0),
+            "greeter",
+            AgentKind::Native,
+            it,
+            vec![],
+        )
+        .unwrap();
+        live.launch(naplet).unwrap();
+        live.start();
+
+        // poll until the journey finishes (bounded)
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let servers = loop {
+            std::thread::sleep(Duration::from_millis(20));
+            if Instant::now() > deadline {
+                break live.shutdown();
+            }
+            // cannot peek while running; rely on time then shut down
+            if Instant::now() > deadline - Duration::from_millis(4_800) {
+                // ~200ms elapsed: plenty for 2 hops with 0-scale delays
+                break live.shutdown();
+            }
+        };
+        let reports = wait_for_reports(&servers, "home");
+        assert_eq!(reports.len(), 2, "reports: {reports:?}");
+        assert!(reports.contains(&Value::from("hi from a")));
+        assert!(reports.contains(&Value::from("hi from b")));
+    }
+
+    #[test]
+    fn launch_after_start_is_rejected() {
+        let fabric = Fabric::new(LatencyModel::Constant(1), naplet_net::Bandwidth(None), 2);
+        let mut live = LiveRuntime::new(fabric, 0);
+        let cfg = ServerConfig::open("home", LocationMode::ForwardingTrace);
+        live.add_server(cfg);
+        live.start();
+        let key = SigningKey::new("t", b"k");
+        let it = Itinerary::new(Pattern::singleton("home")).unwrap();
+        let naplet = Naplet::create(
+            &key,
+            "t",
+            "home",
+            Millis(0),
+            "x",
+            AgentKind::Native,
+            it,
+            vec![],
+        )
+        .unwrap();
+        assert!(live.launch(naplet).is_err());
+        live.shutdown();
+    }
+}

@@ -1,0 +1,170 @@
+//! Locator (paper §4.1).
+//!
+//! The Locator serves tracing and location requests for the Messenger
+//! and NapletManager. It "caches recently inquired locations so as to
+//! reduce the response time of subsequent naplet location requests";
+//! cached hints may be stale and are updated on migration
+//! notifications. This module is the cache plus hit/miss accounting
+//! (experiment E4 reports the hit rate); the resolution *protocol*
+//! (directory query vs. footprint forwarding) lives in the server's
+//! message handling.
+
+use std::collections::HashMap;
+
+use naplet_core::clock::Millis;
+use naplet_core::id::NapletId;
+
+/// One cached location hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedLocation {
+    /// Believed host.
+    pub host: String,
+    /// When the hint was cached.
+    pub cached_at: Millis,
+}
+
+/// The location cache.
+#[derive(Debug)]
+pub struct Locator {
+    cache: HashMap<NapletId, CachedLocation>,
+    capacity: usize,
+    /// Cache hits served.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+impl Default for Locator {
+    fn default() -> Self {
+        Locator::new(1024)
+    }
+}
+
+impl Locator {
+    /// Cache bounded to `capacity` entries (oldest evicted first).
+    pub fn new(capacity: usize) -> Locator {
+        Locator {
+            cache: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a cached hint, counting hit/miss.
+    pub fn get(&mut self, id: &NapletId) -> Option<&CachedLocation> {
+        match self.cache.get(id) {
+            Some(loc) => {
+                self.hits += 1;
+                Some(loc)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install or refresh a hint (on directory replies, confirmations,
+    /// and migration notifications).
+    pub fn put(&mut self, id: NapletId, host: &str, now: Millis) {
+        if self.cache.len() >= self.capacity && !self.cache.contains_key(&id) {
+            // evict the oldest entry
+            if let Some(oldest) = self
+                .cache
+                .iter()
+                .min_by_key(|(_, loc)| loc.cached_at)
+                .map(|(k, _)| k.clone())
+            {
+                self.cache.remove(&oldest);
+            }
+        }
+        self.cache.insert(
+            id,
+            CachedLocation {
+                host: host.to_string(),
+                cached_at: now,
+            },
+        );
+    }
+
+    /// Drop a hint that proved wrong (forwarded message bounced).
+    pub fn invalidate(&mut self, id: &NapletId) {
+        self.cache.remove(id);
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Fraction of lookups served from cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(n: u64) -> NapletId {
+        NapletId::new("u", "home", Millis(n)).unwrap()
+    }
+
+    #[test]
+    fn put_get_invalidate() {
+        let mut l = Locator::new(10);
+        assert!(l.get(&nid(1)).is_none());
+        l.put(nid(1), "s1", Millis(5));
+        assert_eq!(l.get(&nid(1)).unwrap().host, "s1");
+        l.put(nid(1), "s2", Millis(9));
+        assert_eq!(l.get(&nid(1)).unwrap().host, "s2");
+        l.invalidate(&nid(1));
+        assert!(l.get(&nid(1)).is_none());
+        assert_eq!(l.hits, 2);
+        assert_eq!(l.misses, 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut l = Locator::new(2);
+        l.put(nid(1), "a", Millis(1));
+        l.put(nid(2), "b", Millis(2));
+        l.put(nid(3), "c", Millis(3)); // evicts nid(1)
+        assert_eq!(l.len(), 2);
+        assert!(l.get(&nid(1)).is_none());
+        assert!(l.get(&nid(2)).is_some());
+        assert!(l.get(&nid(3)).is_some());
+    }
+
+    #[test]
+    fn refreshing_existing_does_not_evict() {
+        let mut l = Locator::new(2);
+        l.put(nid(1), "a", Millis(1));
+        l.put(nid(2), "b", Millis(2));
+        l.put(nid(1), "a2", Millis(3)); // refresh, no eviction
+        assert_eq!(l.len(), 2);
+        assert!(l.get(&nid(2)).is_some());
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut l = Locator::new(4);
+        assert_eq!(l.hit_rate(), 0.0);
+        l.put(nid(1), "a", Millis(1));
+        let _ = l.get(&nid(1));
+        let _ = l.get(&nid(2));
+        assert!((l.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,180 @@
+//! Messenger state: the post office (paper §2.2, §4.2).
+//!
+//! The routing *protocol* (locate → send → forward-chase → confirm)
+//! is driven by the server's wire handling; this module owns the
+//! messenger's bookkeeping:
+//!
+//! * per-sender sequence numbers (message identity);
+//! * the **special mailbox** for messages that arrive *before* their
+//!   target naplet does (§4.2 case 3);
+//! * delivery confirmations kept "only for further possible inquiry
+//!   from naplet A" — and used to refresh the location cache;
+//! * forwarding-hop accounting and the cycle-breaking cap.
+
+use std::collections::HashMap;
+
+use naplet_core::clock::Millis;
+use naplet_core::id::NapletId;
+use naplet_core::message::{Message, Sender};
+
+/// Record of a confirmed delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfirmRecord {
+    /// Server that finally delivered the message.
+    pub delivered_at: String,
+    /// When the confirmation arrived back here.
+    pub at: Millis,
+}
+
+/// Per-server post office state.
+#[derive(Debug)]
+pub struct Messenger {
+    seq: u64,
+    special: HashMap<NapletId, Vec<Message>>,
+    confirmations: HashMap<(Sender, u64), ConfirmRecord>,
+    /// Maximum forwarding hops before a message is dropped as
+    /// undeliverable (breaks pathological chase cycles).
+    pub forward_cap: u32,
+    /// Forwarding hops this server has performed (E5 reports these).
+    pub forwards_performed: u64,
+    /// Messages dropped at the cap.
+    pub undeliverable: u64,
+}
+
+impl Default for Messenger {
+    fn default() -> Self {
+        Messenger::new(64)
+    }
+}
+
+impl Messenger {
+    /// Messenger with a forwarding cap.
+    pub fn new(forward_cap: u32) -> Messenger {
+        Messenger {
+            seq: 0,
+            special: HashMap::new(),
+            confirmations: HashMap::new(),
+            forward_cap,
+            forwards_performed: 0,
+            undeliverable: 0,
+        }
+    }
+
+    /// Next per-server message sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Stash an early message for a naplet that has not arrived yet
+    /// (§4.2 case 3: "insert the message into a special mailbox,
+    /// waiting for the arrival of the naplet").
+    pub fn stash_early(&mut self, msg: Message) {
+        self.special.entry(msg.to.clone()).or_default().push(msg);
+    }
+
+    /// On naplet arrival: take everything waiting in the special
+    /// mailbox ("dumps the B's messages in the special mailbox to B's
+    /// mailbox").
+    pub fn drain_early(&mut self, id: &NapletId) -> Vec<Message> {
+        self.special.remove(id).unwrap_or_default()
+    }
+
+    /// Number of messages currently waiting in special mailboxes.
+    pub fn early_waiting(&self) -> usize {
+        self.special.values().map(Vec::len).sum()
+    }
+
+    /// Record a delivery confirmation for a message this server
+    /// originated.
+    pub fn record_confirmation(
+        &mut self,
+        sender: Sender,
+        seq: u64,
+        delivered_at: &str,
+        now: Millis,
+    ) {
+        self.confirmations.insert(
+            (sender, seq),
+            ConfirmRecord {
+                delivered_at: delivered_at.to_string(),
+                at: now,
+            },
+        );
+    }
+
+    /// Inquiry: has the message been confirmed, and where?
+    pub fn confirmation(&self, sender: &Sender, seq: u64) -> Option<&ConfirmRecord> {
+        self.confirmations.get(&(sender.clone(), seq))
+    }
+
+    /// Decide whether a non-resident target's message may be forwarded
+    /// once more; counts the hop or the drop.
+    pub fn may_forward(&mut self, msg: &Message) -> bool {
+        if msg.forward_hops >= self.forward_cap {
+            self.undeliverable += 1;
+            false
+        } else {
+            self.forwards_performed += 1;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naplet_core::value::Value;
+
+    fn nid(n: u64) -> NapletId {
+        NapletId::new("u", "home", Millis(n)).unwrap()
+    }
+
+    fn msg(seq: u64, to: NapletId, hops: u32) -> Message {
+        let mut m = Message::user(seq, Sender::Owner("home".into()), to, Millis(0), Value::Nil);
+        m.forward_hops = hops;
+        m
+    }
+
+    #[test]
+    fn seq_is_monotone() {
+        let mut m = Messenger::default();
+        let a = m.next_seq();
+        let b = m.next_seq();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn special_mailbox_stashes_and_drains_in_order() {
+        let mut m = Messenger::default();
+        m.stash_early(msg(1, nid(5), 0));
+        m.stash_early(msg(2, nid(5), 0));
+        m.stash_early(msg(3, nid(6), 0));
+        assert_eq!(m.early_waiting(), 3);
+        let drained = m.drain_early(&nid(5));
+        assert_eq!(drained.iter().map(|m| m.seq).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(m.early_waiting(), 1);
+        assert!(m.drain_early(&nid(5)).is_empty());
+    }
+
+    #[test]
+    fn confirmations_recorded_and_inquired() {
+        let mut m = Messenger::default();
+        let sender = Sender::Naplet(nid(1));
+        assert!(m.confirmation(&sender, 7).is_none());
+        m.record_confirmation(sender.clone(), 7, "s3", Millis(44));
+        let c = m.confirmation(&sender, 7).unwrap();
+        assert_eq!(c.delivered_at, "s3");
+        assert_eq!(c.at, Millis(44));
+    }
+
+    #[test]
+    fn forward_cap_enforced() {
+        let mut m = Messenger::new(2);
+        assert!(m.may_forward(&msg(1, nid(1), 0)));
+        assert!(m.may_forward(&msg(1, nid(1), 1)));
+        assert!(!m.may_forward(&msg(1, nid(1), 2)));
+        assert_eq!(m.forwards_performed, 2);
+        assert_eq!(m.undeliverable, 1);
+    }
+}

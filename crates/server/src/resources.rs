@@ -1,0 +1,267 @@
+//! ResourceManager (paper §2.2, §5.3).
+//!
+//! "A naplet server can be configured or re-configured with various
+//! hardware, software and data resources … The ResourceManager provides
+//! a resource allocation mechanism, leaves application-specific
+//! allocation policy for dynamic re-configuration."
+//!
+//! Open services are called directly via their handlers; privileged
+//! services are reachable only through [`ServiceChannel`]s, which the
+//! manager creates on request after a credential-based access check
+//! and tears down when the naplet departs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use naplet_core::credential::Credential;
+use naplet_core::error::{NapletError, Result};
+use naplet_core::id::NapletId;
+use naplet_core::value::Value;
+
+use crate::security::{Permission, SecurityManager};
+use crate::service_channel::{OpenService, PrivilegedService, ServiceChannel};
+
+/// The per-server resource manager.
+#[derive(Default)]
+pub struct ResourceManager {
+    open: HashMap<String, Arc<dyn OpenService>>,
+    privileged: HashMap<String, Arc<dyn PrivilegedService>>,
+    channels: HashMap<(NapletId, String), ServiceChannel>,
+    /// Total channels ever created (diagnostics).
+    pub channels_created: u64,
+}
+
+impl ResourceManager {
+    /// Empty manager.
+    pub fn new() -> ResourceManager {
+        ResourceManager::default()
+    }
+
+    /// Register (or replace) an open service. Services can be added
+    /// and replaced at runtime — the paper's dynamic reconfiguration.
+    pub fn register_open(&mut self, name: &str, svc: impl OpenService + 'static) {
+        self.open.insert(name.to_string(), Arc::new(svc));
+    }
+
+    /// Register (or replace) a privileged service.
+    pub fn register_privileged(&mut self, name: &str, svc: impl PrivilegedService + 'static) {
+        self.privileged.insert(name.to_string(), Arc::new(svc));
+    }
+
+    /// Remove a service of either kind. Existing channels to a removed
+    /// privileged service fail on next use.
+    pub fn deregister(&mut self, name: &str) {
+        self.open.remove(name);
+        self.privileged.remove(name);
+    }
+
+    /// Names of registered open services (sorted).
+    pub fn open_services(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.open.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Names of registered privileged services (sorted).
+    pub fn privileged_services(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.privileged.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Call an open service on behalf of a naplet, checking the
+    /// security policy first.
+    pub fn call_open(
+        &self,
+        security: &SecurityManager,
+        cred: &Credential,
+        name: &str,
+        args: Value,
+    ) -> Result<Value> {
+        security.check(cred, Permission::OpenService(name.to_string()))?;
+        let svc = self
+            .open
+            .get(name)
+            .ok_or_else(|| NapletError::Service(format!("no open service `{name}`")))?;
+        svc.call(args)
+    }
+
+    /// Perform one request/reply exchange with a privileged service
+    /// over the naplet's channel, creating the channel on first use
+    /// (with access control at allocation, as §5.3 specifies).
+    pub fn channel_exchange(
+        &mut self,
+        security: &SecurityManager,
+        cred: &Credential,
+        naplet: &NapletId,
+        service: &str,
+        request: Value,
+    ) -> Result<Value> {
+        let svc =
+            self.privileged.get(service).cloned().ok_or_else(|| {
+                NapletError::Service(format!("no privileged service `{service}`"))
+            })?;
+        let key = (naplet.clone(), service.to_string());
+        if !self.channels.contains_key(&key) {
+            // access control happens when the channel is allocated
+            security.check(cred, Permission::PrivilegedService(service.to_string()))?;
+            self.channels
+                .insert(key.clone(), ServiceChannel::new(naplet.clone(), service));
+            self.channels_created += 1;
+        }
+        let channel = self.channels.get_mut(&key).expect("just inserted");
+        channel.exchange(svc.as_ref(), request)
+    }
+
+    /// Release every channel held by a departing naplet (paper:
+    /// "success of a launch will release all the resources occupied by
+    /// the naplet").
+    pub fn release(&mut self, naplet: &NapletId) -> usize {
+        let before = self.channels.len();
+        self.channels.retain(|(id, _), _| id != naplet);
+        before - self.channels.len()
+    }
+
+    /// Number of live channels.
+    pub fn live_channels(&self) -> usize {
+        self.channels.len()
+    }
+}
+
+impl std::fmt::Debug for ResourceManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceManager")
+            .field("open", &self.open_services())
+            .field("privileged", &self.privileged_services())
+            .field("live_channels", &self.live_channels())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::{Matcher, Policy};
+    use crate::service_channel::ChannelIo;
+    use naplet_core::clock::Millis;
+    use naplet_core::credential::SigningKey;
+
+    fn cred(role: &str) -> Credential {
+        cred_at(role, 1)
+    }
+
+    fn cred_at(role: &str, ts: u64) -> Credential {
+        let key = SigningKey::new("czxu", b"s");
+        let id = NapletId::new("czxu", "home", Millis(ts)).unwrap();
+        Credential::issue(&key, id, "cb", vec![("role".into(), role.into())])
+    }
+
+    fn echo_privileged() -> impl PrivilegedService {
+        |io: &mut ChannelIo<'_>| {
+            while let Some(v) = io.read_line() {
+                io.write_line(v);
+            }
+            Ok(())
+        }
+    }
+
+    fn manager() -> ResourceManager {
+        let mut rm = ResourceManager::new();
+        rm.register_open("math.inc", |v: Value| Ok(Value::Int(v.as_int()? + 1)));
+        rm.register_privileged("mgmt", echo_privileged());
+        rm
+    }
+
+    #[test]
+    fn open_service_call_with_permission() {
+        let rm = manager();
+        let sec = SecurityManager::open();
+        let v = rm
+            .call_open(&sec, &cred("x"), "math.inc", Value::Int(41))
+            .unwrap();
+        assert_eq!(v, Value::Int(42));
+        assert!(rm
+            .call_open(&sec, &cred("x"), "missing", Value::Nil)
+            .is_err());
+    }
+
+    #[test]
+    fn open_service_denied_by_policy() {
+        let rm = manager();
+        let sec = SecurityManager::new(Policy::deny_all(), vec![], false);
+        let err = rm
+            .call_open(&sec, &cred("x"), "math.inc", Value::Int(1))
+            .unwrap_err();
+        assert_eq!(err.kind(), "security");
+    }
+
+    #[test]
+    fn channel_created_once_and_reused() {
+        let mut rm = manager();
+        let sec = SecurityManager::open();
+        let c = cred("net-mgmt");
+        let id = c.naplet_id.clone();
+        rm.channel_exchange(&sec, &c, &id, "mgmt", Value::Int(1))
+            .unwrap();
+        rm.channel_exchange(&sec, &c, &id, "mgmt", Value::Int(2))
+            .unwrap();
+        assert_eq!(rm.channels_created, 1);
+        assert_eq!(rm.live_channels(), 1);
+    }
+
+    #[test]
+    fn channel_access_control_at_allocation() {
+        let mut rm = manager();
+        let mut policy = Policy::deny_all();
+        policy.add_rule(
+            Matcher::any().with_attribute("role", "net-mgmt"),
+            [Permission::PrivilegedService("mgmt".into())],
+        );
+        let sec = SecurityManager::new(policy, vec![], false);
+
+        let ok = cred_at("net-mgmt", 1);
+        let ok_id = ok.naplet_id.clone();
+        rm.channel_exchange(&sec, &ok, &ok_id, "mgmt", Value::Nil)
+            .unwrap();
+
+        let bad = cred_at("shopping", 2);
+        let bad_id = bad.naplet_id.clone();
+        let err = rm
+            .channel_exchange(&sec, &bad, &bad_id, "mgmt", Value::Nil)
+            .unwrap_err();
+        assert_eq!(err.kind(), "security");
+        assert_eq!(rm.channels_created, 1);
+    }
+
+    #[test]
+    fn release_tears_down_channels() {
+        let mut rm = manager();
+        let sec = SecurityManager::open();
+        let c = cred("x");
+        let id = c.naplet_id.clone();
+        rm.channel_exchange(&sec, &c, &id, "mgmt", Value::Nil)
+            .unwrap();
+        assert_eq!(rm.release(&id), 1);
+        assert_eq!(rm.live_channels(), 0);
+        // releasing again is a no-op
+        assert_eq!(rm.release(&id), 0);
+    }
+
+    #[test]
+    fn deregister_and_reconfigure() {
+        let mut rm = manager();
+        let sec = SecurityManager::open();
+        let c = cred("x");
+        let id = c.naplet_id.clone();
+        rm.deregister("mgmt");
+        assert!(rm
+            .channel_exchange(&sec, &c, &id, "mgmt", Value::Nil)
+            .is_err());
+        // dynamic reconfiguration: register a replacement
+        rm.register_privileged("mgmt", echo_privileged());
+        rm.channel_exchange(&sec, &c, &id, "mgmt", Value::Int(9))
+            .unwrap();
+        assert_eq!(rm.open_services(), ["math.inc"]);
+        assert_eq!(rm.privileged_services(), ["mgmt"]);
+    }
+}

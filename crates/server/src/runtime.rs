@@ -1,0 +1,291 @@
+//! The discrete-event simulation runtime.
+//!
+//! [`SimRuntime`] drives a whole naplet space — many [`NapletServer`]s
+//! over one metered [`Fabric`] — in deterministic virtual time. It is
+//! the measurement harness for every experiment: exact bytes from the
+//! fabric stats, exact completion times from the event clock.
+//!
+//! Besides servers, plain **stations** can join the fabric: hosts that
+//! collect raw wire values instead of running a naplet server. The
+//! centralized SNMP management station of the §6 baseline is a station.
+
+use std::collections::HashMap;
+
+use naplet_core::clock::Millis;
+use naplet_core::error::{NapletError, Result};
+use naplet_core::id::NapletId;
+use naplet_core::message::Payload;
+use naplet_core::naplet::Naplet;
+use naplet_core::value::Value;
+use naplet_net::{EventQueue, Fabric, TrafficClass};
+
+use crate::events::{Input, LocalEvent, Output, Wire};
+use crate::server::{NapletServer, ServerConfig};
+
+/// Approximate frame overhead on top of the codec-encoded payload
+/// (length prefix, class tag, host names) — mirrors
+/// `naplet_net::Frame::wire_len`.
+fn frame_bytes(from: &str, to: &str, payload_len: usize) -> u64 {
+    (4 + 1 + 2 + from.len() + 2 + to.len() + payload_len) as u64
+}
+
+#[allow(clippy::large_enum_variant)] // Deliver carries whole agents
+#[derive(Debug)]
+enum SimEvent {
+    Deliver {
+        from: String,
+        to: String,
+        wire: Wire,
+    },
+    Local {
+        host: String,
+        event: LocalEvent,
+    },
+}
+
+/// The deterministic multi-server driver.
+pub struct SimRuntime {
+    fabric: Fabric,
+    queue: EventQueue<SimEvent>,
+    servers: HashMap<String, NapletServer>,
+    stations: HashMap<String, Vec<(String, Wire)>>,
+    /// Wire values that could not be delivered (dropped by the fabric).
+    pub dropped: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+impl SimRuntime {
+    /// New runtime over a fabric.
+    pub fn new(fabric: Fabric) -> SimRuntime {
+        SimRuntime {
+            fabric,
+            queue: EventQueue::new(),
+            servers: HashMap::new(),
+            stations: HashMap::new(),
+            dropped: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// The fabric (stats, failure injection).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Millis {
+        Millis(self.queue.now())
+    }
+
+    /// Install a naplet server for `config.host`.
+    pub fn add_server(&mut self, config: ServerConfig) -> &mut NapletServer {
+        let host = config.host.clone();
+        self.fabric.add_host(&host);
+        self.servers
+            .entry(host)
+            .or_insert_with(|| NapletServer::new(config))
+    }
+
+    /// Register a plain station host that collects wire values.
+    pub fn add_station(&mut self, name: &str) {
+        self.fabric.add_host(name);
+        self.stations.entry(name.to_string()).or_default();
+    }
+
+    /// Access a server.
+    pub fn server(&self, host: &str) -> Option<&NapletServer> {
+        self.servers.get(host)
+    }
+
+    /// Mutable access to a server.
+    pub fn server_mut(&mut self, host: &str) -> Option<&mut NapletServer> {
+        self.servers.get_mut(host)
+    }
+
+    /// All server host names (sorted).
+    pub fn server_hosts(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.servers.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Launch a naplet from its home server.
+    pub fn launch(&mut self, naplet: Naplet) -> Result<()> {
+        let home = naplet.home().to_string();
+        let now = self.now();
+        let server = self
+            .servers
+            .get_mut(&home)
+            .ok_or_else(|| NapletError::NotFound(format!("no server at home `{home}`")))?;
+        let outputs = server.launch(naplet, now);
+        self.process_outputs(&home, outputs);
+        Ok(())
+    }
+
+    /// Post an owner/console message (e.g. a control verb) from
+    /// `owner_host`'s server to a naplet.
+    pub fn owner_post(&mut self, owner_host: &str, to: NapletId, payload: Payload) -> Result<()> {
+        let now = self.now();
+        let server = self
+            .servers
+            .get_mut(owner_host)
+            .ok_or_else(|| NapletError::NotFound(format!("no server at `{owner_host}`")))?;
+        let outputs = server.owner_post(to, payload, now);
+        self.process_outputs(owner_host, outputs);
+        Ok(())
+    }
+
+    /// Send a raw wire value from a station (e.g. an SNMP request from
+    /// the management station baseline). Metering and delay follow the
+    /// wire's traffic class.
+    pub fn station_send(&mut self, from: &str, to: &str, wire: Wire) -> Result<()> {
+        self.schedule_wire(from, to, wire);
+        Ok(())
+    }
+
+    /// Drain everything a station has received.
+    pub fn station_drain(&mut self, name: &str) -> Vec<(String, Wire)> {
+        self.stations
+            .get_mut(name)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Run until no events remain or `max_events` were processed.
+    /// Returns the number of events processed in this call.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events {
+            let Some((_, ev)) = self.queue.pop() else {
+                break;
+            };
+            processed += 1;
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        processed
+    }
+
+    /// Run until virtual time reaches `until` (events after it stay
+    /// queued) or quiescence.
+    pub fn run_until(&mut self, until: Millis) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > until.0 {
+                break;
+            }
+            let Some((_, ev)) = self.queue.pop() else {
+                break;
+            };
+            processed += 1;
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        processed
+    }
+
+    /// Collected reports at a home server, drained.
+    pub fn drain_reports(&mut self, home: &str) -> Vec<(NapletId, Value)> {
+        self.servers
+            .get_mut(home)
+            .map(|s| std::mem::take(&mut s.reports))
+            .unwrap_or_default()
+    }
+
+    fn dispatch(&mut self, ev: SimEvent) {
+        let now = self.now();
+        match ev {
+            SimEvent::Deliver { from, to, wire } => {
+                if let Some(server) = self.servers.get_mut(&to) {
+                    let outputs = server.handle(now, Input::Wire { from, wire });
+                    self.process_outputs(&to, outputs);
+                } else if let Some(inbox) = self.stations.get_mut(&to) {
+                    inbox.push((from, wire));
+                }
+                // frames to unknown hosts were already rejected by the
+                // fabric at send time
+            }
+            SimEvent::Local { host, event } => {
+                if let Some(server) = self.servers.get_mut(&host) {
+                    let outputs = server.handle(now, Input::Local(event));
+                    self.process_outputs(&host, outputs);
+                }
+            }
+        }
+    }
+
+    fn process_outputs(&mut self, host: &str, outputs: Vec<Output>) {
+        for output in outputs {
+            match output {
+                Output::Send { to, wire } => {
+                    self.schedule_wire(host, &to, wire);
+                }
+                Output::Schedule { delay_ms, event } => {
+                    self.queue.push_after(
+                        delay_ms,
+                        SimEvent::Local {
+                            host: host.to_string(),
+                            event,
+                        },
+                    );
+                }
+                Output::FetchCode { from, bytes, id } => {
+                    let delay = if bytes == 0 || from == host {
+                        Some(0)
+                    } else {
+                        self.fabric
+                            .transfer(&from, host, TrafficClass::Code, bytes)
+                            .unwrap_or(Some(0))
+                    };
+                    let event = LocalEvent::CodeReady { id };
+                    match delay {
+                        Some(d) => self.queue.push_after(
+                            d,
+                            SimEvent::Local {
+                                host: host.to_string(),
+                                event,
+                            },
+                        ),
+                        None => {
+                            // fetch lost: retry optimistic immediate
+                            // delivery so the agent is not stranded
+                            self.dropped += 1;
+                            self.queue.push_after(
+                                1,
+                                SimEvent::Local {
+                                    host: host.to_string(),
+                                    event,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_wire(&mut self, from: &str, to: &str, wire: Wire) {
+        let payload_len = naplet_core::codec::encoded_size(&wire).unwrap_or(0) as usize;
+        let bytes = frame_bytes(from, to, payload_len);
+        let class = wire.traffic_class();
+        match self.fabric.transfer(from, to, class, bytes) {
+            Ok(Some(delay)) => {
+                self.queue.push_after(
+                    delay,
+                    SimEvent::Deliver {
+                        from: from.to_string(),
+                        to: to.to_string(),
+                        wire,
+                    },
+                );
+            }
+            Ok(None) => {
+                self.dropped += 1;
+            }
+            Err(_) => {
+                self.dropped += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,1512 @@
+//! The NapletServer: one dock of naplets per host (paper §2.2).
+//!
+//! A server wires the seven architecture components together —
+//! NapletMonitor, NapletSecurityManager, ResourceManager,
+//! NapletManager, Messenger, Navigator (the migration protocol in this
+//! file) and Locator — plus dynamically created ServiceChannels. It is
+//! written as a deterministic event handler: a driver feeds it
+//! [`Input`]s and enacts the [`Output`]s, so the same server runs
+//! under the discrete-event runtime and under threaded drivers.
+
+use std::collections::HashMap;
+
+use naplet_core::behavior::ActionRegistry;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::{CodeCache, CodebaseRegistry};
+use naplet_core::context::NapletContext;
+use naplet_core::error::{NapletError, Result};
+use naplet_core::id::NapletId;
+use naplet_core::itinerary::{ActionSpec, Step};
+use naplet_core::message::{ControlVerb, Mailbox, Message, Payload, Sender};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_vm::{ContextVmHost, VmImage, VmYield};
+
+use crate::directory::{DirEvent, NapletDirectory};
+use crate::events::{Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
+use crate::locator::Locator;
+use crate::manager::{NapletManager, NapletStatus};
+use crate::messenger::Messenger;
+use crate::monitor::{MonitorPolicy, NapletMonitor, RunState};
+use crate::resources::ResourceManager;
+use crate::security::{Permission, SecurityManager};
+
+/// How naplets are traced and located (paper §4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocationMode {
+    /// A centralized NapletDirectory at the named host.
+    CentralDirectory(String),
+    /// Distributed directory: each naplet's home manager tracks it
+    /// (the home is derived from the naplet id).
+    HomeManagers,
+    /// No directory: footprint traces + message forwarding.
+    ForwardingTrace,
+}
+
+/// Static server configuration.
+pub struct ServerConfig {
+    /// This server's host name (one server per host).
+    pub host: String,
+    /// Location mode shared by the naplet space.
+    pub mode: LocationMode,
+    /// Security manager (policy + trusted keys).
+    pub security: SecurityManager,
+    /// Monitor resource policy.
+    pub monitor_policy: MonitorPolicy,
+    /// Codebase registry for native behaviours.
+    pub codebase: CodebaseRegistry,
+    /// Named post-actions.
+    pub actions: ActionRegistry,
+    /// Admission cap: refuse LANDING above this many residents.
+    pub max_residents: Option<usize>,
+}
+
+impl ServerConfig {
+    /// Open configuration (allow-all security, defaults) for `host`.
+    pub fn open(host: &str, mode: LocationMode) -> ServerConfig {
+        ServerConfig {
+            host: host.to_string(),
+            mode,
+            security: SecurityManager::open(),
+            monitor_policy: MonitorPolicy::default(),
+            codebase: CodebaseRegistry::new(),
+            actions: ActionRegistry::new(),
+            max_residents: None,
+        }
+    }
+}
+
+struct PendingLaunch {
+    naplet: Naplet,
+    action: Option<ActionSpec>,
+    mailbox: Mailbox,
+    dest: String,
+}
+
+struct PendingQuery {
+    msg: Message,
+}
+
+type AppHandler = Box<dyn FnMut(&str, &[u8]) -> Result<Vec<u8>> + Send>;
+type StateHook = Box<dyn FnMut(&mut naplet_core::state::ServerStateView<'_>) + Send>;
+
+/// One naplet server (a dock of naplets within a host).
+pub struct NapletServer {
+    host: String,
+    mode: LocationMode,
+    security: SecurityManager,
+    /// Open + privileged services and live channels.
+    pub resources: ResourceManager,
+    /// Execution monitor.
+    pub monitor: NapletMonitor,
+    /// Naplet table + footprints.
+    pub manager: NapletManager,
+    /// Post-office state.
+    pub messenger: Messenger,
+    /// Location cache.
+    pub locator: Locator,
+    /// Directory shard: the registry itself when this host is (or
+    /// serves as home for) a directory holder.
+    pub directory: NapletDirectory,
+    codebase: CodebaseRegistry,
+    code_cache: CodeCache,
+    actions: ActionRegistry,
+    max_residents: Option<usize>,
+    next_token: u64,
+    pending_launches: HashMap<u64, PendingLaunch>,
+    pending_queries: HashMap<u64, PendingQuery>,
+    /// Naplets whose LANDING we granted and whose transfer has not
+    /// arrived yet: messages for them wait here instead of chasing a
+    /// stale footprint trail (§4.2 case 3 under cyclic itineraries).
+    expected_arrivals: HashMap<NapletId, Millis>,
+    app_handler: Option<AppHandler>,
+    state_hook: Option<StateHook>,
+    /// Listener reports received for naplets homed here.
+    pub reports: Vec<(NapletId, Value)>,
+    /// Application-level replies received at this host
+    /// (token, tag, body).
+    pub app_replies: Vec<(u64, String, Vec<u8>)>,
+    /// Human-readable event log.
+    pub log: Vec<LogEntry>,
+}
+
+impl NapletServer {
+    /// Build a server from its configuration.
+    pub fn new(config: ServerConfig) -> NapletServer {
+        NapletServer {
+            host: config.host,
+            mode: config.mode,
+            security: config.security,
+            resources: ResourceManager::new(),
+            monitor: NapletMonitor::new(config.monitor_policy),
+            manager: NapletManager::new(),
+            messenger: Messenger::default(),
+            locator: Locator::default(),
+            directory: NapletDirectory::new(),
+            codebase: config.codebase,
+            code_cache: CodeCache::new(),
+            actions: config.actions,
+            max_residents: config.max_residents,
+            next_token: 0,
+            pending_launches: HashMap::new(),
+            pending_queries: HashMap::new(),
+            expected_arrivals: HashMap::new(),
+            app_handler: None,
+            state_hook: None,
+            reports: Vec::new(),
+            app_replies: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// This server's host name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Install the application-level request handler (client/server
+    /// baselines; metered as `Snmp` traffic).
+    pub fn set_app_handler(
+        &mut self,
+        f: impl FnMut(&str, &[u8]) -> Result<Vec<u8>> + Send + 'static,
+    ) {
+        self.app_handler = Some(Box::new(f));
+    }
+
+    /// Install a hook run against every arriving naplet's state
+    /// *through the mode-checked server view* (paper §2.1: "a naplet
+    /// server can update a returning naplet with new information" —
+    /// but only in entries whose protection mode admits this host).
+    pub fn set_arrival_state_hook(
+        &mut self,
+        f: impl FnMut(&mut naplet_core::state::ServerStateView<'_>) + Send + 'static,
+    ) {
+        self.state_hook = Some(Box::new(f));
+    }
+
+    /// Mutable access to the security manager (policy reconfiguration).
+    pub fn security_mut(&mut self) -> &mut SecurityManager {
+        &mut self.security
+    }
+
+    /// Mutable access to the action registry.
+    pub fn actions_mut(&mut self) -> &mut ActionRegistry {
+        &mut self.actions
+    }
+
+    fn logf(&mut self, now: Millis, line: String) {
+        self.log.push(LogEntry { at: now, line });
+    }
+
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// The host that holds directory state for `id` under the current
+    /// mode, or `None` in pure forwarding mode.
+    fn directory_holder(&self, id: &NapletId) -> Option<String> {
+        match &self.mode {
+            LocationMode::CentralDirectory(host) => Some(host.clone()),
+            LocationMode::HomeManagers => Some(id.home().to_string()),
+            LocationMode::ForwardingTrace => None,
+        }
+    }
+
+    // =====================================================================
+    // Entry points
+    // =====================================================================
+
+    /// Launch a locally created naplet on its journey. Must be called
+    /// on the naplet's home server.
+    pub fn launch(&mut self, naplet: Naplet, now: Millis) -> Vec<Output> {
+        let mut out = Vec::new();
+        let id = naplet.id().clone();
+        self.manager.record_launch(id.clone(), &self.host, now);
+        self.manager.record_arrival(&id, None, now);
+        self.logf(now, format!("LAUNCH {id}"));
+        self.continue_journey(naplet, Mailbox::new(), now, &mut out);
+        out
+    }
+
+    /// Post a message on behalf of the owner/console at this host
+    /// (remote control and owner→agent data). Routed through the full
+    /// post-office protocol.
+    pub fn owner_post(&mut self, to: NapletId, payload: Payload, now: Millis) -> Vec<Output> {
+        let mut out = Vec::new();
+        let seq = self.messenger.next_seq();
+        let msg = Message {
+            seq,
+            from: Sender::Owner(self.host.clone()),
+            to,
+            sent_at: now,
+            payload,
+            forward_hops: 0,
+        };
+        self.route_message(msg, None, now, &mut out);
+        out
+    }
+
+    /// Handle one input, producing effects for the driver.
+    pub fn handle(&mut self, now: Millis, input: Input) -> Vec<Output> {
+        let mut out = Vec::new();
+        match input {
+            Input::Wire { from, wire } => self.handle_wire(now, &from, wire, &mut out),
+            Input::Local(ev) => self.handle_local(now, ev, &mut out),
+        }
+        out
+    }
+
+    // =====================================================================
+    // Wire handling
+    // =====================================================================
+
+    fn handle_wire(&mut self, now: Millis, from: &str, wire: Wire, out: &mut Vec<Output>) {
+        match wire {
+            Wire::LandingRequest {
+                token,
+                from_host,
+                credential,
+                naplet_id,
+                est_bytes,
+            } => {
+                let decision = self.landing_decision(&credential, &naplet_id, est_bytes);
+                let (granted, reason) = match decision {
+                    Ok(()) => (true, String::new()),
+                    Err(e) => (false, e.to_string()),
+                };
+                if granted {
+                    // age out expectations whose transfer was lost so
+                    // parked messages do not wait forever
+                    self.expected_arrivals.retain(|_, t| now.since(*t) < 60_000);
+                    self.expected_arrivals.insert(naplet_id.clone(), now);
+                }
+                self.logf(
+                    now,
+                    format!(
+                        "LANDING {naplet_id} from {from_host}: {}",
+                        if granted { "grant" } else { "deny" }
+                    ),
+                );
+                out.push(Output::Send {
+                    to: from_host,
+                    wire: Wire::LandingReply {
+                        token,
+                        granted,
+                        reason,
+                    },
+                });
+            }
+            Wire::LandingReply {
+                token,
+                granted,
+                reason,
+            } => {
+                let Some(pending) = self.pending_launches.remove(&token) else {
+                    self.logf(now, format!("stray LandingReply token {token}"));
+                    return;
+                };
+                if granted {
+                    self.complete_departure(pending, now, out);
+                } else {
+                    let id = pending.naplet.id().clone();
+                    self.logf(
+                        now,
+                        format!("LANDING denied for {id} at {}: {reason}", pending.dest),
+                    );
+                    // itinerary exception: skip the refused visit
+                    self.continue_journey(pending.naplet, pending.mailbox, now, out);
+                }
+            }
+            Wire::Transfer(envelope) => {
+                self.admit_arrival(envelope, Some(from), now, out);
+            }
+            Wire::DirRegister {
+                id,
+                host,
+                event,
+                ack_to,
+            } => {
+                self.directory.register(&id, &host, event, now);
+                if event == DirEvent::Arrival {
+                    self.manager
+                        .update_status(&id, NapletStatus::Running, &host, now);
+                } else {
+                    self.manager
+                        .update_status(&id, NapletStatus::InTransit, &host, now);
+                }
+                if let Some(ack_to) = ack_to {
+                    out.push(Output::Send {
+                        to: ack_to,
+                        wire: Wire::DirAck { id },
+                    });
+                }
+            }
+            Wire::DirAck { id } => {
+                if let Some(e) = self.monitor.get_mut(&id) {
+                    if e.state == RunState::AwaitingArrivalAck {
+                        self.proceed_after_registration(&id, now, out);
+                    }
+                }
+            }
+            Wire::DirRemove { id } => {
+                self.directory.remove(&id);
+            }
+            Wire::DirQuery {
+                token,
+                id,
+                reply_to,
+            } => {
+                let entry = self
+                    .directory
+                    .lookup(&id)
+                    .map(|e| (e.host.clone(), e.event));
+                out.push(Output::Send {
+                    to: reply_to,
+                    wire: Wire::DirReply { token, id, entry },
+                });
+            }
+            Wire::DirReply { token, id, entry } => {
+                let Some(pending) = self.pending_queries.remove(&token) else {
+                    return;
+                };
+                match entry {
+                    Some((host, _event)) => {
+                        self.locator.put(id.clone(), &host, now);
+                        self.send_post(pending.msg, &host, now, out);
+                    }
+                    None => {
+                        // unknown to the directory: the naplet may not
+                        // have landed anywhere yet — park the message at
+                        // its home server's special mailbox (case 3)
+                        let home = id.home().to_string();
+                        if home == self.host {
+                            self.messenger.stash_early(pending.msg);
+                        } else {
+                            self.send_post(pending.msg, &home, now, out);
+                        }
+                    }
+                }
+            }
+            Wire::Post { msg, origin_host } => {
+                self.deliver_or_chase(msg, origin_host, now, out);
+            }
+            Wire::PostConfirm {
+                sender,
+                seq,
+                target,
+                delivered_at,
+            } => {
+                self.messenger
+                    .record_confirmation(sender, seq, &delivered_at, now);
+                // the confirmation doubles as a fresh location hint
+                self.locator.put(target, &delivered_at, now);
+            }
+            Wire::Report { id, body } => {
+                self.logf(now, format!("REPORT from {id}"));
+                self.reports.push((id, body));
+            }
+            Wire::Notify {
+                id,
+                status,
+                host,
+                detail,
+            } => {
+                if !detail.is_empty() {
+                    self.logf(now, format!("NOTIFY {id}: {status:?} at {host}: {detail}"));
+                }
+                self.manager.update_status(&id, status, &host, now);
+            }
+            Wire::AppRequest {
+                token,
+                reply_to,
+                tag,
+                body,
+            } => {
+                let result: Result<Vec<u8>> = match self.app_handler.as_mut() {
+                    Some(h) => h(&tag, &body),
+                    None => Err(NapletError::Service(format!(
+                        "no app handler at `{}`",
+                        self.host
+                    ))),
+                };
+                let encoded: std::result::Result<Vec<u8>, String> =
+                    result.map_err(|e| e.to_string());
+                let body = naplet_core::codec::to_bytes(&encoded).unwrap_or_default();
+                out.push(Output::Send {
+                    to: reply_to,
+                    wire: Wire::AppReply { token, tag, body },
+                });
+            }
+            Wire::AppReply { token, tag, body } => {
+                // collected for local application code (e.g. the
+                // centralized management baseline running at this host)
+                self.app_replies.push((token, tag, body));
+            }
+        }
+    }
+
+    // =====================================================================
+    // Local events
+    // =====================================================================
+
+    fn handle_local(&mut self, now: Millis, ev: LocalEvent, out: &mut Vec<Output>) {
+        match ev {
+            LocalEvent::VisitDone { id } => {
+                let Some(entry) = self.monitor.take(&id) else {
+                    return;
+                };
+                match entry.state {
+                    RunState::Suspended => {
+                        // stay parked; Resume reschedules
+                        self.monitor.restore(entry);
+                    }
+                    _ => {
+                        let mut naplet = entry.naplet;
+                        let mailbox = entry.mailbox;
+                        naplet.nav_log.record_departure(now);
+                        self.continue_journey(naplet, mailbox, now, out);
+                    }
+                }
+            }
+            LocalEvent::CodeReady { id } => {
+                if let Some(e) = self.monitor.get_mut(&id) {
+                    if e.state == RunState::AwaitingCode {
+                        e.state = RunState::Runnable;
+                        self.execute_visit(&id, now, out);
+                    }
+                }
+            }
+        }
+    }
+
+    // =====================================================================
+    // Navigator: migration protocol
+    // =====================================================================
+
+    fn landing_decision(
+        &self,
+        credential: &naplet_core::credential::Credential,
+        _naplet_id: &NapletId,
+        _est_bytes: u64,
+    ) -> Result<()> {
+        self.security.verify(credential)?;
+        self.security.check(credential, Permission::Landing)?;
+        if let Some(cap) = self.max_residents {
+            if self.monitor.len() >= cap {
+                return Err(NapletError::ResourceExhausted {
+                    resource: "residents".into(),
+                    detail: format!("server full ({cap})"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drive the itinerary forward from the current host until the
+    /// naplet migrates, parks, or finishes.
+    fn continue_journey(
+        &mut self,
+        mut naplet: Naplet,
+        mut mailbox: Mailbox,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        loop {
+            match naplet.advance() {
+                Step::Visit { host, action } => {
+                    if host == self.host {
+                        // a visit to the current host needs no
+                        // migration; unread mail rides along via the
+                        // special mailbox, drained on (re-)admission
+                        for m in mailbox.drain() {
+                            self.messenger.stash_early(m);
+                        }
+                        let envelope = TransferEnvelope { naplet, action };
+                        self.admit_arrival(envelope, None, now, out);
+                    } else {
+                        self.begin_migration(naplet, mailbox, action, host, now, out);
+                    }
+                    return;
+                }
+                Step::Fork { clones } => {
+                    if let Err(e) = self.security.check(naplet.credential(), Permission::Clone) {
+                        self.logf(now, format!("CLONE denied for {}: {e}", naplet.id()));
+                        continue; // parent continues; branches abandoned
+                    }
+                    for branch in clones {
+                        let clone = naplet.clone_for_branch(branch, &self.host);
+                        let cid = clone.id().clone();
+                        self.manager.record_launch(cid.clone(), &self.host, now);
+                        self.manager.record_arrival(&cid, None, now);
+                        self.logf(now, format!("CLONE {cid}"));
+                        self.continue_journey(clone, Mailbox::new(), now, out);
+                    }
+                    // parent keeps advancing in this loop
+                }
+                Step::Action(action) => {
+                    self.run_action_standalone(&mut naplet, &mut mailbox, &action, now, out);
+                }
+                Step::Done => {
+                    // a VM agent parked at travel_next learns the
+                    // journey is over (nil) and gets a final slice to
+                    // report/clean up before destruction
+                    if matches!(naplet.kind(), AgentKind::Vm(_)) {
+                        self.final_vm_run(&mut naplet, &mut mailbox, now, out);
+                    }
+                    self.finish_journey(naplet, now, "completed", true, out);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn begin_migration(
+        &mut self,
+        naplet: Naplet,
+        mailbox: Mailbox,
+        action: Option<ActionSpec>,
+        dest: String,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        if let Err(e) = self.security.check(naplet.credential(), Permission::Launch) {
+            self.logf(now, format!("LAUNCH denied for {}: {e}", naplet.id()));
+            // skip this visit entirely
+            self.continue_journey(naplet, mailbox, now, out);
+            return;
+        }
+        let token = self.token();
+        let est_bytes = naplet.wire_size().unwrap_or(0);
+        let wire = Wire::LandingRequest {
+            token,
+            from_host: self.host.clone(),
+            credential: naplet.credential().clone(),
+            naplet_id: naplet.id().clone(),
+            est_bytes,
+        };
+        self.pending_launches.insert(
+            token,
+            PendingLaunch {
+                naplet,
+                action,
+                mailbox,
+                dest: dest.clone(),
+            },
+        );
+        out.push(Output::Send { to: dest, wire });
+    }
+
+    fn complete_departure(&mut self, pending: PendingLaunch, now: Millis, out: &mut Vec<Output>) {
+        let PendingLaunch {
+            naplet,
+            action,
+            mut mailbox,
+            dest,
+        } = pending;
+        let id = naplet.id().clone();
+        self.manager.record_departure(&id, &dest, now);
+        self.resources.release(&id);
+        // DEPART registration (no ack needed, paper §4.1)
+        if let Some(holder) = self.directory_holder(&id) {
+            let wire = Wire::DirRegister {
+                id: id.clone(),
+                host: self.host.clone(),
+                event: DirEvent::Departure,
+                ack_to: None,
+            };
+            if holder == self.host {
+                self.directory
+                    .register(&id, &self.host, DirEvent::Departure, now);
+            } else {
+                out.push(Output::Send { to: holder, wire });
+            }
+        }
+        self.logf(now, format!("DEPART {id} -> {dest}"));
+        // forward any early-stashed messages for it towards the
+        // destination so the chase can catch up, and likewise any
+        // unread mailbox messages — the post office keeps custody of
+        // undelivered mail rather than dropping it with the mailbox
+        for mut m in self.messenger.drain_early(&id) {
+            m.forward_hops += 1;
+            self.send_post(m, &dest, now, out);
+        }
+        for mut m in mailbox.drain() {
+            m.forward_hops += 1;
+            self.send_post(m, &dest, now, out);
+        }
+        out.push(Output::Send {
+            to: dest,
+            wire: Wire::Transfer(TransferEnvelope { naplet, action }),
+        });
+    }
+
+    /// Arrival processing (local continuation or network transfer).
+    fn admit_arrival(
+        &mut self,
+        envelope: TransferEnvelope,
+        from: Option<&str>,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let TransferEnvelope { mut naplet, action } = envelope;
+        let id = naplet.id().clone();
+        if let Err(e) = self.security.verify_naplet(&naplet) {
+            self.logf(now, format!("ARRIVAL rejected for {id}: {e}"));
+            self.notify_home(&id, NapletStatus::Destroyed, &e.to_string(), now, out);
+            return;
+        }
+        self.expected_arrivals.remove(&id);
+        if from.is_some() {
+            self.manager.record_arrival(&id, from, now);
+        }
+        naplet.nav_log.record_arrival(&self.host, now);
+        // server-side state inspection/update under protection modes
+        if let Some(hook) = &mut self.state_hook {
+            let mut view = naplet.state.server_view(&self.host);
+            hook(&mut view);
+        }
+        self.logf(now, format!("ARRIVAL {id}"));
+
+        let state = RunState::AwaitingArrivalAck;
+        let entry = self.monitor.admit(naplet, action, state, now);
+        // deliver any messages that arrived before the naplet (§4.2
+        // case 3): user messages into the mailbox, system messages as
+        // interrupts after the arrival bookkeeping below
+        let mut pending_controls = Vec::new();
+        for m in self.messenger.drain_early(&id) {
+            match &m.payload {
+                Payload::System(verb) => pending_controls.push(verb.clone()),
+                Payload::User(_) => entry.mailbox.deposit(m),
+            }
+        }
+
+        // ARRIVAL registration: execution postponed until acknowledged
+        match self.directory_holder(&id) {
+            Some(holder) if holder != self.host => {
+                out.push(Output::Send {
+                    to: holder,
+                    wire: Wire::DirRegister {
+                        id: id.clone(),
+                        host: self.host.clone(),
+                        event: DirEvent::Arrival,
+                        ack_to: Some(self.host.clone()),
+                    },
+                });
+                // stay in AwaitingArrivalAck until DirAck
+            }
+            Some(_) => {
+                // we are the directory holder: register synchronously
+                self.directory
+                    .register(&id, &self.host.clone(), DirEvent::Arrival, now);
+                self.proceed_after_registration(&id, now, out);
+            }
+            None => {
+                self.proceed_after_registration(&id, now, out);
+            }
+        }
+
+        // early control messages now interrupt the just-arrived naplet
+        for verb in pending_controls {
+            self.apply_control(&id, &verb, now, out);
+        }
+    }
+
+    /// After arrival registration is acknowledged: fetch code if cold,
+    /// then execute.
+    fn proceed_after_registration(&mut self, id: &NapletId, now: Millis, out: &mut Vec<Output>) {
+        let Some(entry) = self.monitor.get_mut(id) else {
+            return;
+        };
+        let naplet = &entry.naplet;
+        match naplet.kind() {
+            AgentKind::Native => {
+                let codebase = naplet.codebase().to_string();
+                let home = naplet.home().to_string();
+                if self.code_cache.is_cached(&codebase) {
+                    entry.state = RunState::Runnable;
+                    self.execute_visit(id, now, out);
+                } else {
+                    match self.code_cache.load(&self.codebase, &codebase) {
+                        Ok(bytes) => {
+                            entry.state = RunState::AwaitingCode;
+                            out.push(Output::FetchCode {
+                                from: home,
+                                bytes,
+                                id: id.clone(),
+                            });
+                        }
+                        Err(e) => {
+                            self.destroy_resident(id, &format!("code load failed: {e}"), now, out);
+                        }
+                    }
+                }
+            }
+            AgentKind::Vm(_) => {
+                entry.state = RunState::Runnable;
+                self.execute_visit(id, now, out);
+            }
+        }
+    }
+
+    // =====================================================================
+    // Execution
+    // =====================================================================
+
+    fn execute_visit(&mut self, id: &NapletId, now: Millis, out: &mut Vec<Output>) {
+        let Some(mut entry) = self.monitor.take(id) else {
+            return;
+        };
+        let policy = self.monitor.policy().clone();
+
+        let mut effects = Effects::default();
+        let exec_result = (|| -> Result<ExecOutcome> {
+            let outcome = match entry.naplet.kind().clone() {
+                AgentKind::Native => {
+                    let mut behavior = self.codebase.instantiate(entry.naplet.codebase())?;
+                    let priority = crate::monitor::Priority::of(entry.naplet.credential());
+                    let dwell = policy.dwell_for(priority, self.monitor.len() + 1);
+                    let gas = dwell * policy.gas_per_ms;
+                    NapletMonitor::charge_gas(&mut entry, &policy, gas)?;
+                    let mut ctx = RunCtx::new(
+                        &self.host,
+                        now,
+                        &mut entry.naplet,
+                        &mut entry.mailbox,
+                        &mut self.resources,
+                        &self.security,
+                        &mut effects,
+                    );
+                    behavior.on_start(&mut ctx)?;
+                    ExecOutcome::Continue
+                }
+                AgentKind::Vm(image_bytes) => {
+                    let mut image = VmImage::from_wire(&image_bytes)?;
+                    if image.status == naplet_vm::VmStatus::AwaitingTravel {
+                        // the strong-mobility resume: travel_next
+                        // returns the new host's name
+                        image.resume_after_travel(Some(&self.host))?;
+                    }
+                    let outcome = loop {
+                        let before = image.gas_used;
+                        let hops = entry.naplet.nav_log.hops();
+                        let mut ctx = RunCtx::new(
+                            &self.host,
+                            now,
+                            &mut entry.naplet,
+                            &mut entry.mailbox,
+                            &mut self.resources,
+                            &self.security,
+                            &mut effects,
+                        );
+                        let mut host_if = ContextVmHost::new(&mut ctx, hops);
+                        let yielded = naplet_vm::run(&mut image, &mut host_if, policy.gas_slice)?;
+                        NapletMonitor::charge_gas(&mut entry, &policy, image.gas_used - before)?;
+                        match yielded {
+                            VmYield::OutOfGas => continue,
+                            VmYield::Travel => break ExecOutcome::Continue,
+                            VmYield::Done(_) => break ExecOutcome::ProgramDone,
+                        }
+                    };
+                    // persist execution progress into the carried image
+                    *entry.naplet.kind_mut() = AgentKind::Vm(image.to_wire()?);
+                    let extra = image.memory_footprint();
+                    NapletMonitor::check_memory(&entry, &policy, extra)?;
+                    outcome
+                }
+            };
+
+            // the visit's post-action T
+            if let Some(action) = entry.pending_action.take() {
+                let mut ctx = RunCtx::new(
+                    &self.host,
+                    now,
+                    &mut entry.naplet,
+                    &mut entry.mailbox,
+                    &mut self.resources,
+                    &self.security,
+                    &mut effects,
+                );
+                run_action(&self.actions, &action, &mut ctx)?;
+            }
+            NapletMonitor::check_memory(&entry, &policy, 0)?;
+            Ok(outcome)
+        })();
+
+        let id = entry.naplet.id().clone();
+        self.apply_effects(&id, &mut entry, effects, now, out);
+
+        match exec_result {
+            Ok(outcome) => {
+                let dwell = match entry.naplet.kind() {
+                    AgentKind::Native => {
+                        let priority = crate::monitor::Priority::of(entry.naplet.credential());
+                        policy.dwell_for(priority, self.monitor.len() + 1)
+                    }
+                    AgentKind::Vm(_) => {
+                        NapletMonitor::gas_to_ms(&policy, entry.gas_this_visit.max(1))
+                    }
+                };
+                match outcome {
+                    ExecOutcome::Continue => {
+                        entry.state = RunState::VisitDone;
+                        self.monitor.restore(entry);
+                        out.push(Output::Schedule {
+                            delay_ms: dwell,
+                            event: LocalEvent::VisitDone { id },
+                        });
+                    }
+                    ExecOutcome::ProgramDone => {
+                        // VM program finished: journey ends here
+                        let naplet = entry.naplet;
+                        self.resources.release(&id);
+                        self.finish_journey(naplet, now.plus(dwell), "completed", true, out);
+                    }
+                }
+            }
+            Err(e) => {
+                self.monitor.kills.push((id.clone(), e.kind().to_string()));
+                self.monitor.restore(entry);
+                self.destroy_resident(&id, &e.to_string(), now, out);
+            }
+        }
+    }
+
+    /// Give a VM agent whose itinerary just completed a final slice:
+    /// its pending `travel_next` resolves to nil so the program can
+    /// report results and halt.
+    fn final_vm_run(
+        &mut self,
+        naplet: &mut Naplet,
+        mailbox: &mut Mailbox,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let AgentKind::Vm(bytes) = naplet.kind().clone() else {
+            return;
+        };
+        let policy = self.monitor.policy().clone();
+        let mut effects = Effects::default();
+        let result = (|| -> Result<()> {
+            let mut image = VmImage::from_wire(&bytes)?;
+            if image.status == naplet_vm::VmStatus::AwaitingTravel {
+                image.resume_after_travel(None)?;
+            }
+            let mut spent = 0u64;
+            loop {
+                if spent >= policy.max_gas_per_visit {
+                    return Err(NapletError::ResourceExhausted {
+                        resource: "cpu".into(),
+                        detail: "final slice budget exceeded".into(),
+                    });
+                }
+                let before = image.gas_used;
+                let hops = naplet.nav_log.hops();
+                let mut ctx = RunCtx::new(
+                    &self.host,
+                    now,
+                    naplet,
+                    mailbox,
+                    &mut self.resources,
+                    &self.security,
+                    &mut effects,
+                );
+                let mut host_if = ContextVmHost::new(&mut ctx, hops);
+                match naplet_vm::run(&mut image, &mut host_if, policy.gas_slice)? {
+                    VmYield::OutOfGas => {
+                        spent += image.gas_used - before;
+                        continue;
+                    }
+                    // a second travel request cannot be satisfied: the
+                    // journey is over — treat as completion
+                    VmYield::Travel | VmYield::Done(_) => break,
+                }
+            }
+            Ok(())
+        })();
+        let id = naplet.id().clone();
+        self.dispatch_effects(&id, naplet, effects, now, out);
+        if let Err(e) = result {
+            self.logf(now, format!("final VM slice failed for {id}: {e}"));
+        }
+    }
+
+    /// Run a pattern-level action for a naplet that is between visits
+    /// (not admitted to the monitor).
+    fn run_action_standalone(
+        &mut self,
+        naplet: &mut Naplet,
+        mailbox: &mut Mailbox,
+        action: &ActionSpec,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let mut effects = Effects::default();
+        let result = {
+            let mut ctx = RunCtx::new(
+                &self.host,
+                now,
+                naplet,
+                mailbox,
+                &mut self.resources,
+                &self.security,
+                &mut effects,
+            );
+            run_action(&self.actions, action, &mut ctx)
+        };
+        let id = naplet.id().clone();
+        // standalone actions run outside a monitor entry; account
+        // bandwidth against a scratch entry-less path (still metered
+        // on the fabric)
+        self.dispatch_effects(&id, naplet, effects, now, out);
+        if let Err(e) = result {
+            self.logf(now, format!("action {action:?} failed for {id}: {e}"));
+        }
+    }
+
+    // =====================================================================
+    // Effects: messages, reports, logs
+    // =====================================================================
+
+    fn apply_effects(
+        &mut self,
+        id: &NapletId,
+        entry: &mut crate::monitor::RunEntry,
+        effects: Effects,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let policy = self.monitor.policy().clone();
+        // bandwidth accounting: posts are charged in order; the first
+        // one that exceeds the budget and everything after it are
+        // dropped, but reports and logs still flow
+        let mut effects = effects;
+        let mut kept = Vec::with_capacity(effects.posts.len());
+        for (to, hint, body) in effects.posts.drain(..) {
+            let bytes = naplet_core::codec::encoded_size(&body).unwrap_or(0);
+            match NapletMonitor::charge_msg_bytes(entry, &policy, bytes) {
+                Ok(()) => kept.push((to, hint, body)),
+                Err(e) => {
+                    self.logf(now, format!("bandwidth budget hit for {id}: {e}"));
+                    break;
+                }
+            }
+        }
+        effects.posts = kept;
+        let naplet_home = entry.naplet.home().to_string();
+        self.route_effects(id, &naplet_home, effects, now, out);
+    }
+
+    fn dispatch_effects(
+        &mut self,
+        id: &NapletId,
+        naplet: &Naplet,
+        effects: Effects,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let home = naplet.home().to_string();
+        self.route_effects(id, &home, effects, now, out);
+    }
+
+    fn route_effects(
+        &mut self,
+        id: &NapletId,
+        home: &str,
+        effects: Effects,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        for line in effects.logs {
+            self.logf(now, format!("[{}] {line}", id.short()));
+        }
+        for body in effects.reports {
+            if home == self.host {
+                self.reports.push((id.clone(), body));
+            } else {
+                out.push(Output::Send {
+                    to: home.to_string(),
+                    wire: Wire::Report {
+                        id: id.clone(),
+                        body,
+                    },
+                });
+            }
+        }
+        for (to, hint, body) in effects.posts {
+            let seq = self.messenger.next_seq();
+            let msg = Message::user(seq, Sender::Naplet(id.clone()), to, now, body);
+            self.route_message(msg, Some(&hint), now, out);
+        }
+    }
+
+    // =====================================================================
+    // Post office routing (paper §4.2)
+    // =====================================================================
+
+    fn send_post(&mut self, msg: Message, to_host: &str, now: Millis, out: &mut Vec<Output>) {
+        if to_host == self.host {
+            // route internally without the wire
+            let origin = self.host.clone();
+            let mut tmp = Vec::new();
+            self.deliver_or_chase(msg, origin, now, &mut tmp);
+            out.extend(tmp);
+        } else {
+            out.push(Output::Send {
+                to: to_host.to_string(),
+                wire: Wire::Post {
+                    msg,
+                    origin_host: self.host.clone(),
+                },
+            });
+        }
+    }
+
+    /// First-hop routing for a locally posted message.
+    fn route_message(
+        &mut self,
+        msg: Message,
+        hint: Option<&str>,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let target = msg.to.clone();
+        // resident here?
+        if self.monitor.get(&target).is_some() {
+            let origin = self.host.clone();
+            self.deliver_or_chase(msg, origin, now, out);
+            return;
+        }
+        // locator cache
+        if let Some(loc) = self.locator.get(&target) {
+            let host = loc.host.clone();
+            self.send_post(msg, &host, now, out);
+            return;
+        }
+        // directory query, or trace/hint
+        match self.directory_holder(&target) {
+            Some(holder) if holder != self.host => {
+                let token = self.token();
+                self.pending_queries.insert(token, PendingQuery { msg });
+                out.push(Output::Send {
+                    to: holder,
+                    wire: Wire::DirQuery {
+                        token,
+                        id: target,
+                        reply_to: self.host.clone(),
+                    },
+                });
+            }
+            Some(_) => {
+                // we hold the directory shard
+                match self.directory.lookup(&target).map(|e| e.host.clone()) {
+                    Some(host) => {
+                        self.locator.put(target, &host, now);
+                        self.send_post(msg, &host, now, out);
+                    }
+                    None => self.messenger.stash_early(msg),
+                }
+            }
+            None => {
+                // forwarding mode: local trace, then the address-book hint
+                match self.manager.trace(&target) {
+                    Some(Some(next)) => {
+                        let next = next.to_string();
+                        self.send_post(msg, &next, now, out);
+                    }
+                    Some(None) => self.messenger.stash_early(msg),
+                    None => match hint {
+                        Some(h) if h != self.host => {
+                            let h = h.to_string();
+                            self.send_post(msg, &h, now, out);
+                        }
+                        _ => self.messenger.stash_early(msg),
+                    },
+                }
+            }
+        }
+    }
+
+    /// §4.2 delivery cases at a receiving messenger.
+    fn deliver_or_chase(
+        &mut self,
+        mut msg: Message,
+        origin_host: String,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let target = msg.to.clone();
+        if self.monitor.get(&target).is_some() {
+            // case 1: resident — deliver and confirm
+            let sender = msg.from.clone();
+            let seq = msg.seq;
+            match &msg.payload {
+                Payload::System(verb) => {
+                    let verb = verb.clone();
+                    self.apply_control(&target, &verb, now, out);
+                }
+                Payload::User(_) => {
+                    if let Some(e) = self.monitor.get_mut(&target) {
+                        e.mailbox.deposit(msg);
+                    }
+                }
+            }
+            if origin_host == self.host {
+                self.messenger
+                    .record_confirmation(sender, seq, &self.host.clone(), now);
+            } else {
+                out.push(Output::Send {
+                    to: origin_host,
+                    wire: Wire::PostConfirm {
+                        sender,
+                        seq,
+                        target,
+                        delivered_at: self.host.clone(),
+                    },
+                });
+            }
+            return;
+        }
+        // not resident — but if its landing was granted here and the
+        // transfer is still in flight, wait for it (case 3) rather
+        // than chasing a stale trail
+        if self.expected_arrivals.contains_key(&target) {
+            self.messenger.stash_early(msg);
+            return;
+        }
+        match self.manager.trace(&target) {
+            Some(Some(next)) => {
+                // case 2: it moved on — forward the chase
+                if self.messenger.may_forward(&msg) {
+                    msg.forward_hops += 1;
+                    let next = next.to_string();
+                    out.push(Output::Send {
+                        to: next,
+                        wire: Wire::Post { msg, origin_host },
+                    });
+                } else {
+                    self.logf(now, format!("undeliverable message to {target} (cap)"));
+                }
+            }
+            _ => {
+                // case 3: no record — it may not have arrived yet
+                self.messenger.stash_early(msg);
+            }
+        }
+    }
+
+    // =====================================================================
+    // Control (system messages)
+    // =====================================================================
+
+    fn apply_control(
+        &mut self,
+        id: &NapletId,
+        verb: &ControlVerb,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        match verb {
+            ControlVerb::Terminate => {
+                self.destroy_resident(id, "terminated by control message", now, out);
+            }
+            ControlVerb::Suspend => {
+                if self.monitor.suspend(id) {
+                    self.logf(now, format!("SUSPEND {id}"));
+                }
+            }
+            ControlVerb::Resume => {
+                if self.monitor.resume(id) {
+                    self.logf(now, format!("RESUME {id}"));
+                    out.push(Output::Schedule {
+                        delay_ms: 0,
+                        event: LocalEvent::VisitDone { id: id.clone() },
+                    });
+                }
+            }
+            ControlVerb::Callback | ControlVerb::Custom(_) => {
+                // cast the interrupt: the creator-defined on_interrupt
+                let Some(mut entry) = self.monitor.take(id) else {
+                    return;
+                };
+                if let AgentKind::Native = entry.naplet.kind() {
+                    let mut effects = Effects::default();
+                    let res = self.codebase.instantiate(entry.naplet.codebase()).and_then(
+                        |mut behavior| {
+                            let mut ctx = RunCtx::new(
+                                &self.host,
+                                now,
+                                &mut entry.naplet,
+                                &mut entry.mailbox,
+                                &mut self.resources,
+                                &self.security,
+                                &mut effects,
+                            );
+                            behavior.on_interrupt(&mut ctx, verb)
+                        },
+                    );
+                    let nid = entry.naplet.id().clone();
+                    self.apply_effects(&nid, &mut entry, effects, now, out);
+                    if let Err(e) = res {
+                        self.logf(now, format!("on_interrupt failed for {id}: {e}"));
+                    }
+                }
+                self.monitor.restore(entry);
+            }
+        }
+    }
+
+    // =====================================================================
+    // Destruction / completion
+    // =====================================================================
+
+    fn destroy_resident(
+        &mut self,
+        id: &NapletId,
+        reason: &str,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let Some(mut entry) = self.monitor.evict(id) else {
+            return;
+        };
+        self.resources.release(id);
+        // on_destroy hook for native agents
+        if let AgentKind::Native = entry.naplet.kind() {
+            if let Ok(mut behavior) = self.codebase.instantiate(entry.naplet.codebase()) {
+                let mut effects = Effects::default();
+                {
+                    let mut ctx = RunCtx::new(
+                        &self.host,
+                        now,
+                        &mut entry.naplet,
+                        &mut entry.mailbox,
+                        &mut self.resources,
+                        &self.security,
+                        &mut effects,
+                    );
+                    let _ = behavior.on_destroy(&mut ctx);
+                }
+                let nid = entry.naplet.id().clone();
+                self.dispatch_effects(&nid.clone(), &entry.naplet, effects, now, out);
+            }
+        }
+        self.logf(now, format!("DESTROY {id}: {reason}"));
+        self.notify_home(id, NapletStatus::Destroyed, reason, now, out);
+        self.dir_remove(id, out);
+    }
+
+    fn finish_journey(
+        &mut self,
+        naplet: Naplet,
+        now: Millis,
+        detail: &str,
+        normal: bool,
+        out: &mut Vec<Output>,
+    ) {
+        let id = naplet.id().clone();
+        self.logf(now, format!("COMPLETE {id}"));
+        let status = if normal {
+            NapletStatus::Completed
+        } else {
+            NapletStatus::Destroyed
+        };
+        self.notify_home(&id, status, detail, now, out);
+        self.dir_remove(&id, out);
+        self.monitor.evict(&id);
+        self.resources.release(&id);
+    }
+
+    fn notify_home(
+        &mut self,
+        id: &NapletId,
+        status: NapletStatus,
+        detail: &str,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let home = id.home().to_string();
+        let wire = Wire::Notify {
+            id: id.clone(),
+            status,
+            host: self.host.clone(),
+            detail: detail.to_string(),
+        };
+        if home == self.host {
+            if let Wire::Notify {
+                id, status, host, ..
+            } = &wire
+            {
+                self.manager.update_status(id, *status, host, now);
+            }
+        } else {
+            out.push(Output::Send { to: home, wire });
+        }
+    }
+
+    fn dir_remove(&mut self, id: &NapletId, out: &mut Vec<Output>) {
+        match self.directory_holder(id) {
+            Some(holder) if holder == self.host => {
+                self.directory.remove(id);
+            }
+            Some(holder) => {
+                out.push(Output::Send {
+                    to: holder,
+                    wire: Wire::DirRemove { id: id.clone() },
+                });
+            }
+            None => {}
+        }
+    }
+}
+
+/// Which way execution left the visit.
+enum ExecOutcome {
+    /// Business logic for this visit finished; itinerary continues.
+    Continue,
+    /// A VM program ran to completion: the agent is done regardless of
+    /// remaining itinerary.
+    ProgramDone,
+}
+
+/// Effects collected from behaviour execution, applied by the server
+/// afterwards (keeps the context borrow-free of server internals).
+#[derive(Default)]
+struct Effects {
+    /// (target, location hint, body)
+    posts: Vec<(NapletId, String, Value)>,
+    reports: Vec<Value>,
+    logs: Vec<String>,
+}
+
+/// The transient run context handed to behaviours (paper §2.1: set by
+/// the resource manager on arrival; never serialized).
+struct RunCtx<'a> {
+    host: &'a str,
+    now: Millis,
+    naplet: &'a mut Naplet,
+    mailbox: &'a mut Mailbox,
+    resources: &'a mut ResourceManager,
+    security: &'a SecurityManager,
+    effects: &'a mut Effects,
+}
+
+impl<'a> RunCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        host: &'a str,
+        now: Millis,
+        naplet: &'a mut Naplet,
+        mailbox: &'a mut Mailbox,
+        resources: &'a mut ResourceManager,
+        security: &'a SecurityManager,
+        effects: &'a mut Effects,
+    ) -> RunCtx<'a> {
+        RunCtx {
+            host,
+            now,
+            naplet,
+            mailbox,
+            resources,
+            security,
+            effects,
+        }
+    }
+}
+
+impl NapletContext for RunCtx<'_> {
+    fn host_name(&self) -> &str {
+        self.host
+    }
+    fn naplet_id(&self) -> &NapletId {
+        self.naplet.id()
+    }
+    fn state(&mut self) -> &mut naplet_core::state::NapletState {
+        &mut self.naplet.state
+    }
+    fn address_book(&mut self) -> &mut naplet_core::address_book::AddressBook {
+        &mut self.naplet.address_book
+    }
+    fn post_message(&mut self, to: &NapletId, body: Value) -> Result<()> {
+        self.security
+            .check(self.naplet.credential(), Permission::Messaging)?;
+        let entry =
+            self.naplet.address_book.lookup(to).ok_or_else(|| {
+                NapletError::Communication(format!("peer {to} not in address book"))
+            })?;
+        self.effects
+            .posts
+            .push((to.clone(), entry.server.clone(), body));
+        Ok(())
+    }
+    fn get_message(&mut self) -> Result<Option<Message>> {
+        Ok(self.mailbox.take())
+    }
+    fn call_service(&mut self, name: &str, args: Value) -> Result<Value> {
+        self.resources
+            .call_open(self.security, self.naplet.credential(), name, args)
+    }
+    fn channel_exchange(&mut self, service: &str, request: Value) -> Result<Value> {
+        let id = self.naplet.id().clone();
+        let cred = self.naplet.credential().clone();
+        self.resources
+            .channel_exchange(self.security, &cred, &id, service, request)
+    }
+    fn report_home(&mut self, body: Value) -> Result<()> {
+        self.effects.reports.push(body);
+        Ok(())
+    }
+    fn now(&self) -> Millis {
+        self.now
+    }
+    fn log(&mut self, line: &str) {
+        self.effects.logs.push(line.to_string());
+    }
+}
+
+/// Execute one itinerary post-action.
+fn run_action(
+    registry: &ActionRegistry,
+    action: &ActionSpec,
+    ctx: &mut dyn NapletContext,
+) -> Result<()> {
+    match action {
+        ActionSpec::ReportHome => {
+            // report the naplet's whole public+private view of state:
+            // the conventional ResultReport sends gathered data home
+            let mut snapshot = std::collections::BTreeMap::new();
+            let keys: Vec<String> = ctx.state().keys().map(str::to_string).collect();
+            for k in keys {
+                snapshot.insert(k.clone(), ctx.state().get(&k));
+            }
+            ctx.report_home(Value::Map(snapshot))
+        }
+        ActionSpec::DataComm => {
+            // the paper's collective operator: post own latest data to
+            // every peer in the address book, then drain whatever has
+            // already arrived into state["datacomm.received"]
+            let payload = ctx.state().get("datacomm");
+            let peers: Vec<NapletId> = ctx
+                .address_book()
+                .iter()
+                .map(|e| e.naplet_id.clone())
+                .collect();
+            for peer in peers {
+                // ignore transient failures, as the paper's example does
+                let _ = ctx.post_message(&peer, payload.clone());
+            }
+            let mut received = match ctx.state().get("datacomm.received") {
+                Value::List(l) => l,
+                _ => Vec::new(),
+            };
+            while let Some(m) = ctx.get_message()? {
+                if let Payload::User(v) = m.payload {
+                    received.push(v);
+                }
+            }
+            ctx.state().set("datacomm.received", Value::List(received));
+            Ok(())
+        }
+        ActionSpec::Named(name) => registry.get(name)?.operate(ctx),
+    }
+}

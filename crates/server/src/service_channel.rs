@@ -1,0 +1,267 @@
+//! Service channels (paper §5.3).
+//!
+//! Privileged, stationary services must never be called directly by
+//! alien naplets. The ResourceManager instead creates a **service
+//! channel** per (naplet, service): "essentially a synchronous pipe"
+//! with a `ServiceReader`/`ServiceWriter` endpoint pair on the service
+//! side and a `NapletReader`/`NapletWriter` pair on the naplet side.
+//!
+//! [`ServiceChannel`] models exactly that: two value queues (one per
+//! direction). The naplet writes requests with its writer endpoint;
+//! one *activation* of the [`PrivilegedService`] consumes them through
+//! [`ChannelIo`] and writes replies; the naplet then reads replies
+//! until the channel is drained (the paper's read-until-EOF loop).
+
+use std::collections::VecDeque;
+
+use naplet_core::error::{NapletError, Result};
+use naplet_core::id::NapletId;
+use naplet_core::value::Value;
+
+/// The service-side view of a channel during one activation:
+/// `read_line` consumes naplet requests, `write_line` queues replies.
+pub struct ChannelIo<'a> {
+    input: &'a mut VecDeque<Value>,
+    output: &'a mut VecDeque<Value>,
+    /// Identity of the naplet on the other end (services may apply
+    /// per-naplet logic; access control already happened at channel
+    /// creation).
+    pub naplet: &'a NapletId,
+}
+
+impl ChannelIo<'_> {
+    /// Read the next request line, if any.
+    pub fn read_line(&mut self) -> Option<Value> {
+        self.input.pop_front()
+    }
+
+    /// Write one reply line.
+    pub fn write_line(&mut self, v: Value) {
+        self.output.push_back(v);
+    }
+}
+
+/// A stationary privileged service (the paper's `PrivilegedService`
+/// base class, e.g. `NetManagement`).
+pub trait PrivilegedService: Send + Sync {
+    /// Handle one activation: consume pending requests, produce
+    /// replies. Called synchronously by the ResourceManager whenever
+    /// the naplet performs an exchange.
+    fn serve(&self, io: &mut ChannelIo<'_>) -> Result<()>;
+}
+
+impl<F> PrivilegedService for F
+where
+    F: Fn(&mut ChannelIo<'_>) -> Result<()> + Send + Sync,
+{
+    fn serve(&self, io: &mut ChannelIo<'_>) -> Result<()> {
+        self(io)
+    }
+}
+
+/// One live channel between a naplet and a privileged service.
+#[derive(Debug)]
+pub struct ServiceChannel {
+    naplet: NapletId,
+    service: String,
+    to_service: VecDeque<Value>,
+    to_naplet: VecDeque<Value>,
+    /// Number of activations performed (diagnostics / accounting).
+    pub exchanges: u64,
+}
+
+impl ServiceChannel {
+    /// Create a channel pair for `naplet` ↔ `service`.
+    pub fn new(naplet: NapletId, service: &str) -> ServiceChannel {
+        ServiceChannel {
+            naplet,
+            service: service.to_string(),
+            to_service: VecDeque::new(),
+            to_naplet: VecDeque::new(),
+            exchanges: 0,
+        }
+    }
+
+    /// The service this channel is bound to.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// The naplet endpoint owner.
+    pub fn naplet(&self) -> &NapletId {
+        &self.naplet
+    }
+
+    /// NapletWriter: queue a request line.
+    pub fn naplet_write(&mut self, v: Value) {
+        self.to_service.push_back(v);
+    }
+
+    /// NapletReader: take the next reply line.
+    pub fn naplet_read(&mut self) -> Option<Value> {
+        self.to_naplet.pop_front()
+    }
+
+    /// Run one service activation over the pipe pair.
+    pub fn activate(&mut self, svc: &dyn PrivilegedService) -> Result<()> {
+        let mut io = ChannelIo {
+            input: &mut self.to_service,
+            output: &mut self.to_naplet,
+            naplet: &self.naplet,
+        };
+        svc.serve(&mut io)?;
+        self.exchanges += 1;
+        Ok(())
+    }
+
+    /// Convenience request/reply: write `request`, activate, read all
+    /// replies (Nil for none, the value for one, a list otherwise).
+    pub fn exchange(&mut self, svc: &dyn PrivilegedService, request: Value) -> Result<Value> {
+        self.naplet_write(request);
+        self.activate(svc)?;
+        let mut replies = Vec::new();
+        while let Some(v) = self.naplet_read() {
+            replies.push(v);
+        }
+        Ok(match replies.len() {
+            0 => Value::Nil,
+            1 => replies.pop().expect("len checked"),
+            _ => Value::List(replies),
+        })
+    }
+}
+
+/// A non-privileged ("open") service, callable directly via its
+/// handler (paper §2.2: "non-privileged services, like routines in
+/// math libraries, are registered in the ResourceManager as open
+/// services and can be called via their handlers").
+pub trait OpenService: Send + Sync {
+    /// Invoke the service.
+    fn call(&self, args: Value) -> Result<Value>;
+}
+
+impl<F> OpenService for F
+where
+    F: Fn(Value) -> Result<Value> + Send + Sync,
+{
+    fn call(&self, args: Value) -> Result<Value> {
+        self(args)
+    }
+}
+
+/// Helper for service implementations: reject a malformed request.
+pub fn bad_request(msg: impl Into<String>) -> NapletError {
+    NapletError::Service(format!("bad request: {}", msg.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naplet_core::clock::Millis;
+
+    fn nid() -> NapletId {
+        NapletId::new("u", "h", Millis(0)).unwrap()
+    }
+
+    /// Echo service: one reply per request line.
+    struct Echo;
+    impl PrivilegedService for Echo {
+        fn serve(&self, io: &mut ChannelIo<'_>) -> Result<()> {
+            while let Some(v) = io.read_line() {
+                io.write_line(Value::map([("echo", v)]));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn exchange_round_trip() {
+        let mut ch = ServiceChannel::new(nid(), "echo");
+        let reply = ch.exchange(&Echo, Value::from("ping")).unwrap();
+        assert_eq!(reply.get("echo"), Value::from("ping"));
+        assert_eq!(ch.exchanges, 1);
+    }
+
+    #[test]
+    fn multi_line_replies_collected_as_list() {
+        struct Burst;
+        impl PrivilegedService for Burst {
+            fn serve(&self, io: &mut ChannelIo<'_>) -> Result<()> {
+                let _ = io.read_line();
+                io.write_line(Value::Int(1));
+                io.write_line(Value::Int(2));
+                io.write_line(Value::Int(3));
+                Ok(())
+            }
+        }
+        let mut ch = ServiceChannel::new(nid(), "burst");
+        let reply = ch.exchange(&Burst, Value::Nil).unwrap();
+        assert_eq!(reply.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn no_reply_yields_nil() {
+        struct Mute;
+        impl PrivilegedService for Mute {
+            fn serve(&self, io: &mut ChannelIo<'_>) -> Result<()> {
+                while io.read_line().is_some() {}
+                Ok(())
+            }
+        }
+        let mut ch = ServiceChannel::new(nid(), "mute");
+        assert_eq!(ch.exchange(&Mute, Value::Int(5)).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn manual_pipe_semantics() {
+        // the paper's NMNaplet loop: write params, read lines until EOF
+        let mut ch = ServiceChannel::new(nid(), "echo");
+        ch.naplet_write(Value::from("a"));
+        ch.naplet_write(Value::from("b"));
+        ch.activate(&Echo).unwrap();
+        let mut lines = Vec::new();
+        while let Some(v) = ch.naplet_read() {
+            lines.push(v);
+        }
+        assert_eq!(lines.len(), 2);
+        assert!(ch.naplet_read().is_none()); // EOF
+    }
+
+    #[test]
+    fn channel_identifies_naplet_to_service() {
+        struct WhoAmI;
+        impl PrivilegedService for WhoAmI {
+            fn serve(&self, io: &mut ChannelIo<'_>) -> Result<()> {
+                let _ = io.read_line();
+                let who = io.naplet.to_string();
+                io.write_line(Value::Str(who));
+                Ok(())
+            }
+        }
+        let mut ch = ServiceChannel::new(nid(), "who");
+        let reply = ch.exchange(&WhoAmI, Value::Nil).unwrap();
+        assert_eq!(reply, Value::Str(nid().to_string()));
+    }
+
+    #[test]
+    fn service_errors_propagate() {
+        struct Broken;
+        impl PrivilegedService for Broken {
+            fn serve(&self, _io: &mut ChannelIo<'_>) -> Result<()> {
+                Err(bad_request("nope"))
+            }
+        }
+        let mut ch = ServiceChannel::new(nid(), "broken");
+        assert!(ch.exchange(&Broken, Value::Nil).is_err());
+        assert_eq!(ch.exchanges, 0);
+    }
+
+    #[test]
+    fn closures_are_open_services() {
+        let svc = |v: Value| Ok(Value::Int(v.as_int()? + 1));
+        assert_eq!(
+            OpenService::call(&svc, Value::Int(1)).unwrap(),
+            Value::Int(2)
+        );
+    }
+}

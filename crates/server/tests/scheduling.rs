@@ -1,0 +1,225 @@
+//! Scheduling-policy tests (the paper's §5.2 "various scheduling
+//! policies will be tested in future releases").
+
+use naplet_core::behavior::NapletBehavior;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::CodebaseRegistry;
+use naplet_core::context::NapletContext;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::Result;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::{
+    LocationMode, MonitorPolicy, NapletStatus, Priority, SchedulingPolicy, ServerConfig, SimRuntime,
+};
+
+struct Worker;
+impl NapletBehavior for Worker {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+        ctx.report_home(Value::from(ctx.host_name().to_string()))
+    }
+}
+
+fn world(scheduling: SchedulingPolicy, dwell: u64) -> SimRuntime {
+    let mut reg = CodebaseRegistry::new();
+    reg.register("worker", 0, || Worker);
+    let fabric = Fabric::new(LatencyModel::Constant(1), Bandwidth(None), 5);
+    let mut rt = SimRuntime::new(fabric);
+    for host in ["home", "busy"] {
+        let mut cfg = ServerConfig::open(host, LocationMode::ForwardingTrace);
+        cfg.codebase = reg.clone();
+        cfg.monitor_policy = MonitorPolicy {
+            native_dwell_ms: dwell,
+            scheduling,
+            ..MonitorPolicy::default()
+        };
+        rt.add_server(cfg);
+    }
+    rt
+}
+
+fn agent(priority: Option<&str>, ts: u64) -> Naplet {
+    let key = SigningKey::new("czxu", b"k");
+    let it = Itinerary::new(Pattern::seq_of_hosts(&["busy"], None))
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    let attrs = priority
+        .map(|p| vec![("priority".to_string(), p.to_string())])
+        .unwrap_or_default();
+    Naplet::create(
+        &key,
+        "czxu",
+        "home",
+        Millis(ts),
+        "worker",
+        AgentKind::Native,
+        it,
+        attrs,
+    )
+    .unwrap()
+}
+
+/// Journey time of a single agent of the given priority, launched with
+/// `coresidents` long-dwelling normal agents already on the server.
+fn journey_ms(scheduling: SchedulingPolicy, priority: Option<&str>, coresidents: usize) -> u64 {
+    let mut rt = world(scheduling, 50);
+    // park co-residents (their 50ms dwell keeps them on `busy`)
+    for k in 0..coresidents {
+        rt.launch(agent(None, 100 + k as u64)).unwrap();
+    }
+    rt.run_until(Millis(10)); // co-residents arrive and start dwelling
+    let probe = agent(priority, 1);
+    let id = probe.id().clone();
+    rt.launch(probe).unwrap();
+    rt.run_to_quiescence(1_000_000);
+    let entry = rt.server("home").unwrap().manager.table_entry(&id).unwrap();
+    assert_eq!(entry.status, NapletStatus::Completed);
+    entry.updated.0
+}
+
+#[test]
+fn priority_tiers_derive_from_credentials() {
+    let key = SigningKey::new("u", b"k");
+    let id = naplet_core::NapletId::new("u", "h", Millis(0)).unwrap();
+    let mk = |attrs: Vec<(String, String)>| {
+        naplet_core::credential::Credential::issue(&key, id.clone(), "cb", attrs)
+    };
+    assert_eq!(Priority::of(&mk(vec![])), Priority::Normal);
+    assert_eq!(
+        Priority::of(&mk(vec![("priority".into(), "high".into())])),
+        Priority::High
+    );
+    assert_eq!(
+        Priority::of(&mk(vec![("priority".into(), "low".into())])),
+        Priority::Low
+    );
+    assert_eq!(
+        Priority::of(&mk(vec![("priority".into(), "urgent".into())])),
+        Priority::Normal
+    );
+}
+
+#[test]
+fn tiered_budgets_scale_with_policy() {
+    let sharing = MonitorPolicy {
+        max_gas_per_visit: 1_000,
+        scheduling: SchedulingPolicy::PrioritySharing,
+        ..MonitorPolicy::default()
+    };
+    assert_eq!(sharing.gas_budget_for(Priority::High), 2_000);
+    assert_eq!(sharing.gas_budget_for(Priority::Normal), 1_000);
+    assert_eq!(sharing.gas_budget_for(Priority::Low), 500);
+    let fcfs = MonitorPolicy {
+        max_gas_per_visit: 1_000,
+        ..MonitorPolicy::default()
+    };
+    assert_eq!(fcfs.gas_budget_for(Priority::Low), 1_000);
+
+    assert_eq!(
+        sharing.dwell_for(Priority::Low, 4),
+        sharing.native_dwell_ms * 4
+    );
+    assert_eq!(
+        sharing.dwell_for(Priority::High, 4),
+        sharing.native_dwell_ms
+    );
+    assert_eq!(fcfs.dwell_for(Priority::Low, 4), fcfs.native_dwell_ms);
+}
+
+#[test]
+fn low_priority_agents_stretch_under_load() {
+    // empty server: tiers behave alike
+    let lone_normal = journey_ms(SchedulingPolicy::PrioritySharing, None, 0);
+    let lone_low = journey_ms(SchedulingPolicy::PrioritySharing, Some("low"), 0);
+    assert!(lone_low <= lone_normal + 50);
+
+    // busy server: the low-priority agent's dwell stretches
+    let busy_normal = journey_ms(SchedulingPolicy::PrioritySharing, None, 3);
+    let busy_low = journey_ms(SchedulingPolicy::PrioritySharing, Some("low"), 3);
+    assert!(
+        busy_low >= busy_normal + 100,
+        "low should stretch: low {busy_low} vs normal {busy_normal}"
+    );
+
+    // under FCFS nothing stretches
+    let fcfs_low = journey_ms(SchedulingPolicy::Fcfs, Some("low"), 3);
+    let fcfs_normal = journey_ms(SchedulingPolicy::Fcfs, None, 3);
+    assert!(fcfs_low <= fcfs_normal + 50);
+}
+
+#[test]
+fn low_priority_vm_agent_killed_at_reduced_budget() {
+    // a VM program that burns ~1500 gas: fits the normal budget (2000)
+    // but exceeds the low-priority budget (1000) under sharing
+    let src = r#"
+        .program burn
+        .func main locals=1
+            int 0
+            store 0
+        head:
+            load 0
+            int 150
+            lt
+            jmpf done
+            load 0
+            int 1
+            add
+            store 0
+            jmp head
+        done:
+            nil
+            halt
+        .end
+    "#;
+    let program = naplet_vm::assemble(src).unwrap();
+    let image = naplet_vm::VmImage::new(program).unwrap();
+    let key = SigningKey::new("czxu", b"k");
+
+    let run = |priority: Option<&str>| -> NapletStatus {
+        let mut reg = CodebaseRegistry::new();
+        reg.register("unused", 0, || Worker);
+        let fabric = Fabric::new(LatencyModel::Constant(1), Bandwidth(None), 5);
+        let mut rt = SimRuntime::new(fabric);
+        for host in ["home", "busy"] {
+            let mut cfg = ServerConfig::open(host, LocationMode::ForwardingTrace);
+            cfg.codebase = reg.clone();
+            cfg.monitor_policy = MonitorPolicy {
+                gas_slice: 200,
+                max_gas_per_visit: 2_000,
+                scheduling: SchedulingPolicy::PrioritySharing,
+                ..MonitorPolicy::default()
+            };
+            rt.add_server(cfg);
+        }
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["busy"], None)).unwrap();
+        let attrs = priority
+            .map(|p| vec![("priority".to_string(), p.to_string())])
+            .unwrap_or_default();
+        let naplet = Naplet::create(
+            &key,
+            "czxu",
+            "home",
+            Millis(1),
+            "vm:burn",
+            AgentKind::Vm(image.to_wire().unwrap()),
+            it,
+            attrs,
+        )
+        .unwrap();
+        let id = naplet.id().clone();
+        rt.launch(naplet).unwrap();
+        rt.run_to_quiescence(1_000_000);
+        rt.server("home")
+            .unwrap()
+            .manager
+            .table_entry(&id)
+            .unwrap()
+            .status
+    };
+
+    assert_eq!(run(None), NapletStatus::Completed);
+    assert_eq!(run(Some("high")), NapletStatus::Completed);
+    assert_eq!(run(Some("low")), NapletStatus::Destroyed);
+}

@@ -1,0 +1,196 @@
+//! The per-device SNMP agent (the paper's "SNMP daemon (i.e. SNMP
+//! agent) running locally to collect network parameters and store them
+//! in a MIB format").
+
+use naplet_core::value::Value;
+
+use crate::mib::{oids, Mib};
+use crate::oid::Oid;
+use crate::pdu::{SnmpError, SnmpOp, SnmpRequest, SnmpResponse};
+
+/// An SNMP agent bound to a device MIB.
+#[derive(Debug, Clone)]
+pub struct SnmpAgent {
+    mib: Mib,
+    community_ro: String,
+    community_rw: String,
+    /// Requests served (also mirrored into snmpInPkts).
+    pub requests_served: u64,
+}
+
+impl SnmpAgent {
+    /// Agent over a MIB with read-only and read-write communities.
+    pub fn new(mib: Mib, community_ro: &str, community_rw: &str) -> SnmpAgent {
+        SnmpAgent {
+            mib,
+            community_ro: community_ro.to_string(),
+            community_rw: community_rw.to_string(),
+            requests_served: 0,
+        }
+    }
+
+    /// The conventional setup: community "public" (ro) / "private" (rw).
+    pub fn standard(mib: Mib) -> SnmpAgent {
+        SnmpAgent::new(mib, "public", "private")
+    }
+
+    /// Direct access to the MIB (device simulators evolve it).
+    pub fn mib_mut(&mut self) -> &mut Mib {
+        &mut self.mib
+    }
+
+    /// Read-only view of the MIB.
+    pub fn mib(&self) -> &Mib {
+        &self.mib
+    }
+
+    /// Serve one request.
+    pub fn handle(&mut self, req: &SnmpRequest) -> SnmpResponse {
+        self.requests_served += 1;
+        self.mib.bump(&oids::snmp_in_pkts(), 1);
+
+        let readable = req.community == self.community_ro || req.community == self.community_rw;
+        if !readable {
+            return SnmpResponse::err(SnmpError::BadCommunity);
+        }
+        match &req.op {
+            SnmpOp::Get(oids) => {
+                let mut bindings = Vec::with_capacity(oids.len());
+                for oid in oids {
+                    match self.mib.get(oid) {
+                        Some(v) => bindings.push((oid.clone(), v.clone())),
+                        None => return SnmpResponse::err(SnmpError::NoSuchName),
+                    }
+                }
+                SnmpResponse::ok(bindings)
+            }
+            SnmpOp::GetNext(oid) => match self.mib.next_after(oid) {
+                Some((next, v)) => SnmpResponse::ok(vec![(next.clone(), v.clone())]),
+                None => SnmpResponse::err(SnmpError::EndOfMib),
+            },
+            SnmpOp::Set(oid, value) => {
+                if req.community != self.community_rw {
+                    return SnmpResponse::err(SnmpError::ReadOnly);
+                }
+                if self.mib.get(oid).is_none() {
+                    return SnmpResponse::err(SnmpError::NoSuchName);
+                }
+                self.mib.set(oid.clone(), value.clone());
+                SnmpResponse::ok(vec![(oid.clone(), value.clone())])
+            }
+            SnmpOp::Walk(root) => {
+                let bindings: Vec<(Oid, Value)> = self
+                    .mib
+                    .walk(root)
+                    .into_iter()
+                    .map(|(o, v)| (o.clone(), v.clone()))
+                    .collect();
+                if bindings.is_empty() {
+                    SnmpResponse::err(SnmpError::NoSuchName)
+                } else {
+                    SnmpResponse::ok(bindings)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent() -> SnmpAgent {
+        SnmpAgent::standard(Mib::standard("r1", "router", "lab", 2))
+    }
+
+    fn get(agent: &mut SnmpAgent, community: &str, oid: &str) -> SnmpResponse {
+        agent.handle(&SnmpRequest {
+            community: community.into(),
+            op: SnmpOp::Get(vec![oid.parse().unwrap()]),
+        })
+    }
+
+    #[test]
+    fn get_known_scalar() {
+        let mut a = agent();
+        let r = get(&mut a, "public", "1.3.6.1.2.1.1.5.0");
+        assert!(r.is_ok());
+        assert_eq!(r.bindings[0].1, Value::from("r1"));
+        assert_eq!(a.requests_served, 1);
+    }
+
+    #[test]
+    fn bad_community_rejected() {
+        let mut a = agent();
+        let r = get(&mut a, "wrong", "1.3.6.1.2.1.1.5.0");
+        assert_eq!(r.error, SnmpError::BadCommunity);
+    }
+
+    #[test]
+    fn unknown_oid() {
+        let mut a = agent();
+        let r = get(&mut a, "public", "1.2.3.4");
+        assert_eq!(r.error, SnmpError::NoSuchName);
+    }
+
+    #[test]
+    fn get_next_and_end_of_mib() {
+        let mut a = agent();
+        let r = a.handle(&SnmpRequest {
+            community: "public".into(),
+            op: SnmpOp::GetNext("1".parse().unwrap()),
+        });
+        assert!(r.is_ok());
+        assert_eq!(r.bindings[0].0, oids::sys_descr());
+        let r = a.handle(&SnmpRequest {
+            community: "public".into(),
+            op: SnmpOp::GetNext("9.9".parse().unwrap()),
+        });
+        assert_eq!(r.error, SnmpError::EndOfMib);
+    }
+
+    #[test]
+    fn set_requires_rw_community() {
+        let mut a = agent();
+        let oid: Oid = "1.3.6.1.2.1.1.6.0".parse().unwrap(); // sysLocation
+        let set = |community: &str| SnmpRequest {
+            community: community.into(),
+            op: SnmpOp::Set(oid.clone(), Value::from("closet B")),
+        };
+        assert_eq!(a.handle(&set("public")).error, SnmpError::ReadOnly);
+        assert!(a.handle(&set("private")).is_ok());
+        assert_eq!(a.mib().get(&oid).unwrap(), &Value::from("closet B"));
+        // setting an unknown OID fails
+        let r = a.handle(&SnmpRequest {
+            community: "private".into(),
+            op: SnmpOp::Set("5.5.5".parse().unwrap(), Value::Int(1)),
+        });
+        assert_eq!(r.error, SnmpError::NoSuchName);
+    }
+
+    #[test]
+    fn walk_interfaces_table() {
+        let mut a = agent();
+        let r = a.handle(&SnmpRequest {
+            community: "public".into(),
+            op: SnmpOp::Walk(oids::if_entry()),
+        });
+        assert!(r.is_ok());
+        assert_eq!(r.bindings.len(), 20); // 10 columns × 2 interfaces
+        let r = a.handle(&SnmpRequest {
+            community: "public".into(),
+            op: SnmpOp::Walk("7.7".parse().unwrap()),
+        });
+        assert_eq!(r.error, SnmpError::NoSuchName);
+    }
+
+    #[test]
+    fn snmp_in_pkts_counts_requests() {
+        let mut a = agent();
+        for _ in 0..5 {
+            get(&mut a, "public", "1.3.6.1.2.1.1.5.0");
+        }
+        let r = get(&mut a, "public", "1.3.6.1.2.1.11.1.0");
+        assert_eq!(r.bindings[0].1, Value::Int(6));
+    }
+}

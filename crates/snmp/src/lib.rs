@@ -1,0 +1,26 @@
+//! # naplet-snmp
+//!
+//! The SNMP/MIB substrate for the paper's network-management
+//! application (§6): an RFC1213-like MIB subset ([`mib`]), per-device
+//! SNMP agents ([`agent`]) speaking get/get-next/set/walk ([`pdu`]),
+//! and simulated managed devices with synthetic workloads and fault
+//! injection ([`device`]).
+//!
+//! This replaces the AdventNet SNMP package + physical devices of the
+//! paper's testbed (see DESIGN.md §2): the privileged `NetManagement`
+//! service in `naplet-man` binds a naplet server to the local device's
+//! agent exactly where AdventNet sat in the original.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod device;
+pub mod mib;
+pub mod oid;
+pub mod pdu;
+
+pub use agent::SnmpAgent;
+pub use device::{DeviceProfile, SimulatedDevice};
+pub use mib::{oids, Mib};
+pub use oid::Oid;
+pub use pdu::{SnmpError, SnmpOp, SnmpRequest, SnmpResponse};

@@ -1,0 +1,232 @@
+//! The management information base: an ordered OID → value store with
+//! an RFC1213-like standard layout (system, interfaces, ip, snmp
+//! groups) — the subset the paper's MAN framework queries.
+
+use std::collections::BTreeMap;
+
+use naplet_core::value::Value;
+
+use crate::oid::Oid;
+
+/// Well-known OIDs of the RFC1213-like subset.
+pub mod oids {
+    use crate::oid::Oid;
+
+    /// `mib-2` = 1.3.6.1.2.1
+    pub fn mib2() -> Oid {
+        Oid::new(vec![1, 3, 6, 1, 2, 1])
+    }
+    /// system group (mib-2.1).
+    pub fn system() -> Oid {
+        mib2().child(1)
+    }
+    /// sysDescr.0
+    pub fn sys_descr() -> Oid {
+        system().extend(&[1, 0])
+    }
+    /// sysUpTime.0 (hundredths of a second)
+    pub fn sys_uptime() -> Oid {
+        system().extend(&[3, 0])
+    }
+    /// sysContact.0
+    pub fn sys_contact() -> Oid {
+        system().extend(&[4, 0])
+    }
+    /// sysName.0
+    pub fn sys_name() -> Oid {
+        system().extend(&[5, 0])
+    }
+    /// sysLocation.0
+    pub fn sys_location() -> Oid {
+        system().extend(&[6, 0])
+    }
+    /// interfaces group (mib-2.2).
+    pub fn interfaces() -> Oid {
+        mib2().child(2)
+    }
+    /// ifNumber.0
+    pub fn if_number() -> Oid {
+        interfaces().extend(&[1, 0])
+    }
+    /// ifTable entry column base: ifEntry = mib-2.2.2.1; columns are
+    /// ifEntry.col.index.
+    pub fn if_entry() -> Oid {
+        interfaces().extend(&[2, 1])
+    }
+    /// ifDescr column.
+    pub const IF_DESCR: u32 = 2;
+    /// ifMtu column.
+    pub const IF_MTU: u32 = 4;
+    /// ifSpeed column.
+    pub const IF_SPEED: u32 = 5;
+    /// ifAdminStatus column (1 up, 2 down).
+    pub const IF_ADMIN_STATUS: u32 = 7;
+    /// ifOperStatus column (1 up, 2 down).
+    pub const IF_OPER_STATUS: u32 = 8;
+    /// ifInOctets counter column.
+    pub const IF_IN_OCTETS: u32 = 10;
+    /// ifInErrors counter column.
+    pub const IF_IN_ERRORS: u32 = 14;
+    /// ifOutOctets counter column.
+    pub const IF_OUT_OCTETS: u32 = 16;
+    /// ifOutErrors counter column.
+    pub const IF_OUT_ERRORS: u32 = 20;
+    /// ip group (mib-2.4): ipInReceives.0
+    pub fn ip_in_receives() -> Oid {
+        mib2().extend(&[4, 3, 0])
+    }
+    /// ip group: ipForwDatagrams.0
+    pub fn ip_forw_datagrams() -> Oid {
+        mib2().extend(&[4, 6, 0])
+    }
+    /// snmp group (mib-2.11): snmpInPkts.0
+    pub fn snmp_in_pkts() -> Oid {
+        mib2().extend(&[11, 1, 0])
+    }
+}
+
+/// An ordered OID→value store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Mib {
+    entries: BTreeMap<Oid, Value>,
+}
+
+impl Mib {
+    /// Empty MIB.
+    pub fn new() -> Mib {
+        Mib::default()
+    }
+
+    /// Set (or create) an instance value.
+    pub fn set(&mut self, oid: Oid, value: impl Into<Value>) {
+        self.entries.insert(oid, value.into());
+    }
+
+    /// Read an instance value.
+    pub fn get(&self, oid: &Oid) -> Option<&Value> {
+        self.entries.get(oid)
+    }
+
+    /// Mutate an existing integer counter by `delta` (saturating at 0).
+    pub fn bump(&mut self, oid: &Oid, delta: i64) {
+        if let Some(Value::Int(v)) = self.entries.get_mut(oid) {
+            *v = v.saturating_add(delta).max(0);
+        }
+    }
+
+    /// Lexicographically next instance strictly after `oid`
+    /// (SNMP get-next).
+    pub fn next_after(&self, oid: &Oid) -> Option<(&Oid, &Value)> {
+        use std::ops::Bound;
+        self.entries
+            .range((Bound::Excluded(oid.clone()), Bound::Unbounded))
+            .next()
+    }
+
+    /// All instances under a subtree (walk).
+    pub fn walk(&self, root: &Oid) -> Vec<(&Oid, &Value)> {
+        self.entries
+            .range(root.clone()..)
+            .take_while(|(oid, _)| root.is_prefix_of(oid))
+            .collect()
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Build the standard RFC1213-like layout for a device with
+    /// `if_count` interfaces.
+    pub fn standard(name: &str, descr: &str, location: &str, if_count: u32) -> Mib {
+        let mut mib = Mib::new();
+        mib.set(oids::sys_descr(), descr);
+        mib.set(oids::sys_uptime(), 0i64);
+        mib.set(oids::sys_contact(), "czxu@ece.eng.wayne.edu");
+        mib.set(oids::sys_name(), name);
+        mib.set(oids::sys_location(), location);
+        mib.set(oids::if_number(), if_count as i64);
+        let entry = oids::if_entry();
+        for i in 1..=if_count {
+            mib.set(entry.extend(&[1, i]), i as i64); // ifIndex
+            mib.set(entry.extend(&[oids::IF_DESCR, i]), format!("eth{}", i - 1));
+            mib.set(entry.extend(&[oids::IF_MTU, i]), 1500i64);
+            mib.set(entry.extend(&[oids::IF_SPEED, i]), 100_000_000i64);
+            mib.set(entry.extend(&[oids::IF_ADMIN_STATUS, i]), 1i64);
+            mib.set(entry.extend(&[oids::IF_OPER_STATUS, i]), 1i64);
+            mib.set(entry.extend(&[oids::IF_IN_OCTETS, i]), 0i64);
+            mib.set(entry.extend(&[oids::IF_IN_ERRORS, i]), 0i64);
+            mib.set(entry.extend(&[oids::IF_OUT_OCTETS, i]), 0i64);
+            mib.set(entry.extend(&[oids::IF_OUT_ERRORS, i]), 0i64);
+        }
+        mib.set(oids::ip_in_receives(), 0i64);
+        mib.set(oids::ip_forw_datagrams(), 0i64);
+        mib.set(oids::snmp_in_pkts(), 0i64);
+        mib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mib() -> Mib {
+        Mib::standard("router-1", "Simulated router", "lab", 3)
+    }
+
+    #[test]
+    fn standard_layout_populated() {
+        let m = mib();
+        assert_eq!(m.get(&oids::sys_name()).unwrap(), &Value::from("router-1"));
+        assert_eq!(m.get(&oids::if_number()).unwrap(), &Value::Int(3));
+        // 6 system-ish scalars + 3 ip/snmp + 10 columns × 3 interfaces
+        assert_eq!(m.len(), 6 + 3 + 30);
+    }
+
+    #[test]
+    fn get_next_traverses_in_order() {
+        let m = mib();
+        let first = m.next_after(&Oid::new(vec![1])).unwrap();
+        assert_eq!(first.0, &oids::sys_descr());
+        // walking via next_after visits everything exactly once
+        let mut count = 0;
+        let mut cur = Oid::new(vec![0]);
+        while let Some((oid, _)) = m.next_after(&cur) {
+            cur = oid.clone();
+            count += 1;
+        }
+        assert_eq!(count, m.len());
+    }
+
+    #[test]
+    fn walk_returns_subtree_only() {
+        let m = mib();
+        let sys = m.walk(&oids::system());
+        assert_eq!(sys.len(), 5);
+        let table = m.walk(&oids::if_entry());
+        assert_eq!(table.len(), 30);
+        let all = m.walk(&Oid::new(vec![1]));
+        assert_eq!(all.len(), m.len());
+        assert!(m.walk(&Oid::new(vec![9, 9])).is_empty());
+    }
+
+    #[test]
+    fn bump_counters() {
+        let mut m = mib();
+        let oid = oids::if_entry().extend(&[oids::IF_IN_OCTETS, 1]);
+        m.bump(&oid, 500);
+        m.bump(&oid, 250);
+        assert_eq!(m.get(&oid).unwrap(), &Value::Int(750));
+        // saturates at zero
+        m.bump(&oid, -10_000);
+        assert_eq!(m.get(&oid).unwrap(), &Value::Int(0));
+        // bumping a string is a no-op
+        m.bump(&oids::sys_name(), 5);
+        assert_eq!(m.get(&oids::sys_name()).unwrap(), &Value::from("router-1"));
+    }
+}

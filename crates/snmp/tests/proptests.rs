@@ -1,0 +1,134 @@
+//! Property tests for the SNMP substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use naplet_core::value::Value;
+use naplet_snmp::{DeviceProfile, Mib, Oid, SimulatedDevice, SnmpAgent, SnmpOp, SnmpRequest};
+
+fn oid_strategy() -> impl Strategy<Value = Oid> {
+    vec(0u32..64, 1..8).prop_map(Oid::new)
+}
+
+proptest! {
+    #[test]
+    fn oid_parse_display_round_trip(oid in oid_strategy()) {
+        let text = oid.to_string();
+        let back: Oid = text.parse().unwrap();
+        prop_assert_eq!(back, oid);
+    }
+
+    #[test]
+    fn oid_ordering_is_total_and_consistent_with_parts(
+        a in oid_strategy(),
+        b in oid_strategy(),
+    ) {
+        // Ord on Oid == lexicographic Ord on the component slices
+        prop_assert_eq!(a.cmp(&b), a.parts().cmp(b.parts()));
+        // prefix implies less-or-equal
+        if a.is_prefix_of(&b) {
+            prop_assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn prefix_relation_laws(a in oid_strategy(), arcs in vec(0u32..8, 0..4)) {
+        let b = a.extend(&arcs);
+        prop_assert!(a.is_prefix_of(&b));
+        if !arcs.is_empty() {
+            prop_assert!(!b.is_prefix_of(&a));
+        }
+    }
+
+    #[test]
+    fn walk_equals_getnext_sweep(root in oid_strategy(), ifcount in 1u32..6) {
+        let mib = Mib::standard("dev", "d", "lab", ifcount);
+        let mut agent = SnmpAgent::standard(mib);
+
+        // server-side walk
+        let walk = agent.handle(&SnmpRequest {
+            community: "public".into(),
+            op: SnmpOp::Walk(root.clone()),
+        });
+
+        // manual get-next sweep constrained to the subtree
+        let mut sweep = Vec::new();
+        let mut cursor = root.clone();
+        loop {
+            let resp = agent.handle(&SnmpRequest {
+                community: "public".into(),
+                op: SnmpOp::GetNext(cursor.clone()),
+            });
+            if !resp.is_ok() {
+                break;
+            }
+            let (oid, value) = resp.bindings[0].clone();
+            if !root.is_prefix_of(&oid) {
+                break;
+            }
+            cursor = oid.clone();
+            sweep.push((oid, value));
+        }
+
+        // the sweep itself bumps snmpInPkts between reads, so that one
+        // self-observing counter is excluded from the value comparison
+        let volatile = naplet_snmp::oids::snmp_in_pkts();
+        let strip = |v: Vec<(Oid, Value)>| -> Vec<(Oid, Value)> {
+            v.into_iter()
+                .map(|(o, val)| if o == volatile { (o, Value::Nil) } else { (o, val) })
+                .collect()
+        };
+        if walk.is_ok() {
+            prop_assert_eq!(strip(walk.bindings), strip(sweep));
+        } else {
+            prop_assert!(sweep.is_empty());
+        }
+    }
+
+    #[test]
+    fn device_counters_are_monotone(seed in any::<u64>(), ticks in 1usize..20) {
+        let mut d = SimulatedDevice::new(
+            "r",
+            DeviceProfile { flap_prob: 0.0, ..DeviceProfile::default() },
+            seed,
+        );
+        let oid = naplet_snmp::oids::if_entry().extend(&[naplet_snmp::oids::IF_IN_OCTETS, 1]);
+        let mut last = 0i64;
+        for _ in 0..ticks {
+            d.tick(100);
+            let v = d.read(&oid).unwrap().as_int().unwrap();
+            prop_assert!(v >= last, "counters never decrease");
+            last = v;
+        }
+        let uptime = d.read(&naplet_snmp::oids::sys_uptime()).unwrap().as_int().unwrap();
+        prop_assert_eq!(uptime, (ticks as i64) * 10);
+    }
+
+    #[test]
+    fn agent_get_returns_exactly_what_set_wrote(
+        value in "[a-zA-Z0-9 ]{0,32}",
+    ) {
+        let mib = Mib::standard("dev", "d", "lab", 2);
+        let mut agent = SnmpAgent::standard(mib);
+        let oid = naplet_snmp::oids::sys_location();
+        let set = agent.handle(&SnmpRequest {
+            community: "private".into(),
+            op: SnmpOp::Set(oid.clone(), Value::from(value.as_str())),
+        });
+        prop_assert!(set.is_ok());
+        let get = agent.handle(&SnmpRequest {
+            community: "public".into(),
+            op: SnmpOp::Get(vec![oid]),
+        });
+        prop_assert!(get.is_ok());
+        prop_assert_eq!(get.bindings[0].1.clone(), Value::from(value.as_str()));
+    }
+
+    #[test]
+    fn pdu_codec_round_trip(oids in vec(oid_strategy(), 1..6)) {
+        let req = SnmpRequest { community: "public".into(), op: SnmpOp::Get(oids) };
+        let bytes = naplet_core::codec::to_bytes(&req).unwrap();
+        let back: SnmpRequest = naplet_core::codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, req);
+    }
+}

@@ -1,0 +1,627 @@
+//! A line assembler for Naplet VM programs.
+//!
+//! Mobile agents in examples and experiments are written in this
+//! textual form; the assembler produces a validated [`Program`].
+//!
+//! ```text
+//! ; comments start with ';' or '#'
+//! .program greeter
+//! .globals 1
+//! .func main locals=1
+//!     hcall host_name
+//!     store 0
+//!     const "hello from "
+//!     load 0
+//!     scat
+//!     hcall report
+//!     pop
+//!     nil
+//!     halt
+//! .end
+//! ```
+//!
+//! * `.func NAME [args=N] [locals=M]` … `.end` delimits a function;
+//!   `locals` counts all slots including arguments (defaults to `args`).
+//! * labels are `name:` on their own or before an instruction;
+//!   `jmp/jmpf/jmpt label` resolve within the function.
+//! * `call NAME ARGC` resolves function names program-wide, so forward
+//!   references are fine.
+//! * `const <literal>` interns into the constant pool: strings with
+//!   the usual escapes, integers, floats (contain `.`), `true`,
+//!   `false`, `nil`.
+
+use std::collections::HashMap;
+
+use naplet_core::error::{NapletError, Result};
+use naplet_core::value::Value;
+
+use crate::isa::{HostFn, Instr};
+use crate::program::{Function, Program};
+
+/// Assemble source text into a validated program.
+pub fn assemble(source: &str) -> Result<Program> {
+    Assembler::new().assemble(source)
+}
+
+struct PendingFunc {
+    name: String,
+    arity: u8,
+    locals: u8,
+    /// (mnemonic line, source line number) for the second pass.
+    lines: Vec<(String, usize)>,
+}
+
+struct Assembler {
+    program_name: String,
+    globals: u16,
+    consts: Vec<Value>,
+    funcs: Vec<PendingFunc>,
+}
+
+fn err(line: usize, msg: impl std::fmt::Display) -> NapletError {
+    NapletError::Parse(format!("asm line {line}: {msg}"))
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            program_name: "anonymous".into(),
+            globals: 0,
+            consts: Vec::new(),
+            funcs: Vec::new(),
+        }
+    }
+
+    fn assemble(mut self, source: &str) -> Result<Program> {
+        // pass 1: split into directives and function bodies
+        let mut current: Option<PendingFunc> = None;
+        for (no, raw) in source.lines().enumerate() {
+            let no = no + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(".program") {
+                self.program_name = rest.trim().to_string();
+            } else if let Some(rest) = line.strip_prefix(".globals") {
+                self.globals = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(no, "bad .globals count"))?;
+            } else if let Some(rest) = line.strip_prefix(".func") {
+                if current.is_some() {
+                    return Err(err(no, "nested .func"));
+                }
+                current = Some(parse_func_header(rest.trim(), no)?);
+            } else if line == ".end" {
+                let f = current
+                    .take()
+                    .ok_or_else(|| err(no, ".end without .func"))?;
+                self.funcs.push(f);
+            } else {
+                let f = current
+                    .as_mut()
+                    .ok_or_else(|| err(no, "instruction outside .func"))?;
+                f.lines.push((line.to_string(), no));
+            }
+        }
+        if current.is_some() {
+            return Err(NapletError::Parse(
+                "asm: missing .end for last .func".into(),
+            ));
+        }
+        if self.funcs.is_empty() {
+            return Err(NapletError::Parse("asm: no functions".into()));
+        }
+
+        // function name → index map (forward references allowed)
+        let func_index: HashMap<String, u16> = self
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i as u16))
+            .collect();
+        if func_index.len() != self.funcs.len() {
+            return Err(NapletError::Parse("asm: duplicate function name".into()));
+        }
+        let entry = *func_index
+            .get("main")
+            .ok_or_else(|| NapletError::Parse("asm: no `main` function".into()))?;
+
+        // pass 2: assemble each function
+        let pending = std::mem::take(&mut self.funcs);
+        let mut funcs = Vec::with_capacity(pending.len());
+        for f in pending {
+            funcs.push(self.assemble_func(f, &func_index)?);
+        }
+
+        let program = Program {
+            name: self.program_name,
+            consts: self.consts,
+            funcs,
+            entry,
+            globals: self.globals,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+
+    fn intern(&mut self, v: Value) -> u16 {
+        if let Some(i) = self.consts.iter().position(|c| c == &v) {
+            return i as u16;
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u16
+    }
+
+    fn assemble_func(
+        &mut self,
+        f: PendingFunc,
+        func_index: &HashMap<String, u16>,
+    ) -> Result<Function> {
+        // first sweep: label positions
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        let mut pc: u32 = 0;
+        for (line, no) in &f.lines {
+            let mut rest = line.as_str();
+            while let Some((label, tail)) = split_label(rest) {
+                if labels.insert(label.to_string(), pc).is_some() {
+                    return Err(err(*no, format!("duplicate label `{label}`")));
+                }
+                rest = tail.trim();
+            }
+            if !rest.is_empty() {
+                pc += 1;
+            }
+        }
+
+        // second sweep: emit
+        let mut code = Vec::with_capacity(pc as usize);
+        for (line, no) in &f.lines {
+            let mut rest = line.as_str();
+            while let Some((_, tail)) = split_label(rest) {
+                rest = tail.trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            code.push(self.parse_instr(rest, *no, &labels, func_index)?);
+        }
+
+        Ok(Function {
+            name: f.name,
+            arity: f.arity,
+            locals: f.locals,
+            code,
+        })
+    }
+
+    fn parse_instr(
+        &mut self,
+        line: &str,
+        no: usize,
+        labels: &HashMap<String, u32>,
+        func_index: &HashMap<String, u16>,
+    ) -> Result<Instr> {
+        let (op, rest) = match line.split_once(char::is_whitespace) {
+            Some((op, rest)) => (op, rest.trim()),
+            None => (line, ""),
+        };
+        let label = |name: &str| -> Result<u32> {
+            labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(no, format!("unknown label `{name}`")))
+        };
+        let num = |s: &str| -> Result<u64> {
+            s.parse::<u64>()
+                .map_err(|_| err(no, format!("bad number `{s}`")))
+        };
+        Ok(match op {
+            "const" => {
+                let v = parse_literal(rest, no)?;
+                Instr::Const(self.intern(v))
+            }
+            "int" => Instr::Int(
+                rest.parse::<i64>()
+                    .map_err(|_| err(no, format!("bad int `{rest}`")))?,
+            ),
+            "nil" => Instr::Nil,
+            "true" => Instr::Bool(true),
+            "false" => Instr::Bool(false),
+            "dup" => Instr::Dup,
+            "pop" => Instr::Pop,
+            "swap" => Instr::Swap,
+            "load" => Instr::Load(num(rest)? as u8),
+            "store" => Instr::Store(num(rest)? as u8),
+            "gload" => Instr::GLoad(num(rest)? as u16),
+            "gstore" => Instr::GStore(num(rest)? as u16),
+            "add" => Instr::Add,
+            "sub" => Instr::Sub,
+            "mul" => Instr::Mul,
+            "div" => Instr::Div,
+            "mod" => Instr::Mod,
+            "neg" => Instr::Neg,
+            "eq" => Instr::Eq,
+            "ne" => Instr::Ne,
+            "lt" => Instr::Lt,
+            "le" => Instr::Le,
+            "gt" => Instr::Gt,
+            "ge" => Instr::Ge,
+            "not" => Instr::Not,
+            "jmp" => Instr::Jump(label(rest)?),
+            "jmpf" => Instr::JumpIfFalse(label(rest)?),
+            "jmpt" => Instr::JumpIfTrue(label(rest)?),
+            "call" => {
+                let (name, argc) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err(no, "call NAME ARGC"))?;
+                let fi = func_index
+                    .get(name.trim())
+                    .ok_or_else(|| err(no, format!("unknown function `{name}`")))?;
+                Instr::Call(*fi, num(argc.trim())? as u8)
+            }
+            "ret" => Instr::Ret,
+            "mklist" => Instr::MakeList(num(rest)? as u16),
+            "lget" => Instr::ListGet,
+            "lpush" => Instr::ListPush,
+            "len" => Instr::Len,
+            "mkmap" => Instr::MakeMap(num(rest)? as u16),
+            "mget" => Instr::MapGet,
+            "mset" => Instr::MapSet,
+            "scat" => Instr::StrCat,
+            "tostr" => Instr::ToStr,
+            "toint" => Instr::ToInt,
+            "ssplit" => Instr::StrSplit,
+            "hcall" => {
+                let hf = HostFn::from_mnemonic(rest)
+                    .ok_or_else(|| err(no, format!("unknown host function `{rest}`")))?;
+                Instr::HCall(hf)
+            }
+            "halt" => Instr::Halt,
+            "nop" => Instr::Nop,
+            other => return Err(err(no, format!("unknown mnemonic `{other}`"))),
+        })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // a ';' or '#' outside a string literal starts a comment
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_label(line: &str) -> Option<(&str, &str)> {
+    // `name:` prefix where name is an identifier
+    let idx = line.find(':')?;
+    let (name, rest) = line.split_at(idx);
+    let name = name.trim();
+    if !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.chars().next().unwrap().is_ascii_digit()
+    {
+        Some((name, &rest[1..]))
+    } else {
+        None
+    }
+}
+
+fn parse_func_header(rest: &str, no: usize) -> Result<PendingFunc> {
+    let mut parts = rest.split_whitespace();
+    let name = parts
+        .next()
+        .ok_or_else(|| err(no, ".func needs a name"))?
+        .to_string();
+    let mut arity: u8 = 0;
+    let mut locals: Option<u8> = None;
+    for p in parts {
+        if let Some(v) = p.strip_prefix("args=") {
+            arity = v.parse().map_err(|_| err(no, "bad args="))?;
+        } else if let Some(v) = p.strip_prefix("locals=") {
+            locals = Some(v.parse().map_err(|_| err(no, "bad locals="))?);
+        } else {
+            return Err(err(no, format!("unknown .func attribute `{p}`")));
+        }
+    }
+    let locals = locals.unwrap_or(arity).max(arity);
+    Ok(PendingFunc {
+        name,
+        arity,
+        locals,
+        lines: Vec::new(),
+    })
+}
+
+fn parse_literal(s: &str, no: usize) -> Result<Value> {
+    let s = s.trim();
+    if s.starts_with('"') {
+        if !s.ends_with('"') || s.len() < 2 {
+            return Err(err(no, "unterminated string literal"));
+        }
+        let inner = &s[1..s.len() - 1];
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    other => return Err(err(no, format!("bad escape `\\{other:?}`"))),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    match s {
+        "nil" => return Ok(Value::Nil),
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if s.contains('.') {
+        return s
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(no, format!("bad float literal `{s}`")));
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(no, format!("bad literal `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::MockHost;
+    use crate::image::VmImage;
+    use crate::interp::{run, VmYield};
+
+    fn exec(src: &str) -> (Value, MockHost) {
+        let p = assemble(src).expect("assemble");
+        let mut img = VmImage::new(p).unwrap();
+        let mut host = MockHost::new("asmhost");
+        match run(&mut img, &mut host, u64::MAX).unwrap() {
+            VmYield::Done(v) => (v, host),
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_world() {
+        let (v, host) = exec(
+            r#"
+            .program hello
+            .func main
+                const "hello from "
+                hcall host_name
+                scat
+                hcall report
+                pop
+                int 1
+                halt
+            .end
+        "#,
+        );
+        assert_eq!(v, Value::Int(1));
+        assert_eq!(host.reports, vec![Value::from("hello from asmhost")]);
+    }
+
+    #[test]
+    fn loops_with_labels() {
+        let (v, _) = exec(
+            r#"
+            .program sum
+            .func main locals=2
+                int 0
+                store 0      ; i
+                int 0
+                store 1      ; acc
+            head:
+                load 0
+                int 10
+                lt
+                jmpf done
+                load 0
+                int 1
+                add
+                store 0
+                load 1
+                load 0
+                add
+                store 1
+                jmp head
+            done:
+                load 1
+                halt
+            .end
+        "#,
+        );
+        assert_eq!(v, Value::Int(55));
+    }
+
+    #[test]
+    fn forward_function_references() {
+        let (v, _) = exec(
+            r#"
+            .program fwd
+            .func main
+                int 6
+                int 7
+                call mulf 2
+                halt
+            .end
+            .func mulf args=2
+                load 0
+                load 1
+                mul
+                ret
+            .end
+        "#,
+        );
+        assert_eq!(v, Value::Int(42));
+    }
+
+    #[test]
+    fn literals_and_comments() {
+        let (v, _) = exec(
+            r#"
+            .program lit
+            .func main locals=1
+                const "semi ; inside" # trailing comment
+                len
+                const 2.5
+                add
+                halt
+            .end
+        "#,
+        );
+        assert_eq!(v, Value::Float(13.0 + 2.5));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let (v, _) = exec(
+            r#"
+            .program esc
+            .func main
+                const "a\n\"b\"\t\\"
+                halt
+            .end
+        "#,
+        );
+        assert_eq!(v, Value::from("a\n\"b\"\t\\"));
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let p = assemble(
+            r#"
+            .program intern
+            .func main
+                const "x"
+                const "x"
+                const "y"
+                pop
+                pop
+                halt
+            .end
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.consts.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let cases = [
+            (".func main\n bogus\n.end", "line 2"),
+            (".func main\n jmp nowhere\n halt\n.end", "unknown label"),
+            (".func main\n call nofn 0\n halt\n.end", "unknown function"),
+            (".func main\n const \"open\n halt\n.end", "unterminated"),
+            (".func other\n halt\n.end", "no `main`"),
+            (
+                ".func main\n halt\n.end\n.func main\n halt\n.end",
+                "duplicate function",
+            ),
+            (".func main\n nil", "missing .end"),
+            ("nop", "outside .func"),
+            (".func main\nx: nop\nx: nop\nhalt\n.end", "duplicate label"),
+        ];
+        for (src, needle) in cases {
+            let e = assemble(src).unwrap_err().to_string();
+            assert!(
+                e.contains(needle),
+                "error `{e}` should mention `{needle}` for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn globals_directive() {
+        let (v, _) = exec(
+            r#"
+            .program g
+            .globals 2
+            .func main
+                int 9
+                gstore 1
+                gload 1
+                halt
+            .end
+        "#,
+        );
+        assert_eq!(v, Value::Int(9));
+    }
+
+    #[test]
+    fn hcall_travel_assembles() {
+        let p = assemble(
+            r#"
+            .program t
+            .func main
+                hcall travel_next
+                pop
+                nil
+                halt
+            .end
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].code[0], Instr::HCall(HostFn::TravelNext));
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let (v, _) = exec(
+            r#"
+            .program l
+            .func main locals=1
+                int 3
+                store 0
+            again: load 0
+                int 1
+                sub
+                store 0
+                load 0
+                jmpt again
+                const "done"
+                halt
+            .end
+        "#,
+        );
+        assert_eq!(v, Value::from("done"));
+    }
+
+    #[test]
+    fn assembled_program_validates() {
+        let p = assemble(
+            r#"
+            .program v
+            .func main
+                nil
+                halt
+            .end
+        "#,
+        )
+        .unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.name, "v");
+    }
+}

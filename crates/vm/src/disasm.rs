@@ -1,0 +1,124 @@
+//! Disassembler: renders a [`Program`] back into assembler-style text
+//! for debugging, diffing and golden tests.
+
+use std::fmt::Write as _;
+
+use crate::isa::Instr;
+use crate::program::Program;
+
+/// Render the whole program.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".program {}", p.name);
+    if p.globals > 0 {
+        let _ = writeln!(out, ".globals {}", p.globals);
+    }
+    for f in &p.funcs {
+        let _ = writeln!(out, ".func {} args={} locals={}", f.name, f.arity, f.locals);
+        for (pc, ins) in f.code.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:>4}: {}", render(p, ins));
+        }
+        let _ = writeln!(out, ".end");
+    }
+    out
+}
+
+fn render(p: &Program, ins: &Instr) -> String {
+    match ins {
+        Instr::Const(i) => match p.consts.get(*i as usize) {
+            Some(v) => format!("const {v}    ; #{i}"),
+            None => format!("const <bad #{i}>"),
+        },
+        Instr::Int(n) => format!("int {n}"),
+        Instr::Nil => "nil".into(),
+        Instr::Bool(true) => "true".into(),
+        Instr::Bool(false) => "false".into(),
+        Instr::Dup => "dup".into(),
+        Instr::Pop => "pop".into(),
+        Instr::Swap => "swap".into(),
+        Instr::Load(i) => format!("load {i}"),
+        Instr::Store(i) => format!("store {i}"),
+        Instr::GLoad(i) => format!("gload {i}"),
+        Instr::GStore(i) => format!("gstore {i}"),
+        Instr::Add => "add".into(),
+        Instr::Sub => "sub".into(),
+        Instr::Mul => "mul".into(),
+        Instr::Div => "div".into(),
+        Instr::Mod => "mod".into(),
+        Instr::Neg => "neg".into(),
+        Instr::Eq => "eq".into(),
+        Instr::Ne => "ne".into(),
+        Instr::Lt => "lt".into(),
+        Instr::Le => "le".into(),
+        Instr::Gt => "gt".into(),
+        Instr::Ge => "ge".into(),
+        Instr::Not => "not".into(),
+        Instr::Jump(t) => format!("jmp -> {t}"),
+        Instr::JumpIfFalse(t) => format!("jmpf -> {t}"),
+        Instr::JumpIfTrue(t) => format!("jmpt -> {t}"),
+        Instr::Call(fi, argc) => match p.funcs.get(*fi as usize) {
+            Some(f) => format!("call {} {argc}", f.name),
+            None => format!("call <bad #{fi}> {argc}"),
+        },
+        Instr::Ret => "ret".into(),
+        Instr::MakeList(n) => format!("mklist {n}"),
+        Instr::ListGet => "lget".into(),
+        Instr::ListPush => "lpush".into(),
+        Instr::Len => "len".into(),
+        Instr::MakeMap(n) => format!("mkmap {n}"),
+        Instr::MapGet => "mget".into(),
+        Instr::MapSet => "mset".into(),
+        Instr::StrCat => "scat".into(),
+        Instr::ToStr => "tostr".into(),
+        Instr::ToInt => "toint".into(),
+        Instr::StrSplit => "ssplit".into(),
+        Instr::HCall(hf) => format!("hcall {}", hf.mnemonic()),
+        Instr::Halt => "halt".into(),
+        Instr::Nop => "nop".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn disassembly_mentions_everything() {
+        let p = assemble(
+            r#"
+            .program demo
+            .globals 1
+            .func main locals=1
+                const "greeting"
+                store 0
+            top:
+                load 0
+                hcall log
+                pop
+                int 2
+                int 3
+                call addf 2
+                jmpt top
+                nil
+                halt
+            .end
+            .func addf args=2
+                load 0
+                load 1
+                add
+                ret
+            .end
+        "#,
+        )
+        .unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains(".program demo"));
+        assert!(text.contains(".globals 1"));
+        assert!(text.contains("call addf 2"));
+        assert!(text.contains("hcall log"));
+        assert!(text.contains("jmpt -> "));
+        assert!(text.contains("\"greeting\""));
+        assert!(text.contains(".func addf args=2 locals=2"));
+    }
+}

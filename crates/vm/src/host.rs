@@ -1,0 +1,299 @@
+//! The host interface mobile code calls into, and adapters.
+//!
+//! [`VmHost`] mirrors the capabilities of
+//! `naplet_core::context::NapletContext` at the VM
+//! boundary (strings and [`Value`]s only, so images stay serializable).
+//! [`ContextVmHost`] adapts any `NapletContext` — the hosting server
+//! passes its run context straight through. [`MockHost`] is a
+//! self-contained recording host for tests and benchmarks.
+
+use std::collections::BTreeMap;
+
+use naplet_core::context::NapletContext;
+use naplet_core::error::{NapletError, Result};
+use naplet_core::id::NapletId;
+use naplet_core::message::Payload;
+use naplet_core::value::Value;
+
+/// Host capabilities exposed to mobile code (all [`crate::isa::HostFn`]
+/// variants except the strong-mobility yield, which the interpreter
+/// handles itself).
+pub trait VmHost {
+    /// Read own state (naplet-side, full access).
+    fn state_get(&mut self, key: &str) -> Result<Value>;
+    /// Write a state entry; `public` selects the public protection mode.
+    fn state_set(&mut self, key: &str, value: Value, public: bool) -> Result<()>;
+    /// Current host name.
+    fn host_name(&mut self) -> String;
+    /// Own naplet id, textual form.
+    fn agent_id(&mut self) -> String;
+    /// Completed hops.
+    fn hops(&mut self) -> i64;
+    /// Server time (ms).
+    fn now(&mut self) -> i64;
+    /// Diagnostic log line.
+    fn log(&mut self, line: &str);
+    /// Open (non-privileged) service call.
+    fn svc_call(&mut self, name: &str, args: Value) -> Result<Value>;
+    /// Privileged service-channel exchange.
+    fn chan_exchange(&mut self, service: &str, request: Value) -> Result<Value>;
+    /// Post a user message; `Ok(false)` on transient delivery refusal.
+    fn msg_send(&mut self, peer: &str, value: Value) -> Result<bool>;
+    /// Non-blocking mailbox check; `Nil` when empty.
+    fn msg_recv(&mut self) -> Result<Value>;
+    /// Textual ids of address book peers.
+    fn peers(&mut self) -> Vec<String>;
+    /// Report to the owner's listener.
+    fn report(&mut self, value: Value) -> Result<()>;
+}
+
+/// Adapter running mobile code against a real naplet context.
+pub struct ContextVmHost<'a> {
+    ctx: &'a mut dyn NapletContext,
+    hops: i64,
+}
+
+impl<'a> ContextVmHost<'a> {
+    /// Wrap a context; `hops` comes from the navigation log (the
+    /// context does not know it).
+    pub fn new(ctx: &'a mut dyn NapletContext, hops: usize) -> ContextVmHost<'a> {
+        ContextVmHost {
+            ctx,
+            hops: hops as i64,
+        }
+    }
+}
+
+impl VmHost for ContextVmHost<'_> {
+    fn state_get(&mut self, key: &str) -> Result<Value> {
+        Ok(self.ctx.state().get(key))
+    }
+    fn state_set(&mut self, key: &str, value: Value, public: bool) -> Result<()> {
+        if public {
+            self.ctx.state().set_public(key, value);
+        } else {
+            self.ctx.state().set(key, value);
+        }
+        Ok(())
+    }
+    fn host_name(&mut self) -> String {
+        self.ctx.host_name().to_string()
+    }
+    fn agent_id(&mut self) -> String {
+        self.ctx.naplet_id().to_string()
+    }
+    fn hops(&mut self) -> i64 {
+        self.hops
+    }
+    fn now(&mut self) -> i64 {
+        self.ctx.now().0 as i64
+    }
+    fn log(&mut self, line: &str) {
+        self.ctx.log(line);
+    }
+    fn svc_call(&mut self, name: &str, args: Value) -> Result<Value> {
+        self.ctx.call_service(name, args)
+    }
+    fn chan_exchange(&mut self, service: &str, request: Value) -> Result<Value> {
+        self.ctx.channel_exchange(service, request)
+    }
+    fn msg_send(&mut self, peer: &str, value: Value) -> Result<bool> {
+        let id: NapletId = peer
+            .parse()
+            .map_err(|e: NapletError| NapletError::Communication(e.to_string()))?;
+        match self.ctx.post_message(&id, value) {
+            Ok(()) => Ok(true),
+            Err(e) if e.is_transient() => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+    fn msg_recv(&mut self) -> Result<Value> {
+        Ok(match self.ctx.get_message()? {
+            Some(msg) => match msg.payload {
+                Payload::User(v) => v,
+                Payload::System(_) => Value::Nil,
+            },
+            None => Value::Nil,
+        })
+    }
+    fn peers(&mut self) -> Vec<String> {
+        self.ctx
+            .address_book()
+            .iter()
+            .map(|e| e.naplet_id.to_string())
+            .collect()
+    }
+    fn report(&mut self, value: Value) -> Result<()> {
+        self.ctx.report_home(value)
+    }
+}
+
+/// Self-contained host for tests and microbenchmarks: state is a map,
+/// services are closures, sends/reports/logs are recorded.
+#[derive(Default)]
+pub struct MockHost {
+    /// Simulated host name.
+    pub host: String,
+    /// Simulated agent id.
+    pub agent: String,
+    /// Simulated hop count.
+    pub hop_count: i64,
+    /// Simulated clock.
+    pub time: i64,
+    /// Naplet state entries.
+    pub state: BTreeMap<String, Value>,
+    /// Captured log lines.
+    pub logs: Vec<String>,
+    /// Captured reports.
+    pub reports: Vec<Value>,
+    /// Captured message sends.
+    pub sent: Vec<(String, Value)>,
+    /// Inbox served by `msg_recv`.
+    pub inbox: Vec<Value>,
+    /// Peers returned by `peers`.
+    pub peer_ids: Vec<String>,
+    services: BTreeMap<String, Box<dyn FnMut(Value) -> Result<Value> + Send>>,
+    channels: BTreeMap<String, Box<dyn FnMut(Value) -> Result<Value> + Send>>,
+}
+
+impl MockHost {
+    /// Fresh mock named `host`.
+    pub fn new(host: &str) -> MockHost {
+        MockHost {
+            host: host.to_string(),
+            agent: format!("vm@{host}:0"),
+            ..Default::default()
+        }
+    }
+
+    /// Register an open service.
+    pub fn with_service(
+        mut self,
+        name: &str,
+        f: impl FnMut(Value) -> Result<Value> + Send + 'static,
+    ) -> Self {
+        self.services.insert(name.to_string(), Box::new(f));
+        self
+    }
+
+    /// Register a privileged channel service.
+    pub fn with_channel(
+        mut self,
+        name: &str,
+        f: impl FnMut(Value) -> Result<Value> + Send + 'static,
+    ) -> Self {
+        self.channels.insert(name.to_string(), Box::new(f));
+        self
+    }
+}
+
+impl VmHost for MockHost {
+    fn state_get(&mut self, key: &str) -> Result<Value> {
+        Ok(self.state.get(key).cloned().unwrap_or(Value::Nil))
+    }
+    fn state_set(&mut self, key: &str, value: Value, _public: bool) -> Result<()> {
+        self.state.insert(key.to_string(), value);
+        Ok(())
+    }
+    fn host_name(&mut self) -> String {
+        self.host.clone()
+    }
+    fn agent_id(&mut self) -> String {
+        self.agent.clone()
+    }
+    fn hops(&mut self) -> i64 {
+        self.hop_count
+    }
+    fn now(&mut self) -> i64 {
+        self.time
+    }
+    fn log(&mut self, line: &str) {
+        self.logs.push(line.to_string());
+    }
+    fn svc_call(&mut self, name: &str, args: Value) -> Result<Value> {
+        match self.services.get_mut(name) {
+            Some(f) => f(args),
+            None => Err(NapletError::Service(format!("no open service `{name}`"))),
+        }
+    }
+    fn chan_exchange(&mut self, service: &str, request: Value) -> Result<Value> {
+        match self.channels.get_mut(service) {
+            Some(f) => f(request),
+            None => Err(NapletError::Service(format!(
+                "no privileged service `{service}`"
+            ))),
+        }
+    }
+    fn msg_send(&mut self, peer: &str, value: Value) -> Result<bool> {
+        self.sent.push((peer.to_string(), value));
+        Ok(true)
+    }
+    fn msg_recv(&mut self) -> Result<Value> {
+        Ok(if self.inbox.is_empty() {
+            Value::Nil
+        } else {
+            self.inbox.remove(0)
+        })
+    }
+    fn peers(&mut self) -> Vec<String> {
+        self.peer_ids.clone()
+    }
+    fn report(&mut self, value: Value) -> Result<()> {
+        self.reports.push(value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naplet_core::clock::Millis;
+    use naplet_core::context::LocalContext;
+
+    #[test]
+    fn mock_host_records() {
+        let mut h = MockHost::new("s1").with_service("id", Ok);
+        h.state_set("k", Value::Int(1), false).unwrap();
+        assert_eq!(h.state_get("k").unwrap(), Value::Int(1));
+        assert_eq!(h.svc_call("id", Value::Int(7)).unwrap(), Value::Int(7));
+        assert!(h.svc_call("none", Value::Nil).is_err());
+        h.log("x");
+        h.report(Value::Nil).unwrap();
+        h.msg_send("peer@p:0", Value::Int(2)).unwrap();
+        assert_eq!(h.logs.len(), 1);
+        assert_eq!(h.reports.len(), 1);
+        assert_eq!(h.sent.len(), 1);
+        assert_eq!(h.msg_recv().unwrap(), Value::Nil);
+        h.inbox.push(Value::Int(3));
+        assert_eq!(h.msg_recv().unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn context_adapter_passes_through() {
+        let id = NapletId::new("u", "h", Millis(0)).unwrap();
+        let mut ctx = LocalContext::new("server-1", id.clone());
+        ctx.register_service("double", |v| Ok(Value::Int(v.as_int()? * 2)));
+        let peer = NapletId::new("peer", "p", Millis(1)).unwrap();
+        ctx.address_book.put(peer.clone(), "sp");
+
+        let mut host = ContextVmHost::new(&mut ctx, 3);
+        assert_eq!(host.host_name(), "server-1");
+        assert_eq!(host.agent_id(), id.to_string());
+        assert_eq!(host.hops(), 3);
+        host.state_set("k", Value::Int(9), false).unwrap();
+        assert_eq!(host.state_get("k").unwrap(), Value::Int(9));
+        assert_eq!(
+            host.svc_call("double", Value::Int(4)).unwrap(),
+            Value::Int(8)
+        );
+        assert!(host.msg_send(&peer.to_string(), Value::Int(1)).unwrap());
+        assert_eq!(host.peers(), vec![peer.to_string()]);
+        host.report(Value::from("r")).unwrap();
+        host.log("line");
+        assert!(host.msg_send("not-an-id", Value::Nil).is_err());
+
+        assert_eq!(ctx.sent.len(), 1);
+        assert_eq!(ctx.reports.len(), 1);
+        assert_eq!(ctx.log_lines, vec!["line"]);
+    }
+}

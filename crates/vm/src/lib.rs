@@ -1,0 +1,39 @@
+//! # naplet-vm
+//!
+//! The mobile-code substrate of Naplet-RS: a compact stack-machine VM
+//! whose **entire execution state is serializable**.
+//!
+//! The paper's Java implementation ships agent code as classes via the
+//! JVM's dynamic class loader. Rust is statically compiled, so code
+//! cannot travel natively; instead, a naplet can carry a [`Program`]
+//! for this VM (see `naplet_core::naplet::AgentKind::Vm`). Because the
+//! [`VmImage`] serializes stack and call frames too, agents enjoy
+//! *strong mobility* — they can yield mid-function with
+//! `hcall travel_next`, migrate, and resume on the next host — which
+//! exceeds the weak (restart-at-`onStart`) mobility of the original
+//! system (see DESIGN.md §2).
+//!
+//! * [`isa`] — instruction set and host functions
+//! * [`program`] — programs, functions, validation
+//! * [`image`] — serializable execution images
+//! * [`interp`] — the gas-metered interpreter
+//! * [`host`] — the host capability interface + adapters
+//! * [`asm`] / [`disasm`] — textual assembler / disassembler
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod disasm;
+pub mod host;
+pub mod image;
+pub mod interp;
+pub mod isa;
+pub mod program;
+
+pub use asm::assemble;
+pub use disasm::disassemble;
+pub use host::{ContextVmHost, MockHost, VmHost};
+pub use image::{Frame, VmImage, VmStatus};
+pub use interp::{run, VmYield};
+pub use isa::{HostFn, Instr};
+pub use program::{Function, Program};

@@ -1,0 +1,149 @@
+//! Property tests for the Naplet VM: the headline invariant is that
+//! *execution is oblivious to slicing and migration* — running a
+//! program in one go, in random gas slices, or with a full
+//! serialize/deserialize between every slice all produce the same
+//! result and the same host interaction trace.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use naplet_core::value::Value;
+use naplet_vm::{assemble, run, Instr, MockHost, VmImage, VmYield};
+
+fn sum_to_n_src(n: i64) -> String {
+    format!(
+        r#"
+        .program sum
+        .func main locals=2
+            int 0
+            store 0
+            int 0
+            store 1
+        head:
+            load 0
+            int {n}
+            lt
+            jmpf done
+            load 0
+            int 1
+            add
+            store 0
+            load 1
+            load 0
+            add
+            store 1
+            jmp head
+        done:
+            load 1
+            halt
+        .end
+        "#
+    )
+}
+
+/// Run to completion in one slice.
+fn run_straight(src: &str) -> (Value, u64) {
+    let p = assemble(src).unwrap();
+    let mut img = VmImage::new(p).unwrap();
+    let mut host = MockHost::new("h");
+    match run(&mut img, &mut host, u64::MAX).unwrap() {
+        VmYield::Done(v) => (v, img.gas_used),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Run with the given gas slices, serializing the image between every
+/// slice (simulated migrations).
+fn run_sliced(src: &str, slices: &[u64]) -> (Value, u64) {
+    let p = assemble(src).unwrap();
+    let mut img = VmImage::new(p).unwrap();
+    let mut host = MockHost::new("h");
+    let mut i = 0usize;
+    loop {
+        let budget = slices.get(i).copied().unwrap_or(u64::MAX).max(16);
+        i += 1;
+        match run(&mut img, &mut host, budget).unwrap() {
+            VmYield::Done(v) => return (v, img.gas_used),
+            VmYield::OutOfGas => {
+                // "migrate": full wire round trip
+                img = VmImage::from_wire(&img.to_wire().unwrap()).unwrap();
+            }
+            VmYield::Travel => panic!("no travel in this program"),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn slicing_and_migration_preserve_results(
+        n in 0i64..200,
+        slices in vec(16u64..200, 1..20),
+    ) {
+        let src = sum_to_n_src(n);
+        let (straight, gas_a) = run_straight(&src);
+        let (sliced, gas_b) = run_sliced(&src, &slices);
+        prop_assert_eq!(straight.clone(), sliced);
+        prop_assert_eq!(gas_a, gas_b);
+        prop_assert_eq!(straight, Value::Int(n * (n + 1) / 2));
+    }
+
+    #[test]
+    fn arithmetic_matches_reference(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        prop_assume!(b != 0);
+        let src = format!(
+            ".program a\n.func main\nint {a}\nint {b}\nadd\nint {a}\nint {b}\nmul\nadd\nint {a}\nint {b}\ndiv\nadd\nint {a}\nint {b}\nmod\nadd\nhalt\n.end\n"
+        );
+        let (v, _) = run_straight(&src);
+        let expect = (a + b) + (a * b) + (a / b) + (a % b);
+        prop_assert_eq!(v, Value::Int(expect));
+    }
+
+    #[test]
+    fn comparison_matches_reference(a in any::<i32>(), b in any::<i32>()) {
+        let src = format!(
+            ".program c\n.func main\nint {a}\nint {b}\nlt\nhalt\n.end\n"
+        );
+        let (v, _) = run_straight(&src);
+        prop_assert_eq!(v, Value::Bool(a < b));
+    }
+
+    #[test]
+    fn instr_vectors_codec_round_trip(ops in vec(0u8..10, 0..64)) {
+        // map small ints onto a representative instruction alphabet
+        let instrs: Vec<Instr> = ops
+            .into_iter()
+            .map(|o| match o {
+                0 => Instr::Nil,
+                1 => Instr::Int(-5),
+                2 => Instr::Add,
+                3 => Instr::Jump(7),
+                4 => Instr::Const(3),
+                5 => Instr::Call(1, 2),
+                6 => Instr::HCall(naplet_vm::HostFn::Report),
+                7 => Instr::MakeList(4),
+                8 => Instr::Store(9),
+                _ => Instr::Halt,
+            })
+            .collect();
+        let bytes = naplet_core::codec::to_bytes(&instrs).unwrap();
+        let back: Vec<Instr> = naplet_core::codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, instrs);
+    }
+
+    #[test]
+    fn string_split_join_inverse(parts in vec("[a-z]{1,6}", 1..8)) {
+        let joined = parts.join(";");
+        let src = format!(
+            ".program s\n.func main\nconst \"{joined}\"\nconst \";\"\nssplit\nlen\nhalt\n.end\n"
+        );
+        let (v, _) = run_straight(&src);
+        prop_assert_eq!(v, Value::Int(parts.len() as i64));
+    }
+
+    #[test]
+    fn gas_used_is_monotone_in_work(n in 1i64..100) {
+        let (_, gas_small) = run_straight(&sum_to_n_src(n));
+        let (_, gas_big) = run_straight(&sum_to_n_src(n + 50));
+        prop_assert!(gas_big > gas_small);
+    }
+}

@@ -1,0 +1,77 @@
+//! Live deployment shape: every NapletServer runs on its own OS
+//! thread, autonomously, over the threaded transport with real
+//! (scaled) link delays — "the NapletServers are running autonomously
+//! and they collectively form an agent flow space for the Naplets."
+//!
+//! The same event-handler servers the deterministic simulation drives
+//! are pumped here by `naplet::server::LiveRuntime`.
+//!
+//! ```text
+//! cargo run --example live_threaded
+//! ```
+
+use std::time::Duration;
+
+use naplet::net::LatencyModel;
+use naplet::prelude::*;
+use naplet::server::LiveRuntime;
+
+/// Greets and reports at every host.
+struct Tourist;
+impl NapletBehavior for Tourist {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> naplet::core::Result<()> {
+        let line = format!("visited {}", ctx.host_name());
+        ctx.report_home(Value::from(line))
+    }
+}
+
+fn main() {
+    let fabric = Fabric::new(LatencyModel::Constant(3), Bandwidth::fast_ethernet(), 5);
+    // 1000 µs of real sleep per modelled ms: real-time link delays
+    let mut live = LiveRuntime::new(fabric, 1000);
+
+    let mut registry = CodebaseRegistry::new();
+    registry.register("tourist", 1024, || Tourist);
+
+    for host in ["home", "lisbon", "detroit", "kyoto"] {
+        let mut cfg = ServerConfig::open(host, LocationMode::HomeManagers);
+        cfg.codebase = registry.clone();
+        live.add_server(cfg);
+    }
+
+    let key = SigningKey::new("demo", b"live-secret");
+    let it = Itinerary::new(Pattern::seq_of_hosts(&["lisbon", "detroit", "kyoto"], None)).unwrap();
+    let naplet = Naplet::create(
+        &key,
+        "demo",
+        "home",
+        Millis(0),
+        "tourist",
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap();
+    live.launch(naplet).expect("launched");
+    live.start();
+
+    // give the agent a real second to tour the world
+    std::thread::sleep(Duration::from_millis(1000));
+    let stats = live.fabric().stats().snapshot();
+    let servers = live.shutdown();
+
+    println!("reports collected at home (live threads, real delays):");
+    let home = servers
+        .iter()
+        .find(|(h, _)| h == "home")
+        .expect("home server");
+    for (id, report) in &home.1.reports {
+        println!("  {id}: {report}");
+    }
+    assert_eq!(home.1.reports.len(), 3, "all three visits should report");
+    println!(
+        "fabric: {} transfers, {} bytes total",
+        stats.total_messages(),
+        stats.total_bytes()
+    );
+}

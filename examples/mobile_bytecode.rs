@@ -1,0 +1,115 @@
+//! Strong mobility: an agent written in Naplet VM assembly that
+//! pauses *mid-loop* with `travel_next`, migrates — stack, locals and
+//! program counter included — and resumes on the next host.
+//!
+//! Java Naplet restarts agents at `onStart()` after every hop (weak
+//! mobility); the VM substrate carries the whole execution image, so
+//! this program's loop variable survives migration.
+//!
+//! ```text
+//! cargo run --example mobile_bytecode
+//! ```
+
+use naplet::prelude::*;
+
+const AGENT_ASM: &str = r#"
+.program census
+.func main locals=2
+    mklist 0
+    store 0              ; survey results, accumulated ACROSS hosts
+visit:
+    ; ask the local open service how many users this host has
+    const "census.population"
+    nil
+    hcall svc_call
+    store 1
+    ; entry = {host: <name>, population: <n>}
+    const "host"
+    hcall host_name
+    const "population"
+    load 1
+    mkmap 2
+    ; results.push(entry)
+    load 0
+    swap
+    lpush
+    store 0
+    ; log progress: "surveyed <host>"
+    const "surveyed "
+    hcall host_name
+    scat
+    hcall log
+    pop
+    ; migrate; nil means the journey is over
+    hcall travel_next
+    dup
+    jmpf finished
+    pop
+    jmp visit
+finished:
+    pop
+    load 0
+    hcall report         ; ship the accumulated survey home
+    pop
+    nil
+    halt
+.end
+"#;
+
+fn main() {
+    // assemble once; the bytecode travels inside the naplet
+    let program = naplet::vm::assemble(AGENT_ASM).expect("assembles");
+    println!(
+        "program `{}`: {} function(s), {} bytes on the wire\n",
+        program.name,
+        program.funcs.len(),
+        program.wire_size()
+    );
+    println!("{}", naplet::vm::disassemble(&program));
+
+    let fabric = Fabric::lan();
+    let mut rt = SimRuntime::new(fabric);
+    let hosts = ["home", "campus-a", "campus-b", "campus-c"];
+    for (i, host) in hosts.iter().enumerate() {
+        let cfg = ServerConfig::open(host, LocationMode::CentralDirectory("home".into()));
+        let server = rt.add_server(cfg);
+        server
+            .resources
+            .register_open("census.population", move |_| {
+                Ok(Value::Int(1000 + 137 * i as i64))
+            });
+    }
+
+    let image = naplet::vm::VmImage::new(program).expect("image");
+    let itinerary = Itinerary::new(Pattern::seq_of_hosts(
+        &["campus-a", "campus-b", "campus-c"],
+        None,
+    ))
+    .expect("itinerary");
+    let key = SigningKey::new("demo", b"vm-secret");
+    let naplet = Naplet::create(
+        &key,
+        "demo",
+        "home",
+        Millis(0),
+        "vm:census",
+        AgentKind::Vm(image.to_wire().expect("serializable")),
+        itinerary,
+        vec![],
+    )
+    .expect("naplet built");
+
+    rt.launch(naplet).expect("launched");
+    rt.run_to_quiescence(100_000);
+
+    for (id, report) in rt.drain_reports("home") {
+        println!("census from {id}:");
+        for entry in report.as_list().unwrap_or(&[]) {
+            println!(
+                "  {:<10} population {}",
+                entry.get("host"),
+                entry.get("population")
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Parallel search with clones, guards and termination by system
+//! message — the paper's §3 motivating scenario: "in the case of a
+//! parallel search, naplets need to communicate with each other about
+//! their latest search results. Success of the search in a naplet may
+//! need to terminate the execution of the others."
+//!
+//! A fleet of clones fans out over two halves of a server pool looking
+//! for the host that stores a wanted item; whichever clone finds it
+//! reports home, and the owner terminates the rest.
+//!
+//! ```text
+//! cargo run --example parallel_search
+//! ```
+
+use naplet::prelude::*;
+
+/// Searches the host's catalog service for the wanted item.
+struct Searcher;
+
+impl NapletBehavior for Searcher {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> naplet::core::Result<()> {
+        let wanted = ctx.state().get("wanted");
+        let found = ctx.call_service("catalog.lookup", wanted.clone())?;
+        if found.is_truthy() {
+            let host = ctx.host_name().to_string();
+            ctx.state().set("found-at", host.clone());
+            ctx.report_home(Value::map([
+                ("found", Value::Bool(true)),
+                ("host", Value::Str(host)),
+                ("item", wanted),
+            ]))?;
+        }
+        Ok(())
+    }
+}
+
+fn main() {
+    let fabric = Fabric::lan();
+    let mut rt = SimRuntime::new(fabric);
+    let mut registry = CodebaseRegistry::new();
+    registry.register("naplet://code/searcher.jar", 4096, || Searcher);
+
+    let hosts: Vec<String> = (0..8).map(|i| format!("shop-{i}")).collect();
+    let treasure_host = "shop-5";
+    for host in std::iter::once("home".to_string()).chain(hosts.iter().cloned()) {
+        let mut cfg = ServerConfig::open(&host, LocationMode::HomeManagers);
+        cfg.codebase = registry.clone();
+        let has_item = host == treasure_host;
+        let server = rt.add_server(cfg);
+        server
+            .resources
+            .register_open("catalog.lookup", move |_item: Value| {
+                Ok(Value::Bool(has_item))
+            });
+    }
+
+    // par(seq(first half), seq(second half)) with conditional visits:
+    // each clone keeps searching only while it has not found the item
+    let keep_going = Guard::not(Guard::state_truthy("found-at"));
+    let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let (left, right) = refs.split_at(refs.len() / 2);
+    let itinerary = Itinerary::new(Pattern::par(vec![
+        Pattern::conditional_route(left, keep_going.clone()),
+        Pattern::conditional_route(right, keep_going),
+    ]))
+    .expect("valid itinerary");
+
+    let key = SigningKey::new("demo", b"search-secret");
+    let mut naplet = Naplet::create(
+        &key,
+        "demo",
+        "home",
+        Millis(0),
+        "naplet://code/searcher.jar",
+        AgentKind::Native,
+        itinerary,
+        vec![],
+    )
+    .expect("naplet built");
+    naplet.state.set("wanted", "ipps-2002-proceedings");
+
+    let family = naplet.id().clone();
+    rt.launch(naplet).expect("launched");
+
+    // run until the first success report, then terminate the rest
+    let mut winner = None;
+    for _ in 0..200 {
+        rt.run_until(Millis(rt.now().0 + 5));
+        let reports = rt.drain_reports("home");
+        if let Some((id, body)) = reports.into_iter().next() {
+            winner = Some((id, body));
+            break;
+        }
+    }
+    let (winner_id, body) = winner.expect("some clone finds the item");
+    println!(
+        "{} found `{}` at {} — terminating the other branch",
+        winner_id,
+        body.get("item"),
+        body.get("host")
+    );
+
+    // the other branch is the family too; terminate every sibling
+    for k in 0..4u32 {
+        let sibling = if k == 0 {
+            family.clone()
+        } else {
+            family.clone_child(k)
+        };
+        if sibling != winner_id {
+            let _ = rt.owner_post("home", sibling, Payload::System(ControlVerb::Terminate));
+        }
+    }
+    rt.run_to_quiescence(100_000);
+
+    assert_eq!(body.get("host"), Value::from(treasure_host));
+    println!(
+        "done at t={} — {} total transfers on the fabric",
+        rt.now(),
+        rt.fabric().stats().snapshot().total_messages()
+    );
+}

@@ -1,0 +1,90 @@
+//! Quickstart: launch one naplet around three servers, watch it
+//! gather data and report home.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use naplet::prelude::*;
+
+/// The agent's business logic `S`: read the host's advertised load
+//  via an open service and remember it.
+struct LoadScout;
+
+impl NapletBehavior for LoadScout {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> naplet::core::Result<()> {
+        let host = ctx.host_name().to_string();
+        let load = ctx.call_service("sysinfo.load", Value::Nil)?;
+        ctx.log(&format!("measured load {load} at {host}"));
+        ctx.state().update("loads", |v| {
+            if let Value::Map(m) = v {
+                m.insert(host.clone(), load.clone());
+            }
+        })?;
+        Ok(())
+    }
+}
+
+fn main() {
+    // 1. a simulated LAN with four hosts
+    let fabric = Fabric::lan();
+    let mut rt = SimRuntime::new(fabric);
+
+    // 2. every server knows the LoadScout codebase (lazy-loaded on
+    //    first visit) and exposes an open `sysinfo.load` service
+    let mut registry = CodebaseRegistry::new();
+    registry.register("naplet://code/load-scout.jar", 2048, || LoadScout);
+
+    for (i, host) in ["home", "alpha", "beta", "gamma"].iter().enumerate() {
+        let mut cfg = ServerConfig::open(host, LocationMode::CentralDirectory("home".into()));
+        cfg.codebase = registry.clone();
+        let server = rt.add_server(cfg);
+        server
+            .resources
+            .register_open("sysinfo.load", move |_args: Value| {
+                Ok(Value::Float(0.25 * i as f64))
+            });
+    }
+
+    // 3. create the naplet: identity, signed credential, itinerary
+    let key = SigningKey::new("demo", b"quickstart-secret");
+    let itinerary = Itinerary::new(Pattern::seq_of_hosts(&["alpha", "beta", "gamma"], None))
+        .expect("valid itinerary")
+        .with_final_action(ActionSpec::ReportHome);
+    let mut naplet = Naplet::create(
+        &key,
+        "demo",
+        "home",
+        Millis(0),
+        "naplet://code/load-scout.jar",
+        AgentKind::Native,
+        itinerary,
+        vec![("role".into(), "load-scout".into())],
+    )
+    .expect("naplet built");
+    naplet
+        .state
+        .set("loads", Value::map::<[(&str, Value); 0], &str>([]));
+
+    // 4. launch and run the world to quiescence
+    rt.launch(naplet).expect("launched");
+    rt.run_to_quiescence(100_000);
+
+    // 5. the report arrived at home
+    for (id, report) in rt.drain_reports("home") {
+        println!("report from {id}:");
+        if let Value::Map(loads) = report.get("loads") {
+            for (host, load) in loads {
+                println!("  {host:<8} load {load}");
+            }
+        }
+    }
+    let snap = rt.fabric().stats().snapshot();
+    println!(
+        "\ntraffic: {} migrations ({} bytes), {} control transfers, {} code bytes",
+        snap.messages(TrafficClass::Migration),
+        snap.bytes(TrafficClass::Migration),
+        snap.messages(TrafficClass::Control),
+        snap.bytes(TrafficClass::Code),
+    );
+}

@@ -1,0 +1,153 @@
+//! The paper's §2.1 motivating scenario: "a shopping agent that visits
+//! hosts to collect price information about a product would keep the
+//! gathered data in a **private** access state. The gathered
+//! information can also be stored in a **protected** state so that a
+//! naplet server can update a returning naplet with new information."
+//!
+//! Here a shopper tours three vendors. Its quote list is *private* —
+//! vendor servers provably cannot read or tamper with competitors'
+//! quotes — while a *protected* `home-deals` entry is writable only by
+//! the home server, which refreshes it when the shopper returns. A
+//! *public* `looking-for` entry advertises the product so vendors can
+//! see what is wanted.
+//!
+//! ```text
+//! cargo run --example shopping
+//! ```
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use naplet::prelude::*;
+
+/// Asks the vendor's quoting service for a price and records it
+/// privately.
+struct Shopper;
+
+impl NapletBehavior for Shopper {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> naplet::core::Result<()> {
+        let host = ctx.host_name().to_string();
+        if host == "home" {
+            return Ok(()); // the homecoming visit: nothing to buy here
+        }
+        let product = ctx.state().get("looking-for");
+        let quote = ctx.call_service("vendor.quote", product)?;
+        ctx.state().update("quotes", |v| {
+            if let Value::Map(m) = v {
+                m.insert(host.clone(), quote.clone());
+            }
+        })?;
+        Ok(())
+    }
+}
+
+fn main() {
+    let fabric = Fabric::lan();
+    let mut rt = SimRuntime::new(fabric);
+    let mut registry = CodebaseRegistry::new();
+    registry.register("shopper", 2048, || Shopper);
+
+    let vendors = [("acme", 149i64), ("bestbuy", 129), ("corner-shop", 137)];
+    let snoop_attempts = Arc::new(AtomicU32::new(0));
+    let tamper_attempts = Arc::new(AtomicU32::new(0));
+
+    for host in std::iter::once("home").chain(vendors.iter().map(|(h, _)| *h)) {
+        let mut cfg = ServerConfig::open(host, LocationMode::CentralDirectory("home".into()));
+        cfg.codebase = registry.clone();
+        let server = rt.add_server(cfg);
+        if let Some((_, price)) = vendors.iter().find(|(h, _)| *h == host) {
+            let price = *price;
+            server
+                .resources
+                .register_open("vendor.quote", move |_product| Ok(Value::Int(price)));
+            // a nosy vendor: on every arrival it tries to read the
+            // shopper's private quotes and to tamper with them —
+            // the protection modes refuse both
+            let snoops = Arc::clone(&snoop_attempts);
+            let tampers = Arc::clone(&tamper_attempts);
+            server.set_arrival_state_hook(move |view| {
+                if view.get("quotes").is_err() {
+                    snoops.fetch_add(1, Ordering::Relaxed);
+                }
+                if view.set("quotes", Value::from("all ours!")).is_err() {
+                    tampers.fetch_add(1, Ordering::Relaxed);
+                }
+                // the public advert IS visible — that's the point
+                let _ = view
+                    .get("looking-for")
+                    .expect("public entries are readable");
+            });
+        } else {
+            // the home server refreshes the protected entry when the
+            // shopper returns (paper: "update a returning naplet with
+            // new information")
+            server.set_arrival_state_hook(move |view| {
+                view.set("home-deals", Value::from("coupon: SAVE10"))
+                    .expect("home is listed in the protected entry");
+            });
+        }
+    }
+
+    // itinerary: tour the vendors, come home, then report
+    let key = SigningKey::new("buyer", b"wallet-secret");
+    let itinerary = Itinerary::new(Pattern::seq_of_hosts(
+        &["acme", "bestbuy", "corner-shop", "home"],
+        None,
+    ))
+    .unwrap()
+    .with_final_action(ActionSpec::ReportHome);
+
+    let mut shopper = Naplet::create(
+        &key,
+        "buyer",
+        "home",
+        Millis(0),
+        "shopper",
+        AgentKind::Native,
+        itinerary,
+        vec![("role".into(), "shopping".into())],
+    )
+    .unwrap();
+    shopper
+        .state
+        .set("quotes", Value::map::<[(&str, Value); 0], &str>([])); // private
+    shopper
+        .state
+        .set_public("looking-for", "ipps-2002-proceedings");
+    shopper
+        .state
+        .set_protected("home-deals", Value::Nil, ["home"]);
+
+    rt.launch(shopper).unwrap();
+    rt.run_to_quiescence(100_000);
+
+    let reports = rt.drain_reports("home");
+    let report = &reports[0].1;
+    println!("shopping report:");
+    let quotes = report.get("quotes");
+    let mut best: Option<(String, i64)> = None;
+    if let Value::Map(m) = &quotes {
+        for (vendor, price) in m {
+            println!("  {vendor:<12} {price}");
+            let p = price.as_int().unwrap();
+            if best.as_ref().map(|(_, b)| p < *b).unwrap_or(true) {
+                best = Some((vendor.clone(), p));
+            }
+        }
+    }
+    let (vendor, price) = best.expect("quotes gathered");
+    println!("best offer: {vendor} at {price}");
+    println!(
+        "home updated the protected entry: {}",
+        report.get("home-deals")
+    );
+    println!(
+        "vendors tried to snoop {}x and tamper {}x — all refused by state protection modes",
+        snoop_attempts.load(Ordering::Relaxed),
+        tamper_attempts.load(Ordering::Relaxed),
+    );
+    assert_eq!(vendor, "bestbuy");
+    assert_eq!(report.get("home-deals"), Value::from("coupon: SAVE10"));
+    assert_eq!(snoop_attempts.load(Ordering::Relaxed), 3);
+    assert_eq!(tamper_attempts.load(Ordering::Relaxed), 3);
+}

@@ -1,0 +1,85 @@
+//! # Naplet-RS
+//!
+//! A Rust reproduction of *"Naplet: A Flexible Mobile Agent Framework
+//! for Network-Centric Applications"* (Cheng-Zhong Xu, IPPS 2002).
+//!
+//! Naplets are mobile agents: they carry code, data and running state
+//! between servers, travelling along **structured itineraries**
+//! (`Singleton`/`Seq`/`Alt`/`Par` with conditional visits and
+//! post-actions), communicating through a **post-office messenger**
+//! that chases moving agents, controlled by per-server **monitors,
+//! security policies and resource managers**, and reaching privileged
+//! host services only through **service channels**.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `naplet-core` | agent model: ids, credentials, state, itineraries, behaviours |
+//! | [`vm`] | `naplet-vm` | mobile bytecode with serializable execution state (strong mobility) |
+//! | [`net`] | `naplet-net` | metered in-process network fabric |
+//! | [`server`] | `naplet-server` | the NapletServer and the simulation runtime |
+//! | [`snmp`] | `naplet-snmp` | SNMP/MIB substrate with simulated devices |
+//! | [`man`] | `naplet-man` | the network-management application (paper §6) + baseline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use naplet::prelude::*;
+//!
+//! // a world of three servers on a simulated LAN
+//! let fabric = Fabric::lan();
+//! let mut rt = SimRuntime::new(fabric);
+//! let mut registry = CodebaseRegistry::new();
+//! registry.register("hello", 1024, || Greeter);
+//! for host in ["home", "s0", "s1"] {
+//!     let mut cfg = ServerConfig::open(host, LocationMode::ForwardingTrace);
+//!     cfg.codebase = registry.clone();
+//!     rt.add_server(cfg);
+//! }
+//!
+//! // an agent whose business logic greets every host it visits
+//! struct Greeter;
+//! impl NapletBehavior for Greeter {
+//!     fn on_start(&mut self, ctx: &mut dyn NapletContext) -> naplet::core::Result<()> {
+//!         let line = format!("hello from {}", ctx.host_name());
+//!         ctx.report_home(Value::from(line))
+//!     }
+//! }
+//!
+//! let key = SigningKey::new("demo", b"secret");
+//! let itinerary = Itinerary::new(Pattern::seq_of_hosts(&["s0", "s1"], None)).unwrap();
+//! let naplet = Naplet::create(
+//!     &key, "demo", "home", Millis(0), "hello",
+//!     AgentKind::Native, itinerary, vec![],
+//! ).unwrap();
+//!
+//! rt.launch(naplet).unwrap();
+//! rt.run_to_quiescence(100_000);
+//! assert_eq!(rt.drain_reports("home").len(), 2);
+//! ```
+
+pub use naplet_core as core;
+pub use naplet_man as man;
+pub use naplet_net as net;
+pub use naplet_server as server;
+pub use naplet_snmp as snmp;
+pub use naplet_vm as vm;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use naplet_core::behavior::{ActionRegistry, NapletBehavior, Operable};
+    pub use naplet_core::clock::{Clock, Millis};
+    pub use naplet_core::codebase::CodebaseRegistry;
+    pub use naplet_core::context::NapletContext;
+    pub use naplet_core::credential::SigningKey;
+    pub use naplet_core::itinerary::{ActionSpec, Guard, Itinerary, Pattern, Step, Visit};
+    pub use naplet_core::message::{ControlVerb, Payload, Sender};
+    pub use naplet_core::naplet::{AgentKind, Naplet};
+    pub use naplet_core::value::Value;
+    pub use naplet_core::NapletId;
+    pub use naplet_net::{Bandwidth, Fabric, LatencyModel, TrafficClass};
+    pub use naplet_server::{
+        LocationMode, MonitorPolicy, NapletServer, Policy, ServerConfig, SimRuntime,
+    };
+}
