@@ -1,0 +1,25 @@
+//! Chaos sweep: journey completion and added traffic as frame loss
+//! rises, exercising the acknowledged-handoff retry machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naplet_bench::chaos_experiment;
+
+fn bench_chaos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos");
+    group.sample_size(10);
+    for loss in [0.0, 0.02, 0.05, 0.10] {
+        group.bench_function(format!("loss-{loss:.2}"), |b| {
+            let mut seed = 1u64;
+            b.iter(|| {
+                seed += 1;
+                let out = chaos_experiment(loss, &[], seed);
+                assert_eq!(out.completed, 1, "loss {loss}: {out:?}");
+                out.migration_bytes + out.control_bytes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

@@ -79,6 +79,7 @@ fn bench_itinerary(c: &mut Criterion) {
                 match cursor.next(&GuardEnv {
                     state: &state,
                     hops,
+                    unreachable: &[],
                 }) {
                     Step::Visit { .. } => hops += 1,
                     Step::Done => break hops,

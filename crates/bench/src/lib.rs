@@ -15,8 +15,8 @@ pub use experiments::{
     render_man_table, ManRow,
 };
 pub use scenarios::{
-    accumulation_experiment, bench_key, code_loading_experiment, itinerary_experiment,
-    messaging_experiment, probe_registry, scheduling_experiment, AccumulationOutcome,
-    CodeLoadingOutcome, ItineraryOutcome, MessagingOutcome, Probe, RingWorld, PROBE_CODEBASE,
-    PROBE_CODE_SIZE,
+    accumulation_experiment, bench_key, chaos_experiment, code_loading_experiment,
+    itinerary_experiment, messaging_experiment, probe_registry, scheduling_experiment,
+    AccumulationOutcome, ChaosOutcome, CodeLoadingOutcome, ItineraryOutcome, MessagingOutcome,
+    Probe, RingWorld, PROBE_CODEBASE, PROBE_CODE_SIZE,
 };

@@ -483,6 +483,122 @@ pub fn accumulation_experiment(
     }
 }
 
+/// Outcome of a chaos run (reliable-transfer layer under injected
+/// faults).
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Probe journeys that reported home (target: all of them).
+    pub completed: usize,
+    /// Visit order from the probe's report.
+    pub visits: Vec<String>,
+    /// Hosts executed more than once (duplicated admissions; the
+    /// idempotent-delivery guarantee says this stays 0 even when
+    /// transfers are retransmitted).
+    pub duplicate_visits: usize,
+    /// Naplets stranded in a server's parked table at the end.
+    pub parked: usize,
+    /// Retransmitted frames (attempt ≥ 2) observed by the fabric.
+    pub retransmits: u64,
+    /// Frames the fabric dropped (loss or down-windows).
+    pub dropped: u64,
+    /// Migration-class frames that made it onto a link.
+    pub migrations: u64,
+    /// Migration-class bytes (ack/commit overhead is Control-class and
+    /// excluded by construction).
+    pub migration_bytes: u64,
+    /// Control-class bytes (handshakes, acks, directory traffic).
+    pub control_bytes: u64,
+    /// Journey completion (virtual ms).
+    pub completion_ms: u64,
+}
+
+/// Drive a 6-hop `Seq` probe across an 8-server space while injecting
+/// frame loss and scheduled host down-windows; the acknowledged
+/// handoff must still complete the journey exactly once.
+///
+/// `loss` is the per-frame drop probability; `down_windows` are
+/// `(host, from_ms, until_ms)` outages. With no faults this measures
+/// the protocol's baseline traffic (retransmits and drops must be 0).
+pub fn chaos_experiment(loss: f64, down_windows: &[(&str, u64, u64)], seed: u64) -> ChaosOutcome {
+    // home + s0..s6 = 8 servers; dwell 5 ms keeps the journey well
+    // inside the retry horizon (~7.7 s worst case per hop)
+    let world = RingWorld::build(
+        7,
+        LocationMode::HomeManagers,
+        LatencyModel::Constant(2),
+        5,
+        seed,
+    );
+    let mut rt = world.rt;
+    rt.fabric().set_loss(loss);
+    for (host, from_ms, until_ms) in down_windows {
+        rt.fabric().schedule_down(host, *from_ms, *until_ms);
+    }
+
+    // the last hop lands at home so completion and the final report
+    // never cross a lossy link — what's under test is the 6 migrations
+    let route = ["s0", "s1", "s2", "s3", "s4", "home"];
+    let it = Itinerary::new(Pattern::seq_of_hosts(&route, None))
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    let naplet = Naplet::create(
+        &bench_key(),
+        "czxu",
+        "home",
+        Millis(1),
+        PROBE_CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap();
+    let id = naplet.id().clone();
+    let before = rt.fabric().stats().snapshot();
+    let t0 = rt.now();
+    rt.launch(naplet).unwrap();
+    rt.run_to_quiescence(50_000_000);
+    let stats = rt.fabric().stats().snapshot().since(&before);
+
+    let reports = rt.drain_reports("home");
+    let mut completed = 0usize;
+    let mut visits = Vec::new();
+    for (rid, report) in &reports {
+        if rid != &id {
+            continue;
+        }
+        completed += 1;
+        if let Value::List(l) = report.get("visits") {
+            for v in &l {
+                if let Value::Str(s) = v {
+                    visits.push(s.clone());
+                }
+            }
+        }
+    }
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for v in &visits {
+        *counts.entry(v.as_str()).or_default() += 1;
+    }
+    let duplicate_visits = counts.values().filter(|&&c| c > 1).count();
+    let mut parked = 0usize;
+    for host in rt.server_hosts() {
+        parked += rt.server(&host).unwrap().parked.len();
+    }
+
+    ChaosOutcome {
+        completed,
+        visits,
+        duplicate_visits,
+        parked,
+        retransmits: stats.retransmits,
+        dropped: stats.dropped,
+        migrations: stats.messages(naplet_net::TrafficClass::Migration),
+        migration_bytes: stats.bytes(naplet_net::TrafficClass::Migration),
+        control_bytes: stats.bytes(naplet_net::TrafficClass::Control),
+        completion_ms: rt.now().since(t0),
+    }
+}
+
 /// Scheduling-policy ablation (E9): journey time of one probe agent
 /// per priority tier, on an otherwise busy server, under each policy.
 pub fn scheduling_experiment(

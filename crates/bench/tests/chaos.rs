@@ -1,0 +1,62 @@
+//! Acceptance test for the reliable-transfer layer: a multi-hop
+//! journey must survive frame loss and scheduled host outages without
+//! losing or duplicating the agent, and the protocol must add no
+//! migration-class traffic when the network is healthy.
+
+use naplet_bench::chaos_experiment;
+
+const ROUTE: [&str; 6] = ["s0", "s1", "s2", "s3", "s4", "home"];
+
+#[test]
+fn journey_survives_loss_and_down_windows() {
+    // 5% frame loss plus two hosts on the route down for scheduled
+    // windows that overlap the agent's arrival
+    let out = chaos_experiment(0.05, &[("s1", 10, 700), ("s3", 10, 2_500)], 42);
+    assert_eq!(out.completed, 1, "naplet lost: {out:?}");
+    assert_eq!(out.visits, ROUTE, "journey must visit every hop in order");
+    assert_eq!(
+        out.duplicate_visits, 0,
+        "retries must never duplicate execution"
+    );
+    assert_eq!(
+        out.parked, 0,
+        "all destinations recover within the retry horizon"
+    );
+    assert!(
+        out.retransmits >= 1,
+        "retries must be visible in NetStats: {out:?}"
+    );
+    assert!(
+        out.dropped >= 1,
+        "the fault schedule must actually drop frames"
+    );
+}
+
+#[test]
+fn healthy_run_adds_no_migration_traffic() {
+    let out = chaos_experiment(0.0, &[], 7);
+    assert_eq!(out.completed, 1);
+    assert_eq!(out.visits, ROUTE);
+    assert_eq!(out.duplicate_visits, 0);
+    assert_eq!(out.parked, 0);
+    assert_eq!(out.retransmits, 0, "no faults, no retries");
+    assert_eq!(out.dropped, 0);
+    // exactly one Transfer frame per hop: ack/commit overhead rides in
+    // the Control class and never inflates migration byte counts
+    assert_eq!(out.migrations, 6);
+    assert!(
+        out.migration_bytes / out.migrations > 0,
+        "sanity: transfers are metered"
+    );
+}
+
+#[test]
+fn permanent_outage_parks_instead_of_looping() {
+    // s1 never comes back: the Seq itinerary has no fallback, so the
+    // naplet must park at s0 with a navigation-log failure instead of
+    // retrying forever or vanishing
+    let out = chaos_experiment(0.0, &[("s1", 0, u64::MAX)], 11);
+    assert_eq!(out.completed, 0);
+    assert_eq!(out.parked, 1, "agent must be parked, not lost: {out:?}");
+    assert!(out.retransmits >= 1);
+}

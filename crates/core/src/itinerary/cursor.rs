@@ -30,6 +30,13 @@ pub struct GuardEnv<'a> {
     pub state: &'a NapletState,
     /// Completed visits so far (from the navigation log).
     pub hops: usize,
+    /// Hosts the reliable-transfer layer has given up on (navigation-log
+    /// failure entries). An `Alt` never chooses an alternative whose
+    /// entry visit targets one of these, which is how migration failures
+    /// fall back to the next branch. Plain `Seq` visits are *not*
+    /// skipped — the server parks the naplet instead, so a hard
+    /// requirement is never silently dropped.
+    pub unreachable: &'a [String],
 }
 
 /// One traversal directive for the hosting server.
@@ -177,7 +184,7 @@ impl Cursor {
 /// accept when any alternative/branch could start.
 fn entry_guard_passes(p: &Pattern, env: &GuardEnv<'_>) -> bool {
     match p {
-        Pattern::Singleton(v) => v.guard.eval(env),
+        Pattern::Singleton(v) => !env.unreachable.iter().any(|h| h == &v.host) && v.guard.eval(env),
         Pattern::Seq(parts) => parts.first().is_some_and(|p| entry_guard_passes(p, env)),
         Pattern::Alt(alts) => alts.iter().any(|p| entry_guard_passes(p, env)),
         Pattern::Par { branches, .. } => branches.iter().any(|p| entry_guard_passes(p, env)),
@@ -192,7 +199,11 @@ mod tests {
     use super::*;
 
     fn env(state: &NapletState, hops: usize) -> GuardEnv<'_> {
-        GuardEnv { state, hops }
+        GuardEnv {
+            state,
+            hops,
+            unreachable: &[],
+        }
     }
 
     /// Drive a cursor to completion with all guards implicitly passing,
@@ -290,6 +301,45 @@ mod tests {
         state.set("mirror-up", true);
         let (hosts, _) = run_linear(it.start(), &state);
         assert_eq!(hosts, ["mirror"]);
+    }
+
+    #[test]
+    fn alt_avoids_unreachable_alternative() {
+        let p = Pattern::alt(Pattern::singleton("primary"), Pattern::singleton("backup"));
+        let it = Itinerary::new(p).unwrap();
+        let state = NapletState::new();
+
+        // with `primary` marked unreachable, the Alt falls back
+        let unreachable = vec!["primary".to_string()];
+        let mut c = it.start();
+        let step = c.next(&GuardEnv {
+            state: &state,
+            hops: 0,
+            unreachable: &unreachable,
+        });
+        assert_eq!(
+            step,
+            Step::Visit {
+                host: "backup".to_string(),
+                action: None
+            }
+        );
+
+        // a plain Seq visit is NOT skipped by unreachability
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["primary", "b"], None)).unwrap();
+        let mut c = it.start();
+        let step = c.next(&GuardEnv {
+            state: &state,
+            hops: 0,
+            unreachable: &unreachable,
+        });
+        assert_eq!(
+            step,
+            Step::Visit {
+                host: "primary".to_string(),
+                action: None
+            }
+        );
     }
 
     #[test]

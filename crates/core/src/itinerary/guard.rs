@@ -75,7 +75,11 @@ mod tests {
     use crate::state::NapletState;
 
     fn env_with(state: &NapletState, hops: usize) -> GuardEnv<'_> {
-        GuardEnv { state, hops }
+        GuardEnv {
+            state,
+            hops,
+            unreachable: &[],
+        }
     }
 
     #[test]

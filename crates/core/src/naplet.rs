@@ -159,22 +159,35 @@ impl Naplet {
     }
 
     /// Advance the itinerary: evaluate guards against the current
-    /// state and travel history and return the next directive.
+    /// state, travel history and unreachable hosts, and return the next
+    /// directive.
     pub fn advance(&mut self) -> Step {
+        let unreachable = self.nav_log.failed_hosts();
         let env = GuardEnv {
             state: &self.state,
             hops: self.nav_log.hops(),
+            unreachable: &unreachable,
         };
         self.cursor.next(&env)
     }
 
     /// The next destination host without consuming traversal state.
     pub fn peek_next_host(&self) -> Option<String> {
+        let unreachable = self.nav_log.failed_hosts();
         let env = GuardEnv {
             state: &self.state,
             hops: self.nav_log.hops(),
+            unreachable: &unreachable,
         };
         self.cursor.peek_next_host(&env)
+    }
+
+    /// Rewind the traversal cursor to a previously saved checkpoint.
+    /// The reliable-transfer layer snapshots the cursor before each
+    /// `advance()` so a permanently failed migration can be re-decided
+    /// (an `Alt` then picks another branch via the failure records).
+    pub fn set_cursor(&mut self, cursor: Cursor) {
+        self.cursor = cursor;
     }
 
     /// True when the journey has completed.

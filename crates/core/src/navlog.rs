@@ -29,10 +29,25 @@ impl VisitRecord {
     }
 }
 
+/// One permanently failed migration: the reliable-transfer layer
+/// exhausted its retries trying to reach `host`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Destination the naplet could not reach.
+    pub host: String,
+    /// When the navigator gave up.
+    pub at: Millis,
+    /// Send attempts made before giving up.
+    pub attempts: u32,
+    /// Short human-readable cause ("no landing reply", ...).
+    pub reason: String,
+}
+
 /// The travel log a naplet carries.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct NavigationLog {
     records: Vec<VisitRecord>,
+    failures: Vec<FailureRecord>,
 }
 
 impl NavigationLog {
@@ -61,6 +76,38 @@ impl NavigationLog {
             }
             _ => false,
         }
+    }
+
+    /// Record that a migration towards `host` permanently failed after
+    /// `attempts` sends. Hosts recorded here are treated as unreachable
+    /// by subsequent itinerary guard evaluation, which is how `Alt`
+    /// patterns fall back to their next branch.
+    pub fn record_failure(
+        &mut self,
+        host: impl Into<String>,
+        at: Millis,
+        attempts: u32,
+        reason: impl Into<String>,
+    ) {
+        self.failures.push(FailureRecord {
+            host: host.into(),
+            at,
+            attempts,
+            reason: reason.into(),
+        });
+    }
+
+    /// All permanent migration failures, in the order they occurred.
+    pub fn failures(&self) -> &[FailureRecord] {
+        &self.failures
+    }
+
+    /// Distinct hosts with at least one recorded migration failure.
+    pub fn failed_hosts(&self) -> Vec<String> {
+        let mut hosts: Vec<String> = self.failures.iter().map(|f| f.host.clone()).collect();
+        hosts.sort();
+        hosts.dedup();
+        hosts
     }
 
     /// All records in visit order.
@@ -190,9 +237,22 @@ mod tests {
 
     #[test]
     fn codec_round_trip() {
-        let l = log();
+        let mut l = log();
+        l.record_failure("s9", Millis(240), 6, "no landing reply");
         let bytes = crate::codec::to_bytes(&l).unwrap();
         let back: NavigationLog = crate::codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, l);
+    }
+
+    #[test]
+    fn failures_recorded_and_deduped() {
+        let mut l = NavigationLog::new();
+        assert!(l.failed_hosts().is_empty());
+        l.record_failure("s3", Millis(10), 6, "no landing reply");
+        l.record_failure("s3", Millis(90), 6, "transfer unacknowledged");
+        l.record_failure("s1", Millis(120), 3, "no landing reply");
+        assert_eq!(l.failures().len(), 3);
+        assert_eq!(l.failures()[0].attempts, 6);
+        assert_eq!(l.failed_hosts(), vec!["s1".to_string(), "s3".to_string()]);
     }
 }

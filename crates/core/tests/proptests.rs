@@ -144,7 +144,11 @@ fn unfold_all(mut cursor: naplet_core::Cursor, state: &NapletState) -> Vec<Strin
     let mut hops = 0usize;
     let mut pending = Vec::new();
     loop {
-        let step = cursor.next(&GuardEnv { state, hops });
+        let step = cursor.next(&GuardEnv {
+            state,
+            hops,
+            unreachable: &[],
+        });
         match step {
             Step::Visit { host, .. } => {
                 visited.push(host);
@@ -188,7 +192,7 @@ proptest! {
         let mut cursor = it.start();
         let mut hops = 0usize;
         for _ in 0..steps {
-            match cursor.next(&GuardEnv { state: &state, hops }) {
+            match cursor.next(&GuardEnv { state: &state, hops, unreachable: &[] }) {
                 Step::Visit { .. } => hops += 1,
                 Step::Done => break,
                 _ => {}
@@ -221,7 +225,7 @@ proptest! {
         let mut hops = 0usize;
         while let Some(mut cursor) = stack.pop() {
             loop {
-                match cursor.next(&GuardEnv { state: &state, hops }) {
+                match cursor.next(&GuardEnv { state: &state, hops, unreachable: &[] }) {
                     Step::Fork { clones } => {
                         agents += clones.len();
                         stack.extend(clones);

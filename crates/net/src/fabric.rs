@@ -22,6 +22,19 @@ use naplet_core::error::{NapletError, Result};
 use crate::latency::{Bandwidth, LatencyModel};
 use crate::stats::{NetStats, TrafficClass};
 
+/// Half-open fault window `[from_ms, until_ms)` on the fabric clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Window {
+    from_ms: u64,
+    until_ms: u64,
+}
+
+impl Window {
+    fn contains(&self, t: u64) -> bool {
+        t >= self.from_ms && t < self.until_ms
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     hosts: HashSet<String>,
@@ -31,6 +44,15 @@ struct Inner {
     bandwidth: Bandwidth,
     loss_prob: f64,
     rng: StdRng,
+    /// Fabric clock (ms) advanced by the driver; fault schedules below
+    /// are evaluated against it.
+    now_ms: u64,
+    /// Scheduled per-host outages: the host refuses transfers while the
+    /// clock is inside any of its windows.
+    down_windows: Vec<(String, Window)>,
+    /// Scheduled loss bursts: while active, the loss probability is
+    /// raised to at least the burst's value.
+    loss_bursts: Vec<(Window, f64)>,
 }
 
 /// Shared fabric handle.
@@ -52,6 +74,9 @@ impl Fabric {
                 bandwidth,
                 loss_prob: 0.0,
                 rng: StdRng::seed_from_u64(seed),
+                now_ms: 0,
+                down_windows: Vec::new(),
+                loss_bursts: Vec::new(),
             })),
             stats: NetStats::new(),
         }
@@ -74,10 +99,40 @@ impl Fabric {
         v
     }
 
-    /// Is the host registered and up?
+    /// Is the host registered and up (including scheduled outages at
+    /// the current fabric time)?
     pub fn is_up(&self, name: &str) -> bool {
         let inner = self.inner.lock();
-        inner.hosts.contains(name) && !inner.down.contains(name)
+        inner.hosts.contains(name) && !inner.down.contains(name) && !inner.scheduled_down(name)
+    }
+
+    /// Advance the fabric clock; drivers call this so scheduled fault
+    /// windows line up with their (virtual or wall) time.
+    pub fn set_now(&self, ms: u64) {
+        self.inner.lock().now_ms = ms;
+    }
+
+    /// Current fabric clock in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.inner.lock().now_ms
+    }
+
+    /// Schedule a timed outage: `host` refuses all transfers in and out
+    /// while the fabric clock is in `[from_ms, until_ms)`.
+    pub fn schedule_down(&self, host: &str, from_ms: u64, until_ms: u64) {
+        self.inner
+            .lock()
+            .down_windows
+            .push((host.to_string(), Window { from_ms, until_ms }));
+    }
+
+    /// Schedule a loss burst: while the fabric clock is in
+    /// `[from_ms, until_ms)` the loss probability is at least `p`.
+    pub fn schedule_loss_burst(&self, from_ms: u64, until_ms: u64, p: f64) {
+        self.inner
+            .lock()
+            .loss_bursts
+            .push((Window { from_ms, until_ms }, p.clamp(0.0, 0.999_999)));
     }
 
     /// Shared traffic statistics.
@@ -138,9 +193,11 @@ impl Fabric {
         }
         let blocked = inner.down.contains(from)
             || inner.down.contains(to)
-            || inner.cut.contains(&ordered(from, to));
+            || inner.cut.contains(&ordered(from, to))
+            || inner.scheduled_down(from)
+            || inner.scheduled_down(to);
         let lost = blocked || {
-            let p = inner.loss_prob;
+            let p = inner.effective_loss();
             p > 0.0 && inner.rng.gen_bool(p)
         };
         if lost {
@@ -160,6 +217,24 @@ impl Fabric {
         drop(inner);
         self.stats.record(from, to, class, bytes, delay);
         Ok(Some(delay))
+    }
+}
+
+impl Inner {
+    fn scheduled_down(&self, host: &str) -> bool {
+        self.down_windows
+            .iter()
+            .any(|(h, w)| h == host && w.contains(self.now_ms))
+    }
+
+    fn effective_loss(&self) -> f64 {
+        let mut p = self.loss_prob;
+        for (w, burst) in &self.loss_bursts {
+            if w.contains(self.now_ms) {
+                p = p.max(*burst);
+            }
+        }
+        p
     }
 }
 
@@ -272,6 +347,64 @@ mod tests {
             }
         }
         assert!((120..=280).contains(&lost), "lost {lost}/400");
+    }
+
+    #[test]
+    fn scheduled_down_window_drops_only_inside_window() {
+        let f = fabric();
+        f.schedule_down("b", 100, 200);
+        // before the window
+        f.set_now(50);
+        assert!(f.is_up("b"));
+        assert!(f
+            .transfer("a", "b", TrafficClass::Control, 1)
+            .unwrap()
+            .is_some());
+        // inside the window: transfers in and out are refused
+        f.set_now(150);
+        assert!(!f.is_up("b"));
+        assert_eq!(
+            f.transfer("a", "b", TrafficClass::Control, 1).unwrap(),
+            None
+        );
+        assert_eq!(
+            f.transfer("b", "c", TrafficClass::Control, 1).unwrap(),
+            None
+        );
+        // window end is exclusive
+        f.set_now(200);
+        assert!(f.is_up("b"));
+        assert!(f
+            .transfer("a", "b", TrafficClass::Control, 1)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn loss_burst_raises_loss_inside_window() {
+        let f = fabric();
+        f.schedule_loss_burst(10, 20, 1.0); // clamped just below 1, drops ~always
+        f.set_now(5);
+        assert!(f
+            .transfer("a", "b", TrafficClass::Message, 1)
+            .unwrap()
+            .is_some());
+        f.set_now(15);
+        let mut lost = 0;
+        for _ in 0..50 {
+            if f.transfer("a", "b", TrafficClass::Message, 1)
+                .unwrap()
+                .is_none()
+            {
+                lost += 1;
+            }
+        }
+        assert!(lost >= 49, "burst should drop nearly everything: {lost}/50");
+        f.set_now(25);
+        assert!(f
+            .transfer("a", "b", TrafficClass::Message, 1)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -82,6 +82,7 @@ struct Inner {
     by_class: BTreeMap<TrafficClass, Counter>,
     by_link: BTreeMap<(String, String), Counter>,
     dropped: u64,
+    retransmits: u64,
 }
 
 /// Shared, thread-safe traffic statistics.
@@ -99,6 +100,9 @@ pub struct StatsSnapshot {
     pub by_link: BTreeMap<(String, String), Counter>,
     /// Transfers dropped by loss/partition injection.
     pub dropped: u64,
+    /// Transfers that were retransmissions (attempt ≥ 2) of an earlier
+    /// send — the visible cost of the reliable-transfer layer.
+    pub retransmits: u64,
 }
 
 impl StatsSnapshot {
@@ -134,6 +138,7 @@ impl StatsSnapshot {
             }
         }
         out.dropped -= earlier.dropped.min(out.dropped);
+        out.retransmits -= earlier.retransmits.min(out.retransmits);
         out
     }
 }
@@ -164,6 +169,11 @@ impl NetStats {
         self.inner.lock().dropped += 1;
     }
 
+    /// Record a retransmission (a send whose attempt number is ≥ 2).
+    pub fn record_retransmit(&self) {
+        self.inner.lock().retransmits += 1;
+    }
+
     /// Take a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let inner = self.inner.lock();
@@ -171,6 +181,7 @@ impl NetStats {
             by_class: inner.by_class.clone(),
             by_link: inner.by_link.clone(),
             dropped: inner.dropped,
+            retransmits: inner.retransmits,
         }
     }
 
@@ -241,6 +252,17 @@ mod tests {
         assert_eq!(delta.bytes(TrafficClass::Snmp), 40);
         assert_eq!(delta.messages(TrafficClass::Snmp), 1);
         assert_eq!(delta.dropped, 1);
+    }
+
+    #[test]
+    fn retransmits_counted_and_subtracted() {
+        let s = NetStats::new();
+        s.record_retransmit();
+        let t0 = s.snapshot();
+        assert_eq!(t0.retransmits, 1);
+        s.record_retransmit();
+        s.record_retransmit();
+        assert_eq!(s.snapshot().since(&t0).retransmits, 2);
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub struct TransferEnvelope {
     pub naplet: Naplet,
     /// Post-action for the upcoming visit.
     pub action: Option<ActionSpec>,
+    /// Origin-scoped transfer id correlating `Transfer` with its
+    /// `TransferAck`; the receiver deduplicates on
+    /// `(origin, transfer_id)` so retransmissions never duplicate a
+    /// running naplet. `0` marks a same-host continuation that never
+    /// crosses the wire (no acknowledgement protocol).
+    pub transfer_id: u64,
+    /// 1-based send attempt; attempts ≥ 2 are retransmissions (metered
+    /// in `NetStats::retransmits`).
+    pub attempt: u32,
 }
 
 /// Everything that crosses the wire between naplet servers.
@@ -51,6 +60,8 @@ pub enum Wire {
         naplet_id: NapletId,
         /// Estimated transfer size (admission control input).
         est_bytes: u64,
+        /// 1-based send attempt (retransmissions are attempt ≥ 2).
+        attempt: u32,
     },
     /// Remote navigator's LANDING decision.
     LandingReply {
@@ -75,6 +86,9 @@ pub enum Wire {
         /// When set, the registrar requests an acknowledgement sent to
         /// this host — arrivals postpone execution until acked (§4.1).
         ack_to: Option<String>,
+        /// 1-based send attempt; acked registrations are retransmitted
+        /// on timeout like the rest of the reliable-transfer protocol.
+        attempt: u32,
     },
     /// Directory acknowledgement of an arrival registration.
     DirAck {
@@ -166,6 +180,16 @@ pub enum Wire {
         /// Opaque reply body.
         body: Vec<u8>,
     },
+    /// Receiver → origin: the naplet carried by `Transfer` with this
+    /// `transfer_id` is admitted (or already was, for a retransmission).
+    /// The commit of the two-phase handoff — on receipt the origin
+    /// releases its retained copy of the agent.
+    TransferAck {
+        /// Echoed origin-scoped transfer id.
+        transfer_id: u64,
+        /// The admitted naplet (diagnostics).
+        id: NapletId,
+    },
 }
 
 impl Wire {
@@ -176,6 +200,18 @@ impl Wire {
             Wire::Post { .. } | Wire::Report { .. } => TrafficClass::Message,
             Wire::AppRequest { .. } | Wire::AppReply { .. } => TrafficClass::Snmp,
             _ => TrafficClass::Control,
+        }
+    }
+
+    /// The 1-based send attempt carried by retryable wires; wires
+    /// outside the reliable-transfer protocol report 1. Drivers meter a
+    /// retransmission whenever this is ≥ 2.
+    pub fn retry_attempt(&self) -> u32 {
+        match self {
+            Wire::LandingRequest { attempt, .. } => *attempt,
+            Wire::Transfer(env) => env.attempt,
+            Wire::DirRegister { attempt, .. } => *attempt,
+            _ => 1,
         }
     }
 }
@@ -193,6 +229,38 @@ pub enum LocalEvent {
     CodeReady {
         /// The naplet waiting on its code.
         id: NapletId,
+    },
+    /// A reliable-handoff acknowledgement timer came due: if the
+    /// transfer is still outstanding at this attempt, retransmit (or
+    /// give up after `RetryPolicy::max_retries`).
+    TransferTimeout {
+        /// The outstanding transfer.
+        transfer_id: u64,
+        /// Attempt the timer was armed for; a mismatch means the timer
+        /// is stale (a newer attempt superseded it).
+        attempt: u32,
+    },
+    /// An arrival-registration acknowledgement timer came due: if the
+    /// naplet is still waiting in `AwaitingArrivalAck`, re-send the
+    /// `DirRegister` — and after `RetryPolicy::max_retries`, stop
+    /// gating and execute anyway (the directory may be stale; the
+    /// forwarding chase recovers from that, a stranded agent does not).
+    RegisterTimeout {
+        /// The naplet whose arrival registration is unacknowledged.
+        id: NapletId,
+        /// Attempt the timer was armed for.
+        attempt: u32,
+    },
+    /// A post-office redelivery timer came due: if the message
+    /// identified by `(sender, seq)` has no delivery confirmation yet,
+    /// re-route it (invalidating stale location hints first).
+    PostTimeout {
+        /// The message's original sender…
+        sender: naplet_core::message::Sender,
+        /// …and sequence number.
+        seq: u64,
+        /// Attempt the timer was armed for.
+        attempt: u32,
     },
 }
 
@@ -294,5 +362,34 @@ mod tests {
         let bytes = naplet_core::codec::to_bytes(&w).unwrap();
         let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, w);
+    }
+
+    #[test]
+    fn transfer_ack_round_trips_and_is_control_class() {
+        let id = NapletId::new("u", "h", Millis(0)).unwrap();
+        let w = Wire::TransferAck {
+            transfer_id: 17,
+            id,
+        };
+        assert_eq!(w.traffic_class(), TrafficClass::Control);
+        assert_eq!(w.retry_attempt(), 1);
+        let bytes = naplet_core::codec::to_bytes(&w).unwrap();
+        let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn retry_attempt_visible_on_retryable_wires() {
+        let key = naplet_core::credential::SigningKey::new("u", b"secret");
+        let id = NapletId::new("u", "h", Millis(0)).unwrap();
+        let w = Wire::LandingRequest {
+            token: 1,
+            from_host: "a".into(),
+            credential: naplet_core::credential::Credential::issue(&key, id.clone(), "cb", vec![]),
+            naplet_id: id,
+            est_bytes: 10,
+            attempt: 3,
+        };
+        assert_eq!(w.retry_attempt(), 3);
     }
 }

@@ -25,6 +25,7 @@ pub mod manager;
 pub mod messenger;
 pub mod monitor;
 pub mod resources;
+pub mod retry;
 pub mod runtime;
 pub mod security;
 pub mod server;
@@ -38,6 +39,7 @@ pub use manager::{Footprint, NapletManager, NapletStatus, TableEntry};
 pub use messenger::Messenger;
 pub use monitor::{MonitorPolicy, NapletMonitor, Priority, RunEntry, RunState, SchedulingPolicy};
 pub use resources::ResourceManager;
+pub use retry::RetryPolicy;
 pub use runtime::SimRuntime;
 pub use security::{Matcher, Permission, Policy, Rule, SecurityManager};
 pub use server::{LocationMode, NapletServer, ServerConfig};

@@ -27,8 +27,15 @@ pub struct LiveRuntime {
     stop: Arc<AtomicBool>,
     epoch: Instant,
     threads: Vec<(String, JoinHandle<NapletServer>)>,
-    /// Servers constructed but not yet started (launch window).
-    staging: Vec<(NapletServer, crossbeam::channel::Receiver<Frame>)>,
+    /// Servers constructed but not yet started (launch window), with
+    /// any local timers armed by pre-start launches (e.g. handoff
+    /// acknowledgement timeouts).
+    #[allow(clippy::type_complexity)]
+    staging: Vec<(
+        NapletServer,
+        crossbeam::channel::Receiver<Frame>,
+        Vec<(Instant, LocalEvent)>,
+    )>,
 }
 
 impl LiveRuntime {
@@ -54,7 +61,8 @@ impl LiveRuntime {
     /// called; until then naplets may be launched from it.
     pub fn add_server(&mut self, config: ServerConfig) -> &mut NapletServer {
         let rx = self.net.register(&config.host);
-        self.staging.push((NapletServer::new(config), rx));
+        self.staging
+            .push((NapletServer::new(config), rx, Vec::new()));
         &mut self.staging.last_mut().expect("just pushed").0
     }
 
@@ -64,31 +72,30 @@ impl LiveRuntime {
     pub fn launch(&mut self, naplet: Naplet) -> Result<()> {
         let home = naplet.home().to_string();
         let now = self.now();
-        let (server, _) = self
+        let (server, _, timers) = self
             .staging
             .iter_mut()
-            .find(|(s, _)| s.host() == home)
+            .find(|(s, _, _)| s.host() == home)
             .ok_or_else(|| NapletError::NotFound(format!("no staged server at `{home}`")))?;
         let outputs = server.launch(naplet, now);
-        // a launch only produces sends (handshakes)
+        // launches produce sends (handshakes) plus acknowledgement
+        // timers; the timers are handed to the server's thread on start
         let host = home.clone();
         let net = Arc::clone(&self.net);
-        let mut timers = Vec::new();
-        enact(&host, &net, outputs, &mut timers);
-        debug_assert!(timers.is_empty(), "launch effects are sends only");
+        enact(&host, &net, outputs, timers);
         Ok(())
     }
 
     /// Start all staged servers on their threads.
     pub fn start(&mut self) {
-        for (server, rx) in self.staging.drain(..) {
+        for (server, rx, timers) in self.staging.drain(..) {
             let host = server.host().to_string();
             let net = Arc::clone(&self.net);
             let stop = Arc::clone(&self.stop);
             let epoch = self.epoch;
             let handle = std::thread::Builder::new()
                 .name(format!("naplet-server-{host}"))
-                .spawn(move || serve(server, net, rx, epoch, stop))
+                .spawn(move || serve(server, net, rx, timers, epoch, stop))
                 .expect("spawn server thread");
             self.threads.push((host, handle));
         }
@@ -110,7 +117,7 @@ impl LiveRuntime {
             }
         }
         // staged-but-never-started servers are returned too
-        for (server, _) in self.staging.drain(..) {
+        for (server, _, _) in self.staging.drain(..) {
             out.push((server.host().to_string(), server));
         }
         out
@@ -121,12 +128,14 @@ fn serve(
     mut server: NapletServer,
     net: Arc<ThreadedNet>,
     rx: crossbeam::channel::Receiver<Frame>,
+    mut timers: Vec<(Instant, LocalEvent)>,
     epoch: Instant,
     stop: Arc<AtomicBool>,
 ) -> NapletServer {
-    let mut timers: Vec<(Instant, LocalEvent)> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
         let now = Millis(epoch.elapsed().as_millis() as u64);
+        // keep fault schedules in step with wall-clock-since-epoch time
+        net.fabric().set_now(now.0);
         if let Ok(frame) = rx.recv_timeout(Duration::from_millis(1)) {
             match naplet_core::codec::from_bytes::<Wire>(&frame.payload) {
                 Ok(wire) => {
@@ -159,6 +168,9 @@ fn enact(
     for output in outputs {
         match output {
             Output::Send { to, wire } => {
+                if wire.retry_attempt() > 1 {
+                    net.fabric().stats().record_retransmit();
+                }
                 if let Ok(payload) = naplet_core::codec::to_bytes(&wire) {
                     let frame = Frame::new(host, &to, wire.traffic_class(), payload);
                     let _ = net.send(frame);

@@ -30,6 +30,10 @@ pub enum NapletStatus {
     Completed,
     /// Destroyed abnormally (terminated, budget kill, lost).
     Destroyed,
+    /// Stranded: the reliable-transfer layer exhausted its retries
+    /// toward a required destination and no itinerary fallback existed;
+    /// the naplet is held at its last server awaiting owner action.
+    Parked,
 }
 
 /// One row of the home naplet table.

@@ -11,7 +11,7 @@
 //!   from naplet A" — and used to refresh the location cache;
 //! * forwarding-hop accounting and the cycle-breaking cap.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use naplet_core::clock::Millis;
 use naplet_core::id::NapletId;
@@ -26,12 +26,35 @@ pub struct ConfirmRecord {
     pub at: Millis,
 }
 
+/// Origin-side record of a posted message awaiting confirmation; the
+/// redelivery timer re-routes it if no confirmation arrives in time.
+#[derive(Debug, Clone)]
+pub struct OutstandingPost {
+    /// A retained copy of the message, for retransmission.
+    pub msg: Message,
+    /// 1-based send attempts so far.
+    pub attempts: u32,
+    /// When the first attempt was routed.
+    pub first_sent: Millis,
+}
+
 /// Per-server post office state.
 #[derive(Debug)]
 pub struct Messenger {
     seq: u64,
-    special: HashMap<NapletId, Vec<Message>>,
+    /// Early messages waiting for their target naplet, each with the
+    /// host that should receive the delivery confirmation.
+    special: HashMap<NapletId, Vec<(Message, String)>>,
     confirmations: HashMap<(Sender, u64), ConfirmRecord>,
+    /// Messages this server originated that have no delivery
+    /// confirmation yet, keyed by message identity.
+    outstanding: HashMap<(Sender, u64), OutstandingPost>,
+    /// Message identities already delivered *here* — retransmitted
+    /// copies are confirmed again but not deposited twice. Keyed on
+    /// (sender, seq, sent_at-ms): seq counters are per-origin-server,
+    /// so the timestamp disambiguates posts made by one naplet from
+    /// different servers.
+    delivered: HashSet<(Sender, u64, u64)>,
     /// Maximum forwarding hops before a message is dropped as
     /// undeliverable (breaks pathological chase cycles).
     pub forward_cap: u32,
@@ -39,6 +62,10 @@ pub struct Messenger {
     pub forwards_performed: u64,
     /// Messages dropped at the cap.
     pub undeliverable: u64,
+    /// Redelivery attempts made (sends beyond the first).
+    pub redeliveries: u64,
+    /// Messages abandoned after exhausting redelivery attempts.
+    pub redelivery_given_up: u64,
 }
 
 impl Default for Messenger {
@@ -54,9 +81,13 @@ impl Messenger {
             seq: 0,
             special: HashMap::new(),
             confirmations: HashMap::new(),
+            outstanding: HashMap::new(),
+            delivered: HashSet::new(),
             forward_cap,
             forwards_performed: 0,
             undeliverable: 0,
+            redeliveries: 0,
+            redelivery_given_up: 0,
         }
     }
 
@@ -68,15 +99,19 @@ impl Messenger {
 
     /// Stash an early message for a naplet that has not arrived yet
     /// (§4.2 case 3: "insert the message into a special mailbox,
-    /// waiting for the arrival of the naplet").
-    pub fn stash_early(&mut self, msg: Message) {
-        self.special.entry(msg.to.clone()).or_default().push(msg);
+    /// waiting for the arrival of the naplet"). `origin_host` receives
+    /// the delivery confirmation when the message is finally drained.
+    pub fn stash_early(&mut self, msg: Message, origin_host: &str) {
+        self.special
+            .entry(msg.to.clone())
+            .or_default()
+            .push((msg, origin_host.to_string()));
     }
 
     /// On naplet arrival: take everything waiting in the special
     /// mailbox ("dumps the B's messages in the special mailbox to B's
-    /// mailbox").
-    pub fn drain_early(&mut self, id: &NapletId) -> Vec<Message> {
+    /// mailbox"), each with its confirmation destination.
+    pub fn drain_early(&mut self, id: &NapletId) -> Vec<(Message, String)> {
         self.special.remove(id).unwrap_or_default()
     }
 
@@ -94,6 +129,7 @@ impl Messenger {
         delivered_at: &str,
         now: Millis,
     ) {
+        self.outstanding.remove(&(sender.clone(), seq));
         self.confirmations.insert(
             (sender, seq),
             ConfirmRecord {
@@ -101,6 +137,74 @@ impl Messenger {
                 at: now,
             },
         );
+    }
+
+    /// Start tracking an origin-posted message for redelivery. Returns
+    /// `true` when this is a new registration (the caller should arm a
+    /// redelivery timer), `false` when the message is already tracked
+    /// or already confirmed.
+    pub fn track_outstanding(&mut self, msg: &Message, now: Millis) -> bool {
+        let key = (msg.from.clone(), msg.seq);
+        if self.confirmations.contains_key(&key) || self.outstanding.contains_key(&key) {
+            return false;
+        }
+        self.outstanding.insert(
+            key,
+            OutstandingPost {
+                msg: msg.clone(),
+                attempts: 1,
+                first_sent: now,
+            },
+        );
+        true
+    }
+
+    /// The unconfirmed record for a message identity, if any.
+    pub fn unconfirmed(&self, sender: &Sender, seq: u64) -> Option<&OutstandingPost> {
+        self.outstanding.get(&(sender.clone(), seq))
+    }
+
+    /// Messages currently awaiting confirmation.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Bump the attempt counter and return a fresh copy of the message
+    /// for retransmission. `None` when the message is no longer tracked
+    /// (confirmed or abandoned in the meantime).
+    pub fn begin_redelivery(&mut self, sender: &Sender, seq: u64) -> Option<Message> {
+        let rec = self.outstanding.get_mut(&(sender.clone(), seq))?;
+        rec.attempts += 1;
+        self.redeliveries += 1;
+        Some(rec.msg.clone())
+    }
+
+    /// Abandon redelivery of a message. Returns `true` when it was
+    /// still tracked.
+    pub fn give_up(&mut self, sender: &Sender, seq: u64) -> bool {
+        let removed = self.outstanding.remove(&(sender.clone(), seq)).is_some();
+        if removed {
+            self.redelivery_given_up += 1;
+        }
+        removed
+    }
+
+    /// Idempotent delivery check: returns `true` the first time a
+    /// message identity is delivered at this server, `false` for a
+    /// retransmitted duplicate (which must still be re-confirmed but
+    /// not deposited again). The set is kept for the server's lifetime;
+    /// entries are a few dozen bytes and experiments are finite.
+    pub fn record_delivery(&mut self, sender: Sender, seq: u64, sent_at: Millis) -> bool {
+        self.delivered.insert((sender, seq, sent_at.0))
+    }
+
+    /// A delivered-but-unread message left this server's custody (it
+    /// was re-posted toward the naplet's next host at departure):
+    /// forget the delivery so the chase can deliver it again here if
+    /// the naplet's travels bring it back. Returns `true` when a
+    /// record was removed.
+    pub fn forget_delivery(&mut self, sender: &Sender, seq: u64, sent_at: Millis) -> bool {
+        self.delivered.remove(&(sender.clone(), seq, sent_at.0))
     }
 
     /// Inquiry: has the message been confirmed, and where?
@@ -147,12 +251,19 @@ mod tests {
     #[test]
     fn special_mailbox_stashes_and_drains_in_order() {
         let mut m = Messenger::default();
-        m.stash_early(msg(1, nid(5), 0));
-        m.stash_early(msg(2, nid(5), 0));
-        m.stash_early(msg(3, nid(6), 0));
+        m.stash_early(msg(1, nid(5), 0), "s1");
+        m.stash_early(msg(2, nid(5), 0), "s2");
+        m.stash_early(msg(3, nid(6), 0), "s1");
         assert_eq!(m.early_waiting(), 3);
         let drained = m.drain_early(&nid(5));
-        assert_eq!(drained.iter().map(|m| m.seq).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(
+            drained.iter().map(|(m, _)| m.seq).collect::<Vec<_>>(),
+            [1, 2]
+        );
+        assert_eq!(
+            drained.iter().map(|(_, o)| o.as_str()).collect::<Vec<_>>(),
+            ["s1", "s2"]
+        );
         assert_eq!(m.early_waiting(), 1);
         assert!(m.drain_early(&nid(5)).is_empty());
     }
@@ -176,5 +287,49 @@ mod tests {
         assert!(!m.may_forward(&msg(1, nid(1), 2)));
         assert_eq!(m.forwards_performed, 2);
         assert_eq!(m.undeliverable, 1);
+    }
+
+    #[test]
+    fn outstanding_tracked_until_confirmed() {
+        let mut m = Messenger::default();
+        let message = msg(7, nid(1), 0);
+        assert!(m.track_outstanding(&message, Millis(10)));
+        assert!(!m.track_outstanding(&message, Millis(11)), "no double-arm");
+        assert_eq!(m.outstanding_count(), 1);
+        assert_eq!(m.unconfirmed(&message.from, 7).unwrap().attempts, 1);
+
+        let copy = m.begin_redelivery(&message.from, 7).unwrap();
+        assert_eq!(copy.seq, 7);
+        assert_eq!(m.unconfirmed(&message.from, 7).unwrap().attempts, 2);
+        assert_eq!(m.redeliveries, 1);
+
+        m.record_confirmation(message.from.clone(), 7, "s2", Millis(50));
+        assert_eq!(m.outstanding_count(), 0);
+        assert!(m.begin_redelivery(&message.from, 7).is_none());
+        // a confirmed message is never re-tracked
+        assert!(!m.track_outstanding(&message, Millis(60)));
+    }
+
+    #[test]
+    fn give_up_counts_abandonment() {
+        let mut m = Messenger::default();
+        let message = msg(3, nid(2), 0);
+        m.track_outstanding(&message, Millis(0));
+        assert!(m.give_up(&message.from, 3));
+        assert!(!m.give_up(&message.from, 3));
+        assert_eq!(m.redelivery_given_up, 1);
+        assert_eq!(m.outstanding_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_deliveries_detected() {
+        let mut m = Messenger::default();
+        let sender = Sender::Naplet(nid(9));
+        assert!(m.record_delivery(sender.clone(), 1, Millis(5)));
+        assert!(!m.record_delivery(sender.clone(), 1, Millis(5)), "dup");
+        // same seq from a different origin server (later timestamp) is
+        // a distinct message, not a duplicate
+        assert!(m.record_delivery(sender.clone(), 1, Millis(80)));
+        assert!(m.record_delivery(sender, 2, Millis(5)));
     }
 }

@@ -1,0 +1,94 @@
+//! Retry/backoff policy for the reliable-transfer layer.
+//!
+//! Both navigator handoffs (landing permits and naplet transfers) and
+//! post-office redelivery share one policy: a per-transfer
+//! acknowledgement timer with capped exponential backoff and
+//! deterministic jitter. After [`RetryPolicy::max_retries`] attempts the
+//! navigator gives up — an `Alt` itinerary falls back to its next
+//! branch, otherwise the naplet is parked with a navigation-log failure
+//! entry; a message is counted as undeliverable.
+
+use serde::{Deserialize, Serialize};
+
+/// Timeout/retry parameters for acknowledged transfers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Acknowledgement timeout for the first attempt (ms).
+    pub base_timeout_ms: u64,
+    /// Cap on the exponentially growing timeout (ms).
+    pub max_timeout_ms: u64,
+    /// Total send attempts (first try included) before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_timeout_ms: 200,
+            max_timeout_ms: 3_200,
+            max_retries: 6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Capped exponential backoff for a 1-based attempt number:
+    /// `min(base << (attempt-1), max)`.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(16);
+        self.base_timeout_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.max_timeout_ms)
+    }
+
+    /// Backoff plus deterministic jitter in `[0, backoff/4]`, keyed on
+    /// the transfer identity. Jitter de-synchronizes retry storms while
+    /// keeping discrete-event runs reproducible.
+    pub fn jittered_backoff_ms(&self, key: u64, attempt: u32) -> u64 {
+        let backoff = self.backoff_ms(attempt);
+        let span = (backoff / 4).max(1);
+        // splitmix64-style finalizer over (key, attempt)
+        let mut h = key ^ (u64::from(attempt) << 32) ^ 0x9e37_79b9_7f4a_7c15;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        backoff + (h % span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(1), 200);
+        assert_eq!(p.backoff_ms(2), 400);
+        assert_eq!(p.backoff_ms(3), 800);
+        assert_eq!(p.backoff_ms(4), 1_600);
+        assert_eq!(p.backoff_ms(5), 3_200);
+        assert_eq!(p.backoff_ms(6), 3_200); // capped
+        assert_eq!(p.backoff_ms(60), 3_200); // shift amount clamped
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=6 {
+            for key in [0u64, 1, 42, u64::MAX] {
+                let a = p.jittered_backoff_ms(key, attempt);
+                let b = p.jittered_backoff_ms(key, attempt);
+                assert_eq!(a, b, "jitter must be deterministic");
+                let base = p.backoff_ms(attempt);
+                assert!(a >= base && a <= base + base / 4 + 1);
+            }
+        }
+        // different keys should usually jitter differently
+        assert_ne!(
+            p.jittered_backoff_ms(1, 3),
+            p.jittered_backoff_ms(2, 3),
+            "distinct transfers should de-synchronize"
+        );
+    }
+}

@@ -195,6 +195,9 @@ impl SimRuntime {
 
     fn dispatch(&mut self, ev: SimEvent) {
         let now = self.now();
+        // keep the fabric's fault schedules (down-windows, loss bursts)
+        // in step with virtual time
+        self.fabric.set_now(now.0);
         match ev {
             SimEvent::Deliver { from, to, wire } => {
                 if let Some(server) = self.servers.get_mut(&to) {
@@ -269,6 +272,10 @@ impl SimRuntime {
         let payload_len = naplet_core::codec::encoded_size(&wire).unwrap_or(0) as usize;
         let bytes = frame_bytes(from, to, payload_len);
         let class = wire.traffic_class();
+        self.fabric.set_now(self.queue.now());
+        if wire.retry_attempt() > 1 {
+            self.fabric.stats().record_retransmit();
+        }
         match self.fabric.transfer(from, to, class, bytes) {
             Ok(Some(delay)) => {
                 self.queue.push_after(

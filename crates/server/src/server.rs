@@ -16,7 +16,7 @@ use naplet_core::codebase::{CodeCache, CodebaseRegistry};
 use naplet_core::context::NapletContext;
 use naplet_core::error::{NapletError, Result};
 use naplet_core::id::NapletId;
-use naplet_core::itinerary::{ActionSpec, Step};
+use naplet_core::itinerary::{ActionSpec, Cursor, Step};
 use naplet_core::message::{ControlVerb, Mailbox, Message, Payload, Sender};
 use naplet_core::naplet::{AgentKind, Naplet};
 use naplet_core::value::Value;
@@ -29,6 +29,7 @@ use crate::manager::{NapletManager, NapletStatus};
 use crate::messenger::Messenger;
 use crate::monitor::{MonitorPolicy, NapletMonitor, RunState};
 use crate::resources::ResourceManager;
+use crate::retry::RetryPolicy;
 use crate::security::{Permission, SecurityManager};
 
 /// How naplets are traced and located (paper §4.1).
@@ -59,6 +60,8 @@ pub struct ServerConfig {
     pub actions: ActionRegistry,
     /// Admission cap: refuse LANDING above this many residents.
     pub max_residents: Option<usize>,
+    /// Retry/backoff parameters for the reliable-transfer layer.
+    pub retry: RetryPolicy,
 }
 
 impl ServerConfig {
@@ -72,15 +75,36 @@ impl ServerConfig {
             codebase: CodebaseRegistry::new(),
             actions: ActionRegistry::new(),
             max_residents: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-struct PendingLaunch {
+/// Where an outbound migration stands in the acknowledged handoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransferPhase {
+    /// LandingRequest sent; waiting for the LandingReply permit.
+    AwaitingPermit,
+    /// Transfer sent; waiting for the receiver's TransferAck. The
+    /// origin retains the serialized naplet until then.
+    AwaitingAck,
+}
+
+/// An outbound migration the navigator has not committed yet. The
+/// naplet stays in the origin's custody until the destination
+/// acknowledges the transfer, so a lost frame can be retried and a
+/// dead destination can be failed over.
+struct PendingTransfer {
     naplet: Naplet,
     action: Option<ActionSpec>,
     mailbox: Mailbox,
     dest: String,
+    /// Cursor snapshot from before the `advance()` that chose `dest`;
+    /// restored on permanent failure so the itinerary can re-decide
+    /// (an `Alt` then falls back to its next branch).
+    checkpoint: Cursor,
+    phase: TransferPhase,
+    attempt: u32,
 }
 
 struct PendingQuery {
@@ -112,13 +136,23 @@ pub struct NapletServer {
     code_cache: CodeCache,
     actions: ActionRegistry,
     max_residents: Option<usize>,
+    retry: RetryPolicy,
     next_token: u64,
-    pending_launches: HashMap<u64, PendingLaunch>,
+    pending_transfers: HashMap<u64, PendingTransfer>,
     pending_queries: HashMap<u64, PendingQuery>,
     /// Naplets whose LANDING we granted and whose transfer has not
     /// arrived yet: messages for them wait here instead of chasing a
     /// stale footprint trail (§4.2 case 3 under cyclic itineraries).
     expected_arrivals: HashMap<NapletId, Millis>,
+    /// Transfers already admitted here, keyed by (origin host,
+    /// transfer id): a retransmitted `Transfer` is re-acknowledged but
+    /// never re-admitted (idempotent delivery).
+    seen_transfers: HashMap<(String, u64), Millis>,
+    /// Naplets stranded here after the reliable-transfer layer gave up
+    /// on a required destination with no itinerary fallback. Held for
+    /// owner inspection/recovery; their home is notified with
+    /// [`NapletStatus::Parked`].
+    pub parked: HashMap<NapletId, Naplet>,
     app_handler: Option<AppHandler>,
     state_hook: Option<StateHook>,
     /// Listener reports received for naplets homed here.
@@ -147,10 +181,13 @@ impl NapletServer {
             code_cache: CodeCache::new(),
             actions: config.actions,
             max_residents: config.max_residents,
+            retry: config.retry,
             next_token: 0,
-            pending_launches: HashMap::new(),
+            pending_transfers: HashMap::new(),
             pending_queries: HashMap::new(),
             expected_arrivals: HashMap::new(),
+            seen_transfers: HashMap::new(),
+            parked: HashMap::new(),
             app_handler: None,
             state_hook: None,
             reports: Vec::new(),
@@ -269,6 +306,7 @@ impl NapletServer {
                 credential,
                 naplet_id,
                 est_bytes,
+                attempt,
             } => {
                 let decision = self.landing_decision(&credential, &naplet_id, est_bytes);
                 let (granted, reason) = match decision {
@@ -284,7 +322,7 @@ impl NapletServer {
                 self.logf(
                     now,
                     format!(
-                        "LANDING {naplet_id} from {from_host}: {}",
+                        "LANDING {naplet_id} from {from_host} (attempt {attempt}): {}",
                         if granted { "grant" } else { "deny" }
                     ),
                 );
@@ -302,12 +340,20 @@ impl NapletServer {
                 granted,
                 reason,
             } => {
-                let Some(pending) = self.pending_launches.remove(&token) else {
+                // a reply is stray when the transfer was already
+                // committed/failed, or a duplicate when a retried
+                // request was answered more than once
+                let stale = match self.pending_transfers.get(&token) {
+                    None => true,
+                    Some(p) => p.phase != TransferPhase::AwaitingPermit,
+                };
+                if stale {
                     self.logf(now, format!("stray LandingReply token {token}"));
                     return;
-                };
+                }
+                let pending = self.pending_transfers.remove(&token).unwrap();
                 if granted {
-                    self.complete_departure(pending, now, out);
+                    self.complete_departure(token, pending, now, out);
                 } else {
                     let id = pending.naplet.id().clone();
                     self.logf(
@@ -319,13 +365,46 @@ impl NapletServer {
                 }
             }
             Wire::Transfer(envelope) => {
-                self.admit_arrival(envelope, Some(from), now, out);
+                let transfer_id = envelope.transfer_id;
+                let id = envelope.naplet.id().clone();
+                let key = (from.to_string(), transfer_id);
+                let duplicate = self.seen_transfers.contains_key(&key);
+                // acknowledge every attempt — the previous ack may have
+                // been the frame that was lost
+                out.push(Output::Send {
+                    to: from.to_string(),
+                    wire: Wire::TransferAck {
+                        transfer_id,
+                        id: id.clone(),
+                    },
+                });
+                if duplicate {
+                    self.logf(
+                        now,
+                        format!(
+                            "duplicate TRANSFER {id} (attempt {}): already admitted",
+                            envelope.attempt
+                        ),
+                    );
+                    return;
+                }
+                self.seen_transfers.retain(|_, t| now.since(*t) < 600_000);
+                self.seen_transfers.insert(key, now);
+                self.admit_arrival(envelope, Some(from), Mailbox::new(), now, out);
+            }
+            Wire::TransferAck { transfer_id, id } => {
+                if self.pending_transfers.remove(&transfer_id).is_some() {
+                    // commit: the destination has the agent — release
+                    // the retained copy
+                    self.logf(now, format!("HANDOFF commit {id} (transfer {transfer_id})"));
+                }
             }
             Wire::DirRegister {
                 id,
                 host,
                 event,
                 ack_to,
+                attempt: _,
             } => {
                 self.directory.register(&id, &host, event, now);
                 if event == DirEvent::Arrival {
@@ -381,7 +460,7 @@ impl NapletServer {
                         // its home server's special mailbox (case 3)
                         let home = id.home().to_string();
                         if home == self.host {
-                            self.messenger.stash_early(pending.msg);
+                            self.messenger.stash_early(pending.msg, &self.host);
                         } else {
                             self.send_post(pending.msg, &home, now, out);
                         }
@@ -477,6 +556,102 @@ impl NapletServer {
                     }
                 }
             }
+            LocalEvent::TransferTimeout {
+                transfer_id,
+                attempt,
+            } => {
+                let Some(pending) = self.pending_transfers.remove(&transfer_id) else {
+                    return; // acknowledged (or failed) in the meantime
+                };
+                if pending.attempt != attempt {
+                    // a newer attempt has its own timer; this one is stale
+                    self.pending_transfers.insert(transfer_id, pending);
+                    return;
+                }
+                if pending.attempt >= self.retry.max_retries {
+                    self.fail_migration(transfer_id, pending, now, out);
+                    return;
+                }
+                self.retransmit(transfer_id, pending, now, out);
+            }
+            LocalEvent::RegisterTimeout { id, attempt } => {
+                let waiting = self
+                    .monitor
+                    .get_mut(&id)
+                    .is_some_and(|e| e.state == RunState::AwaitingArrivalAck);
+                if !waiting {
+                    return; // acked (or gone) in the meantime
+                }
+                if attempt >= self.retry.max_retries {
+                    // the directory holder is unreachable: executing
+                    // with a possibly stale directory entry beats
+                    // stranding the agent — the forwarding chase and
+                    // delivery confirmations repair stale locations
+                    self.logf(
+                        now,
+                        format!("REGISTER unacked for {id} after {attempt} attempts: proceeding"),
+                    );
+                    self.proceed_after_registration(&id, now, out);
+                    return;
+                }
+                let Some(holder) = self.directory_holder(&id) else {
+                    self.proceed_after_registration(&id, now, out);
+                    return;
+                };
+                let next = attempt + 1;
+                self.logf(now, format!("RETRY register {id} (attempt {next})"));
+                out.push(Output::Send {
+                    to: holder,
+                    wire: Wire::DirRegister {
+                        id: id.clone(),
+                        host: self.host.clone(),
+                        event: DirEvent::Arrival,
+                        ack_to: Some(self.host.clone()),
+                        attempt: next,
+                    },
+                });
+                self.arm_register_timer(&id, next, out);
+            }
+            LocalEvent::PostTimeout {
+                sender,
+                seq,
+                attempt,
+            } => {
+                let Some(rec) = self.messenger.unconfirmed(&sender, seq) else {
+                    return; // confirmed or abandoned in the meantime
+                };
+                if rec.attempts != attempt {
+                    return; // stale timer from an earlier attempt
+                }
+                if attempt >= self.retry.max_retries {
+                    self.messenger.give_up(&sender, seq);
+                    self.logf(
+                        now,
+                        format!("REDELIVERY exhausted for message {seq} from {sender:?}"),
+                    );
+                    return;
+                }
+                let Some(msg) = self.messenger.begin_redelivery(&sender, seq) else {
+                    return;
+                };
+                // whatever hint routed the lost attempt is suspect —
+                // drop the cached location and re-resolve from scratch
+                self.locator.invalidate(&msg.to);
+                let next = attempt + 1;
+                self.logf(
+                    now,
+                    format!("REDELIVER message {seq} to {} (attempt {next})", msg.to),
+                );
+                out.push(Output::Schedule {
+                    delay_ms: self.retry.jittered_backoff_ms(seq ^ 0x504f_5354, next),
+                    event: LocalEvent::PostTimeout {
+                        sender,
+                        seq,
+                        attempt: next,
+                    },
+                });
+                self.route_message(msg, None, now, out);
+            }
         }
     }
 
@@ -513,19 +688,25 @@ impl NapletServer {
         out: &mut Vec<Output>,
     ) {
         loop {
+            // snapshot the traversal state before deciding the next
+            // step, so a permanently failed migration can rewind and
+            // re-decide with the destination marked unreachable
+            let checkpoint = naplet.cursor().clone();
             match naplet.advance() {
                 Step::Visit { host, action } => {
                     if host == self.host {
                         // a visit to the current host needs no
-                        // migration; unread mail rides along via the
-                        // special mailbox, drained on (re-)admission
-                        for m in mailbox.drain() {
-                            self.messenger.stash_early(m);
-                        }
-                        let envelope = TransferEnvelope { naplet, action };
-                        self.admit_arrival(envelope, None, now, out);
+                        // migration; unread mail stays in the naplet's
+                        // custody and rides straight into the new entry
+                        let envelope = TransferEnvelope {
+                            naplet,
+                            action,
+                            transfer_id: 0, // same-host: no handoff protocol
+                            attempt: 1,
+                        };
+                        self.admit_arrival(envelope, None, mailbox, now, out);
                     } else {
-                        self.begin_migration(naplet, mailbox, action, host, now, out);
+                        self.begin_migration(naplet, mailbox, action, host, checkpoint, now, out);
                     }
                     return;
                 }
@@ -561,12 +742,14 @@ impl NapletServer {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn begin_migration(
         &mut self,
         naplet: Naplet,
         mailbox: Mailbox,
         action: Option<ActionSpec>,
         dest: String,
+        checkpoint: Cursor,
         now: Millis,
         out: &mut Vec<Output>,
     ) {
@@ -576,33 +759,76 @@ impl NapletServer {
             self.continue_journey(naplet, mailbox, now, out);
             return;
         }
-        let token = self.token();
+        let transfer_id = self.token();
         let est_bytes = naplet.wire_size().unwrap_or(0);
         let wire = Wire::LandingRequest {
-            token,
+            token: transfer_id,
             from_host: self.host.clone(),
             credential: naplet.credential().clone(),
             naplet_id: naplet.id().clone(),
             est_bytes,
+            attempt: 1,
         };
-        self.pending_launches.insert(
-            token,
-            PendingLaunch {
+        self.pending_transfers.insert(
+            transfer_id,
+            PendingTransfer {
                 naplet,
                 action,
                 mailbox,
                 dest: dest.clone(),
+                checkpoint,
+                phase: TransferPhase::AwaitingPermit,
+                attempt: 1,
             },
         );
         out.push(Output::Send { to: dest, wire });
+        self.arm_transfer_timer(transfer_id, 1, out);
     }
 
-    fn complete_departure(&mut self, pending: PendingLaunch, now: Millis, out: &mut Vec<Output>) {
-        let PendingLaunch {
+    /// Arm the acknowledgement timer for the given attempt of an
+    /// outstanding transfer (shared by both handoff phases).
+    fn arm_transfer_timer(&self, transfer_id: u64, attempt: u32, out: &mut Vec<Output>) {
+        out.push(Output::Schedule {
+            delay_ms: self.retry.jittered_backoff_ms(transfer_id, attempt),
+            event: LocalEvent::TransferTimeout {
+                transfer_id,
+                attempt,
+            },
+        });
+    }
+
+    /// Arm the acknowledgement timer for an arrival registration; keyed
+    /// on the naplet id so concurrent arrivals jitter apart.
+    fn arm_register_timer(&self, id: &NapletId, attempt: u32, out: &mut Vec<Output>) {
+        let key = id.to_string().bytes().fold(0x5245_4749u64, |h, b| {
+            h.wrapping_mul(131).wrapping_add(u64::from(b))
+        });
+        out.push(Output::Schedule {
+            delay_ms: self.retry.jittered_backoff_ms(key, attempt),
+            event: LocalEvent::RegisterTimeout {
+                id: id.clone(),
+                attempt,
+            },
+        });
+    }
+
+    /// The landing permit arrived: perform the one-time departure side
+    /// effects and send the agent. The naplet stays in our custody
+    /// (phase `AwaitingAck`) until the destination acknowledges it.
+    fn complete_departure(
+        &mut self,
+        transfer_id: u64,
+        pending: PendingTransfer,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let PendingTransfer {
             naplet,
             action,
             mut mailbox,
             dest,
+            checkpoint,
+            ..
         } = pending;
         let id = naplet.id().clone();
         self.manager.record_departure(&id, &dest, now);
@@ -614,6 +840,7 @@ impl NapletServer {
                 host: self.host.clone(),
                 event: DirEvent::Departure,
                 ack_to: None,
+                attempt: 1,
             };
             if holder == self.host {
                 self.directory
@@ -627,29 +854,194 @@ impl NapletServer {
         // destination so the chase can catch up, and likewise any
         // unread mailbox messages — the post office keeps custody of
         // undelivered mail rather than dropping it with the mailbox
-        for mut m in self.messenger.drain_early(&id) {
+        for (mut m, origin) in self.messenger.drain_early(&id) {
             m.forward_hops += 1;
-            self.send_post(m, &dest, now, out);
+            self.send_post_from(m, &dest, origin, now, out);
         }
         for mut m in mailbox.drain() {
+            // unread mail leaves local custody: forget its delivery so
+            // the chase can deliver it here again on a future revisit
+            self.messenger.forget_delivery(&m.from, m.seq, m.sent_at);
             m.forward_hops += 1;
             self.send_post(m, &dest, now, out);
         }
         out.push(Output::Send {
-            to: dest,
-            wire: Wire::Transfer(TransferEnvelope { naplet, action }),
+            to: dest.clone(),
+            wire: Wire::Transfer(TransferEnvelope {
+                naplet: naplet.clone(),
+                action: action.clone(),
+                transfer_id,
+                attempt: 1,
+            }),
         });
+        self.pending_transfers.insert(
+            transfer_id,
+            PendingTransfer {
+                naplet,
+                action,
+                mailbox: Mailbox::new(),
+                dest,
+                checkpoint,
+                phase: TransferPhase::AwaitingAck,
+                attempt: 1,
+            },
+        );
+        self.arm_transfer_timer(transfer_id, 1, out);
+    }
+
+    /// An acknowledgement timer expired with retries left: resend the
+    /// current phase's wire with the next attempt number.
+    fn retransmit(
+        &mut self,
+        transfer_id: u64,
+        mut pending: PendingTransfer,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        pending.attempt += 1;
+        let attempt = pending.attempt;
+        let dest = pending.dest.clone();
+        let id = pending.naplet.id().clone();
+        let wire = match pending.phase {
+            TransferPhase::AwaitingPermit => Wire::LandingRequest {
+                token: transfer_id,
+                from_host: self.host.clone(),
+                credential: pending.naplet.credential().clone(),
+                naplet_id: id.clone(),
+                est_bytes: pending.naplet.wire_size().unwrap_or(0),
+                attempt,
+            },
+            TransferPhase::AwaitingAck => Wire::Transfer(TransferEnvelope {
+                naplet: pending.naplet.clone(),
+                action: pending.action.clone(),
+                transfer_id,
+                attempt,
+            }),
+        };
+        self.pending_transfers.insert(transfer_id, pending);
+        self.logf(now, format!("RETRY {id} -> {dest} (attempt {attempt})"));
+        out.push(Output::Send { to: dest, wire });
+        self.arm_transfer_timer(transfer_id, attempt, out);
+    }
+
+    /// All retries exhausted: rewind the itinerary to the pre-departure
+    /// checkpoint, record the failure, and either fall back to another
+    /// branch (`Alt`) or park the naplet here.
+    fn fail_migration(
+        &mut self,
+        transfer_id: u64,
+        pending: PendingTransfer,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let PendingTransfer {
+            mut naplet,
+            mailbox,
+            dest,
+            checkpoint,
+            phase,
+            attempt,
+            ..
+        } = pending;
+        let id = naplet.id().clone();
+        let reason = match phase {
+            TransferPhase::AwaitingPermit => "no landing reply",
+            TransferPhase::AwaitingAck => "transfer unacknowledged",
+        };
+        self.logf(
+            now,
+            format!(
+                "HANDOFF failed {id} -> {dest} after {attempt} attempts \
+                 ({reason}; transfer {transfer_id})"
+            ),
+        );
+        naplet.set_cursor(checkpoint);
+        naplet.nav_log.record_failure(&dest, now, attempt, reason);
+        if phase == TransferPhase::AwaitingAck {
+            // departure bookkeeping already ran optimistically when the
+            // permit arrived; the agent is back in our custody now
+            self.manager.record_arrival(&id, None, now);
+        }
+        // with `dest` now in the unreachable set, an Alt re-decides;
+        // if the next step is still the same dead destination this is
+        // a hard (Seq) requirement — park instead of looping
+        match naplet.peek_next_host() {
+            Some(next) if next == dest => self.park(naplet, mailbox, &dest, attempt, now, out),
+            _ => self.continue_journey(naplet, mailbox, now, out),
+        }
+    }
+
+    /// Strand the naplet at this server after an unrecoverable
+    /// migration failure: re-register it here, notify its home with
+    /// [`NapletStatus::Parked`] and keep it for owner recovery. Unread
+    /// mail returns to the special mailbox rather than being dropped.
+    fn park(
+        &mut self,
+        naplet: Naplet,
+        mut mailbox: Mailbox,
+        dest: &str,
+        attempts: u32,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let id = naplet.id().clone();
+        self.logf(
+            now,
+            format!("PARK {id}: {dest} unreachable after {attempts} attempts"),
+        );
+        for m in mailbox.drain() {
+            self.messenger.forget_delivery(&m.from, m.seq, m.sent_at);
+            self.messenger.stash_early(m, &self.host);
+        }
+        // make the parked naplet locatable here again
+        if let Some(holder) = self.directory_holder(&id) {
+            if holder == self.host {
+                self.directory
+                    .register(&id, &self.host.clone(), DirEvent::Arrival, now);
+            } else {
+                out.push(Output::Send {
+                    to: holder,
+                    wire: Wire::DirRegister {
+                        id: id.clone(),
+                        host: self.host.clone(),
+                        event: DirEvent::Arrival,
+                        ack_to: None,
+                        attempt: 1,
+                    },
+                });
+            }
+        }
+        self.notify_home(
+            &id,
+            NapletStatus::Parked,
+            &format!("destination {dest} unreachable"),
+            now,
+            out,
+        );
+        self.parked.insert(id, naplet);
+    }
+
+    /// Outbound migrations currently awaiting a permit or an
+    /// acknowledgement (diagnostics/tests).
+    pub fn pending_transfer_count(&self) -> usize {
+        self.pending_transfers.len()
     }
 
     /// Arrival processing (local continuation or network transfer).
+    /// `carry` is mail already in the naplet's custody (same-host
+    /// continuations); it bypasses the delivery-dedup check because it
+    /// was delivered once already.
     fn admit_arrival(
         &mut self,
         envelope: TransferEnvelope,
         from: Option<&str>,
+        mut carry: Mailbox,
         now: Millis,
         out: &mut Vec<Output>,
     ) {
-        let TransferEnvelope { mut naplet, action } = envelope;
+        let TransferEnvelope {
+            mut naplet, action, ..
+        } = envelope;
         let id = naplet.id().clone();
         if let Err(e) = self.security.verify_naplet(&naplet) {
             self.logf(now, format!("ARRIVAL rejected for {id}: {e}"));
@@ -670,14 +1062,45 @@ impl NapletServer {
 
         let state = RunState::AwaitingArrivalAck;
         let entry = self.monitor.admit(naplet, action, state, now);
-        // deliver any messages that arrived before the naplet (§4.2
-        // case 3): user messages into the mailbox, system messages as
-        // interrupts after the arrival bookkeeping below
         let mut pending_controls = Vec::new();
-        for m in self.messenger.drain_early(&id) {
+        // custody mail rides straight back into the new entry
+        for m in carry.drain() {
             match &m.payload {
                 Payload::System(verb) => pending_controls.push(verb.clone()),
                 Payload::User(_) => entry.mailbox.deposit(m),
+            }
+        }
+        // deliver any messages that arrived before the naplet (§4.2
+        // case 3): user messages into the mailbox, system messages as
+        // interrupts after the arrival bookkeeping below; each drained
+        // message is confirmed to its origin (duplicates too — the
+        // earlier confirmation may be the frame that was lost)
+        for (m, origin) in self.messenger.drain_early(&id) {
+            let sender = m.from.clone();
+            let seq = m.seq;
+            // redelivered copies may have been stashed more than once
+            if self
+                .messenger
+                .record_delivery(sender.clone(), seq, m.sent_at)
+            {
+                match &m.payload {
+                    Payload::System(verb) => pending_controls.push(verb.clone()),
+                    Payload::User(_) => entry.mailbox.deposit(m),
+                }
+            }
+            if origin == self.host {
+                self.messenger
+                    .record_confirmation(sender, seq, &self.host, now);
+            } else {
+                out.push(Output::Send {
+                    to: origin,
+                    wire: Wire::PostConfirm {
+                        sender,
+                        seq,
+                        target: id.clone(),
+                        delivered_at: self.host.clone(),
+                    },
+                });
             }
         }
 
@@ -691,9 +1114,13 @@ impl NapletServer {
                         host: self.host.clone(),
                         event: DirEvent::Arrival,
                         ack_to: Some(self.host.clone()),
+                        attempt: 1,
                     },
                 });
-                // stay in AwaitingArrivalAck until DirAck
+                // stay in AwaitingArrivalAck until DirAck; the
+                // registration is retried like any other acked frame —
+                // a lost DirRegister/DirAck must not strand the agent
+                self.arm_register_timer(&id, 1, out);
             }
             Some(_) => {
                 // we are the directory holder: register synchronously
@@ -1045,9 +1472,23 @@ impl NapletServer {
     // =====================================================================
 
     fn send_post(&mut self, msg: Message, to_host: &str, now: Millis, out: &mut Vec<Output>) {
+        let origin = self.host.clone();
+        self.send_post_from(msg, to_host, origin, now, out);
+    }
+
+    /// Like [`send_post`](Self::send_post), but preserving a message's
+    /// original confirmation destination when this server is merely
+    /// relaying (e.g. forwarding early-stashed mail after a departure).
+    fn send_post_from(
+        &mut self,
+        msg: Message,
+        to_host: &str,
+        origin: String,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
         if to_host == self.host {
             // route internally without the wire
-            let origin = self.host.clone();
             let mut tmp = Vec::new();
             self.deliver_or_chase(msg, origin, now, &mut tmp);
             out.extend(tmp);
@@ -1056,13 +1497,16 @@ impl NapletServer {
                 to: to_host.to_string(),
                 wire: Wire::Post {
                     msg,
-                    origin_host: self.host.clone(),
+                    origin_host: origin,
                 },
             });
         }
     }
 
-    /// First-hop routing for a locally posted message.
+    /// First-hop routing for a locally posted message. Also the
+    /// redelivery entry point: the origin retains a copy and arms a
+    /// timer, so a message lost in flight is re-routed until its
+    /// delivery confirmation arrives (or retries run out).
     fn route_message(
         &mut self,
         msg: Message,
@@ -1071,6 +1515,16 @@ impl NapletServer {
         out: &mut Vec<Output>,
     ) {
         let target = msg.to.clone();
+        if self.messenger.track_outstanding(&msg, now) {
+            out.push(Output::Schedule {
+                delay_ms: self.retry.jittered_backoff_ms(msg.seq ^ 0x504f_5354, 1),
+                event: LocalEvent::PostTimeout {
+                    sender: msg.from.clone(),
+                    seq: msg.seq,
+                    attempt: 1,
+                },
+            });
+        }
         // resident here?
         if self.monitor.get(&target).is_some() {
             let origin = self.host.clone();
@@ -1104,7 +1558,7 @@ impl NapletServer {
                         self.locator.put(target, &host, now);
                         self.send_post(msg, &host, now, out);
                     }
-                    None => self.messenger.stash_early(msg),
+                    None => self.messenger.stash_early(msg, &self.host),
                 }
             }
             None => {
@@ -1114,13 +1568,13 @@ impl NapletServer {
                         let next = next.to_string();
                         self.send_post(msg, &next, now, out);
                     }
-                    Some(None) => self.messenger.stash_early(msg),
+                    Some(None) => self.messenger.stash_early(msg, &self.host),
                     None => match hint {
                         Some(h) if h != self.host => {
                             let h = h.to_string();
                             self.send_post(msg, &h, now, out);
                         }
-                        _ => self.messenger.stash_early(msg),
+                        _ => self.messenger.stash_early(msg, &self.host),
                     },
                 }
             }
@@ -1137,19 +1591,28 @@ impl NapletServer {
     ) {
         let target = msg.to.clone();
         if self.monitor.get(&target).is_some() {
-            // case 1: resident — deliver and confirm
+            // case 1: resident — deliver and confirm; a retransmitted
+            // duplicate is re-confirmed (the earlier confirmation may
+            // be what was lost) but never deposited twice
             let sender = msg.from.clone();
             let seq = msg.seq;
-            match &msg.payload {
-                Payload::System(verb) => {
-                    let verb = verb.clone();
-                    self.apply_control(&target, &verb, now, out);
-                }
-                Payload::User(_) => {
-                    if let Some(e) = self.monitor.get_mut(&target) {
-                        e.mailbox.deposit(msg);
+            let fresh = self
+                .messenger
+                .record_delivery(sender.clone(), seq, msg.sent_at);
+            if fresh {
+                match &msg.payload {
+                    Payload::System(verb) => {
+                        let verb = verb.clone();
+                        self.apply_control(&target, &verb, now, out);
+                    }
+                    Payload::User(_) => {
+                        if let Some(e) = self.monitor.get_mut(&target) {
+                            e.mailbox.deposit(msg);
+                        }
                     }
                 }
+            } else {
+                self.logf(now, format!("duplicate message {seq} for {target}"));
             }
             if origin_host == self.host {
                 self.messenger
@@ -1171,15 +1634,17 @@ impl NapletServer {
         // transfer is still in flight, wait for it (case 3) rather
         // than chasing a stale trail
         if self.expected_arrivals.contains_key(&target) {
-            self.messenger.stash_early(msg);
+            self.messenger.stash_early(msg, &origin_host);
             return;
         }
         match self.manager.trace(&target) {
             Some(Some(next)) => {
-                // case 2: it moved on — forward the chase
+                // case 2: it moved on — forward the chase, and refresh
+                // our own cache with the footprint's fresher pointer
+                let next = next.to_string();
+                self.locator.put(target.clone(), &next, now);
                 if self.messenger.may_forward(&msg) {
                     msg.forward_hops += 1;
-                    let next = next.to_string();
                     out.push(Output::Send {
                         to: next,
                         wire: Wire::Post { msg, origin_host },
@@ -1189,8 +1654,11 @@ impl NapletServer {
                 }
             }
             _ => {
-                // case 3: no record — it may not have arrived yet
-                self.messenger.stash_early(msg);
+                // case 3: no record — it may not have arrived yet.
+                // Whatever cached location pointed this chase here is
+                // stale; forget it so the next resolution starts fresh.
+                self.locator.invalidate(&target);
+                self.messenger.stash_early(msg, &origin_host);
             }
         }
     }

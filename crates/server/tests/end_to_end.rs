@@ -737,8 +737,10 @@ fn bandwidth_budget_drops_excess_posts_but_keeps_reports() {
         let mut cfg = ServerConfig::open(host, LocationMode::ForwardingTrace);
         cfg.codebase = reg.clone();
         // budget fits exactly one 200-byte payload
-        cfg.monitor_policy =
-            MonitorPolicy { max_msg_bytes_per_visit: 250, ..MonitorPolicy::default() };
+        cfg.monitor_policy = MonitorPolicy {
+            max_msg_bytes_per_visit: 250,
+            ..MonitorPolicy::default()
+        };
         rt.add_server(cfg);
     }
     let it = Itinerary::new(Pattern::seq_of_hosts(&["s0"], None))
@@ -758,12 +760,15 @@ fn bandwidth_budget_drops_excess_posts_but_keeps_reports() {
     rt.launch(naplet).unwrap();
     rt.run_to_quiescence(100_000);
 
-    // exactly one post made it onto the wire; the report still arrived
+    // exactly one post made it onto the wire; the reports still arrived
     let snap = rt.fabric().stats().snapshot();
-    // one Post (s0→s1) + one Report (s0→home)
-    assert_eq!(snap.messages(TrafficClass::Message), 2);
+    // one Post (s0→s1) + the explicit report + the final-action report
+    assert_eq!(snap.messages(TrafficClass::Message), 3);
     let s0 = rt.server("s0").unwrap();
-    assert!(s0.log.iter().any(|l| l.line.contains("bandwidth budget hit")));
+    assert!(s0
+        .log
+        .iter()
+        .any(|l| l.line.contains("bandwidth budget hit")));
     let reports = rt.drain_reports("home");
     assert!(!reports.is_empty(), "reports still flow after budget hit");
 }

@@ -1,0 +1,337 @@
+//! Reliability-layer tests: acknowledged handoff under faults, parked
+//! naplets, `Alt` fallback, message redelivery, special-mailbox
+//! drains, confirmation-driven cache refresh and forward-cap cycle
+//! breaking.
+
+use naplet_core::behavior::NapletBehavior;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::CodebaseRegistry;
+use naplet_core::context::NapletContext;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::Result;
+use naplet_core::id::NapletId;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::message::{Message, Payload, Sender};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::{
+    Input, LocationMode, MonitorPolicy, NapletServer, NapletStatus, Output, ServerConfig,
+    SimRuntime, TransferEnvelope, Wire,
+};
+
+const CODEBASE: &str = "naplet://code/collector.jar";
+
+/// Records visits and drains the mailbox into state, like the e2e
+/// Collector.
+struct Collector;
+
+impl NapletBehavior for Collector {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+        let host = ctx.host_name().to_string();
+        let mut visits = match ctx.state().get("visits") {
+            Value::List(l) => l,
+            _ => Vec::new(),
+        };
+        visits.push(Value::Str(host));
+        ctx.state().set("visits", Value::List(visits));
+        let mut inbox = match ctx.state().get("inbox") {
+            Value::List(l) => l,
+            _ => Vec::new(),
+        };
+        while let Some(m) = ctx.get_message()? {
+            if let Payload::User(v) = m.payload {
+                inbox.push(v);
+            }
+        }
+        ctx.state().set("inbox", Value::List(inbox));
+        Ok(())
+    }
+}
+
+fn registry() -> CodebaseRegistry {
+    let mut r = CodebaseRegistry::new();
+    r.register(CODEBASE, 4096, || Collector);
+    r
+}
+
+fn key() -> SigningKey {
+    SigningKey::new("czxu", b"campus-secret")
+}
+
+fn world(mode: LocationMode, n: usize, seed: u64) -> SimRuntime {
+    let fabric = Fabric::new(LatencyModel::Constant(2), Bandwidth::fast_ethernet(), seed);
+    let mut rt = SimRuntime::new(fabric);
+    for host in std::iter::once("home".to_string()).chain((0..n).map(|i| format!("s{i}"))) {
+        let mut cfg = ServerConfig::open(&host, mode.clone());
+        cfg.codebase = registry();
+        cfg.monitor_policy = MonitorPolicy {
+            native_dwell_ms: 5,
+            ..MonitorPolicy::default()
+        };
+        rt.add_server(cfg);
+    }
+    rt
+}
+
+fn agent(route: Pattern, ts: u64) -> Naplet {
+    let it = Itinerary::new(route)
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    Naplet::create(
+        &key(),
+        "czxu",
+        "home",
+        Millis(ts),
+        CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap()
+}
+
+fn report_list(report: &Value, field: &str) -> Vec<Value> {
+    match report.get(field) {
+        Value::List(l) => l,
+        _ => Vec::new(),
+    }
+}
+
+#[test]
+fn early_message_drained_confirmed_and_cache_refreshed() {
+    let mut rt = world(LocationMode::HomeManagers, 1, 3);
+    let naplet = agent(Pattern::seq_of_hosts(&["s0"], None), 1);
+    let id = naplet.id().clone();
+
+    // posted before launch: no directory entry yet, so the message
+    // waits in home's special mailbox, then chases the departure
+    rt.owner_post("home", id.clone(), Payload::User(Value::Int(7)))
+        .unwrap();
+    rt.launch(naplet).unwrap();
+    rt.run_to_quiescence(1_000_000);
+
+    let reports = rt.drain_reports("home");
+    assert_eq!(reports.len(), 1);
+    let inbox = report_list(&reports[0].1, "inbox");
+    assert_eq!(
+        inbox,
+        vec![Value::Int(7)],
+        "late arrival must drain the stash"
+    );
+
+    // the drain confirmed delivery back to the origin…
+    let home = rt.server("home").unwrap();
+    let c = home
+        .messenger
+        .confirmation(&Sender::Owner("home".into()), 1)
+        .expect("delivery must be confirmed to the origin");
+    assert_eq!(c.delivered_at, "s0");
+    assert_eq!(
+        home.messenger.outstanding_count(),
+        0,
+        "no redelivery left armed"
+    );
+    // …and the confirmation refreshed the origin's location cache
+    let loc = rt
+        .server_mut("home")
+        .unwrap()
+        .locator
+        .get(&id)
+        .expect("confirmation must refresh the location cache");
+    assert_eq!(loc.host, "s0");
+}
+
+#[test]
+fn redelivery_gives_up_after_max_retries() {
+    let mut rt = world(LocationMode::HomeManagers, 1, 4);
+    // target never launched anywhere: every delivery attempt strands
+    let ghost = NapletId::new("czxu", "home", Millis(99)).unwrap();
+    rt.owner_post("home", ghost, Payload::User(Value::Int(1)))
+        .unwrap();
+    rt.run_to_quiescence(1_000_000);
+    let home = rt.server("home").unwrap();
+    assert_eq!(
+        home.messenger.redeliveries, 5,
+        "attempts 2..=6 are redeliveries"
+    );
+    assert_eq!(home.messenger.redelivery_given_up, 1);
+    assert_eq!(home.messenger.outstanding_count(), 0);
+}
+
+#[test]
+fn permanent_outage_parks_with_failure_record_and_status() {
+    let mut rt = world(LocationMode::HomeManagers, 2, 5);
+    rt.fabric().schedule_down("s1", 0, u64::MAX);
+    let naplet = agent(Pattern::seq_of_hosts(&["s0", "s1"], None), 1);
+    let id = naplet.id().clone();
+    rt.launch(naplet).unwrap();
+    rt.run_to_quiescence(5_000_000);
+
+    let s0 = rt.server("s0").unwrap();
+    let parked = s0.parked.get(&id).expect("naplet must be parked at s0");
+    let failures = parked.nav_log.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].host, "s1");
+    assert!(failures[0].attempts >= 2, "retries precede parking");
+    assert!(
+        s0.log.iter().any(|e| e.line.starts_with("RETRY")),
+        "retransmissions must be logged"
+    );
+    let home = rt.server("home").unwrap();
+    let entry = home.manager.table_entry(&id).unwrap();
+    assert_eq!(entry.status, NapletStatus::Parked);
+    assert!(rt.fabric().stats().snapshot().retransmits >= 1);
+}
+
+#[test]
+fn alt_falls_back_to_reachable_branch() {
+    let mut rt = world(LocationMode::HomeManagers, 2, 6);
+    rt.fabric().schedule_down("s0", 0, u64::MAX);
+    let naplet = agent(
+        Pattern::alt(Pattern::singleton("s0"), Pattern::singleton("s1")),
+        1,
+    );
+    let id = naplet.id().clone();
+    rt.launch(naplet).unwrap();
+    rt.run_to_quiescence(5_000_000);
+
+    let reports = rt.drain_reports("home");
+    assert_eq!(reports.len(), 1, "journey must still complete");
+    let visits = report_list(&reports[0].1, "visits");
+    assert_eq!(visits, vec![Value::Str("s1".into())], "Alt must fall back");
+    let home = rt.server("home").unwrap();
+    assert_eq!(
+        home.manager.table_entry(&id).unwrap().status,
+        NapletStatus::Completed
+    );
+    assert!(
+        home.log
+            .iter()
+            .any(|e| e.line.starts_with("HANDOFF failed")),
+        "the failed branch must be visible in the log"
+    );
+}
+
+#[test]
+fn duplicate_transfer_is_reacked_but_not_readmitted() {
+    let mut cfg = ServerConfig::open("b", LocationMode::ForwardingTrace);
+    cfg.codebase = registry();
+    let mut server = NapletServer::new(cfg);
+    let naplet = agent(Pattern::singleton("b"), 1);
+    let id = naplet.id().clone();
+    let envelope = TransferEnvelope {
+        naplet,
+        action: None,
+        transfer_id: 7,
+        attempt: 1,
+    };
+
+    let acks = |outputs: &[Output]| {
+        outputs
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Output::Send {
+                        wire: Wire::TransferAck { transfer_id: 7, .. },
+                        ..
+                    }
+                )
+            })
+            .count()
+    };
+    let first = server.handle(
+        Millis(10),
+        Input::Wire {
+            from: "a".into(),
+            wire: Wire::Transfer(envelope.clone()),
+        },
+    );
+    assert_eq!(acks(&first), 1);
+    // the ack was lost: origin retransmits the same transfer
+    let mut retry = envelope;
+    retry.attempt = 2;
+    let second = server.handle(
+        Millis(300),
+        Input::Wire {
+            from: "a".into(),
+            wire: Wire::Transfer(retry),
+        },
+    );
+    assert_eq!(acks(&second), 1, "every attempt is re-acknowledged");
+    let arrivals = server
+        .log
+        .iter()
+        .filter(|e| e.line == format!("ARRIVAL {id}"))
+        .count();
+    assert_eq!(arrivals, 1, "idempotent: admitted exactly once");
+    assert!(server
+        .log
+        .iter()
+        .any(|e| e.line.contains("duplicate TRANSFER")));
+}
+
+#[test]
+fn forward_cap_breaks_chase_cycles() {
+    // two servers with opposing stale footprints ping-pong a message
+    // until the hop cap drops it
+    let build = |host: &str| {
+        let cfg = ServerConfig::open(host, LocationMode::ForwardingTrace);
+        let mut s = NapletServer::new(cfg);
+        s.messenger.forward_cap = 4;
+        s
+    };
+    let mut a = build("a");
+    let mut b = build("b");
+    let id = NapletId::new("czxu", "home", Millis(50)).unwrap();
+    a.manager.record_launch(id.clone(), "a", Millis(0));
+    a.manager.record_arrival(&id, None, Millis(0));
+    a.manager.record_departure(&id, "b", Millis(1));
+    b.manager.record_launch(id.clone(), "b", Millis(0));
+    b.manager.record_arrival(&id, None, Millis(0));
+    b.manager.record_departure(&id, "a", Millis(2));
+
+    let msg = Message::user(
+        1,
+        Sender::Owner("home".into()),
+        id,
+        Millis(3),
+        Value::Int(1),
+    );
+    let mut inputs = vec![(
+        "a".to_string(),
+        Wire::Post {
+            msg,
+            origin_host: "home".into(),
+        },
+    )];
+    let mut hops = 0usize;
+    while let Some((to, wire)) = inputs.pop() {
+        hops += 1;
+        assert!(hops < 50, "cycle must terminate");
+        let server = if to == "a" { &mut a } else { &mut b };
+        let outputs = server.handle(
+            Millis(10 + hops as u64),
+            Input::Wire {
+                from: if to == "a" { "b".into() } else { "a".into() },
+                wire,
+            },
+        );
+        for o in outputs {
+            if let Output::Send {
+                to,
+                wire: wire @ Wire::Post { .. },
+            } = o
+            {
+                inputs.push((to, wire));
+            }
+        }
+    }
+    assert_eq!(
+        a.messenger.undeliverable + b.messenger.undeliverable,
+        1,
+        "the cap must drop the cycling message exactly once"
+    );
+    assert!(a.messenger.forwards_performed + b.messenger.forwards_performed <= 4);
+}

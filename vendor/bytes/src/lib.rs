@@ -1,0 +1,356 @@
+//! Vendored shim of the `bytes` crate subset used by this workspace.
+//!
+//! [`Bytes`] is a cheaply-cloneable immutable byte buffer (an `Arc`'d
+//! vector plus a range); [`BytesMut`] is a growable buffer with a
+//! consumed-prefix cursor so `advance`/`split_to` are O(1). The
+//! [`Buf`]/[`BufMut`] traits carry the big-endian accessors the frame
+//! codec uses.
+
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+use std::sync::Arc;
+
+/// Immutable, cheaply-cloneable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Zero-copy sub-slice sharing the same backing allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Bytes {
+        Bytes::from(data.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(data: String) -> Bytes {
+        Bytes::from(data.into_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// Growable byte buffer with an O(1) consumed-prefix cursor.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Bytes before this offset have been consumed by `advance`/`split_to`.
+    head: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        if self.head > 0 {
+            self.data.drain(..self.head);
+        }
+        Bytes::from(self.data)
+    }
+
+    /// Split off and return the first `n` bytes.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let out = BytesMut {
+            data: self.as_slice()[..n].to_vec(),
+            head: 0,
+        };
+        self.head += n;
+        self.maybe_compact();
+        out
+    }
+
+    fn maybe_compact(&mut self) {
+        // reclaim the consumed prefix once it dominates the buffer
+        if self.head > 4096 && self.head * 2 > self.data.len() {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.data[head..]
+    }
+}
+
+impl<I: std::slice::SliceIndex<[u8]>> Index<I> for BytesMut {
+    type Output = I::Output;
+    fn index(&self, idx: I) -> &I::Output {
+        &self.as_slice()[idx]
+    }
+}
+
+impl<I: std::slice::SliceIndex<[u8]>> IndexMut<I> for BytesMut {
+    fn index_mut(&mut self, idx: I) -> &mut I::Output {
+        let head = self.head;
+        &mut self.data[head..][idx]
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut {
+            data: src.to_vec(),
+            head: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+/// Read-side accessors (big-endian, as in the real crate).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, n: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.head += n;
+        self.maybe_compact();
+    }
+}
+
+/// Write-side accessors (big-endian, as in the real crate).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_accessors() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xdead_beef);
+        b.put_u16(7);
+        b.put_u8(9);
+        b.put_slice(b"xy");
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        assert_eq!(b.get_u16(), 7);
+        assert_eq!(b.get_u8(), 9);
+        assert_eq!(&b[..], b"xy");
+    }
+
+    #[test]
+    fn split_and_freeze() {
+        let mut b = BytesMut::from(&b"hello world"[..]);
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        b.advance(1);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], b"world");
+        let sub = frozen.slice(1..3);
+        assert_eq!(&sub[..], b"or");
+    }
+
+    #[test]
+    fn bytes_equality_and_clone() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Vendored shim of the `proptest` API subset used by this workspace.
+//!
+//! Supports the strategy combinators the repo's property tests rely on
+//! (ranges, regex-subset string literals, `prop_map`, `prop_recursive`,
+//! `prop_oneof!`, tuples, collections, `option::of`) plus the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros. Differences
+//! from the real crate: no shrinking (failures report the case seed
+//! instead of a minimized input), and no persisted regression files.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod regex_gen;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// One generated test case: bind each argument from its strategy, run
+/// the body, treat `prop_assume!` rejections as skips.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let mut __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// message instead of panicking mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`",
+                    stringify!($left),
+                    stringify!($right),
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (counted separately from failures).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,157 @@
+//! Generator for the regex subset the workspace's string strategies
+//! use: character classes (`[a-z0-9_.-]`), the `.` wildcard, literal
+//! characters, and the `{n}` / `{n,m}` / `*` / `+` / `?` quantifiers.
+//! Anchors, groups, and alternation are not supported.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// Explicit choice set from a `[...]` class or a literal char.
+    Choice(Vec<char>),
+    /// `.` — any printable ASCII character.
+    Any,
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let item = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"));
+                    match item {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let start = prev.take().expect("range start");
+                            let end = chars.next().expect("range end");
+                            for ch in start..=end {
+                                set.push(ch);
+                            }
+                        }
+                        _ => {
+                            if let Some(p) = prev.replace(item) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+                Atom::Choice(set)
+            }
+            '.' => Atom::Any,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                Atom::Choice(vec![escaped])
+            }
+            other => Atom::Choice(vec![other]),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("quantifier lower bound"),
+                        hi.parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Quantified { atom, min, max });
+    }
+    atoms
+}
+
+/// Produce one random string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for q in parse(pattern) {
+        let count = rng.gen_range(q.min..=q.max);
+        for _ in 0..count {
+            let ch = match &q.atom {
+                Atom::Choice(set) => set[rng.gen_range(0..set.len())],
+                Atom::Any => char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("ascii"),
+            };
+            out.push(ch);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn matches_shape() {
+        let mut rng = TestRng::seeded(1);
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_.-]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn fixed_count_and_wildcard() {
+        let mut rng = TestRng::seeded(2);
+        for _ in 0..50 {
+            assert_eq!(generate("[0-9]{4}", &mut rng).len(), 4);
+            let any = generate(".{0,24}", &mut rng);
+            assert!(any.len() <= 24);
+            assert!(any.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::seeded(3);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("a\\.b", &mut rng), "a.b");
+    }
+}

@@ -1,0 +1,89 @@
+//! Case runner: deterministic per-test seeding, rejection accounting,
+//! and the error type `prop_assert!` / `prop_assume!` produce.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Outcome of a single generated case (other than success).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// RNG handed to strategies during generation.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Run `f` against `PROPTEST_CASES` (default 64) generated cases.
+/// Seeding is a pure function of the test name and case index, so
+/// failures are reproducible run-to-run.
+pub fn run<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    let max_rejects = cases.saturating_mul(64);
+    let base = fnv1a(name);
+    let mut passed = 0u64;
+    let mut rejects = 0u64;
+    let mut case = 0u64;
+    while passed < cases {
+        let seed = base ^ case.wrapping_mul(0x9e3779b97f4a7c15);
+        case += 1;
+        let mut rng = TestRng::seeded(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{name}: too many prop_assume rejections ({rejects}) \
+                     after {passed} passing cases"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed (case {case}, seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}

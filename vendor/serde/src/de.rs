@@ -1,0 +1,653 @@
+//! Deserialization half of the vendored serde shim.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt::Display;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Error trait for deserializers.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Build an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Stateful deserialization entry point; the stateless case is
+/// `PhantomData<T>`, which forwards to [`Deserialize`].
+pub trait DeserializeSeed<'de>: Sized {
+    type Value;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+macro_rules! visit_default {
+    ($($method:ident : $ty:ty),+ $(,)?) => {
+        $(
+            fn $method<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+                Err(E::custom(concat!("unexpected ", stringify!($method))))
+            }
+        )+
+    };
+}
+
+/// Receives values from a [`Deserializer`]; every method defaults to
+/// an error so implementors only write the cases they expect.
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    visit_default! {
+        visit_bool: bool,
+        visit_i8: i8,
+        visit_i16: i16,
+        visit_i32: i32,
+        visit_i64: i64,
+        visit_u8: u8,
+        visit_u16: u16,
+        visit_u32: u32,
+        visit_u64: u64,
+        visit_f32: f32,
+        visit_f64: f64,
+        visit_char: char,
+    }
+
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected string"))
+    }
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected bytes"))
+    }
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected none"))
+    }
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(D::Error::custom("unexpected some"))
+    }
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected unit"))
+    }
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(D::Error::custom("unexpected newtype struct"))
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected sequence"))
+    }
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected map"))
+    }
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected enum"))
+    }
+}
+
+/// Format driver: produces the serde data model.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable (napcode is not).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map.
+pub trait MapAccess<'de> {
+    type Error: Error;
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    type Error: Error;
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant.
+pub trait VariantAccess<'de>: Sized {
+    type Error: Error;
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a plain value into a [`Deserializer`], used for
+/// enum variant indices.
+pub trait IntoDeserializer<'de, E: Error> {
+    type Deserializer: Deserializer<'de, Error = E>;
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+pub mod value {
+    //! Deserializers over plain in-memory values.
+
+    use super::*;
+
+    /// Deserializer yielding a single `u32` (enum variant index).
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> U32Deserializer<E> {
+        pub fn new(value: u32) -> Self {
+            U32Deserializer {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    macro_rules! forward_to_visit_u32 {
+        ($($method:ident)+) => {
+            $(
+                fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    visitor.visit_u32(self.value)
+                }
+            )+
+        };
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        forward_to_visit_u32! {
+            deserialize_any deserialize_bool
+            deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64
+            deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64
+            deserialize_f32 deserialize_f64 deserialize_char
+            deserialize_str deserialize_string deserialize_bytes deserialize_byte_buf
+            deserialize_option deserialize_unit deserialize_seq deserialize_map
+            deserialize_identifier deserialize_ignored_any
+        }
+
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = value::U32Deserializer<E>;
+    fn into_deserializer(self) -> Self::Deserializer {
+        value::U32Deserializer::new(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// std impls
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_deserialize {
+    ($($ty:ty => ($deserialize:ident, $visit:ident)),+ $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct PrimitiveVisitor;
+                    impl<'de> Visitor<'de> for PrimitiveVisitor {
+                        type Value = $ty;
+                        fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                            Ok(v)
+                        }
+                    }
+                    deserializer.$deserialize(PrimitiveVisitor)
+                }
+            }
+        )+
+    };
+}
+
+primitive_deserialize! {
+    bool => (deserialize_bool, visit_bool),
+    i8 => (deserialize_i8, visit_i8),
+    i16 => (deserialize_i16, visit_i16),
+    i32 => (deserialize_i32, visit_i32),
+    i64 => (deserialize_i64, visit_i64),
+    u8 => (deserialize_u8, visit_u8),
+    u16 => (deserialize_u16, visit_u16),
+    u32 => (deserialize_u32, visit_u32),
+    u64 => (deserialize_u64, visit_u64),
+    f32 => (deserialize_f32, visit_f32),
+    f64 => (deserialize_f64, visit_f64),
+    char => (deserialize_char, visit_char),
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(deserializer)?;
+        usize::try_from(v).map_err(|_| D::Error::custom("usize out of range"))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = i64::deserialize(deserializer)?;
+        isize::try_from(v).map_err(|_| D::Error::custom("isize out of range"))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+/// Visitor collecting a sequence into any `FromIterator` container.
+struct SeqCollectVisitor<C, T> {
+    marker: PhantomData<(C, T)>,
+}
+
+impl<'de, C, T> Visitor<'de> for SeqCollectVisitor<C, T>
+where
+    T: Deserialize<'de>,
+    C: Default + Extend<T>,
+{
+    type Value = C;
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<C, A::Error> {
+        let mut out = C::default();
+        while let Some(item) = seq.next_element::<T>()? {
+            out.extend(std::iter::once(item));
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_seq(SeqCollectVisitor {
+            marker: PhantomData,
+        })
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_seq(SeqCollectVisitor {
+            marker: PhantomData,
+        })
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_seq(SeqCollectVisitor {
+            marker: PhantomData,
+        })
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Hash + Eq> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_seq(SeqCollectVisitor {
+            marker: PhantomData,
+        })
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ArrayVisitor<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for ArrayVisitor<T, N> {
+            type Value = [T; N];
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut items = Vec::with_capacity(N);
+                for _ in 0..N {
+                    match seq.next_element::<T>()? {
+                        Some(item) => items.push(item),
+                        None => return Err(A::Error::custom("array too short")),
+                    }
+                }
+                items
+                    .try_into()
+                    .map_err(|_| A::Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, ArrayVisitor::<T, N>(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, U: Deserialize<'de>> Deserialize<'de> for Result<T, U> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ResultVisitor<T, U>(PhantomData<(T, U)>);
+        impl<'de, T: Deserialize<'de>, U: Deserialize<'de>> Visitor<'de> for ResultVisitor<T, U> {
+            type Value = Result<T, U>;
+            fn visit_enum<A: EnumAccess<'de>>(self, access: A) -> Result<Self::Value, A::Error> {
+                let (idx, variant): (u32, A::Variant) = access.variant()?;
+                match idx {
+                    0 => variant.newtype_variant::<T>().map(Ok),
+                    1 => variant.newtype_variant::<U>().map(Err),
+                    other => Err(A::Error::custom(format!(
+                        "invalid Result variant index {other}"
+                    ))),
+                }
+            }
+        }
+        deserializer.deserialize_enum("Result", &["Ok", "Err"], ResultVisitor(PhantomData))
+    }
+}
+
+struct MapCollectVisitor<C, K, V> {
+    marker: PhantomData<(C, K, V)>,
+}
+
+impl<'de, K, V> Visitor<'de> for MapCollectVisitor<BTreeMap<K, V>, K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    type Value = BTreeMap<K, V>;
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let mut out = BTreeMap::new();
+        while let Some((k, v)) = map.next_entry::<K, V>()? {
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K, V> Visitor<'de> for MapCollectVisitor<HashMap<K, V>, K, V>
+where
+    K: Deserialize<'de> + Hash + Eq,
+    V: Deserialize<'de>,
+{
+    type Value = HashMap<K, V>;
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let mut out = HashMap::new();
+        while let Some((k, v)) = map.next_entry::<K, V>()? {
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_map(MapCollectVisitor::<BTreeMap<K, V>, K, V> {
+            marker: PhantomData,
+        })
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Hash + Eq, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_map(MapCollectVisitor::<HashMap<K, V>, K, V> {
+            marker: PhantomData,
+        })
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($($len:expr => ($($idx:tt $T:ident),+))+) => {
+        $(
+            impl<'de, $($T: Deserialize<'de>),+> Deserialize<'de> for ($($T,)+) {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct TupleVisitor<$($T),+>(PhantomData<($($T,)+)>);
+                    impl<'de, $($T: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($T),+> {
+                        type Value = ($($T,)+);
+                        fn visit_seq<A: SeqAccess<'de>>(
+                            self,
+                            mut seq: A,
+                        ) -> Result<Self::Value, A::Error> {
+                            Ok((
+                                $(
+                                    match seq.next_element::<$T>()? {
+                                        Some(v) => v,
+                                        None => {
+                                            return Err(A::Error::custom(concat!(
+                                                "missing tuple element ",
+                                                stringify!($idx)
+                                            )))
+                                        }
+                                    },
+                                )+
+                            ))
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+                }
+            }
+        )+
+    };
+}
+
+tuple_deserialize! {
+    1 => (0 T0)
+    2 => (0 T0, 1 T1)
+    3 => (0 T0, 1 T1, 2 T2)
+    4 => (0 T0, 1 T1, 2 T2, 3 T3)
+    5 => (0 T0, 1 T1, 2 T2, 3 T3, 4 T4)
+    6 => (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5)
+    7 => (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5, 6 T6)
+    8 => (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5, 6 T6, 7 T7)
+}

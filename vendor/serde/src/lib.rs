@@ -1,0 +1,21 @@
+//! Vendored shim of the `serde` data model.
+//!
+//! The build environment for this repository has no crates.io access,
+//! so this crate re-implements the subset of serde's serializer /
+//! deserializer traits that the workspace uses: the full positional
+//! data model consumed by `naplet-core::codec` (napcode) plus the
+//! std-type impls the derived types need. It is API-compatible for the
+//! call sites in this repository, not a general serde replacement.
+//!
+//! Layout mirrors upstream: [`ser`] holds the serialization half,
+//! [`de`] the deserialization half, and the derive macros re-export
+//! from `serde_derive` under the `derive` feature.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,544 @@
+//! Derive-macro half of the vendored `serde` shim.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the shapes the workspace actually uses: **non-generic** structs
+//! (unit, tuple, named) and enums whose variants are unit, newtype,
+//! tuple, or struct-like. Field and variant order defines the wire
+//! layout, which is exactly the contract the positional `napcode`
+//! codec in `naplet-core` relies on.
+//!
+//! The parser walks the raw `proc_macro::TokenStream` by hand (no
+//! `syn`/`quote`), collecting only what code generation needs: item
+//! kind, item name, field names / arities, and variant shapes. Field
+//! *types* are never parsed — generated code lets inference pick them
+//! up from the struct/variant constructors.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of a struct body or enum-variant body.
+enum Fields {
+    Unit,
+    /// Tuple-like; the payload is the field count.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+/// Skip leading outer attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume tokens of one type expression, stopping after the `,` that
+/// terminates it (or at end of stream). Tracks `<...>` nesting so the
+/// comma in `BTreeMap<K, V>` does not end the field.
+fn skip_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            let c = p.as_char();
+            match c {
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists (struct bodies and
+/// struct-variant bodies).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(t) => return Err(format!("expected field name, found `{t}`")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => return Err(format!("expected `:` after field name, found `{t:?}`")),
+        }
+        skip_type(&mut iter);
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type(&mut iter);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(t) => return Err(format!("expected variant name, found `{t}`")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                iter.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // skip an explicit discriminant, then the trailing comma
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '=' {
+                iter.next();
+                for tok in iter.by_ref() {
+                    if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(Variant { name, fields });
+                continue;
+            }
+        }
+        match iter.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, fields });
+            }
+            Some(t) => return Err(format!("expected `,` after variant, found `{t}`")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => return Err(format!("expected `struct` or `enum`, found `{t:?}`")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => return Err(format!("expected item name, found `{t:?}`")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            t => Err(format!("unsupported struct body: `{t:?}`")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            t => Err(format!("expected enum body, found `{t:?}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, serialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, serialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            format!("::serde::Serializer::serialize_unit_struct(__s, \"{name}\")")
+        }
+        Fields::Tuple(1) => {
+            format!("::serde::Serializer::serialize_newtype_struct(__s, \"{name}\", &self.0)")
+        }
+        Fields::Tuple(n) => {
+            let mut out = format!(
+                "let mut __t = ::serde::Serializer::serialize_tuple_struct(__s, \"{name}\", {n}usize)?;\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __t, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__t)");
+            out
+        }
+        Fields::Named(fs) => {
+            let n = fs.len();
+            let mut out = format!(
+                "let mut __t = ::serde::Serializer::serialize_struct(__s, \"{name}\", {n}usize)?;\n"
+            );
+            for f in fs {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __t, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__t)");
+            out
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (i, v) in variants.iter().enumerate() {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Serializer::serialize_unit_variant(__s, \"{name}\", {i}u32, \"{vn}\"),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(__f0) => ::serde::Serializer::serialize_newtype_variant(__s, \"{name}\", {i}u32, \"{vn}\", __f0),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let mut arm = format!(
+                    "{name}::{vn}({}) => {{\n\
+                     let mut __t = ::serde::Serializer::serialize_tuple_variant(__s, \"{name}\", {i}u32, \"{vn}\", {n}usize)?;\n",
+                    binds.join(", ")
+                );
+                for b in &binds {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __t, {b})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeTupleVariant::end(__t)\n},\n");
+                arms.push_str(&arm);
+            }
+            Fields::Named(fs) => {
+                let n = fs.len();
+                let mut arm = format!(
+                    "{name}::{vn} {{ {} }} => {{\n\
+                     let mut __t = ::serde::Serializer::serialize_struct_variant(__s, \"{name}\", {i}u32, \"{vn}\", {n}usize)?;\n",
+                    fs.join(", ")
+                );
+                for f in fs {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __t, \"{f}\", {f})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStructVariant::end(__t)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Emit `let __fK = ...next_element...` lines followed by a
+/// constructor expression, for use inside a `visit_seq` body.
+fn seq_field_lines(prefix: &str, count: usize) -> String {
+    let mut out = String::new();
+    for k in 0..count {
+        out.push_str(&format!(
+            "let {prefix}{k} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::core::option::Option::Some(__v) => __v,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                     <__A::Error as ::serde::de::Error>::custom(\"missing field {k}\")),\n\
+             }};\n"
+        ));
+    }
+    out
+}
+
+/// A full `visit_seq`-based visitor declaration + an expression that
+/// drives it through `$driver`.
+fn seq_visitor(value_ty: &str, field_count: usize, constructor: &str, driver: &str) -> String {
+    format!(
+        "struct __Visitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {value_ty};\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 {lines}\n\
+                 ::core::result::Result::Ok({constructor})\n\
+             }}\n\
+         }}\n\
+         {driver}",
+        lines = seq_field_lines("__f", field_count),
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, deserialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn quoted_list(names: &[String]) -> String {
+    let quoted: Vec<String> = names.iter().map(|f| format!("\"{f}\"")).collect();
+    quoted.join(", ")
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self)\n\
+                     -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             ::serde::Deserializer::deserialize_unit_struct(__d, \"{name}\", __Visitor)"
+        ),
+        Fields::Tuple(1) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn visit_newtype_struct<__D2: ::serde::Deserializer<'de>>(self, __d2: __D2)\n\
+                     -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d2)?))\n\
+                 }}\n\
+             }}\n\
+             ::serde::Deserializer::deserialize_newtype_struct(__d, \"{name}\", __Visitor)"
+        ),
+        Fields::Tuple(n) => {
+            let args: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            let ctor = format!("{name}({})", args.join(", "));
+            seq_visitor(
+                name,
+                *n,
+                &ctor,
+                &format!(
+                    "::serde::Deserializer::deserialize_tuple_struct(__d, \"{name}\", {n}usize, __Visitor)"
+                ),
+            )
+        }
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs
+                .iter()
+                .enumerate()
+                .map(|(k, f)| format!("{f}: __f{k}"))
+                .collect();
+            let ctor = format!("{name} {{ {} }}", inits.join(", "));
+            seq_visitor(
+                name,
+                fs.len(),
+                &ctor,
+                &format!(
+                    "::serde::Deserializer::deserialize_struct(__d, \"{name}\", &[{}], __Visitor)",
+                    quoted_list(fs)
+                ),
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (i, v) in variants.iter().enumerate() {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{i}u32 => {{\n\
+                     ::serde::de::VariantAccess::unit_variant(__var)?;\n\
+                     ::core::result::Result::Ok({name}::{vn})\n\
+                 }}\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{i}u32 => ::core::result::Result::Ok({name}::{vn}(\n\
+                     ::serde::de::VariantAccess::newtype_variant(__var)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let args: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                arms.push_str(&format!(
+                    "{i}u32 => {{\n\
+                         struct __V{i};\n\
+                         impl<'de> ::serde::de::Visitor<'de> for __V{i} {{\n\
+                             type Value = {name};\n\
+                             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                 {lines}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({args}))\n\
+                             }}\n\
+                         }}\n\
+                         ::serde::de::VariantAccess::tuple_variant(__var, {n}usize, __V{i})\n\
+                     }}\n",
+                    lines = seq_field_lines("__f", *n),
+                    args = args.join(", "),
+                ));
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, f)| format!("{f}: __f{k}"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{i}u32 => {{\n\
+                         struct __V{i};\n\
+                         impl<'de> ::serde::de::Visitor<'de> for __V{i} {{\n\
+                             type Value = {name};\n\
+                             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                 {lines}\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                             }}\n\
+                         }}\n\
+                         ::serde::de::VariantAccess::struct_variant(__var, &[{fields}], __V{i})\n\
+                     }}\n",
+                    lines = seq_field_lines("__f", fs.len()),
+                    inits = inits.join(", "),
+                    fields = quoted_list(fs),
+                ));
+            }
+        }
+    }
+    let variant_names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+    format!(
+        "struct __Visitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __a: __A)\n\
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__idx, __var): (u32, __A::Variant) = ::serde::de::EnumAccess::variant(__a)?;\n\
+                 match __idx {{\n\
+                     {arms}\n\
+                     __other => ::core::result::Result::Err(\n\
+                         <__A::Error as ::serde::de::Error>::custom(\n\
+                             ::std::format!(\"invalid variant index {{__other}} for enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}\n\
+         ::serde::Deserializer::deserialize_enum(__d, \"{name}\", &[{vars}], __Visitor)",
+        vars = quoted_list(&variant_names),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------------
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde shim derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!(\"serde shim derive: {msg}\");")
+            .parse()
+            .expect("compile_error emission failed"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
