@@ -16,7 +16,8 @@ pub use experiments::{
 };
 pub use scenarios::{
     accumulation_experiment, bench_key, chaos_experiment, code_loading_experiment,
-    itinerary_experiment, messaging_experiment, probe_registry, scheduling_experiment,
-    AccumulationOutcome, ChaosOutcome, CodeLoadingOutcome, ItineraryOutcome, MessagingOutcome,
-    Probe, RingWorld, PROBE_CODEBASE, PROBE_CODE_SIZE,
+    crash_chaos_experiment, itinerary_experiment, messaging_experiment, probe_registry,
+    scheduling_experiment, AccumulationOutcome, ChaosOutcome, CodeLoadingOutcome,
+    CrashChaosOutcome, ItineraryOutcome, MessagingOutcome, Probe, RingWorld, PROBE_CODEBASE,
+    PROBE_CODE_SIZE,
 };

@@ -599,6 +599,138 @@ pub fn chaos_experiment(loss: f64, down_windows: &[(&str, u64, u64)], seed: u64)
     }
 }
 
+/// Outcome of a crash-chaos run: the reliable-transfer metrics plus
+/// crash-consistency counters (journal recovery + home-side leases).
+#[derive(Debug, Clone)]
+pub struct CrashChaosOutcome {
+    /// The reliable-transfer metrics of the same run.
+    pub chaos: ChaosOutcome,
+    /// Crashes injected into the space.
+    pub crashes: u64,
+    /// Servers restarted (and journal-replayed) after a crash.
+    pub recoveries: u64,
+    /// Naplets rehydrated from journals during recovery replay.
+    pub rehydrated: u64,
+    /// Visit effects suppressed because the journal showed them applied.
+    pub replays_suppressed: u64,
+    /// In-flight handoffs re-driven after an origin-side restart.
+    pub handoffs_resumed: u64,
+    /// Home-side leases that expired without renewal.
+    pub leases_expired: u64,
+    /// Orphaned naplets re-dispatched from their creation records.
+    pub orphans_redispatched: u64,
+    /// Naplets declared `Lost` after lease expiry with no re-dispatch.
+    pub lost: u64,
+}
+
+/// The chaos journey (6-hop `Seq` probe over home + s0..s6) under
+/// frame loss *and* scheduled whole-server crashes.
+///
+/// `crashes` are `(host, at_ms, restart_after_ms)` — `None` means the
+/// host never comes back, so recovering its agents is entirely up to
+/// the home-side lease in `lease`. `route` overrides the default
+/// 6-hop pattern (e.g. to give the itinerary an `Alt` fallback around
+/// a permanently dead host).
+pub fn crash_chaos_experiment(
+    loss: f64,
+    crashes: &[(&str, u64, Option<u64>)],
+    lease: Option<naplet_server::LeasePolicy>,
+    route: Option<Pattern>,
+    seed: u64,
+) -> CrashChaosOutcome {
+    let fabric = Fabric::new(LatencyModel::Constant(2), Bandwidth::fast_ethernet(), seed);
+    let mut rt = SimRuntime::new(fabric);
+    let reg = probe_registry();
+    let policy = MonitorPolicy {
+        native_dwell_ms: 5,
+        ..MonitorPolicy::default()
+    };
+    for host in std::iter::once("home".to_string()).chain((0..7).map(|i| format!("s{i}"))) {
+        let mut cfg = ServerConfig::open(&host, LocationMode::HomeManagers);
+        cfg.codebase = reg.clone();
+        cfg.monitor_policy = policy.clone();
+        cfg.lease = lease.clone();
+        rt.add_server(cfg);
+    }
+    rt.fabric().set_loss(loss);
+    for (host, at_ms, restart_after) in crashes {
+        rt.schedule_crash(host, *at_ms, *restart_after);
+    }
+
+    let pattern = route
+        .unwrap_or_else(|| Pattern::seq_of_hosts(&["s0", "s1", "s2", "s3", "s4", "home"], None));
+    let it = Itinerary::new(pattern)
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    let naplet = Naplet::create(
+        &bench_key(),
+        "czxu",
+        "home",
+        Millis(1),
+        PROBE_CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap();
+    let id = naplet.id().clone();
+    let before = rt.fabric().stats().snapshot();
+    let t0 = rt.now();
+    rt.launch(naplet).unwrap();
+    rt.run_to_quiescence(50_000_000);
+    let stats = rt.fabric().stats().snapshot().since(&before);
+
+    let reports = rt.drain_reports("home");
+    let mut completed = 0usize;
+    let mut visits = Vec::new();
+    for (rid, report) in &reports {
+        if rid != &id {
+            continue;
+        }
+        completed += 1;
+        if let Value::List(l) = report.get("visits") {
+            for v in &l {
+                if let Value::Str(s) = v {
+                    visits.push(s.clone());
+                }
+            }
+        }
+    }
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for v in &visits {
+        *counts.entry(v.as_str()).or_default() += 1;
+    }
+    let duplicate_visits = counts.values().filter(|&&c| c > 1).count();
+    let mut parked = 0usize;
+    for host in rt.server_hosts() {
+        parked += rt.server(&host).unwrap().parked.len();
+    }
+    let recovery = rt.recovery_totals();
+
+    CrashChaosOutcome {
+        chaos: ChaosOutcome {
+            completed,
+            visits,
+            duplicate_visits,
+            parked,
+            retransmits: stats.retransmits,
+            dropped: stats.dropped,
+            migrations: stats.messages(naplet_net::TrafficClass::Migration),
+            migration_bytes: stats.bytes(naplet_net::TrafficClass::Migration),
+            control_bytes: stats.bytes(naplet_net::TrafficClass::Control),
+            completion_ms: rt.now().since(t0),
+        },
+        crashes: stats.crashes,
+        recoveries: stats.recoveries,
+        rehydrated: recovery.rehydrated,
+        replays_suppressed: recovery.replays_suppressed,
+        handoffs_resumed: recovery.handoffs_resumed,
+        leases_expired: recovery.leases_expired,
+        orphans_redispatched: recovery.orphans_redispatched,
+        lost: recovery.agents_lost,
+    }
+}
+
 /// Scheduling-policy ablation (E9): journey time of one probe agent
 /// per priority tier, on an otherwise busy server, under each policy.
 pub fn scheduling_experiment(

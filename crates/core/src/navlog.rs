@@ -125,6 +125,20 @@ impl NavigationLog {
         self.records.len()
     }
 
+    /// The **visit epoch**: the number of arrivals recorded so far.
+    ///
+    /// The epoch is the exactly-once ratchet of crash recovery. A
+    /// durable snapshot taken *after* a visit's effects were applied
+    /// stores `applied_epoch == visit_epoch()`; a snapshot taken at
+    /// admission stores `visit_epoch() - 1`. Recovery replays a
+    /// rehydrated naplet's visit only when its journaled
+    /// `applied_epoch` is behind the log — a visit whose effects
+    /// already escaped (messages posted, reports sent) is resumed at
+    /// its end instead of being run a second time.
+    pub fn visit_epoch(&self) -> u64 {
+        self.records.len() as u64
+    }
+
     /// Hosts in visit order (with repetitions, as travelled).
     pub fn route(&self) -> Vec<&str> {
         self.records.iter().map(|r| r.host.as_str()).collect()
@@ -214,6 +228,21 @@ mod tests {
     #[test]
     fn route_preserves_repetition() {
         assert_eq!(log().route(), ["s1", "s2", "s1"]);
+    }
+
+    #[test]
+    fn visit_epoch_counts_arrivals_only() {
+        let mut l = NavigationLog::new();
+        assert_eq!(l.visit_epoch(), 0);
+        l.record_arrival("s1", Millis(1));
+        assert_eq!(l.visit_epoch(), 1);
+        // departures do not advance the epoch
+        l.record_departure(Millis(2));
+        assert_eq!(l.visit_epoch(), 1);
+        // revisits are distinct epochs: replay suppression must key on
+        // the arrival count, not on distinct host names
+        l.record_arrival("s1", Millis(3));
+        assert_eq!(l.visit_epoch(), 2);
     }
 
     #[test]

@@ -126,6 +126,17 @@ impl Fabric {
             .push((host.to_string(), Window { from_ms, until_ms }));
     }
 
+    /// Schedule a process crash for `host`: counts the injection in
+    /// the shared stats and opens an outage window for
+    /// `[at_ms, until_ms)` — a dead process can neither send nor
+    /// receive. Drivers that model real crashes (the discrete-event
+    /// runtime) additionally wipe the host's volatile state at `at_ms`
+    /// and replay its journal when the window closes.
+    pub fn schedule_crash(&self, host: &str, at_ms: u64, until_ms: u64) {
+        self.stats.record_crash();
+        self.schedule_down(host, at_ms, until_ms);
+    }
+
     /// Schedule a loss burst: while the fabric clock is in
     /// `[from_ms, until_ms)` the loss probability is at least `p`.
     pub fn schedule_loss_burst(&self, from_ms: u64, until_ms: u64, p: f64) {

@@ -75,6 +75,12 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// The earliest pending event's payload, without popping it
+    /// (drivers use this to aim fault injection at the next event).
+    pub fn peek(&self) -> Option<&T> {
+        self.heap.peek().map(|e| &e.payload)
+    }
+
     /// Pop the earliest event, advancing virtual time to it.
     pub fn pop(&mut self) -> Option<(u64, T)> {
         self.heap.pop().map(|e| {

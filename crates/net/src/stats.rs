@@ -83,6 +83,8 @@ struct Inner {
     by_link: BTreeMap<(String, String), Counter>,
     dropped: u64,
     retransmits: u64,
+    crashes: u64,
+    recoveries: u64,
 }
 
 /// Shared, thread-safe traffic statistics.
@@ -103,6 +105,12 @@ pub struct StatsSnapshot {
     /// Transfers that were retransmissions (attempt ≥ 2) of an earlier
     /// send — the visible cost of the reliable-transfer layer.
     pub retransmits: u64,
+    /// Process crashes injected into the space (crash-and-restart
+    /// schedules; each wipes one server's volatile state).
+    pub crashes: u64,
+    /// Recovery replays completed: a crashed server restarted and
+    /// rehydrated its journal.
+    pub recoveries: u64,
 }
 
 impl StatsSnapshot {
@@ -139,6 +147,8 @@ impl StatsSnapshot {
         }
         out.dropped -= earlier.dropped.min(out.dropped);
         out.retransmits -= earlier.retransmits.min(out.retransmits);
+        out.crashes -= earlier.crashes.min(out.crashes);
+        out.recoveries -= earlier.recoveries.min(out.recoveries);
         out
     }
 }
@@ -174,6 +184,16 @@ impl NetStats {
         self.inner.lock().retransmits += 1;
     }
 
+    /// Record an injected process crash.
+    pub fn record_crash(&self) {
+        self.inner.lock().crashes += 1;
+    }
+
+    /// Record a completed crash-recovery replay.
+    pub fn record_recovery(&self) {
+        self.inner.lock().recoveries += 1;
+    }
+
     /// Take a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let inner = self.inner.lock();
@@ -182,6 +202,8 @@ impl NetStats {
             by_link: inner.by_link.clone(),
             dropped: inner.dropped,
             retransmits: inner.retransmits,
+            crashes: inner.crashes,
+            recoveries: inner.recoveries,
         }
     }
 
@@ -263,6 +285,22 @@ mod tests {
         s.record_retransmit();
         s.record_retransmit();
         assert_eq!(s.snapshot().since(&t0).retransmits, 2);
+    }
+
+    #[test]
+    fn crashes_and_recoveries_counted_and_subtracted() {
+        let s = NetStats::new();
+        s.record_crash();
+        s.record_recovery();
+        let t0 = s.snapshot();
+        assert_eq!(t0.crashes, 1);
+        assert_eq!(t0.recoveries, 1);
+        s.record_crash();
+        s.record_crash();
+        s.record_recovery();
+        let delta = s.snapshot().since(&t0);
+        assert_eq!(delta.crashes, 2);
+        assert_eq!(delta.recoveries, 1);
     }
 
     #[test]

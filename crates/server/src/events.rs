@@ -251,6 +251,13 @@ pub enum LocalEvent {
         /// Attempt the timer was armed for.
         attempt: u32,
     },
+    /// A home-side lease timer came due: if the lease for `id` was not
+    /// renewed within the policy window, the agent is orphaned —
+    /// re-dispatch it from its creation record or mark it `Lost`.
+    LeaseCheck {
+        /// The dispatched naplet whose lease is being checked.
+        id: NapletId,
+    },
     /// A post-office redelivery timer came due: if the message
     /// identified by `(sender, seq)` has no delivery confirmation yet,
     /// re-route it (invalidating stale location hints first).

@@ -1,0 +1,612 @@
+//! Write-ahead journal — the crash-consistency layer of a server.
+//!
+//! A `NapletServer` is otherwise a purely volatile process: every
+//! resident naplet, pending transfer and dedup entry lives in RAM and
+//! dies with the process. The journal records a durable snapshot of
+//! each hosted naplet at the boundaries the protocol already computes:
+//!
+//! * **admission** — before the arrival is acknowledged, so the origin
+//!   may safely retire its copy once the `TransferAck` arrives;
+//! * **visit completion** — the post-checkpoint snapshot together with
+//!   the navigation log's *visit epoch*, the exactly-once ratchet that
+//!   stops a replayed visit from re-applying its effects;
+//! * **departure** — the in-flight snapshot plus the transfer id and
+//!   retry state, so a crashed origin resumes the handoff instead of
+//!   dropping it;
+//! * **retirement** — once a `TransferAck` confirms the destination
+//!   holds the agent durably (or the journey ends), the record is
+//!   removed.
+//!
+//! The invariant the two ends uphold together: *an agent is journaled
+//! at the destination before it is acked away from the origin, and
+//! retired at the origin only after the ack* — at every instant at
+//! least one journal holds the naplet, so a crash on either side of a
+//! handoff loses nothing.
+//!
+//! Storage is pluggable through [`JournalStore`]: [`MemoryStore`] for
+//! simulation (survives the simulated crash because the driver carries
+//! it across the server rebuild) and [`FileStore`] for real durability
+//! (one file per record, atomic tmp-and-rename writes).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use naplet_core::clock::Millis;
+use naplet_core::itinerary::{ActionSpec, Cursor};
+use naplet_core::naplet::Naplet;
+use naplet_core::{codec, NapletError, NapletId, Result};
+
+/// Pluggable durable key/value backing for a [`Journal`].
+///
+/// Keys are short UTF-8 strings; values are opaque byte blobs. A store
+/// must make `put` atomic per key (no torn records) — that is the only
+/// durability primitive the journal needs.
+pub trait JournalStore: std::fmt::Debug + Send {
+    /// Durably write `value` under `key`, replacing any prior value.
+    fn put(&mut self, key: &str, value: &[u8]) -> Result<()>;
+    /// Remove `key` if present.
+    fn remove(&mut self, key: &str) -> Result<()>;
+    /// Read the value under `key`, if any.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
+    /// All keys, sorted, for recovery scans.
+    fn keys(&self) -> Result<Vec<String>>;
+}
+
+/// In-memory store: "durable" relative to a *simulated* crash, which
+/// wipes the server but hands the store to the rebuilt instance.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    map: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemoryStore {
+    /// Empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+}
+
+impl JournalStore for MemoryStore {
+    fn put(&mut self, key: &str, value: &[u8]) -> Result<()> {
+        self.map.insert(key.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &str) -> Result<()> {
+        self.map.remove(key);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self.map.get(key).cloned())
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        Ok(self.map.keys().cloned().collect())
+    }
+}
+
+/// File-backed store: one file per key under a directory, written with
+/// tmp-and-rename so a crash mid-write never leaves a torn record.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<FileStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| NapletError::Internal(format!("journal dir {}: {e}", dir.display())))?;
+        Ok(FileStore { dir })
+    }
+
+    /// Keys contain `/` separators; encode every byte outside
+    /// `[A-Za-z0-9_.-]` as `%XX` so each key maps to one flat filename.
+    fn encode(key: &str) -> String {
+        let mut out = String::with_capacity(key.len());
+        for b in key.bytes() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-') {
+                out.push(b as char);
+            } else {
+                let _ = write!(out, "%{b:02X}");
+            }
+        }
+        out
+    }
+
+    fn decode(name: &str) -> Option<String> {
+        let bytes = name.as_bytes();
+        let mut out = Vec::with_capacity(bytes.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'%' {
+                let hex = name.get(i + 1..i + 3)?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            } else {
+                out.push(bytes[i]);
+                i += 1;
+            }
+        }
+        String::from_utf8(out).ok()
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(Self::encode(key))
+    }
+}
+
+impl JournalStore for FileStore {
+    fn put(&mut self, key: &str, value: &[u8]) -> Result<()> {
+        let path = self.path(key);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, value)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| NapletError::Internal(format!("journal write {key}: {e}")))
+    }
+
+    fn remove(&mut self, key: &str) -> Result<()> {
+        match std::fs::remove_file(self.path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(NapletError::Internal(format!("journal remove {key}: {e}"))),
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path(key)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(NapletError::Internal(format!("journal read {key}: {e}"))),
+        }
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| NapletError::Internal(format!("journal scan: {e}")))?;
+        let mut keys = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| NapletError::Internal(format!("journal scan: {e}")))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                continue; // torn write from a crash mid-put
+            }
+            if let Some(key) = Self::decode(name) {
+                keys.push(key);
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+/// Where a journaled naplet stood when its snapshot was taken.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalPhase {
+    /// Resident on this server. `applied_epoch` is the navigation-log
+    /// visit epoch up to which visit effects have been applied: equal
+    /// to the snapshot's own epoch once the visit ran, one less while
+    /// the naplet was only admitted. `action` is the pending visit
+    /// action carried in the transfer envelope, needed to re-run an
+    /// unapplied visit after recovery.
+    Resident {
+        /// Visit epoch whose effects are already durable in the world.
+        applied_epoch: u64,
+        /// Pending per-visit action, if the visit has not run yet.
+        action: Option<ActionSpec>,
+    },
+    /// Departing: the handoff to `dest` under `transfer_id` was in
+    /// progress. `checkpoint` is the pre-departure cursor to rewind to
+    /// if the migration permanently fails after recovery.
+    InFlight {
+        /// Transfer id of the in-progress handoff.
+        transfer_id: u64,
+        /// Destination host.
+        dest: String,
+        /// Cursor to restore on permanent failure.
+        checkpoint: Cursor,
+        /// `true` once the Transfer frame was sent (awaiting its ack);
+        /// `false` while still awaiting the landing permit.
+        awaiting_ack: bool,
+        /// Send attempts made so far.
+        attempt: u32,
+        /// Per-visit action travelling with the naplet.
+        action: Option<ActionSpec>,
+    },
+    /// Parked on this server awaiting manual resumption.
+    Parked,
+}
+
+/// One durable naplet record: the serialized agent plus its phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// `napcode`-encoded [`Naplet`] snapshot.
+    pub naplet: Vec<u8>,
+    /// Protocol phase at snapshot time.
+    pub phase: JournalPhase,
+    /// When the record was written (virtual time).
+    pub updated: Millis,
+}
+
+impl JournalRecord {
+    /// Decode the carried naplet snapshot.
+    pub fn decode_naplet(&self) -> Result<Naplet> {
+        codec::from_bytes(&self.naplet)
+    }
+}
+
+/// Counters a recovery replay produces, merged into server diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Naplets rehydrated from the journal after a crash.
+    pub rehydrated: u64,
+    /// Visits whose re-execution was suppressed because the journaled
+    /// `applied_epoch` showed their effects already escaped.
+    pub replays_suppressed: u64,
+    /// In-flight handoffs resumed by re-driving the retry machinery.
+    pub handoffs_resumed: u64,
+    /// Home-side leases that expired without renewal.
+    pub leases_expired: u64,
+    /// Orphaned agents re-dispatched from their creation record.
+    pub orphans_redispatched: u64,
+    /// Agents given up as `Lost` after lease expiry.
+    pub agents_lost: u64,
+}
+
+impl RecoveryStats {
+    /// Add `other` into `self` (for cross-server aggregation).
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.rehydrated += other.rehydrated;
+        self.replays_suppressed += other.replays_suppressed;
+        self.handoffs_resumed += other.handoffs_resumed;
+        self.leases_expired += other.leases_expired;
+        self.orphans_redispatched += other.orphans_redispatched;
+        self.agents_lost += other.agents_lost;
+    }
+}
+
+/// The server-side write-ahead journal.
+///
+/// Key layout (flat, prefix-partitioned):
+///
+/// * `n/<naplet-id>` — [`JournalRecord`] for a hosted/in-flight naplet
+/// * `c/<naplet-id>` — creation snapshot for lease re-dispatch (home)
+/// * `s/<transfer-id>/<origin>` — receiver-side transfer dedup entry
+/// * `t/watermark` — high-water mark of issued transfer tokens
+#[derive(Debug)]
+pub struct Journal {
+    store: Box<dyn JournalStore>,
+}
+
+impl Journal {
+    /// Journal over a fresh in-memory store.
+    pub fn in_memory() -> Journal {
+        Journal::with_store(Box::new(MemoryStore::new()))
+    }
+
+    /// Journal over any store implementation.
+    pub fn with_store(store: Box<dyn JournalStore>) -> Journal {
+        Journal { store }
+    }
+
+    fn naplet_key(id: &NapletId) -> String {
+        format!("n/{id}")
+    }
+
+    fn creation_key(id: &NapletId) -> String {
+        format!("c/{id}")
+    }
+
+    fn seen_key(origin: &str, transfer_id: u64) -> String {
+        format!("s/{transfer_id}/{origin}")
+    }
+
+    /// Durably record `naplet` in `phase`. Errors are returned for the
+    /// caller to log; the protocol proceeds regardless (a failed write
+    /// degrades durability, not correctness of the live run).
+    pub fn record_naplet(
+        &mut self,
+        id: &NapletId,
+        naplet: &Naplet,
+        phase: JournalPhase,
+        now: Millis,
+    ) -> Result<()> {
+        let record = JournalRecord {
+            naplet: codec::to_bytes(naplet)?,
+            phase,
+            updated: now,
+        };
+        self.store
+            .put(&Self::naplet_key(id), &codec::to_bytes(&record)?)
+    }
+
+    /// Retire a naplet record: the agent is durably someone else's
+    /// responsibility (acked away) or its journey ended here.
+    pub fn retire(&mut self, id: &NapletId) -> Result<()> {
+        self.store.remove(&Self::naplet_key(id))
+    }
+
+    /// All live naplet records, sorted by id, for recovery scans.
+    pub fn naplet_records(&self) -> Vec<(String, JournalRecord)> {
+        let Ok(keys) = self.store.keys() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for key in keys {
+            let Some(id) = key.strip_prefix("n/") else {
+                continue;
+            };
+            if let Ok(Some(bytes)) = self.store.get(&key) {
+                if let Ok(record) = codec::from_bytes::<JournalRecord>(&bytes) {
+                    out.push((id.to_string(), record));
+                }
+            }
+        }
+        out
+    }
+
+    /// Record the creation snapshot of a naplet dispatched from this
+    /// (home) server, for lease-driven re-dispatch.
+    pub fn record_creation(&mut self, id: &NapletId, naplet: &Naplet) -> Result<()> {
+        self.store
+            .put(&Self::creation_key(id), &codec::to_bytes(naplet)?)
+    }
+
+    /// The creation snapshot for `id`, if still held.
+    pub fn creation(&self, id: &NapletId) -> Option<Naplet> {
+        let bytes = self.store.get(&Self::creation_key(id)).ok().flatten()?;
+        codec::from_bytes(&bytes).ok()
+    }
+
+    /// Ids with a creation record, sorted.
+    pub fn creations(&self) -> Vec<String> {
+        let Ok(keys) = self.store.keys() else {
+            return Vec::new();
+        };
+        keys.iter()
+            .filter_map(|k| k.strip_prefix("c/"))
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Drop the creation record once the journey reaches a terminal
+    /// status (no re-dispatch will ever be needed).
+    pub fn remove_creation(&mut self, id: &NapletId) -> Result<()> {
+        self.store.remove(&Self::creation_key(id))
+    }
+
+    /// Durably note a transfer as seen (receiver-side dedup), so a
+    /// restarted receiver still re-acks instead of re-admitting.
+    pub fn note_seen(&mut self, origin: &str, transfer_id: u64, at: Millis) -> Result<()> {
+        let value = ((origin.to_string(), transfer_id), at);
+        self.store.put(
+            &Self::seen_key(origin, transfer_id),
+            &codec::to_bytes(&value)?,
+        )
+    }
+
+    /// All durable dedup entries: `((origin, transfer_id), seen-at)`.
+    pub fn seen(&self) -> Vec<((String, u64), Millis)> {
+        let Ok(keys) = self.store.keys() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for key in keys {
+            if !key.starts_with("s/") {
+                continue;
+            }
+            if let Ok(Some(bytes)) = self.store.get(&key) {
+                if let Ok(entry) = codec::from_bytes::<((String, u64), Millis)>(&bytes) {
+                    out.push(entry);
+                }
+            }
+        }
+        out
+    }
+
+    /// Evict dedup entries older than `ttl_ms`; returns how many.
+    pub fn compact_seen(&mut self, now: Millis, ttl_ms: u64) -> usize {
+        let mut evicted = 0;
+        for ((origin, transfer_id), at) in self.seen() {
+            if now.since(at) >= ttl_ms {
+                let _ = self.store.remove(&Self::seen_key(&origin, transfer_id));
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Durably advance the transfer-token high-water mark. Written on
+    /// every token issue so a recovered server never reuses an id that
+    /// may still be live in a peer's dedup table.
+    pub fn set_token_watermark(&mut self, token: u64) -> Result<()> {
+        self.store.put("t/watermark", &codec::to_bytes(&token)?)
+    }
+
+    /// The last durable token watermark, 0 if never written.
+    pub fn token_watermark(&self) -> u64 {
+        self.store
+            .get("t/watermark")
+            .ok()
+            .flatten()
+            .and_then(|b| codec::from_bytes(&b).ok())
+            .unwrap_or(0)
+    }
+
+    /// Number of records of any kind.
+    pub fn len(&self) -> usize {
+        self.store.keys().map(|k| k.len()).unwrap_or(0)
+    }
+
+    /// True when nothing is journaled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use naplet_core::credential::SigningKey;
+    use naplet_core::itinerary::{Itinerary, Pattern};
+    use naplet_core::naplet::AgentKind;
+
+    fn sample_naplet() -> Naplet {
+        let key = SigningKey::new("czxu", b"test-secret");
+        let it = Itinerary::new(Pattern::seq_of_hosts(&["s1", "s2"], None)).unwrap();
+        Naplet::create(
+            &key,
+            "czxu",
+            "home",
+            Millis(1),
+            "naplet://code/probe.jar",
+            AgentKind::Native,
+            it,
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn temp_dir() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("naplet-journal-{}-{n}", std::process::id()))
+    }
+
+    fn naplet_round_trip(mut journal: Journal) {
+        let naplet = sample_naplet();
+        let id = naplet.id().clone();
+        journal
+            .record_naplet(
+                &id,
+                &naplet,
+                JournalPhase::Resident {
+                    applied_epoch: 0,
+                    action: Some(ActionSpec::ReportHome),
+                },
+                Millis(5),
+            )
+            .unwrap();
+        let records = journal.naplet_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].0, id.to_string());
+        assert_eq!(records[0].1.updated, Millis(5));
+        let back = records[0].1.decode_naplet().unwrap();
+        assert_eq!(back.id(), &id);
+        match &records[0].1.phase {
+            JournalPhase::Resident {
+                applied_epoch,
+                action,
+            } => {
+                assert_eq!(*applied_epoch, 0);
+                assert_eq!(action, &Some(ActionSpec::ReportHome));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+        journal.retire(&id).unwrap();
+        assert!(journal.naplet_records().is_empty());
+    }
+
+    #[test]
+    fn memory_store_round_trips_naplet_records() {
+        naplet_round_trip(Journal::in_memory());
+    }
+
+    #[test]
+    fn file_store_round_trips_naplet_records() {
+        let dir = temp_dir();
+        naplet_round_trip(Journal::with_store(Box::new(
+            FileStore::open(&dir).unwrap(),
+        )));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_survives_reopen_and_skips_tmp() {
+        let dir = temp_dir();
+        {
+            let mut store = FileStore::open(&dir).unwrap();
+            store.put("n/abc", b"hello").unwrap();
+            // simulate a crash mid-put: a stray tmp file left behind
+            std::fs::write(dir.join("torn.tmp"), b"junk").unwrap();
+        }
+        let store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.keys().unwrap(), vec!["n/abc".to_string()]);
+        assert_eq!(store.get("n/abc").unwrap().unwrap(), b"hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_key_encoding_round_trips() {
+        let ugly = "s/42/host%with/odd chars";
+        let encoded = FileStore::encode(ugly);
+        assert!(!encoded.contains('/'));
+        assert_eq!(FileStore::decode(&encoded).unwrap(), ugly);
+    }
+
+    #[test]
+    fn creations_tracked_and_removed() {
+        let mut journal = Journal::in_memory();
+        let naplet = sample_naplet();
+        let id = naplet.id().clone();
+        assert!(journal.creation(&id).is_none());
+        journal.record_creation(&id, &naplet).unwrap();
+        assert_eq!(journal.creations(), vec![id.to_string()]);
+        assert_eq!(journal.creation(&id).unwrap().id(), &id);
+        journal.remove_creation(&id).unwrap();
+        assert!(journal.creations().is_empty());
+    }
+
+    #[test]
+    fn seen_entries_compacted_by_ttl() {
+        let mut journal = Journal::in_memory();
+        journal.note_seen("s1", 7, Millis(100)).unwrap();
+        journal.note_seen("s2", 9, Millis(500)).unwrap();
+        assert_eq!(journal.seen().len(), 2);
+        let evicted = journal.compact_seen(Millis(700), 300);
+        assert_eq!(evicted, 1);
+        let left = journal.seen();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].0, ("s2".to_string(), 9));
+    }
+
+    #[test]
+    fn token_watermark_persists() {
+        let mut journal = Journal::in_memory();
+        assert_eq!(journal.token_watermark(), 0);
+        journal.set_token_watermark(41).unwrap();
+        assert_eq!(journal.token_watermark(), 41);
+    }
+
+    #[test]
+    fn recovery_stats_merge() {
+        let mut a = RecoveryStats {
+            rehydrated: 1,
+            replays_suppressed: 2,
+            ..Default::default()
+        };
+        let b = RecoveryStats {
+            rehydrated: 3,
+            handoffs_resumed: 1,
+            leases_expired: 4,
+            orphans_redispatched: 2,
+            agents_lost: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rehydrated, 4);
+        assert_eq!(a.replays_suppressed, 2);
+        assert_eq!(a.handoffs_resumed, 1);
+        assert_eq!(a.leases_expired, 4);
+        assert_eq!(a.orphans_redispatched, 2);
+        assert_eq!(a.agents_lost, 1);
+    }
+}

@@ -19,6 +19,8 @@
 
 pub mod directory;
 pub mod events;
+pub mod journal;
+pub mod lease;
 pub mod live;
 pub mod locator;
 pub mod manager;
@@ -33,6 +35,10 @@ pub mod service_channel;
 
 pub use directory::{DirEntry, DirEvent, NapletDirectory};
 pub use events::{Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
+pub use journal::{
+    FileStore, Journal, JournalPhase, JournalRecord, JournalStore, MemoryStore, RecoveryStats,
+};
+pub use lease::{Lease, LeasePolicy, LeaseTable};
 pub use live::LiveRuntime;
 pub use locator::Locator;
 pub use manager::{Footprint, NapletManager, NapletStatus, TableEntry};

@@ -34,6 +34,10 @@ pub enum NapletStatus {
     /// toward a required destination and no itinerary fallback existed;
     /// the naplet is held at its last server awaiting owner action.
     Parked,
+    /// Presumed lost: the home-side lease expired with no sign of life
+    /// and no re-dispatch was possible (policy forbade it or the
+    /// budget was exhausted). Terminal.
+    Lost,
 }
 
 /// One row of the home naplet table.

@@ -66,6 +66,10 @@ pub struct Messenger {
     pub redeliveries: u64,
     /// Messages abandoned after exhausting redelivery attempts.
     pub redelivery_given_up: u64,
+    /// Confirmation records evicted by the retention sweep.
+    pub confirmations_evicted: u64,
+    /// Delivery-dedup entries evicted by the retention sweep.
+    pub deliveries_evicted: u64,
 }
 
 impl Default for Messenger {
@@ -88,7 +92,27 @@ impl Messenger {
             undeliverable: 0,
             redeliveries: 0,
             redelivery_given_up: 0,
+            confirmations_evicted: 0,
+            deliveries_evicted: 0,
         }
+    }
+
+    /// Compact bookkeeping older than `ttl_ms`: confirmation records
+    /// (kept "for further possible inquiry" — the window bounds how far
+    /// back an inquiry can reach) and delivery-dedup entries (safe to
+    /// drop once every retransmission of the message has surely died;
+    /// their key embeds the send timestamp). Eviction counts are kept
+    /// in [`confirmations_evicted`](Self::confirmations_evicted) and
+    /// [`deliveries_evicted`](Self::deliveries_evicted).
+    pub fn compact(&mut self, now: Millis, ttl_ms: u64) {
+        let before = self.confirmations.len();
+        self.confirmations
+            .retain(|_, rec| now.since(rec.at) < ttl_ms);
+        self.confirmations_evicted += (before - self.confirmations.len()) as u64;
+        let before = self.delivered.len();
+        self.delivered
+            .retain(|(_, _, sent_at)| now.since(Millis(*sent_at)) < ttl_ms);
+        self.deliveries_evicted += (before - self.delivered.len()) as u64;
     }
 
     /// Next per-server message sequence number.
@@ -192,8 +216,8 @@ impl Messenger {
     /// Idempotent delivery check: returns `true` the first time a
     /// message identity is delivered at this server, `false` for a
     /// retransmitted duplicate (which must still be re-confirmed but
-    /// not deposited again). The set is kept for the server's lifetime;
-    /// entries are a few dozen bytes and experiments are finite.
+    /// not deposited again). Entries age out under the server's
+    /// retention window via [`compact`](Self::compact).
     pub fn record_delivery(&mut self, sender: Sender, seq: u64, sent_at: Millis) -> bool {
         self.delivered.insert((sender, seq, sent_at.0))
     }
@@ -319,6 +343,26 @@ mod tests {
         assert!(!m.give_up(&message.from, 3));
         assert_eq!(m.redelivery_given_up, 1);
         assert_eq!(m.outstanding_count(), 0);
+    }
+
+    #[test]
+    fn compact_evicts_by_ttl_and_counts() {
+        let mut m = Messenger::default();
+        let sender = Sender::Naplet(nid(1));
+        m.record_confirmation(sender.clone(), 1, "s1", Millis(100));
+        m.record_confirmation(sender.clone(), 2, "s1", Millis(900));
+        m.record_delivery(sender.clone(), 1, Millis(100));
+        m.record_delivery(sender.clone(), 2, Millis(900));
+        m.compact(Millis(1000), 500);
+        assert_eq!(m.confirmations_evicted, 1);
+        assert_eq!(m.deliveries_evicted, 1);
+        assert!(m.confirmation(&sender, 1).is_none());
+        assert!(m.confirmation(&sender, 2).is_some());
+        // the evicted delivery entry is forgotten: a (very) late
+        // duplicate would be deposited again — the retention window is
+        // chosen far beyond any retransmission horizon
+        assert!(m.record_delivery(sender.clone(), 1, Millis(100)));
+        assert!(!m.record_delivery(sender, 2, Millis(900)));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! collect raw wire values instead of running a naplet server. The
 //! centralized SNMP management station of the §6 baseline is a station.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use naplet_core::clock::Millis;
 use naplet_core::error::{NapletError, Result};
@@ -40,7 +40,20 @@ enum SimEvent {
     Local {
         host: String,
         event: LocalEvent,
+        /// The host's crash epoch when the event was scheduled. A
+        /// crash bumps the epoch, so timers armed by the dead process
+        /// are discarded on delivery — volatile state dies with it.
+        epoch: u64,
     },
+    /// Crash `host` now: wipe its volatile state (only the journal
+    /// survives), optionally scheduling a restart.
+    Crash {
+        host: String,
+        restart_at: Option<u64>,
+    },
+    /// Restart a crashed `host`: rebuild the server from its original
+    /// configuration and replay its journal.
+    Restart { host: String },
 }
 
 /// The deterministic multi-server driver.
@@ -49,6 +62,13 @@ pub struct SimRuntime {
     queue: EventQueue<SimEvent>,
     servers: HashMap<String, NapletServer>,
     stations: HashMap<String, Vec<(String, Wire)>>,
+    /// Original configurations, kept so a crashed server can be
+    /// rebuilt exactly as it was born.
+    configs: HashMap<String, ServerConfig>,
+    /// Per-host crash epoch (bumped on every crash).
+    crash_epoch: HashMap<String, u64>,
+    /// Hosts currently down: frames to them are dropped on delivery.
+    crashed: HashSet<String>,
     /// Wire values that could not be delivered (dropped by the fabric).
     pub dropped: u64,
     /// Total events processed.
@@ -63,6 +83,9 @@ impl SimRuntime {
             queue: EventQueue::new(),
             servers: HashMap::new(),
             stations: HashMap::new(),
+            configs: HashMap::new(),
+            crash_epoch: HashMap::new(),
+            crashed: HashSet::new(),
             dropped: 0,
             events_processed: 0,
         }
@@ -82,6 +105,9 @@ impl SimRuntime {
     pub fn add_server(&mut self, config: ServerConfig) -> &mut NapletServer {
         let host = config.host.clone();
         self.fabric.add_host(&host);
+        self.configs
+            .entry(host.clone())
+            .or_insert_with(|| config.clone());
         self.servers
             .entry(host)
             .or_insert_with(|| NapletServer::new(config))
@@ -185,6 +211,62 @@ impl SimRuntime {
         processed
     }
 
+    /// Schedule a crash of `host` at virtual time `at_ms`. When
+    /// `restart_after_ms` is `Some(d)`, the host restarts (and replays
+    /// its journal) `d` ms after the crash; `None` means it never
+    /// comes back.
+    pub fn schedule_crash(&mut self, host: &str, at_ms: u64, restart_after_ms: Option<u64>) {
+        let restart_at = restart_after_ms.map(|d| at_ms.saturating_add(d));
+        self.queue.push_at(
+            at_ms,
+            SimEvent::Crash {
+                host: host.to_string(),
+                restart_at,
+            },
+        );
+    }
+
+    /// Crash `host` immediately (between two events — handler
+    /// invocations are atomic, so this is the only place a real crash
+    /// can fall in this model).
+    pub fn crash_server(&mut self, host: &str, restart_after_ms: Option<u64>) {
+        let restart_at = restart_after_ms.map(|d| self.queue.now().saturating_add(d));
+        self.perform_crash(host, restart_at);
+    }
+
+    /// Process exactly one queued event; returns the host it targeted
+    /// (`None` when the queue is empty or the event had no single
+    /// target). Lets tests crash a server at a precise event index.
+    pub fn step(&mut self) -> Option<String> {
+        let (_, ev) = self.queue.pop()?;
+        self.events_processed += 1;
+        let target = match &ev {
+            SimEvent::Deliver { to, .. } => Some(to.clone()),
+            SimEvent::Local { host, .. } => Some(host.clone()),
+            SimEvent::Crash { host, .. } | SimEvent::Restart { host } => Some(host.clone()),
+        };
+        self.dispatch(ev);
+        target
+    }
+
+    /// The host the next queued event targets, without processing it.
+    pub fn peek_target(&self) -> Option<String> {
+        self.queue.peek().map(|ev| match ev {
+            SimEvent::Deliver { to, .. } => to.clone(),
+            SimEvent::Local { host, .. } => host.clone(),
+            SimEvent::Crash { host, .. } | SimEvent::Restart { host } => host.clone(),
+        })
+    }
+
+    /// Aggregated recovery statistics over every server.
+    pub fn recovery_totals(&self) -> crate::journal::RecoveryStats {
+        let mut total = crate::journal::RecoveryStats::default();
+        for server in self.servers.values() {
+            total.merge(&server.recovery_stats());
+        }
+        total
+    }
+
     /// Collected reports at a home server, drained.
     pub fn drain_reports(&mut self, home: &str) -> Vec<(NapletId, Value)> {
         self.servers
@@ -200,6 +282,13 @@ impl SimRuntime {
         self.fabric.set_now(now.0);
         match ev {
             SimEvent::Deliver { from, to, wire } => {
+                if self.crashed.contains(&to) {
+                    // the frame was already in flight when the host went
+                    // down; it is lost at the dead NIC
+                    self.dropped += 1;
+                    self.fabric.stats().record_drop();
+                    return;
+                }
                 if let Some(server) = self.servers.get_mut(&to) {
                     let outputs = server.handle(now, Input::Wire { from, wire });
                     self.process_outputs(&to, outputs);
@@ -209,16 +298,77 @@ impl SimRuntime {
                 // frames to unknown hosts were already rejected by the
                 // fabric at send time
             }
-            SimEvent::Local { host, event } => {
+            SimEvent::Local { host, event, epoch } => {
+                if self.crashed.contains(&host)
+                    || epoch != self.crash_epoch.get(&host).copied().unwrap_or(0)
+                {
+                    // timers armed by a process that has since crashed:
+                    // volatile state died with it
+                    return;
+                }
                 if let Some(server) = self.servers.get_mut(&host) {
                     let outputs = server.handle(now, Input::Local(event));
                     self.process_outputs(&host, outputs);
                 }
             }
+            SimEvent::Crash { host, restart_at } => {
+                self.perform_crash(&host, restart_at);
+            }
+            SimEvent::Restart { host } => {
+                self.perform_restart(&host);
+            }
         }
     }
 
+    /// Crash `host` right now: bump its crash epoch (voiding every
+    /// pending timer), replace the server with a cold shell holding
+    /// only the journal, and open a fabric outage window until
+    /// `restart_at` (forever when `None`).
+    fn perform_crash(&mut self, host: &str, restart_at: Option<u64>) {
+        let Some(server) = self.servers.get_mut(host) else {
+            return;
+        };
+        let now = self.queue.now();
+        *self.crash_epoch.entry(host.to_string()).or_insert(0) += 1;
+        self.crashed.insert(host.to_string());
+        self.fabric
+            .schedule_crash(host, now, restart_at.unwrap_or(u64::MAX));
+        // only the journal survives the crash
+        let journal = server.take_journal();
+        let config =
+            self.configs.get(host).cloned().unwrap_or_else(|| {
+                ServerConfig::open(host, crate::server::LocationMode::HomeManagers)
+            });
+        let mut fresh = NapletServer::new(config);
+        fresh.set_journal(journal);
+        self.servers.insert(host.to_string(), fresh);
+        if let Some(at) = restart_at {
+            self.queue.push_at(
+                at,
+                SimEvent::Restart {
+                    host: host.to_string(),
+                },
+            );
+        }
+    }
+
+    /// Bring a crashed `host` back: mark it reachable again and run
+    /// recovery replay over its journal.
+    fn perform_restart(&mut self, host: &str) {
+        if !self.crashed.remove(host) {
+            return;
+        }
+        self.fabric.stats().record_recovery();
+        let now = self.now();
+        let Some(server) = self.servers.get_mut(host) else {
+            return;
+        };
+        let outputs = server.recover(now);
+        self.process_outputs(host, outputs);
+    }
+
     fn process_outputs(&mut self, host: &str, outputs: Vec<Output>) {
+        let epoch = self.crash_epoch.get(host).copied().unwrap_or(0);
         for output in outputs {
             match output {
                 Output::Send { to, wire } => {
@@ -230,6 +380,7 @@ impl SimRuntime {
                         SimEvent::Local {
                             host: host.to_string(),
                             event,
+                            epoch,
                         },
                     );
                 }
@@ -248,6 +399,7 @@ impl SimRuntime {
                             SimEvent::Local {
                                 host: host.to_string(),
                                 event,
+                                epoch,
                             },
                         ),
                         None => {
@@ -259,6 +411,7 @@ impl SimRuntime {
                                 SimEvent::Local {
                                     host: host.to_string(),
                                     event,
+                                    epoch,
                                 },
                             );
                         }

@@ -24,6 +24,8 @@ use naplet_vm::{ContextVmHost, VmImage, VmYield};
 
 use crate::directory::{DirEvent, NapletDirectory};
 use crate::events::{Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
+use crate::journal::{Journal, JournalPhase, RecoveryStats};
+use crate::lease::{LeasePolicy, LeaseTable};
 use crate::locator::Locator;
 use crate::manager::{NapletManager, NapletStatus};
 use crate::messenger::Messenger;
@@ -44,7 +46,9 @@ pub enum LocationMode {
     ForwardingTrace,
 }
 
-/// Static server configuration.
+/// Static server configuration. `Clone` so a crash driver can rebuild
+/// a server from the same configuration it was born with.
+#[derive(Clone)]
 pub struct ServerConfig {
     /// This server's host name (one server per host).
     pub host: String,
@@ -62,6 +66,14 @@ pub struct ServerConfig {
     pub max_residents: Option<usize>,
     /// Retry/backoff parameters for the reliable-transfer layer.
     pub retry: RetryPolicy,
+    /// Home-side lease policy for dispatched naplets. `None` (the
+    /// default) disables leasing entirely — no lease timers, no extra
+    /// wire traffic, byte totals identical to a lease-free server.
+    pub lease: Option<LeasePolicy>,
+    /// Retention window for dedup/bookkeeping tables (receiver-side
+    /// transfer dedup, messenger confirmations): entries older than
+    /// this are compacted away.
+    pub retention_ms: u64,
 }
 
 impl ServerConfig {
@@ -76,6 +88,8 @@ impl ServerConfig {
             actions: ActionRegistry::new(),
             max_residents: None,
             retry: RetryPolicy::default(),
+            lease: None,
+            retention_ms: 600_000,
         }
     }
 }
@@ -155,6 +169,22 @@ pub struct NapletServer {
     pub parked: HashMap<NapletId, Naplet>,
     app_handler: Option<AppHandler>,
     state_hook: Option<StateHook>,
+    /// Write-ahead journal: durable naplet snapshots at protocol
+    /// boundaries, replayed by [`recover`](Self::recover).
+    journal: Journal,
+    /// Home-side lease policy; `None` disables leasing.
+    lease_policy: Option<LeasePolicy>,
+    /// Live leases for naplets dispatched from this (home) server.
+    pub leases: LeaseTable,
+    retention_ms: u64,
+    last_sweep: Millis,
+    /// Recovery diagnostics accumulated across crash replays.
+    recovery: RecoveryStats,
+    /// Receiver-side dedup entries evicted by the retention sweep.
+    pub seen_evicted: u64,
+    /// Navigation logs of journeys that completed at this server
+    /// (diagnostics: duplicate-visit assertions read these).
+    pub completed: Vec<(NapletId, naplet_core::navlog::NavigationLog)>,
     /// Listener reports received for naplets homed here.
     pub reports: Vec<(NapletId, Value)>,
     /// Application-level replies received at this host
@@ -190,6 +220,14 @@ impl NapletServer {
             parked: HashMap::new(),
             app_handler: None,
             state_hook: None,
+            journal: Journal::in_memory(),
+            lease_policy: config.lease,
+            leases: LeaseTable::new(),
+            retention_ms: config.retention_ms,
+            last_sweep: Millis(0),
+            recovery: RecoveryStats::default(),
+            seen_evicted: 0,
+            completed: Vec::new(),
             reports: Vec::new(),
             app_replies: Vec::new(),
             log: Vec::new(),
@@ -231,13 +269,71 @@ impl NapletServer {
         &mut self.actions
     }
 
+    /// Replace the journal (e.g. with a [`crate::journal::FileStore`]
+    /// backing, or to hand a crashed server's journal to its rebuilt
+    /// replacement). Call before any naplets are hosted.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
+    }
+
+    /// Take the journal out of the server, leaving a fresh in-memory
+    /// one. Crash drivers use this: the journal is the only state that
+    /// survives the wipe.
+    pub fn take_journal(&mut self) -> Journal {
+        std::mem::replace(&mut self.journal, Journal::in_memory())
+    }
+
+    /// Read access to the journal (diagnostics/tests).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Recovery diagnostics: naplets rehydrated, replays suppressed,
+    /// handoffs resumed, plus the lease table's expiry counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut stats = self.recovery;
+        stats.leases_expired = self.leases.expired;
+        stats.orphans_redispatched = self.leases.redispatched;
+        stats.agents_lost = self.leases.lost;
+        stats
+    }
+
     fn logf(&mut self, now: Millis, line: String) {
         self.log.push(LogEntry { at: now, line });
     }
 
     fn token(&mut self) -> u64 {
         self.next_token += 1;
+        // durably advance the watermark so a recovered server never
+        // reissues a transfer id that may be live in a peer's dedup set
+        let _ = self.journal.set_token_watermark(self.next_token);
         self.next_token
+    }
+
+    /// Journal a naplet snapshot, logging (not failing) on store errors
+    /// — a degraded journal weakens durability, never the live run.
+    fn journal_naplet(&mut self, naplet: &Naplet, phase: JournalPhase, now: Millis) {
+        let id = naplet.id().clone();
+        if let Err(e) = self.journal.record_naplet(&id, naplet, phase, now) {
+            self.logf(now, format!("JOURNAL write failed for {id}: {e}"));
+        }
+    }
+
+    /// Periodic compaction of dedup/bookkeeping tables under the
+    /// retention window (satellite: these tables previously grew for
+    /// the life of the server).
+    fn sweep_retention(&mut self, now: Millis) {
+        if now.since(self.last_sweep) < self.retention_ms / 4 {
+            return;
+        }
+        self.last_sweep = now;
+        let ttl = self.retention_ms;
+        let before = self.seen_transfers.len();
+        self.seen_transfers.retain(|_, t| now.since(*t) < ttl);
+        self.seen_evicted += (before - self.seen_transfers.len()) as u64;
+        // the durable copies of the same entries age out in lock-step
+        let _ = self.journal.compact_seen(now, ttl);
+        self.messenger.compact(now, ttl);
     }
 
     /// The host that holds directory state for `id` under the current
@@ -262,6 +358,15 @@ impl NapletServer {
         self.manager.record_launch(id.clone(), &self.host, now);
         self.manager.record_arrival(&id, None, now);
         self.logf(now, format!("LAUNCH {id}"));
+        if self.lease_policy.is_some() {
+            // durable creation record first, so an orphan can be
+            // re-dispatched even after this server itself crashes
+            if let Err(e) = self.journal.record_creation(&id, &naplet) {
+                self.logf(now, format!("JOURNAL creation failed for {id}: {e}"));
+            }
+            self.leases.grant(&id, now);
+            self.arm_lease_timer(&id, &mut out);
+        }
         self.continue_journey(naplet, Mailbox::new(), now, &mut out);
         out
     }
@@ -286,6 +391,7 @@ impl NapletServer {
 
     /// Handle one input, producing effects for the driver.
     pub fn handle(&mut self, now: Millis, input: Input) -> Vec<Output> {
+        self.sweep_retention(now);
         let mut out = Vec::new();
         match input {
             Input::Wire { from, wire } => self.handle_wire(now, &from, wire, &mut out),
@@ -388,14 +494,22 @@ impl NapletServer {
                     );
                     return;
                 }
-                self.seen_transfers.retain(|_, t| now.since(*t) < 600_000);
+                // durable dedup note: a crashed-and-recovered receiver
+                // must still re-ack (not re-admit) a late retransmission
+                if let Err(e) = self.journal.note_seen(from, transfer_id, now) {
+                    self.logf(now, format!("JOURNAL seen failed for {id}: {e}"));
+                }
                 self.seen_transfers.insert(key, now);
                 self.admit_arrival(envelope, Some(from), Mailbox::new(), now, out);
             }
             Wire::TransferAck { transfer_id, id } => {
                 if self.pending_transfers.remove(&transfer_id).is_some() {
                     // commit: the destination has the agent — release
-                    // the retained copy
+                    // the retained copy and retire the journal record
+                    // (the destination journaled it before acking)
+                    if let Err(e) = self.journal.retire(&id) {
+                        self.logf(now, format!("JOURNAL retire failed for {id}: {e}"));
+                    }
                     self.logf(now, format!("HANDOFF commit {id} (transfer {transfer_id})"));
                 }
             }
@@ -407,6 +521,8 @@ impl NapletServer {
                 attempt: _,
             } => {
                 self.directory.register(&id, &host, event, now);
+                // any movement registration is a sign of life
+                self.leases.renew(&id, now);
                 if event == DirEvent::Arrival {
                     self.manager
                         .update_status(&id, NapletStatus::Running, &host, now);
@@ -483,6 +599,7 @@ impl NapletServer {
             }
             Wire::Report { id, body } => {
                 self.logf(now, format!("REPORT from {id}"));
+                self.leases.renew(&id, now);
                 self.reports.push((id, body));
             }
             Wire::Notify {
@@ -494,6 +611,7 @@ impl NapletServer {
                 if !detail.is_empty() {
                     self.logf(now, format!("NOTIFY {id}: {status:?} at {host}: {detail}"));
                 }
+                self.note_status_at_home(&id, status, now);
                 self.manager.update_status(&id, status, &host, now);
             }
             Wire::AppRequest {
@@ -611,6 +729,9 @@ impl NapletServer {
                     },
                 });
                 self.arm_register_timer(&id, next, out);
+            }
+            LocalEvent::LeaseCheck { id } => {
+                self.check_lease(&id, now, out);
             }
             LocalEvent::PostTimeout {
                 sender,
@@ -769,6 +890,20 @@ impl NapletServer {
             est_bytes,
             attempt: 1,
         };
+        // journal before the first frame leaves: a crash here resumes
+        // the handoff instead of losing the departing agent
+        self.journal_naplet(
+            &naplet,
+            JournalPhase::InFlight {
+                transfer_id,
+                dest: dest.clone(),
+                checkpoint: checkpoint.clone(),
+                awaiting_ack: false,
+                attempt: 1,
+                action: action.clone(),
+            },
+            now,
+        );
         self.pending_transfers.insert(
             transfer_id,
             PendingTransfer {
@@ -874,6 +1009,19 @@ impl NapletServer {
                 attempt: 1,
             }),
         });
+        // advance the journaled phase: past the permit, transfer sent
+        self.journal_naplet(
+            &naplet,
+            JournalPhase::InFlight {
+                transfer_id,
+                dest: dest.clone(),
+                checkpoint: checkpoint.clone(),
+                awaiting_ack: true,
+                attempt: 1,
+                action: action.clone(),
+            },
+            now,
+        );
         self.pending_transfers.insert(
             transfer_id,
             PendingTransfer {
@@ -918,6 +1066,20 @@ impl NapletServer {
                 attempt,
             }),
         };
+        // keep the journaled attempt in step so a recovered origin
+        // picks up the retry budget where it left off
+        self.journal_naplet(
+            &pending.naplet,
+            JournalPhase::InFlight {
+                transfer_id,
+                dest: dest.clone(),
+                checkpoint: pending.checkpoint.clone(),
+                awaiting_ack: pending.phase == TransferPhase::AwaitingAck,
+                attempt,
+                action: pending.action.clone(),
+            },
+            now,
+        );
         self.pending_transfers.insert(transfer_id, pending);
         self.logf(now, format!("RETRY {id} -> {dest} (attempt {attempt})"));
         out.push(Output::Send { to: dest, wire });
@@ -1018,6 +1180,9 @@ impl NapletServer {
             now,
             out,
         );
+        // a parked agent held for owner recovery must survive a crash
+        // of the server holding it
+        self.journal_naplet(&naplet, JournalPhase::Parked, now);
         self.parked.insert(id, naplet);
     }
 
@@ -1059,6 +1224,18 @@ impl NapletServer {
             hook(&mut view);
         }
         self.logf(now, format!("ARRIVAL {id}"));
+        // durable before the TransferAck (already queued) can commit
+        // the origin's release: from here this server owns the agent.
+        // `applied_epoch` is one behind — this visit has not run yet.
+        let epoch = naplet.nav_log.visit_epoch();
+        self.journal_naplet(
+            &naplet,
+            JournalPhase::Resident {
+                applied_epoch: epoch.saturating_sub(1),
+                action: action.clone(),
+            },
+            now,
+        );
 
         let state = RunState::AwaitingArrivalAck;
         let entry = self.monitor.admit(naplet, action, state, now);
@@ -1105,7 +1282,28 @@ impl NapletServer {
         }
 
         // ARRIVAL registration: execution postponed until acknowledged
-        match self.directory_holder(&id) {
+        self.reregister_arrival(&id, true, now, out);
+
+        // early control messages now interrupt the just-arrived naplet
+        for verb in pending_controls {
+            self.apply_control(&id, &verb, now, out);
+        }
+    }
+
+    /// Register an arrival with the directory holder. With
+    /// `gate_execution` the resident waits in `AwaitingArrivalAck`
+    /// until the registration is acknowledged (normal admission);
+    /// without it the registration is fire-and-forget — used by
+    /// recovery for visits whose execution already happened, where
+    /// only the directory entry needs restoring.
+    fn reregister_arrival(
+        &mut self,
+        id: &NapletId,
+        gate_execution: bool,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        match self.directory_holder(id) {
             Some(holder) if holder != self.host => {
                 out.push(Output::Send {
                     to: holder,
@@ -1113,29 +1311,31 @@ impl NapletServer {
                         id: id.clone(),
                         host: self.host.clone(),
                         event: DirEvent::Arrival,
-                        ack_to: Some(self.host.clone()),
+                        ack_to: gate_execution.then(|| self.host.clone()),
                         attempt: 1,
                     },
                 });
-                // stay in AwaitingArrivalAck until DirAck; the
-                // registration is retried like any other acked frame —
-                // a lost DirRegister/DirAck must not strand the agent
-                self.arm_register_timer(&id, 1, out);
+                if gate_execution {
+                    // stay in AwaitingArrivalAck until DirAck; the
+                    // registration is retried like any other acked
+                    // frame — a lost DirRegister/DirAck must not
+                    // strand the agent
+                    self.arm_register_timer(id, 1, out);
+                }
             }
             Some(_) => {
                 // we are the directory holder: register synchronously
                 self.directory
-                    .register(&id, &self.host.clone(), DirEvent::Arrival, now);
-                self.proceed_after_registration(&id, now, out);
+                    .register(id, &self.host.clone(), DirEvent::Arrival, now);
+                if gate_execution {
+                    self.proceed_after_registration(id, now, out);
+                }
             }
             None => {
-                self.proceed_after_registration(&id, now, out);
+                if gate_execution {
+                    self.proceed_after_registration(id, now, out);
+                }
             }
-        }
-
-        // early control messages now interrupt the just-arrived naplet
-        for verb in pending_controls {
-            self.apply_control(&id, &verb, now, out);
         }
     }
 
@@ -1277,6 +1477,19 @@ impl NapletServer {
                 match outcome {
                     ExecOutcome::Continue => {
                         entry.state = RunState::VisitDone;
+                        // the visit's effects just escaped (messages,
+                        // reports): ratchet the journaled epoch so a
+                        // recovery replay resumes at the visit's end
+                        // instead of running it again
+                        let epoch = entry.naplet.nav_log.visit_epoch();
+                        self.journal_naplet(
+                            &entry.naplet,
+                            JournalPhase::Resident {
+                                applied_epoch: epoch,
+                                action: None,
+                            },
+                            now,
+                        );
                         self.monitor.restore(entry);
                         out.push(Output::Schedule {
                             delay_ms: dwell,
@@ -1449,6 +1662,8 @@ impl NapletServer {
         }
         for body in effects.reports {
             if home == self.host {
+                // a naplet reporting at its own home is a sign of life
+                self.leases.renew(id, now);
                 self.reports.push((id.clone(), body));
             } else {
                 out.push(Output::Send {
@@ -1760,6 +1975,9 @@ impl NapletServer {
             }
         }
         self.logf(now, format!("DESTROY {id}: {reason}"));
+        if let Err(e) = self.journal.retire(id) {
+            self.logf(now, format!("JOURNAL retire failed for {id}: {e}"));
+        }
         self.notify_home(id, NapletStatus::Destroyed, reason, now, out);
         self.dir_remove(id, out);
     }
@@ -1783,6 +2001,10 @@ impl NapletServer {
         self.dir_remove(&id, out);
         self.monitor.evict(&id);
         self.resources.release(&id);
+        if let Err(e) = self.journal.retire(&id) {
+            self.logf(now, format!("JOURNAL retire failed for {id}: {e}"));
+        }
+        self.completed.push((id, naplet.nav_log.clone()));
     }
 
     fn notify_home(
@@ -1805,11 +2027,219 @@ impl NapletServer {
                 id, status, host, ..
             } = &wire
             {
+                self.note_status_at_home(id, *status, now);
                 self.manager.update_status(id, *status, host, now);
             }
         } else {
             out.push(Output::Send { to: home, wire });
         }
+    }
+
+    // =====================================================================
+    // Home-side leases
+    // =====================================================================
+
+    /// A life-cycle status reached this (home) server: terminal states
+    /// end the lease and drop the creation record; anything else is a
+    /// sign of life.
+    fn note_status_at_home(&mut self, id: &NapletId, status: NapletStatus, now: Millis) {
+        match status {
+            NapletStatus::Completed
+            | NapletStatus::Destroyed
+            | NapletStatus::Parked
+            | NapletStatus::Lost => {
+                self.leases.release(id);
+                let _ = self.journal.remove_creation(id);
+            }
+            _ => self.leases.renew(id, now),
+        }
+    }
+
+    /// Arm the next lease-expiry check for `id`.
+    fn arm_lease_timer(&self, id: &NapletId, out: &mut Vec<Output>) {
+        let Some(policy) = &self.lease_policy else {
+            return;
+        };
+        out.push(Output::Schedule {
+            delay_ms: policy.duration_ms + 1,
+            event: LocalEvent::LeaseCheck { id: id.clone() },
+        });
+    }
+
+    /// A lease timer came due: either the lease was renewed in the
+    /// meantime (re-arm for the remaining window) or the agent is
+    /// orphaned — re-dispatch it from the creation record if the
+    /// policy's budget allows, else declare it [`NapletStatus::Lost`].
+    fn check_lease(&mut self, id: &NapletId, now: Millis, out: &mut Vec<Output>) {
+        let Some(policy) = self.lease_policy.clone() else {
+            return;
+        };
+        let Some(lease) = self.leases.get(id) else {
+            return; // released (terminal status) — nothing to watch
+        };
+        let age = now.since(lease.last_renewed);
+        if age <= policy.duration_ms {
+            // renewed since the timer was armed: watch the rest of the
+            // current window
+            out.push(Output::Schedule {
+                delay_ms: policy.duration_ms - age + 1,
+                event: LocalEvent::LeaseCheck { id: id.clone() },
+            });
+            return;
+        }
+        self.leases.expired += 1;
+        self.logf(
+            now,
+            format!("LEASE expired for {id} ({age}ms without sign of life)"),
+        );
+        let creation = self.journal.creation(id);
+        let can_redispatch =
+            policy.redispatch && lease.redispatches < policy.max_redispatches && creation.is_some();
+        if can_redispatch {
+            let naplet = creation.unwrap();
+            self.leases.note_redispatch(id, now);
+            self.leases.redispatched += 1;
+            self.logf(
+                now,
+                format!(
+                    "REDISPATCH {id} from creation record (attempt {})",
+                    lease.redispatches + 1
+                ),
+            );
+            self.manager.record_launch(id.clone(), &self.host, now);
+            self.manager.record_arrival(id, None, now);
+            self.arm_lease_timer(id, out);
+            self.continue_journey(naplet, Mailbox::new(), now, out);
+        } else {
+            self.leases.lost += 1;
+            self.leases.release(id);
+            let _ = self.journal.remove_creation(id);
+            self.manager
+                .update_status(id, NapletStatus::Lost, &self.host, now);
+            self.logf(now, format!("LOST {id}: lease expired, no re-dispatch"));
+        }
+    }
+
+    // =====================================================================
+    // Crash recovery
+    // =====================================================================
+
+    /// Replay the journal after a crash wiped all volatile state.
+    ///
+    /// Rehydrates every journaled naplet: a resident whose visit
+    /// already ran resumes at the visit's *end* — the visit-epoch
+    /// ratchet suppresses a second application of its effects; a
+    /// resident admitted but not yet run is re-admitted through the
+    /// normal registration gate; an in-flight handoff re-enters the
+    /// retry machinery under its original transfer id (an immediate
+    /// timeout retransmits or fails over by the ordinary rules); a
+    /// parked agent returns to the parked set. The receiver-side dedup
+    /// table, the transfer-token watermark and any home-side leases
+    /// are restored so idempotence, id-uniqueness and liveness
+    /// tracking survive the crash.
+    pub fn recover(&mut self, now: Millis) -> Vec<Output> {
+        let mut out = Vec::new();
+        // dedup + token state first: nothing replayed below may admit
+        // a duplicate or reuse a pre-crash transfer id
+        for (key, at) in self.journal.seen() {
+            self.seen_transfers.insert(key, at);
+        }
+        self.next_token = self.next_token.max(self.journal.token_watermark());
+        let mut local = 0u64;
+        for (_key, record) in self.journal.naplet_records() {
+            let Ok(naplet) = record.decode_naplet() else {
+                continue; // undecodable record: nothing restorable
+            };
+            let id = naplet.id().clone();
+            self.recovery.rehydrated += 1;
+            local += 1;
+            match record.phase {
+                JournalPhase::Parked => {
+                    self.logf(now, format!("RECOVER parked {id}"));
+                    self.parked.insert(id, naplet);
+                }
+                JournalPhase::Resident {
+                    applied_epoch,
+                    action,
+                } => {
+                    // restore the footprint so message chases find us
+                    self.manager.record_arrival(&id, None, now);
+                    if applied_epoch >= naplet.nav_log.visit_epoch() {
+                        // effects already escaped: resume at visit end
+                        self.recovery.replays_suppressed += 1;
+                        self.logf(now, format!("RECOVER resident {id} (visit applied)"));
+                        self.monitor.admit(naplet, None, RunState::VisitDone, now);
+                        self.reregister_arrival(&id, false, now, &mut out);
+                        out.push(Output::Schedule {
+                            delay_ms: 0,
+                            event: LocalEvent::VisitDone { id: id.clone() },
+                        });
+                    } else {
+                        // admitted but never run: re-run through the
+                        // normal registration gate
+                        self.logf(now, format!("RECOVER resident {id} (re-running visit)"));
+                        self.monitor
+                            .admit(naplet, action, RunState::AwaitingArrivalAck, now);
+                        self.reregister_arrival(&id, true, now, &mut out);
+                    }
+                }
+                JournalPhase::InFlight {
+                    transfer_id,
+                    dest,
+                    checkpoint,
+                    awaiting_ack,
+                    attempt,
+                    action,
+                } => {
+                    self.recovery.handoffs_resumed += 1;
+                    self.logf(
+                        now,
+                        format!("RECOVER in-flight {id} -> {dest} (transfer {transfer_id})"),
+                    );
+                    self.pending_transfers.insert(
+                        transfer_id,
+                        PendingTransfer {
+                            naplet,
+                            action,
+                            mailbox: Mailbox::new(),
+                            dest,
+                            checkpoint,
+                            phase: if awaiting_ack {
+                                TransferPhase::AwaitingAck
+                            } else {
+                                TransferPhase::AwaitingPermit
+                            },
+                            attempt,
+                        },
+                    );
+                    // an immediate timeout re-drives the handoff: the
+                    // ordinary handler retransmits the current phase's
+                    // frame or fails over — no recovery-special paths
+                    out.push(Output::Schedule {
+                        delay_ms: 0,
+                        event: LocalEvent::TransferTimeout {
+                            transfer_id,
+                            attempt,
+                        },
+                    });
+                }
+            }
+        }
+        // re-arm leases for agents this (home) server dispatched that
+        // are still outstanding; their redispatch budget restarts with
+        // the rebuilt lease table
+        if self.lease_policy.is_some() {
+            for id_str in self.journal.creations() {
+                let Ok(id) = id_str.parse::<NapletId>() else {
+                    continue;
+                };
+                self.manager.record_launch(id.clone(), &self.host, now);
+                self.leases.grant(&id, now);
+                self.arm_lease_timer(&id, &mut out);
+            }
+        }
+        self.logf(now, format!("RECOVER complete: {local} naplet(s)"));
+        out
     }
 
     fn dir_remove(&mut self, id: &NapletId, out: &mut Vec<Output>) {

@@ -1,0 +1,231 @@
+//! Crash-recovery tests at the protocol-boundary level: a server is
+//! crashed (volatile state wiped, journal kept) at each commit-point
+//! window of the acknowledged handoff, restarted, and must replay to
+//! exactly the pre-crash outcome — no lost agents, no duplicated
+//! visit effects.
+
+use naplet_core::behavior::NapletBehavior;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::CodebaseRegistry;
+use naplet_core::context::NapletContext;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::Result;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::{
+    Input, LeasePolicy, LocalEvent, LocationMode, MonitorPolicy, ServerConfig, SimRuntime,
+};
+
+const CODEBASE: &str = "naplet://code/collector.jar";
+
+/// Records visits into state.
+struct Collector;
+
+impl NapletBehavior for Collector {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+        let host = ctx.host_name().to_string();
+        let mut visits = match ctx.state().get("visits") {
+            Value::List(l) => l,
+            _ => Vec::new(),
+        };
+        visits.push(Value::Str(host));
+        ctx.state().set("visits", Value::List(visits));
+        Ok(())
+    }
+}
+
+fn registry() -> CodebaseRegistry {
+    let mut r = CodebaseRegistry::new();
+    r.register(CODEBASE, 4096, || Collector);
+    r
+}
+
+fn key() -> SigningKey {
+    SigningKey::new("czxu", b"campus-secret")
+}
+
+fn world(n: usize, lease: Option<LeasePolicy>, seed: u64) -> SimRuntime {
+    let fabric = Fabric::new(LatencyModel::Constant(2), Bandwidth::fast_ethernet(), seed);
+    let mut rt = SimRuntime::new(fabric);
+    for host in std::iter::once("home".to_string()).chain((0..n).map(|i| format!("s{i}"))) {
+        let mut cfg = ServerConfig::open(&host, LocationMode::HomeManagers);
+        cfg.codebase = registry();
+        cfg.monitor_policy = MonitorPolicy {
+            native_dwell_ms: 5,
+            ..MonitorPolicy::default()
+        };
+        cfg.lease = lease.clone();
+        rt.add_server(cfg);
+    }
+    rt
+}
+
+fn agent(route: &[&str], ts: u64) -> Naplet {
+    let it = Itinerary::new(Pattern::seq_of_hosts(route, None))
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    Naplet::create(
+        &key(),
+        "czxu",
+        "home",
+        Millis(ts),
+        CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap()
+}
+
+fn visits(report: &Value) -> Vec<String> {
+    match report.get("visits") {
+        Value::List(l) => l
+            .iter()
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Destination crash after it granted the landing but before the
+/// Transfer arrived: the grant evaporates with the process, the origin
+/// retries into the cold server, and the visit still runs exactly once.
+#[test]
+fn dest_crash_between_landing_reply_and_transfer() {
+    let mut rt = world(1, None, 3);
+    rt.launch(agent(&["s0", "home"], 1)).unwrap();
+    // s0 grants the landing at t=3; the Transfer lands at t≈7
+    rt.run_until(Millis(4));
+    rt.crash_server("s0", Some(40));
+    rt.run_to_quiescence(1_000_000);
+
+    let reports = rt.drain_reports("home");
+    assert_eq!(reports.len(), 1, "journey must complete");
+    assert_eq!(visits(&reports[0].1), ["s0", "home"]);
+    // the pre-crash journal held nothing: the retry re-admits cold
+    let s0 = rt.server("s0").unwrap();
+    assert_eq!(s0.recovery_stats().rehydrated, 0);
+    assert!(
+        rt.fabric().stats().snapshot().retransmits >= 1,
+        "origin must retransmit into the restarted server"
+    );
+}
+
+/// Origin crash after sending Transfer but before the TransferAck
+/// arrived: recovery re-drives the in-flight handoff from the journal
+/// and the destination re-acks the duplicate without re-admitting.
+#[test]
+fn origin_crash_between_transfer_and_ack() {
+    let mut rt = world(2, None, 3);
+    rt.launch(agent(&["s0", "s1", "home"], 1)).unwrap();
+    // s0 sends the Transfer to s1 at t≈28 and commits on the ack at
+    // t=35: crash s0 inside that window
+    rt.run_until(Millis(30));
+    rt.crash_server("s0", Some(40));
+    rt.run_to_quiescence(1_000_000);
+
+    let reports = rt.drain_reports("home");
+    assert_eq!(reports.len(), 1, "journey must complete");
+    assert_eq!(visits(&reports[0].1), ["s0", "s1", "home"]);
+    let s0 = rt.server("s0").unwrap();
+    let stats = s0.recovery_stats();
+    assert_eq!(stats.rehydrated, 1, "the in-flight naplet must rehydrate");
+    assert_eq!(
+        stats.handoffs_resumed, 1,
+        "the un-acked transfer must be re-driven"
+    );
+    // the destination saw the re-driven Transfer as a duplicate
+    let s1 = rt.server("s1").unwrap();
+    assert!(
+        s1.log.iter().any(|e| e.line.contains("duplicate TRANSFER")),
+        "s1 must dedup, not re-admit: {:?}",
+        s1.log
+    );
+    // and s0 retired the transfer after the duplicate ack
+    assert!(
+        s0.journal().naplet_records().is_empty(),
+        "retired transfers leave the journal"
+    );
+}
+
+/// Destination crash mid-visit, after the visit effect applied: the
+/// journal rehydrates the naplet at its post-visit snapshot and the
+/// replay is suppressed — the collector's state shows one visit.
+#[test]
+fn dest_crash_mid_visit_suppresses_replay() {
+    let mut rt = world(1, None, 3);
+    rt.launch(agent(&["s0", "home"], 1)).unwrap();
+    // s0 admits at t=9, applies the visit at VisitDone (t≈18) and only
+    // starts the next handoff a couple of events later: crash in the
+    // window where the journal shows the visit applied
+    rt.run_until(Millis(19));
+    rt.crash_server("s0", Some(40));
+    rt.run_to_quiescence(1_000_000);
+
+    let reports = rt.drain_reports("home");
+    assert_eq!(reports.len(), 1, "journey must complete");
+    assert_eq!(
+        visits(&reports[0].1),
+        ["s0", "home"],
+        "the s0 visit must appear exactly once"
+    );
+    let stats = rt.server("s0").unwrap().recovery_stats();
+    assert_eq!(stats.rehydrated, 1);
+    assert_eq!(
+        stats.replays_suppressed, 1,
+        "the applied visit must not re-execute"
+    );
+}
+
+/// The retention sweep bounds the receiver-side dedup table: entries
+/// older than the retention window are evicted and counted.
+#[test]
+fn retention_sweep_bounds_dedup_table() {
+    let mut rt = world(1, None, 3);
+    rt.launch(agent(&["s0", "home"], 1)).unwrap();
+    rt.run_to_quiescence(1_000_000);
+    let s0 = rt.server_mut("s0").unwrap();
+    assert_eq!(s0.seen_evicted, 0, "fresh entries must survive");
+    // drive any event far past the 600 s retention window; the sweep
+    // runs at the top of the handler
+    let ghost = naplet_core::id::NapletId::new("czxu", "home", Millis(999)).unwrap();
+    s0.handle(
+        Millis(10_000_000),
+        Input::Local(LocalEvent::LeaseCheck { id: ghost }),
+    );
+    assert!(
+        s0.seen_evicted >= 1,
+        "stale dedup entries must be evicted and counted"
+    );
+}
+
+/// Home crash while its agent is away: recovery rebuilds the lease
+/// table from journaled creation records, and the journey still
+/// completes with the lease released normally.
+#[test]
+fn home_crash_rebuilds_lease_table() {
+    let mut rt = world(1, Some(LeasePolicy::default()), 3);
+    rt.launch(agent(&["s0", "home"], 1)).unwrap();
+    // the agent is resident at s0 (admitted t=9); crash home under it
+    rt.run_until(Millis(10));
+    rt.crash_server("home", Some(20));
+    rt.run_to_quiescence(1_000_000);
+
+    let reports = rt.drain_reports("home");
+    assert_eq!(reports.len(), 1, "journey must complete");
+    assert_eq!(visits(&reports[0].1), ["s0", "home"]);
+    let home = rt.server("home").unwrap();
+    let stats = home.recovery_stats();
+    assert_eq!(stats.leases_expired, 0, "a live agent must keep its lease");
+    assert_eq!(stats.agents_lost, 0);
+    assert_eq!(
+        home.leases.held(),
+        0,
+        "completion must release the rebuilt lease"
+    );
+}

@@ -1,0 +1,162 @@
+//! Property test of crash-consistency: for a random itinerary, crash
+//! the server the simulation is about to touch — before *every* event
+//! index in turn — and recovery replay must converge to exactly the
+//! crash-free outcome: same report, same navigation log, no lost or
+//! duplicated visit effects.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use naplet_core::behavior::NapletBehavior;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::CodebaseRegistry;
+use naplet_core::context::NapletContext;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::Result;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::{LocationMode, MonitorPolicy, ServerConfig, SimRuntime};
+
+const CODEBASE: &str = "naplet://code/collector.jar";
+const WORKERS: [&str; 3] = ["s0", "s1", "s2"];
+
+struct Collector;
+
+impl NapletBehavior for Collector {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+        let host = ctx.host_name().to_string();
+        let mut visits = match ctx.state().get("visits") {
+            Value::List(l) => l,
+            _ => Vec::new(),
+        };
+        visits.push(Value::Str(host));
+        ctx.state().set("visits", Value::List(visits));
+        Ok(())
+    }
+}
+
+fn build_world(seed: u64) -> SimRuntime {
+    let mut reg = CodebaseRegistry::new();
+    reg.register(CODEBASE, 4096, || Collector);
+    let fabric = Fabric::new(LatencyModel::Constant(2), Bandwidth::fast_ethernet(), seed);
+    let mut rt = SimRuntime::new(fabric);
+    for host in std::iter::once("home").chain(WORKERS) {
+        let mut cfg = ServerConfig::open(host, LocationMode::HomeManagers);
+        cfg.codebase = reg.clone();
+        cfg.monitor_policy = MonitorPolicy {
+            native_dwell_ms: 5,
+            ..MonitorPolicy::default()
+        };
+        rt.add_server(cfg);
+    }
+    rt
+}
+
+fn probe(route: &[&str]) -> Naplet {
+    let it = Itinerary::new(Pattern::seq_of_hosts(route, None))
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    Naplet::create(
+        &SigningKey::new("czxu", b"campus-secret"),
+        "czxu",
+        "home",
+        Millis(1),
+        CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap()
+}
+
+/// What a run leaves behind: the probe's reported visit list and the
+/// navigation log's host sequence from the completed journey (times
+/// are excluded — retries legitimately shift them).
+#[derive(Debug, PartialEq, Eq)]
+struct RunOutcome {
+    visits: Vec<String>,
+    nav_route: Vec<String>,
+}
+
+/// Run the journey, crashing the server the `crash_at`-th event
+/// targets just before that event is processed (restart 40 ms later).
+/// `None` runs crash-free. Returns `None` when the chosen event
+/// targets `home` (crashing the observer invalidates the comparison).
+fn run(route: &[&str], seed: u64, crash_at: Option<u64>) -> Option<(RunOutcome, u64)> {
+    let mut rt = build_world(seed);
+    rt.launch(probe(route)).unwrap();
+    let mut steps = 0u64;
+    if let Some(k) = crash_at {
+        while steps < k {
+            if rt.step().is_none() {
+                break;
+            }
+            steps += 1;
+        }
+        match rt.peek_target() {
+            Some(host) if host != "home" => rt.crash_server(&host, Some(40)),
+            _ => return None,
+        }
+    }
+    while rt.step().is_some() {
+        steps += 1;
+    }
+    let reports = rt.drain_reports("home");
+    let mut visits = Vec::new();
+    for (_, report) in &reports {
+        if let Value::List(l) = report.get("visits") {
+            for v in &l {
+                if let Value::Str(s) = v {
+                    visits.push(s.clone());
+                }
+            }
+        }
+    }
+    let home = rt.server("home").unwrap();
+    let nav_route = home
+        .completed
+        .iter()
+        .flat_map(|(_, log)| log.route().into_iter().map(str::to_string))
+        .collect();
+    Some((RunOutcome { visits, nav_route }, steps))
+}
+
+proptest! {
+    // each case replays the whole journey once per event index, so a
+    // single case is itself a few hundred simulations; PROPTEST_CASES
+    // scales the count
+    #[test]
+    fn crash_at_any_instant_recovers_to_crash_free_outcome(
+        hops in vec(0..WORKERS.len(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        // map indices to hosts, dropping consecutive repeats (a hop to
+        // the host the agent is already on is not a migration), and
+        // land the final hop at home so the report never races a crash
+        let mut route: Vec<&str> = Vec::new();
+        for i in hops {
+            if route.last() != Some(&WORKERS[i]) {
+                route.push(WORKERS[i]);
+            }
+        }
+        route.push("home");
+
+        let (baseline, events) = run(&route, seed, None).unwrap();
+        prop_assert!(!baseline.visits.is_empty(), "crash-free journey must report");
+        for k in 0..events {
+            let Some((outcome, _)) = run(&route, seed, Some(k)) else {
+                continue; // next event targeted home: skip this index
+            };
+            prop_assert_eq!(
+                &outcome,
+                &baseline,
+                "crash before event {} diverged (route {:?}, seed {})",
+                k,
+                &route,
+                seed
+            );
+        }
+    }
+}
