@@ -52,6 +52,14 @@ fn main() {
     if want("e9") {
         exp_e9();
     }
+    if want("e10") {
+        exp_e10();
+    }
+    // explicit opt-in only: the dump is machine-readable JSON on
+    // stdout, not a table — `figures trace > trace.json`
+    if args.iter().any(|a| a == "trace") {
+        dump_trace();
+    }
 }
 
 /// F1 — the hierarchical naplet id of Figure 1.
@@ -335,6 +343,32 @@ fn exp_e8() {
         last as f64 / first.max(1) as f64,
         o.broadcast_clone_bytes
     );
+}
+
+/// E10 — per-naplet resource accounting (paper §5.2: the monitor keeps
+/// track of CPU, memory and network bandwidth consumed by a naplet)
+/// plus the metrics-registry summary of the same run.
+fn exp_e10() {
+    println!("== E10: per-naplet resource accounting — chaos journey, 5% loss (paper §5.2) ==");
+    let out = traced_chaos_experiment(0.05, &[("s1", 10, 700)], 42);
+    println!(
+        "{:>6} | {:>24} | {:>7} {:>10} {:>11} {:>12}",
+        "host", "naplet", "visits", "cpu gas", "msg bytes", "state bytes"
+    );
+    for (host, naplet, u) in &out.usage {
+        println!(
+            "{:>6} | {:>24} | {:>7} {:>10} {:>11} {:>12}",
+            host, naplet, u.visits, u.gas, u.msg_bytes, u.peak_state_bytes
+        );
+    }
+    println!();
+    println!("{}", out.obs.metrics.render_text());
+}
+
+/// Dump the Chrome trace-event JSON of a traced chaos run to stdout.
+fn dump_trace() {
+    let out = traced_chaos_experiment(0.05, &[("s1", 10, 700)], 42);
+    println!("{}", out.chrome_json);
 }
 
 /// E9 — scheduling-policy ablation (§5.2 future work): journey time by

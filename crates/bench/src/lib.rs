@@ -17,7 +17,7 @@ pub use experiments::{
 pub use scenarios::{
     accumulation_experiment, bench_key, chaos_experiment, code_loading_experiment,
     crash_chaos_experiment, itinerary_experiment, messaging_experiment, probe_registry,
-    scheduling_experiment, AccumulationOutcome, ChaosOutcome, CodeLoadingOutcome,
-    CrashChaosOutcome, ItineraryOutcome, MessagingOutcome, Probe, RingWorld, PROBE_CODEBASE,
-    PROBE_CODE_SIZE,
+    scheduling_experiment, traced_chaos_experiment, traced_crash_chaos_experiment,
+    AccumulationOutcome, ChaosOutcome, CodeLoadingOutcome, CrashChaosOutcome, ItineraryOutcome,
+    MessagingOutcome, Probe, RingWorld, TracedChaosOutcome, PROBE_CODEBASE, PROBE_CODE_SIZE,
 };

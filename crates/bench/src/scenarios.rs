@@ -14,7 +14,8 @@ use naplet_core::message::{Payload, Sender};
 use naplet_core::naplet::{AgentKind, Naplet};
 use naplet_core::value::Value;
 use naplet_net::{Bandwidth, Fabric, LatencyModel};
-use naplet_server::{LocationMode, MonitorPolicy, ServerConfig, SimRuntime};
+use naplet_obs::ObsSnapshot;
+use naplet_server::{LocationMode, MonitorPolicy, ResourceUsage, ServerConfig, SimRuntime};
 
 /// Codebase name for the probe behaviour.
 pub const PROBE_CODEBASE: &str = "naplet://code/probe.jar";
@@ -520,6 +521,41 @@ pub struct ChaosOutcome {
 /// `(host, from_ms, until_ms)` outages. With no faults this measures
 /// the protocol's baseline traffic (retransmits and drops must be 0).
 pub fn chaos_experiment(loss: f64, down_windows: &[(&str, u64, u64)], seed: u64) -> ChaosOutcome {
+    chaos_experiment_impl(loss, down_windows, seed, false).chaos
+}
+
+/// A chaos run with journey tracing switched on: the same outcome plus
+/// the deterministic trace/metrics exports and per-naplet resource
+/// accounting (paper §5.2).
+#[derive(Debug, Clone)]
+pub struct TracedChaosOutcome {
+    /// The reliable-transfer metrics of the run.
+    pub chaos: ChaosOutcome,
+    /// Trace events + metrics snapshot of the whole space.
+    pub obs: ObsSnapshot,
+    /// Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+    pub chrome_json: String,
+    /// Per-(host, naplet) resource totals from the NapletMonitors,
+    /// sorted by host for deterministic tables.
+    pub usage: Vec<(String, String, ResourceUsage)>,
+}
+
+/// [`chaos_experiment`] with the tracer enabled. Kept separate so the
+/// criterion loops keep measuring the untraced hot path.
+pub fn traced_chaos_experiment(
+    loss: f64,
+    down_windows: &[(&str, u64, u64)],
+    seed: u64,
+) -> TracedChaosOutcome {
+    chaos_experiment_impl(loss, down_windows, seed, true)
+}
+
+fn chaos_experiment_impl(
+    loss: f64,
+    down_windows: &[(&str, u64, u64)],
+    seed: u64,
+    traced: bool,
+) -> TracedChaosOutcome {
     // home + s0..s6 = 8 servers; dwell 5 ms keeps the journey well
     // inside the retry horizon (~7.7 s worst case per hop)
     let world = RingWorld::build(
@@ -530,6 +566,9 @@ pub fn chaos_experiment(loss: f64, down_windows: &[(&str, u64, u64)], seed: u64)
         seed,
     );
     let mut rt = world.rt;
+    if traced {
+        rt.enable_tracing();
+    }
     rt.fabric().set_loss(loss);
     for (host, from_ms, until_ms) in down_windows {
         rt.fabric().schedule_down(host, *from_ms, *until_ms);
@@ -581,21 +620,37 @@ pub fn chaos_experiment(loss: f64, down_windows: &[(&str, u64, u64)], seed: u64)
     }
     let duplicate_visits = counts.values().filter(|&&c| c > 1).count();
     let mut parked = 0usize;
+    let mut usage = Vec::new();
     for host in rt.server_hosts() {
-        parked += rt.server(&host).unwrap().parked.len();
+        let s = rt.server(&host).unwrap();
+        parked += s.parked.len();
+        for (nid, u) in s.monitor.usage() {
+            usage.push((host.clone(), nid.clone(), *u));
+        }
     }
+    let obs = rt.obs().snapshot();
+    let chrome_json = if traced {
+        naplet_obs::chrome_trace_json(&obs.events)
+    } else {
+        String::new()
+    };
 
-    ChaosOutcome {
-        completed,
-        visits,
-        duplicate_visits,
-        parked,
-        retransmits: stats.retransmits,
-        dropped: stats.dropped,
-        migrations: stats.messages(naplet_net::TrafficClass::Migration),
-        migration_bytes: stats.bytes(naplet_net::TrafficClass::Migration),
-        control_bytes: stats.bytes(naplet_net::TrafficClass::Control),
-        completion_ms: rt.now().since(t0),
+    TracedChaosOutcome {
+        chaos: ChaosOutcome {
+            completed,
+            visits,
+            duplicate_visits,
+            parked,
+            retransmits: stats.retransmits,
+            dropped: stats.dropped,
+            migrations: stats.messages(naplet_net::TrafficClass::Migration),
+            migration_bytes: stats.bytes(naplet_net::TrafficClass::Migration),
+            control_bytes: stats.bytes(naplet_net::TrafficClass::Control),
+            completion_ms: rt.now().since(t0),
+        },
+        obs,
+        chrome_json,
+        usage,
     }
 }
 
@@ -638,8 +693,34 @@ pub fn crash_chaos_experiment(
     route: Option<Pattern>,
     seed: u64,
 ) -> CrashChaosOutcome {
+    crash_chaos_impl(loss, crashes, lease, route, seed, false).0
+}
+
+/// [`crash_chaos_experiment`] with the tracer enabled; returns the
+/// trace/metrics snapshot alongside the outcome.
+pub fn traced_crash_chaos_experiment(
+    loss: f64,
+    crashes: &[(&str, u64, Option<u64>)],
+    lease: Option<naplet_server::LeasePolicy>,
+    route: Option<Pattern>,
+    seed: u64,
+) -> (CrashChaosOutcome, ObsSnapshot) {
+    crash_chaos_impl(loss, crashes, lease, route, seed, true)
+}
+
+fn crash_chaos_impl(
+    loss: f64,
+    crashes: &[(&str, u64, Option<u64>)],
+    lease: Option<naplet_server::LeasePolicy>,
+    route: Option<Pattern>,
+    seed: u64,
+    traced: bool,
+) -> (CrashChaosOutcome, ObsSnapshot) {
     let fabric = Fabric::new(LatencyModel::Constant(2), Bandwidth::fast_ethernet(), seed);
     let mut rt = SimRuntime::new(fabric);
+    if traced {
+        rt.enable_tracing();
+    }
     let reg = probe_registry();
     let policy = MonitorPolicy {
         native_dwell_ms: 5,
@@ -707,7 +788,7 @@ pub fn crash_chaos_experiment(
     }
     let recovery = rt.recovery_totals();
 
-    CrashChaosOutcome {
+    let outcome = CrashChaosOutcome {
         chaos: ChaosOutcome {
             completed,
             visits,
@@ -728,7 +809,8 @@ pub fn crash_chaos_experiment(
         leases_expired: recovery.leases_expired,
         orphans_redispatched: recovery.orphans_redispatched,
         lost: recovery.agents_lost,
-    }
+    };
+    (outcome, rt.obs().snapshot())
 }
 
 /// Scheduling-policy ablation (E9): journey time of one probe agent

@@ -1,0 +1,151 @@
+//! Observability acceptance: trace exports are deterministic and
+//! Chrome-loadable, fault signatures are visible in the metrics
+//! histograms, and the event stream is causally consistent — every
+//! committed handoff pairs with exactly one admission, retransmits
+//! carry attempt ≥ 2, and recovery replay never duplicates a visit
+//! span.
+
+use naplet_bench::{traced_chaos_experiment, traced_crash_chaos_experiment};
+use naplet_obs::{validate_chrome_trace, TraceEvent, TraceKind};
+use proptest::prelude::*;
+
+const WINDOWS: [(&str, u64, u64); 2] = [("s1", 10, 700), ("s3", 10, 2_500)];
+
+#[test]
+fn trace_exports_are_byte_identical_across_runs() {
+    let a = traced_chaos_experiment(0.05, &WINDOWS, 42);
+    let b = traced_chaos_experiment(0.05, &WINDOWS, 42);
+    assert!(!a.obs.events.is_empty(), "tracing must record events");
+    assert_eq!(
+        a.chrome_json, b.chrome_json,
+        "two identical runs must export byte-identical traces"
+    );
+    assert_eq!(a.obs.metrics.render_text(), b.obs.metrics.render_text());
+    let entries = validate_chrome_trace(&a.chrome_json).expect("well-formed Chrome trace");
+    assert!(
+        entries > a.obs.events.len(),
+        "process/thread metadata must ride on top of the {} events",
+        a.obs.events.len()
+    );
+}
+
+#[test]
+fn retransmitted_handoffs_land_in_higher_rtt_buckets() {
+    let clean = traced_chaos_experiment(0.0, &[], 7);
+    let lossy = traced_chaos_experiment(0.05, &WINDOWS, 42);
+    assert_eq!(clean.obs.metrics.counter("handoff.retransmits"), 0);
+    assert!(
+        lossy.obs.metrics.counter("handoff.retransmits") >= 1,
+        "fault schedule must force at least one retransmit"
+    );
+    let clean_rtt = clean
+        .obs
+        .metrics
+        .histogram("handoff_rtt_ms")
+        .expect("clean run records handoff RTTs");
+    let lossy_rtt = lossy
+        .obs
+        .metrics
+        .histogram("handoff_rtt_ms")
+        .expect("lossy run records handoff RTTs");
+    // a retransmitted handoff pays at least one ~200 ms backoff, so it
+    // must populate a strictly higher bucket than any clean handoff
+    assert!(
+        lossy_rtt.highest_nonzero_bucket().unwrap() > clean_rtt.highest_nonzero_bucket().unwrap(),
+        "clean {clean_rtt:?} vs lossy {lossy_rtt:?}"
+    );
+}
+
+#[test]
+fn untraced_runs_keep_metrics_but_no_events() {
+    let out = naplet_bench::chaos_experiment(0.0, &[], 7);
+    assert_eq!(out.completed, 1, "scenario sanity");
+    // the traced twin of the same scenario must agree on the outcome:
+    // recording is observational only
+    let traced = traced_chaos_experiment(0.0, &[], 7);
+    assert_eq!(traced.chaos.completed, out.completed);
+    assert_eq!(traced.chaos.visits, out.visits);
+    assert_eq!(traced.chaos.migration_bytes, out.migration_bytes);
+    assert_eq!(traced.chaos.completion_ms, out.completion_ms);
+}
+
+/// The causal-correlation invariants of the event stream.
+fn check_causality(events: &[TraceEvent], require_commits: bool) -> Result<(), String> {
+    use std::collections::HashMap;
+    // (origin host, transfer id) -> non-duplicate admissions
+    let mut admitted: HashMap<(String, u64), u32> = HashMap::new();
+    let mut commits: Vec<(String, u64)> = Vec::new();
+    let mut visit_spans: HashMap<(String, u64), u32> = HashMap::new();
+    for e in events {
+        match &e.kind {
+            TraceKind::TransferReceived {
+                origin,
+                transfer_id,
+                duplicate: false,
+            } => {
+                *admitted.entry((origin.clone(), *transfer_id)).or_default() += 1;
+            }
+            TraceKind::HandoffCommit { transfer_id, .. } => {
+                commits.push((e.host.clone(), *transfer_id));
+            }
+            TraceKind::Retransmit { attempt, .. } if *attempt < 2 => {
+                return Err(format!("retransmit with attempt {attempt} < 2"));
+            }
+            TraceKind::VisitEnd { epoch, .. } => {
+                let naplet = e.naplet.clone().unwrap_or_default();
+                *visit_spans.entry((naplet, *epoch)).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    for key in &commits {
+        match admitted.get(key) {
+            Some(1) => {}
+            Some(n) => return Err(format!("transfer {key:?} admitted {n} times")),
+            None => return Err(format!("commit {key:?} without a matching admission")),
+        }
+    }
+    if require_commits {
+        for key in admitted.keys() {
+            let n = commits.iter().filter(|k| *k == key).count();
+            if n != 1 {
+                return Err(format!("admission {key:?} committed {n} times"));
+            }
+        }
+    }
+    for ((naplet, epoch), n) in &visit_spans {
+        if *n > 1 {
+            return Err(format!(
+                "visit span ({naplet}, epoch {epoch}) recorded {n} times — \
+                 recovery replay duplicated a visit"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // each case is a full chaos simulation; PROPTEST_CASES scales the
+    // count (default 64)
+    #[test]
+    fn causality_invariants_hold_under_loss(seed in 0u64..1024) {
+        let out = traced_chaos_experiment(0.04, &[("s1", 10, 400)], seed);
+        prop_assert_eq!(out.chaos.completed, 1, "journey lost (seed {})", seed);
+        if let Err(msg) = check_causality(&out.obs.events, true) {
+            prop_assert!(false, "seed {}: {}", seed, msg);
+        }
+    }
+
+    #[test]
+    fn causality_invariants_hold_under_crashes(seed in 0u64..1024) {
+        // crash instants from the boundary schedule of tests/chaos.rs;
+        // under varying seeds they land at arbitrary protocol points
+        let crashes = [("s1", 27, Some(40u64)), ("s1", 274, Some(40)), ("s3", 308, Some(40))];
+        let (out, obs) = traced_crash_chaos_experiment(0.03, &crashes, None, None, seed);
+        prop_assert_eq!(out.chaos.completed, 1, "journey lost (seed {})", seed);
+        prop_assert_eq!(out.chaos.duplicate_visits, 0);
+        if let Err(msg) = check_causality(&obs.events, true) {
+            prop_assert!(false, "seed {}: {}", seed, msg);
+        }
+    }
+}

@@ -134,12 +134,19 @@ impl StatsSnapshot {
         self.by_class.get(&class).map(|c| c.messages).unwrap_or(0)
     }
 
-    /// Difference `self - earlier` (per-class counters; links omitted
-    /// from subtraction are kept as-is from `self`).
+    /// Difference `self - earlier`, over per-class and per-link
+    /// counters alike.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut out = self.clone();
         for (class, c) in &mut out.by_class {
             if let Some(e) = earlier.by_class.get(class) {
+                c.messages -= e.messages.min(c.messages);
+                c.bytes -= e.bytes.min(c.bytes);
+                c.latency_ms -= e.latency_ms.min(c.latency_ms);
+            }
+        }
+        for (link, c) in &mut out.by_link {
+            if let Some(e) = earlier.by_link.get(link) {
                 c.messages -= e.messages.min(c.messages);
                 c.bytes -= e.bytes.min(c.bytes);
                 c.latency_ms -= e.latency_ms.min(c.latency_ms);
@@ -274,6 +281,28 @@ mod tests {
         assert_eq!(delta.bytes(TrafficClass::Snmp), 40);
         assert_eq!(delta.messages(TrafficClass::Snmp), 1);
         assert_eq!(delta.dropped, 1);
+    }
+
+    #[test]
+    fn since_subtracts_per_link_counters() {
+        let s = NetStats::new();
+        s.record("a", "b", TrafficClass::Control, 100, 2);
+        s.record("b", "a", TrafficClass::Control, 30, 1);
+        let t0 = s.snapshot();
+        s.record("a", "b", TrafficClass::Control, 40, 1);
+        let delta = s.snapshot().since(&t0);
+        let ab = delta
+            .by_link
+            .get(&("a".to_string(), "b".to_string()))
+            .unwrap();
+        assert_eq!(ab.messages, 1, "a→b delta must not include the baseline");
+        assert_eq!(ab.bytes, 40);
+        assert_eq!(ab.latency_ms, 1);
+        let ba = delta
+            .by_link
+            .get(&("b".to_string(), "a".to_string()))
+            .unwrap();
+        assert_eq!(*ba, Counter::default(), "quiet links delta to zero");
     }
 
     #[test]

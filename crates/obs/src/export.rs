@@ -1,0 +1,579 @@
+//! Deterministic exporters for the recorded trace.
+//!
+//! Three formats:
+//! - **Chrome trace-event JSON** (`chrome_trace_json`): loadable in
+//!   `chrome://tracing` and Perfetto. Hosts become processes, naplets
+//!   become threads; span-like kinds render as complete (`"X"`)
+//!   events with durations, everything else as thread-scoped
+//!   instants.
+//! - **Serde snapshot** (`ObsSnapshot`): events + metrics through the
+//!   workspace codec, for programmatic consumers.
+//! - **Text** (`render_event_log`): a one-line-per-event table for
+//!   terminals and EXPERIMENTS.md.
+//!
+//! Determinism: the JSON is hand-assembled with a fixed field order,
+//! pids/tids come from sorted name tables, and no wall-clock or
+//! random value is ever consulted — identical event vectors yield
+//! byte-identical strings. (Hand-assembled because the workspace
+//! vendors no JSON serializer; the flip side is full control over
+//! byte layout.)
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{ArgValue, TraceEvent};
+
+/// Everything one run observed, as one serde-codable value.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Recorded events in processing order.
+    pub events: Vec<TraceEvent>,
+    /// Frozen metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{key}\":");
+        match value {
+            ArgValue::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            ArgValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Render `events` as Chrome trace-event JSON.
+///
+/// `pid` is the sorted index of the host, `tid` the sorted index of
+/// the naplet id within that host's events (tid 0 is the host's own
+/// lane for events with no naplet). Timestamps are the simulation's
+/// milliseconds expressed in microseconds, as the format requires.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let hosts: BTreeSet<&str> = events.iter().map(|e| e.host.as_str()).collect();
+    let host_pid = |host: &str| hosts.iter().position(|h| *h == host).unwrap_or(0) + 1;
+    let naplets: BTreeSet<&str> = events.iter().filter_map(|e| e.naplet.as_deref()).collect();
+    let naplet_tid = |naplet: Option<&str>| match naplet {
+        Some(id) => naplets.iter().position(|n| *n == id).unwrap_or(0) + 1,
+        None => 0,
+    };
+
+    let mut out = String::with_capacity(events.len() * 160 + 1024);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    for host in &hosts {
+        emit(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"",
+            host_pid(host)
+        );
+        escape_into(&mut out, host);
+        out.push_str("\"}}");
+    }
+    for naplet in &naplets {
+        for host in &hosts {
+            emit(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"",
+                host_pid(host),
+                naplet_tid(Some(naplet))
+            );
+            escape_into(&mut out, naplet);
+            out.push_str("\"}}");
+        }
+    }
+
+    for event in events {
+        emit(&mut out);
+        let pid = host_pid(&event.host);
+        let tid = naplet_tid(event.naplet.as_deref());
+        let name = event.kind.name();
+        match event.kind.span_start() {
+            Some(started) => {
+                let ts = started.0 * 1_000;
+                let dur = event.at.0.saturating_sub(started.0) * 1_000;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":"
+                );
+            }
+            None => {
+                let ts = event.at.0 * 1_000;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"args\":"
+                );
+            }
+        }
+        push_args(&mut out, &event.kind.args());
+        out.push('}');
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// One-line-per-event text rendering of the trace.
+pub fn render_event_log(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        let _ = write!(out, "{:>8}ms  {:<8}", event.at.0, event.host);
+        let _ = write!(out, "  {:<18}", event.kind.name());
+        if let Some(naplet) = &event.naplet {
+            let _ = write!(out, "  {naplet}");
+        }
+        for (key, value) in event.kind.args() {
+            match value {
+                ArgValue::Str(s) => {
+                    if !s.is_empty() {
+                        let _ = write!(out, "  {key}={s}");
+                    }
+                }
+                ArgValue::Int(n) => {
+                    let _ = write!(out, "  {key}={n}");
+                }
+                ArgValue::Bool(b) => {
+                    let _ = write!(out, "  {key}={b}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Chrome-format validation: a minimal JSON parser (the workspace
+// vendors none) plus the structural checks `chrome://tracing` cares
+// about. Used by tests and the CI determinism step.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value, just enough to validate exports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, preserving textual key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u at byte {}", self.pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 sequences pass through intact.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| format!("bad utf-8 at byte {}", self.pos))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']' got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                other => return Err(format!("expected ',' or '}}' got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document (rejecting trailing garbage).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+/// Check that `text` is valid Chrome trace-event JSON: a JSON object
+/// whose `traceEvents` member is an array of objects each carrying
+/// `name`/`ph`/`pid`/`tid`, with `ts` (and `dur` for `"X"`) on
+/// non-metadata events. Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("missing traceEvents array".into()),
+    };
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        for key in ["name", "pid", "tid"] {
+            if event.get(key).is_none() {
+                return Err(format!("event {i}: missing {key}"));
+            }
+        }
+        match ph {
+            "M" => {}
+            "X" => {
+                if event.get("ts").and_then(Json::as_num).is_none()
+                    || event.get("dur").and_then(Json::as_num).is_none()
+                {
+                    return Err(format!("event {i}: X without ts/dur"));
+                }
+            }
+            _ => {
+                if event.get("ts").and_then(Json::as_num).is_none() {
+                    return Err(format!("event {i}: missing ts"));
+                }
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+    use naplet_core::clock::Millis;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                at: Millis(3),
+                host: "home".into(),
+                naplet: Some("naplet://czxu@home/1".into()),
+                kind: TraceKind::LandingRequested {
+                    dest: "s0".into(),
+                    transfer_id: 1,
+                },
+            },
+            TraceEvent {
+                at: Millis(9),
+                host: "home".into(),
+                naplet: Some("naplet://czxu@home/1".into()),
+                kind: TraceKind::HandoffCommit {
+                    dest: "s0".into(),
+                    transfer_id: 1,
+                    started: Millis(3),
+                    attempts: 1,
+                },
+            },
+            TraceEvent {
+                at: Millis(12),
+                host: "s0".into(),
+                naplet: None,
+                kind: TraceKind::Crash,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_deterministic() {
+        let events = sample_events();
+        let a = chrome_trace_json(&events);
+        let b = chrome_trace_json(&events);
+        assert_eq!(a, b, "same events must export byte-identically");
+        let count = validate_chrome_trace(&a).expect("export must validate");
+        // 2 process_name + 2 thread_name + 3 events
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn spans_render_as_complete_events_with_duration() {
+        let json = chrome_trace_json(&sample_events());
+        let doc = parse_json(&json).unwrap();
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(events)) => events,
+            _ => panic!("no traceEvents"),
+        };
+        let commit = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("handoff.commit"))
+            .expect("commit span present");
+        assert_eq!(commit.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(commit.get("ts").and_then(Json::as_num), Some(3_000.0));
+        assert_eq!(commit.get("dur").and_then(Json::as_num), Some(6_000.0));
+    }
+
+    #[test]
+    fn string_escaping_survives_validation() {
+        let events = vec![TraceEvent {
+            at: Millis(1),
+            host: "we\"ird\\host\n".into(),
+            naplet: None,
+            kind: TraceKind::JourneyDone {
+                status: "tab\there".into(),
+            },
+        }];
+        let json = chrome_trace_json(&events);
+        validate_chrome_trace(&json).expect("escaped output must parse");
+        let doc = parse_json(&json).unwrap();
+        let arr = match doc.get("traceEvents") {
+            Some(Json::Arr(a)) => a,
+            _ => panic!(),
+        };
+        let meta = &arr[0];
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("we\"ird\\host\n")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{}extra").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":7}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"i\"}]}").is_err(),
+            "events missing name/pid/tid must fail"
+        );
+    }
+
+    #[test]
+    fn text_rendering_lists_every_event() {
+        let text = render_event_log(&sample_events());
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("landing.request"));
+        assert!(text.contains("transfer_id=1"));
+        assert!(text.contains("crash"));
+    }
+
+    #[test]
+    fn obs_snapshot_codec_round_trip() {
+        let snap = ObsSnapshot {
+            events: sample_events(),
+            metrics: MetricsSnapshot::default(),
+        };
+        let bytes = naplet_core::codec::to_bytes(&snap).unwrap();
+        let back: ObsSnapshot = naplet_core::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,117 @@
+//! # naplet-obs — journey tracing and metrics
+//!
+//! The paper's NapletServer is built around components that *watch*
+//! agents: the NavigationLog records every hop (§2.1) and the
+//! NapletMonitor tracks consumed CPU time, memory, and bandwidth
+//! (§5.2). This crate turns those observations into structure:
+//!
+//! - a typed [`TraceEvent`] stream with causal correlation — the
+//!   naplet id is the trace id of its journey; visits and handoffs
+//!   are spans, wire/journal/recovery activity are instants;
+//! - a [`MetricsRegistry`] of counters and fixed-bucket histograms
+//!   (handoff RTT, landing latency, visit dwell, retries, journal
+//!   size, mailbox depth, per-naplet resource usage);
+//! - deterministic exporters: Chrome trace-event JSON for
+//!   `chrome://tracing`/Perfetto, a serde snapshot, and text tables.
+//!
+//! Both halves hang off one cloneable [`ObsSink`] that the drivers
+//! thread through every server. Metrics are always on (a handful of
+//! map updates per protocol step); tracing is off until
+//! [`ObsSink::enable_tracing`] and costs one atomic load when off.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{
+    chrome_trace_json, parse_json, render_event_log, validate_chrome_trace, Json, ObsSnapshot,
+};
+pub use metrics::{
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, COUNT_BOUNDS, LATENCY_BOUNDS_MS,
+};
+pub use trace::{ArgValue, TraceEvent, TraceKind, Tracer};
+
+use naplet_core::clock::Millis;
+use naplet_core::id::NapletId;
+
+/// The shared observation endpoint: one per runtime, cloned into
+/// every server it drives.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSink {
+    /// The trace recorder (disabled until [`ObsSink::enable_tracing`]).
+    pub tracer: Tracer,
+    /// The always-on metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl ObsSink {
+    /// A fresh sink: metrics on, tracing off.
+    pub fn new() -> ObsSink {
+        ObsSink::default()
+    }
+
+    /// Start recording trace events.
+    pub fn enable_tracing(&self) {
+        self.tracer.set_enabled(true);
+    }
+
+    /// Record one event; the `kind` closure runs only when tracing is
+    /// enabled, so instrumented hot paths allocate nothing when off.
+    pub fn emit(
+        &self,
+        at: Millis,
+        host: &str,
+        naplet: Option<&NapletId>,
+        kind: impl FnOnce() -> TraceKind,
+    ) {
+        self.tracer.emit(|| TraceEvent {
+            at,
+            host: host.to_string(),
+            naplet: naplet.map(|id| id.to_string()),
+            kind: kind(),
+        });
+    }
+
+    /// Freeze everything observed so far into one exportable value.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            events: self.tracer.events(),
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_emits_only_when_enabled() {
+        let sink = ObsSink::new();
+        sink.emit(Millis(1), "h", None, || TraceKind::Crash);
+        assert!(sink.tracer.is_empty());
+        sink.enable_tracing();
+        sink.emit(Millis(2), "h", None, || TraceKind::Crash);
+        assert_eq!(sink.tracer.len(), 1);
+    }
+
+    #[test]
+    fn sink_snapshot_carries_events_and_metrics() {
+        let sink = ObsSink::new();
+        sink.enable_tracing();
+        let id = NapletId::new("czxu", "home", Millis(1)).unwrap();
+        sink.emit(Millis(2), "home", Some(&id), || TraceKind::JourneyDone {
+            status: "completed".into(),
+        });
+        sink.metrics.incr("done", 1);
+        let snap = sink.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(
+            snap.events[0].naplet.as_deref(),
+            Some(id.to_string().as_str())
+        );
+        assert_eq!(snap.metrics.counter("done"), 1);
+    }
+}

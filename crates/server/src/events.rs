@@ -214,6 +214,50 @@ impl Wire {
             _ => 1,
         }
     }
+
+    /// Stable short label for traces and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Wire::LandingRequest { .. } => "LandingRequest",
+            Wire::LandingReply { .. } => "LandingReply",
+            Wire::Transfer(_) => "Transfer",
+            Wire::TransferAck { .. } => "TransferAck",
+            Wire::DirRegister { .. } => "DirRegister",
+            Wire::DirAck { .. } => "DirAck",
+            Wire::DirRemove { .. } => "DirRemove",
+            Wire::DirQuery { .. } => "DirQuery",
+            Wire::DirReply { .. } => "DirReply",
+            Wire::Post { .. } => "Post",
+            Wire::PostConfirm { .. } => "PostConfirm",
+            Wire::Report { .. } => "Report",
+            Wire::Notify { .. } => "Notify",
+            Wire::AppRequest { .. } => "AppRequest",
+            Wire::AppReply { .. } => "AppReply",
+        }
+    }
+
+    /// The naplet this wire value concerns, when it concerns exactly
+    /// one — drivers use it to attribute wire trace events to the
+    /// right journey.
+    pub fn subject(&self) -> Option<&NapletId> {
+        match self {
+            Wire::LandingRequest { naplet_id, .. } => Some(naplet_id),
+            Wire::Transfer(env) => Some(env.naplet.id()),
+            Wire::TransferAck { id, .. }
+            | Wire::DirRegister { id, .. }
+            | Wire::DirAck { id }
+            | Wire::DirRemove { id }
+            | Wire::DirQuery { id, .. }
+            | Wire::DirReply { id, .. }
+            | Wire::Report { id, .. }
+            | Wire::Notify { id, .. } => Some(id),
+            Wire::PostConfirm { target, .. } => Some(target),
+            Wire::LandingReply { .. }
+            | Wire::Post { .. }
+            | Wire::AppRequest { .. }
+            | Wire::AppReply { .. } => None,
+        }
+    }
 }
 
 /// Local (same-host) events a server schedules for itself.
@@ -327,6 +371,72 @@ pub struct LogEntry {
     pub line: String,
 }
 
+/// Bounded ring of [`LogEntry`]s: when the configured capacity is
+/// reached, the oldest line is evicted and counted in `dropped` — the
+/// same retention philosophy that bounds the dedup table and the
+/// messenger's confirmation maps.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    entries: std::collections::VecDeque<LogEntry>,
+    capacity: usize,
+    /// Lines evicted to stay within capacity.
+    pub dropped: u64,
+}
+
+impl EventLog {
+    /// A ring holding at most `capacity` lines (0 disables logging
+    /// entirely — every push is counted dropped).
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            entries: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append a line, evicting the oldest if the ring is full.
+    pub fn push(&mut self, entry: LogEntry) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Retained lines, oldest first.
+    pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained line count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<'a> IntoIterator for &'a EventLog {
+    type Item = &'a LogEntry;
+    type IntoIter = std::collections::vec_deque::Iter<'a, LogEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +493,57 @@ mod tests {
         let bytes = naplet_core::codec::to_bytes(&w).unwrap();
         let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, w);
+    }
+
+    #[test]
+    fn event_log_ring_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..5u64 {
+            log.push(LogEntry {
+                at: Millis(i),
+                line: format!("line {i}"),
+            });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped, 2);
+        let lines: Vec<&str> = log.iter().map(|e| e.line.as_str()).collect();
+        assert_eq!(lines, ["line 2", "line 3", "line 4"]);
+        // for-loop sugar via IntoIterator
+        let mut n = 0;
+        for entry in &log {
+            assert!(entry.at >= Millis(2));
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn zero_capacity_event_log_drops_everything() {
+        let mut log = EventLog::with_capacity(0);
+        log.push(LogEntry {
+            at: Millis(1),
+            line: "x".into(),
+        });
+        assert!(log.is_empty());
+        assert_eq!(log.dropped, 1);
+    }
+
+    #[test]
+    fn wire_labels_and_subjects() {
+        let id = NapletId::new("u", "h", Millis(0)).unwrap();
+        let ack = Wire::TransferAck {
+            transfer_id: 1,
+            id: id.clone(),
+        };
+        assert_eq!(ack.label(), "TransferAck");
+        assert_eq!(ack.subject(), Some(&id));
+        let reply = Wire::LandingReply {
+            token: 1,
+            granted: true,
+            reason: String::new(),
+        };
+        assert_eq!(reply.label(), "LandingReply");
+        assert_eq!(reply.subject(), None);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod server;
 pub mod service_channel;
 
 pub use directory::{DirEntry, DirEvent, NapletDirectory};
-pub use events::{Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
+pub use events::{EventLog, Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
 pub use journal::{
     FileStore, Journal, JournalPhase, JournalRecord, JournalStore, MemoryStore, RecoveryStats,
 };
@@ -43,7 +43,9 @@ pub use live::LiveRuntime;
 pub use locator::Locator;
 pub use manager::{Footprint, NapletManager, NapletStatus, TableEntry};
 pub use messenger::Messenger;
-pub use monitor::{MonitorPolicy, NapletMonitor, Priority, RunEntry, RunState, SchedulingPolicy};
+pub use monitor::{
+    MonitorPolicy, NapletMonitor, Priority, ResourceUsage, RunEntry, RunState, SchedulingPolicy,
+};
 pub use resources::ResourceManager;
 pub use retry::RetryPolicy;
 pub use runtime::SimRuntime;

@@ -17,6 +17,7 @@ use naplet_core::clock::Millis;
 use naplet_core::error::{NapletError, Result};
 use naplet_core::naplet::Naplet;
 use naplet_net::{Fabric, Frame, ThreadedNet, TrafficClass};
+use naplet_obs::ObsSink;
 
 use crate::events::{Input, LocalEvent, Output, Wire};
 use crate::server::{NapletServer, ServerConfig};
@@ -36,6 +37,10 @@ pub struct LiveRuntime {
         crossbeam::channel::Receiver<Frame>,
         Vec<(Instant, LocalEvent)>,
     )>,
+    /// Shared observability sink handed to every server. Live traces
+    /// are wall-clock ordered, so unlike the sim they are not
+    /// deterministic — but the same taxonomy and exporters apply.
+    obs: ObsSink,
 }
 
 impl LiveRuntime {
@@ -49,6 +54,7 @@ impl LiveRuntime {
             epoch: Instant::now(),
             threads: Vec::new(),
             staging: Vec::new(),
+            obs: ObsSink::default(),
         }
     }
 
@@ -57,12 +63,24 @@ impl LiveRuntime {
         self.net.fabric()
     }
 
+    /// The shared observability sink (tracer + metrics).
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
+    }
+
+    /// Turn on journey tracing for the whole space. Only affects
+    /// servers added after the call or before [`LiveRuntime::start`].
+    pub fn enable_tracing(&mut self) {
+        self.obs.enable_tracing();
+    }
+
     /// Add a server. It starts pumping when [`LiveRuntime::start`] is
     /// called; until then naplets may be launched from it.
     pub fn add_server(&mut self, config: ServerConfig) -> &mut NapletServer {
         let rx = self.net.register(&config.host);
-        self.staging
-            .push((NapletServer::new(config), rx, Vec::new()));
+        let mut server = NapletServer::new(config);
+        server.set_obs(self.obs.clone());
+        self.staging.push((server, rx, Vec::new()));
         &mut self.staging.last_mut().expect("just pushed").0
     }
 

@@ -15,7 +15,7 @@
 //! raises `ResourceExhausted`, upon which the hosting server destroys
 //! the naplet — the "control" half of monitoring and control.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -168,6 +168,23 @@ pub struct RunEntry {
     pub arrived_at: Millis,
 }
 
+/// Cumulative per-naplet resource consumption at one server (paper
+/// §5.2: "information about consumed system resources including CPU
+/// time, memory size, and network bandwidth"). Kept separately from
+/// the run entries so it survives departure — the `figures` binary
+/// reads it after journeys complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Completed visits at this server.
+    pub visits: u64,
+    /// CPU gas consumed across those visits.
+    pub gas: u64,
+    /// Message payload bytes posted across those visits (bandwidth).
+    pub msg_bytes: u64,
+    /// Largest observed deep state size in bytes (memory high-water).
+    pub peak_state_bytes: u64,
+}
+
 /// The per-server monitor.
 #[derive(Debug, Default)]
 pub struct NapletMonitor {
@@ -175,6 +192,9 @@ pub struct NapletMonitor {
     policy: MonitorPolicy,
     /// Naplets destroyed for exceeding budgets (id, resource).
     pub kills: Vec<(NapletId, String)>,
+    /// Cumulative per-naplet accounting, keyed by id string so
+    /// iteration is deterministic and records outlive eviction.
+    usage: BTreeMap<String, ResourceUsage>,
 }
 
 impl NapletMonitor {
@@ -184,7 +204,22 @@ impl NapletMonitor {
             entries: HashMap::new(),
             policy,
             kills: Vec::new(),
+            usage: BTreeMap::new(),
         }
+    }
+
+    /// Fold one finished visit into the cumulative accounting.
+    pub fn account_visit(&mut self, id: &NapletId, gas: u64, msg_bytes: u64, state_bytes: u64) {
+        let u = self.usage.entry(id.to_string()).or_default();
+        u.visits += 1;
+        u.gas += gas;
+        u.msg_bytes += msg_bytes;
+        u.peak_state_bytes = u.peak_state_bytes.max(state_bytes);
+    }
+
+    /// Cumulative per-naplet resource accounting (sorted by id).
+    pub fn usage(&self) -> &BTreeMap<String, ResourceUsage> {
+        &self.usage
     }
 
     /// The active policy.
@@ -468,6 +503,22 @@ mod tests {
         assert_eq!(NapletMonitor::gas_to_ms(m.policy(), 1), 1);
         assert_eq!(NapletMonitor::gas_to_ms(m.policy(), 10), 1);
         assert_eq!(NapletMonitor::gas_to_ms(m.policy(), 11), 2);
+    }
+
+    #[test]
+    fn usage_accumulates_and_survives_eviction() {
+        let mut m = monitor();
+        let n = naplet(1);
+        let id = n.id().clone();
+        m.admit(n, None, RunState::Runnable, Millis(0));
+        m.account_visit(&id, 100, 32, 500);
+        m.evict(&id);
+        m.account_visit(&id, 50, 0, 900);
+        let u = m.usage().get(&id.to_string()).unwrap();
+        assert_eq!(u.visits, 2);
+        assert_eq!(u.gas, 150);
+        assert_eq!(u.msg_bytes, 32);
+        assert_eq!(u.peak_state_bytes, 900, "peak is a high-water mark");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use naplet_core::message::Payload;
 use naplet_core::naplet::Naplet;
 use naplet_core::value::Value;
 use naplet_net::{EventQueue, Fabric, TrafficClass};
+use naplet_obs::{ObsSink, TraceKind};
 
 use crate::events::{Input, LocalEvent, Output, Wire};
 use crate::server::{NapletServer, ServerConfig};
@@ -73,6 +74,9 @@ pub struct SimRuntime {
     pub dropped: u64,
     /// Total events processed.
     pub events_processed: u64,
+    /// Shared observability sink handed to every server; runtime-level
+    /// wire/crash events are recorded here too.
+    obs: ObsSink,
 }
 
 impl SimRuntime {
@@ -88,12 +92,24 @@ impl SimRuntime {
             crashed: HashSet::new(),
             dropped: 0,
             events_processed: 0,
+            obs: ObsSink::default(),
         }
     }
 
     /// The fabric (stats, failure injection).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// The shared observability sink (tracer + metrics).
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
+    }
+
+    /// Turn on journey tracing for the whole space. Metrics are always
+    /// collected; the trace-event stream is opt-in.
+    pub fn enable_tracing(&mut self) {
+        self.obs.enable_tracing();
     }
 
     /// Current virtual time.
@@ -108,9 +124,12 @@ impl SimRuntime {
         self.configs
             .entry(host.clone())
             .or_insert_with(|| config.clone());
-        self.servers
-            .entry(host)
-            .or_insert_with(|| NapletServer::new(config))
+        let obs = self.obs.clone();
+        self.servers.entry(host).or_insert_with(|| {
+            let mut server = NapletServer::new(config);
+            server.set_obs(obs);
+            server
+        })
     }
 
     /// Register a plain station host that collects wire values.
@@ -287,8 +306,19 @@ impl SimRuntime {
                     // down; it is lost at the dead NIC
                     self.dropped += 1;
                     self.fabric.stats().record_drop();
+                    self.obs.metrics.incr("wire.dropped", 1);
+                    self.obs
+                        .emit(now, &to, wire.subject(), || TraceKind::WireDrop {
+                            to: to.clone(),
+                            label: wire.label().to_string(),
+                        });
                     return;
                 }
+                self.obs
+                    .emit(now, &to, wire.subject(), || TraceKind::WireRecv {
+                        from: from.clone(),
+                        label: wire.label().to_string(),
+                    });
                 if let Some(server) = self.servers.get_mut(&to) {
                     let outputs = server.handle(now, Input::Wire { from, wire });
                     self.process_outputs(&to, outputs);
@@ -331,6 +361,8 @@ impl SimRuntime {
         let now = self.queue.now();
         *self.crash_epoch.entry(host.to_string()).or_insert(0) += 1;
         self.crashed.insert(host.to_string());
+        self.obs.metrics.incr("crashes", 1);
+        self.obs.emit(Millis(now), host, None, || TraceKind::Crash);
         self.fabric
             .schedule_crash(host, now, restart_at.unwrap_or(u64::MAX));
         // only the journal survives the crash
@@ -340,6 +372,7 @@ impl SimRuntime {
                 ServerConfig::open(host, crate::server::LocationMode::HomeManagers)
             });
         let mut fresh = NapletServer::new(config);
+        fresh.set_obs(self.obs.clone());
         fresh.set_journal(journal);
         self.servers.insert(host.to_string(), fresh);
         if let Some(at) = restart_at {
@@ -425,10 +458,20 @@ impl SimRuntime {
         let payload_len = naplet_core::codec::encoded_size(&wire).unwrap_or(0) as usize;
         let bytes = frame_bytes(from, to, payload_len);
         let class = wire.traffic_class();
+        let now = Millis(self.queue.now());
         self.fabric.set_now(self.queue.now());
         if wire.retry_attempt() > 1 {
             self.fabric.stats().record_retransmit();
         }
+        self.obs.metrics.incr("wire.sent", 1);
+        self.obs
+            .emit(now, from, wire.subject(), || TraceKind::WireSend {
+                to: to.to_string(),
+                label: wire.label().to_string(),
+                class: class.label().to_string(),
+                bytes,
+                attempt: wire.retry_attempt(),
+            });
         match self.fabric.transfer(from, to, class, bytes) {
             Ok(Some(delay)) => {
                 self.queue.push_after(
@@ -440,11 +483,14 @@ impl SimRuntime {
                     },
                 );
             }
-            Ok(None) => {
+            Ok(None) | Err(_) => {
                 self.dropped += 1;
-            }
-            Err(_) => {
-                self.dropped += 1;
+                self.obs.metrics.incr("wire.dropped", 1);
+                self.obs
+                    .emit(now, from, wire.subject(), || TraceKind::WireDrop {
+                        to: to.to_string(),
+                        label: wire.label().to_string(),
+                    });
             }
         }
     }

@@ -22,8 +22,10 @@ use naplet_core::naplet::{AgentKind, Naplet};
 use naplet_core::value::Value;
 use naplet_vm::{ContextVmHost, VmImage, VmYield};
 
+use naplet_obs::{ObsSink, TraceKind, COUNT_BOUNDS, LATENCY_BOUNDS_MS};
+
 use crate::directory::{DirEvent, NapletDirectory};
-use crate::events::{Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
+use crate::events::{EventLog, Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
 use crate::journal::{Journal, JournalPhase, RecoveryStats};
 use crate::lease::{LeasePolicy, LeaseTable};
 use crate::locator::Locator;
@@ -74,6 +76,9 @@ pub struct ServerConfig {
     /// transfer dedup, messenger confirmations): entries older than
     /// this are compacted away.
     pub retention_ms: u64,
+    /// Ring capacity of the human-readable event log; the oldest lines
+    /// are evicted (and counted) beyond this. 0 disables the log.
+    pub log_capacity: usize,
 }
 
 impl ServerConfig {
@@ -90,6 +95,7 @@ impl ServerConfig {
             retry: RetryPolicy::default(),
             lease: None,
             retention_ms: 600_000,
+            log_capacity: 4096,
         }
     }
 }
@@ -119,6 +125,9 @@ struct PendingTransfer {
     checkpoint: Cursor,
     phase: TransferPhase,
     attempt: u32,
+    /// When the handoff opened (LandingRequest first sent) — the base
+    /// of the handoff-RTT and landing-latency observations.
+    started: Millis,
 }
 
 struct PendingQuery {
@@ -190,8 +199,10 @@ pub struct NapletServer {
     /// Application-level replies received at this host
     /// (token, tag, body).
     pub app_replies: Vec<(u64, String, Vec<u8>)>,
-    /// Human-readable event log.
-    pub log: Vec<LogEntry>,
+    /// Human-readable event log (bounded ring).
+    pub log: EventLog,
+    /// Structured observation endpoint (shared with the driver).
+    obs: ObsSink,
 }
 
 impl NapletServer {
@@ -230,8 +241,20 @@ impl NapletServer {
             completed: Vec::new(),
             reports: Vec::new(),
             app_replies: Vec::new(),
-            log: Vec::new(),
+            log: EventLog::with_capacity(config.log_capacity),
+            obs: ObsSink::default(),
         }
+    }
+
+    /// Attach the shared observation sink (drivers call this so every
+    /// server in a space records into one trace/metrics endpoint).
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
+    }
+
+    /// The observation sink this server records into.
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
     }
 
     /// This server's host name.
@@ -302,6 +325,14 @@ impl NapletServer {
         self.log.push(LogEntry { at: now, line });
     }
 
+    /// High-water mark of the special (early-arrival) mailbox.
+    fn note_special_mailbox_depth(&self) {
+        self.obs.metrics.gauge_max(
+            "special_mailbox_depth",
+            self.messenger.early_waiting() as u64,
+        );
+    }
+
     fn token(&mut self) -> u64 {
         self.next_token += 1;
         // durably advance the watermark so a recovered server never
@@ -314,9 +345,31 @@ impl NapletServer {
     /// — a degraded journal weakens durability, never the live run.
     fn journal_naplet(&mut self, naplet: &Naplet, phase: JournalPhase, now: Millis) {
         let id = naplet.id().clone();
+        let phase_label = phase_label(&phase);
         if let Err(e) = self.journal.record_naplet(&id, naplet, phase, now) {
             self.logf(now, format!("JOURNAL write failed for {id}: {e}"));
         }
+        let records = self.journal.len() as u64;
+        self.obs
+            .metrics
+            .observe("journal_records", COUNT_BOUNDS, records);
+        self.obs
+            .emit(now, &self.host, Some(&id), || TraceKind::JournalAppend {
+                phase: phase_label.to_string(),
+                records,
+            });
+    }
+
+    /// Retire a naplet's journal record and trace the shrink.
+    fn journal_retire(&mut self, id: &NapletId, now: Millis) {
+        if let Err(e) = self.journal.retire(id) {
+            self.logf(now, format!("JOURNAL retire failed for {id}: {e}"));
+        }
+        let records = self.journal.len() as u64;
+        self.obs
+            .emit(now, &self.host, Some(id), || TraceKind::JournalRetire {
+                records,
+            });
     }
 
     /// Periodic compaction of dedup/bookkeeping tables under the
@@ -432,6 +485,21 @@ impl NapletServer {
                         if granted { "grant" } else { "deny" }
                     ),
                 );
+                self.obs.metrics.incr(
+                    if granted {
+                        "landing.granted"
+                    } else {
+                        "landing.denied"
+                    },
+                    1,
+                );
+                self.obs.emit(now, &self.host, Some(&naplet_id), || {
+                    TraceKind::LandingDecision {
+                        origin: from_host.clone(),
+                        granted,
+                        reason: reason.clone(),
+                    }
+                });
                 out.push(Output::Send {
                     to: from_host,
                     wire: Wire::LandingReply {
@@ -458,6 +526,22 @@ impl NapletServer {
                     return;
                 }
                 let pending = self.pending_transfers.remove(&token).unwrap();
+                {
+                    let id = pending.naplet.id().clone();
+                    let (dest, started) = (pending.dest.clone(), pending.started);
+                    self.obs.metrics.observe(
+                        "landing_latency_ms",
+                        LATENCY_BOUNDS_MS,
+                        now.since(started),
+                    );
+                    self.obs
+                        .emit(now, &self.host, Some(&id), || TraceKind::PermitReceived {
+                            dest,
+                            transfer_id: token,
+                            granted,
+                            started,
+                        });
+                }
                 if granted {
                     self.complete_departure(token, pending, now, out);
                 } else {
@@ -475,6 +559,12 @@ impl NapletServer {
                 let id = envelope.naplet.id().clone();
                 let key = (from.to_string(), transfer_id);
                 let duplicate = self.seen_transfers.contains_key(&key);
+                self.obs
+                    .emit(now, &self.host, Some(&id), || TraceKind::TransferReceived {
+                        origin: from.to_string(),
+                        transfer_id,
+                        duplicate,
+                    });
                 // acknowledge every attempt — the previous ack may have
                 // been the frame that was lost
                 out.push(Output::Send {
@@ -503,14 +593,30 @@ impl NapletServer {
                 self.admit_arrival(envelope, Some(from), Mailbox::new(), now, out);
             }
             Wire::TransferAck { transfer_id, id } => {
-                if self.pending_transfers.remove(&transfer_id).is_some() {
+                if let Some(pending) = self.pending_transfers.remove(&transfer_id) {
                     // commit: the destination has the agent — release
                     // the retained copy and retire the journal record
                     // (the destination journaled it before acking)
-                    if let Err(e) = self.journal.retire(&id) {
-                        self.logf(now, format!("JOURNAL retire failed for {id}: {e}"));
-                    }
+                    self.journal_retire(&id, now);
                     self.logf(now, format!("HANDOFF commit {id} (transfer {transfer_id})"));
+                    self.obs.metrics.incr("handoff.commits", 1);
+                    self.obs.metrics.observe(
+                        "handoff_rtt_ms",
+                        LATENCY_BOUNDS_MS,
+                        now.since(pending.started),
+                    );
+                    self.obs.metrics.observe(
+                        "transfer_attempts",
+                        COUNT_BOUNDS,
+                        u64::from(pending.attempt),
+                    );
+                    self.obs
+                        .emit(now, &self.host, Some(&id), || TraceKind::HandoffCommit {
+                            dest: pending.dest.clone(),
+                            transfer_id,
+                            started: pending.started,
+                            attempts: pending.attempt,
+                        });
                 }
             }
             Wire::DirRegister {
@@ -540,7 +646,7 @@ impl NapletServer {
             Wire::DirAck { id } => {
                 if let Some(e) = self.monitor.get_mut(&id) {
                     if e.state == RunState::AwaitingArrivalAck {
-                        self.proceed_after_registration(&id, now, out);
+                        self.proceed_after_registration(&id, false, now, out);
                     }
                 }
             }
@@ -662,6 +768,32 @@ impl NapletServer {
                         let mut naplet = entry.naplet;
                         let mailbox = entry.mailbox;
                         naplet.nav_log.record_departure(now);
+                        // the visit is over: fold it into the monitor's
+                        // cumulative per-naplet resource accounting
+                        let state_bytes = naplet.state.deep_size();
+                        self.monitor.account_visit(
+                            &id,
+                            entry.gas_this_visit,
+                            entry.msg_bytes_this_visit,
+                            state_bytes,
+                        );
+                        let dwell = now.since(entry.arrived_at);
+                        self.obs
+                            .metrics
+                            .observe("visit_dwell_ms", LATENCY_BOUNDS_MS, dwell);
+                        let (arrived_at, gas, msg_bytes) = (
+                            entry.arrived_at,
+                            entry.gas_this_visit,
+                            entry.msg_bytes_this_visit,
+                        );
+                        let epoch = naplet.nav_log.visit_epoch();
+                        self.obs
+                            .emit(now, &self.host, Some(&id), || TraceKind::VisitEnd {
+                                started: arrived_at,
+                                epoch,
+                                gas,
+                                msg_bytes,
+                            });
                         self.continue_journey(naplet, mailbox, now, out);
                     }
                 }
@@ -709,11 +841,11 @@ impl NapletServer {
                         now,
                         format!("REGISTER unacked for {id} after {attempt} attempts: proceeding"),
                     );
-                    self.proceed_after_registration(&id, now, out);
+                    self.proceed_after_registration(&id, true, now, out);
                     return;
                 }
                 let Some(holder) = self.directory_holder(&id) else {
-                    self.proceed_after_registration(&id, now, out);
+                    self.proceed_after_registration(&id, false, now, out);
                     return;
                 };
                 let next = attempt + 1;
@@ -763,6 +895,10 @@ impl NapletServer {
                     now,
                     format!("REDELIVER message {seq} to {} (attempt {next})", msg.to),
                 );
+                self.obs.metrics.incr("post.redeliveries", 1);
+                self.obs.emit(now, &self.host, Some(&msg.to), || {
+                    TraceKind::PostRedeliver { seq, attempt: next }
+                });
                 out.push(Output::Schedule {
                     delay_ms: self.retry.jittered_backoff_ms(seq ^ 0x504f_5354, next),
                     event: LocalEvent::PostTimeout {
@@ -904,6 +1040,7 @@ impl NapletServer {
             },
             now,
         );
+        let id = naplet.id().clone();
         self.pending_transfers.insert(
             transfer_id,
             PendingTransfer {
@@ -914,8 +1051,14 @@ impl NapletServer {
                 checkpoint,
                 phase: TransferPhase::AwaitingPermit,
                 attempt: 1,
+                started: now,
             },
         );
+        self.obs
+            .emit(now, &self.host, Some(&id), || TraceKind::LandingRequested {
+                dest: dest.clone(),
+                transfer_id,
+            });
         out.push(Output::Send { to: dest, wire });
         self.arm_transfer_timer(transfer_id, 1, out);
     }
@@ -963,6 +1106,7 @@ impl NapletServer {
             mut mailbox,
             dest,
             checkpoint,
+            started,
             ..
         } = pending;
         let id = naplet.id().clone();
@@ -1000,6 +1144,11 @@ impl NapletServer {
             m.forward_hops += 1;
             self.send_post(m, &dest, now, out);
         }
+        self.obs
+            .emit(now, &self.host, Some(&id), || TraceKind::TransferSent {
+                dest: dest.clone(),
+                transfer_id,
+            });
         out.push(Output::Send {
             to: dest.clone(),
             wire: Wire::Transfer(TransferEnvelope {
@@ -1032,6 +1181,7 @@ impl NapletServer {
                 checkpoint,
                 phase: TransferPhase::AwaitingAck,
                 attempt: 1,
+                started,
             },
         );
         self.arm_transfer_timer(transfer_id, 1, out);
@@ -1080,8 +1230,20 @@ impl NapletServer {
             },
             now,
         );
+        let phase = match pending.phase {
+            TransferPhase::AwaitingPermit => "permit",
+            TransferPhase::AwaitingAck => "transfer",
+        };
         self.pending_transfers.insert(transfer_id, pending);
         self.logf(now, format!("RETRY {id} -> {dest} (attempt {attempt})"));
+        self.obs.metrics.incr("handoff.retransmits", 1);
+        self.obs
+            .emit(now, &self.host, Some(&id), || TraceKind::Retransmit {
+                dest: dest.clone(),
+                transfer_id,
+                attempt,
+                phase: phase.to_string(),
+            });
         out.push(Output::Send { to: dest, wire });
         self.arm_transfer_timer(transfer_id, attempt, out);
     }
@@ -1117,6 +1279,14 @@ impl NapletServer {
                  ({reason}; transfer {transfer_id})"
             ),
         );
+        self.obs.metrics.incr("handoff.failures", 1);
+        self.obs
+            .emit(now, &self.host, Some(&id), || TraceKind::HandoffFailed {
+                dest: dest.clone(),
+                transfer_id,
+                attempts: attempt,
+                reason: reason.to_string(),
+            });
         naplet.set_cursor(checkpoint);
         naplet.nav_log.record_failure(&dest, now, attempt, reason);
         if phase == TransferPhase::AwaitingAck {
@@ -1151,10 +1321,17 @@ impl NapletServer {
             now,
             format!("PARK {id}: {dest} unreachable after {attempts} attempts"),
         );
+        self.obs.metrics.incr("handoff.parked", 1);
+        self.obs
+            .emit(now, &self.host, Some(&id), || TraceKind::Parked {
+                dest: dest.to_string(),
+                attempts,
+            });
         for m in mailbox.drain() {
             self.messenger.forget_delivery(&m.from, m.seq, m.sent_at);
             self.messenger.stash_early(m, &self.host);
         }
+        self.note_special_mailbox_depth();
         // make the parked naplet locatable here again
         if let Some(holder) = self.directory_holder(&id) {
             if holder == self.host {
@@ -1281,6 +1458,10 @@ impl NapletServer {
             }
         }
 
+        self.obs
+            .metrics
+            .gauge_max("mailbox_depth", entry.mailbox.len() as u64);
+
         // ARRIVAL registration: execution postponed until acknowledged
         self.reregister_arrival(&id, true, now, out);
 
@@ -1306,7 +1487,7 @@ impl NapletServer {
         match self.directory_holder(id) {
             Some(holder) if holder != self.host => {
                 out.push(Output::Send {
-                    to: holder,
+                    to: holder.clone(),
                     wire: Wire::DirRegister {
                         id: id.clone(),
                         host: self.host.clone(),
@@ -1320,6 +1501,10 @@ impl NapletServer {
                     // registration is retried like any other acked
                     // frame — a lost DirRegister/DirAck must not
                     // strand the agent
+                    self.obs
+                        .emit(now, &self.host, Some(id), || TraceKind::RegisterGated {
+                            holder,
+                        });
                     self.arm_register_timer(id, 1, out);
                 }
             }
@@ -1328,20 +1513,38 @@ impl NapletServer {
                 self.directory
                     .register(id, &self.host.clone(), DirEvent::Arrival, now);
                 if gate_execution {
-                    self.proceed_after_registration(id, now, out);
+                    self.proceed_after_registration(id, false, now, out);
                 }
             }
             None => {
                 if gate_execution {
-                    self.proceed_after_registration(id, now, out);
+                    self.proceed_after_registration(id, false, now, out);
                 }
             }
         }
     }
 
-    /// After arrival registration is acknowledged: fetch code if cold,
-    /// then execute.
-    fn proceed_after_registration(&mut self, id: &NapletId, now: Millis, out: &mut Vec<Output>) {
+    /// After arrival registration is acknowledged (or `forced` open
+    /// because the directory holder stayed silent past the retry
+    /// budget): fetch code if cold, then execute.
+    fn proceed_after_registration(
+        &mut self,
+        id: &NapletId,
+        forced: bool,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let Some(entry) = self.monitor.get_mut(id) else {
+            return;
+        };
+        if entry.state == RunState::AwaitingArrivalAck {
+            let started = entry.arrived_at;
+            self.obs
+                .emit(now, &self.host, Some(id), || TraceKind::RegisterAcked {
+                    started,
+                    forced,
+                });
+        }
         let Some(entry) = self.monitor.get_mut(id) else {
             return;
         };
@@ -1823,6 +2026,8 @@ impl NapletServer {
                     Payload::User(_) => {
                         if let Some(e) = self.monitor.get_mut(&target) {
                             e.mailbox.deposit(msg);
+                            let depth = e.mailbox.len() as u64;
+                            self.obs.metrics.gauge_max("mailbox_depth", depth);
                         }
                     }
                 }
@@ -1850,6 +2055,7 @@ impl NapletServer {
         // than chasing a stale trail
         if self.expected_arrivals.contains_key(&target) {
             self.messenger.stash_early(msg, &origin_host);
+            self.note_special_mailbox_depth();
             return;
         }
         match self.manager.trace(&target) {
@@ -1860,6 +2066,14 @@ impl NapletServer {
                 self.locator.put(target.clone(), &next, now);
                 if self.messenger.may_forward(&msg) {
                     msg.forward_hops += 1;
+                    self.obs.metrics.incr("post.forward_hops", 1);
+                    let (seq, hops) = (msg.seq, msg.forward_hops);
+                    self.obs
+                        .emit(now, &self.host, Some(&target), || TraceKind::ForwardHop {
+                            to: next.clone(),
+                            seq,
+                            hops,
+                        });
                     out.push(Output::Send {
                         to: next,
                         wire: Wire::Post { msg, origin_host },
@@ -1874,6 +2088,7 @@ impl NapletServer {
                 // stale; forget it so the next resolution starts fresh.
                 self.locator.invalidate(&target);
                 self.messenger.stash_early(msg, &origin_host);
+                self.note_special_mailbox_depth();
             }
         }
     }
@@ -1975,9 +2190,12 @@ impl NapletServer {
             }
         }
         self.logf(now, format!("DESTROY {id}: {reason}"));
-        if let Err(e) = self.journal.retire(id) {
-            self.logf(now, format!("JOURNAL retire failed for {id}: {e}"));
-        }
+        self.journal_retire(id, now);
+        self.obs.metrics.incr("journeys.destroyed", 1);
+        self.obs
+            .emit(now, &self.host, Some(id), || TraceKind::JourneyDone {
+                status: "destroyed".to_string(),
+            });
         self.notify_home(id, NapletStatus::Destroyed, reason, now, out);
         self.dir_remove(id, out);
     }
@@ -2001,9 +2219,20 @@ impl NapletServer {
         self.dir_remove(&id, out);
         self.monitor.evict(&id);
         self.resources.release(&id);
-        if let Err(e) = self.journal.retire(&id) {
-            self.logf(now, format!("JOURNAL retire failed for {id}: {e}"));
-        }
+        self.journal_retire(&id, now);
+        let label = if normal { "completed" } else { "destroyed" };
+        self.obs.metrics.incr(
+            if normal {
+                "journeys.completed"
+            } else {
+                "journeys.destroyed"
+            },
+            1,
+        );
+        self.obs
+            .emit(now, &self.host, Some(&id), || TraceKind::JourneyDone {
+                status: label.to_string(),
+            });
         self.completed.push((id, naplet.nav_log.clone()));
     }
 
@@ -2095,10 +2324,16 @@ impl NapletServer {
         let creation = self.journal.creation(id);
         let can_redispatch =
             policy.redispatch && lease.redispatches < policy.max_redispatches && creation.is_some();
+        self.obs.metrics.incr("lease.expired", 1);
+        self.obs
+            .emit(now, &self.host, Some(id), || TraceKind::LeaseExpired {
+                redispatched: can_redispatch,
+            });
         if can_redispatch {
             let naplet = creation.unwrap();
             self.leases.note_redispatch(id, now);
             self.leases.redispatched += 1;
+            self.obs.metrics.incr("lease.redispatched", 1);
             self.logf(
                 now,
                 format!(
@@ -2146,6 +2381,8 @@ impl NapletServer {
         }
         self.next_token = self.next_token.max(self.journal.token_watermark());
         let mut local = 0u64;
+        let mut suppressed = 0u64;
+        let mut resumed = 0u64;
         for (_key, record) in self.journal.naplet_records() {
             let Ok(naplet) = record.decode_naplet() else {
                 continue; // undecodable record: nothing restorable
@@ -2156,6 +2393,10 @@ impl NapletServer {
             match record.phase {
                 JournalPhase::Parked => {
                     self.logf(now, format!("RECOVER parked {id}"));
+                    self.obs
+                        .emit(now, &self.host, Some(&id), || TraceKind::RecoveryReplayed {
+                            phase: "parked".to_string(),
+                        });
                     self.parked.insert(id, naplet);
                 }
                 JournalPhase::Resident {
@@ -2167,6 +2408,11 @@ impl NapletServer {
                     if applied_epoch >= naplet.nav_log.visit_epoch() {
                         // effects already escaped: resume at visit end
                         self.recovery.replays_suppressed += 1;
+                        suppressed += 1;
+                        self.obs
+                            .emit(now, &self.host, Some(&id), || TraceKind::RecoveryReplayed {
+                                phase: "resident-applied".to_string(),
+                            });
                         self.logf(now, format!("RECOVER resident {id} (visit applied)"));
                         self.monitor.admit(naplet, None, RunState::VisitDone, now);
                         self.reregister_arrival(&id, false, now, &mut out);
@@ -2177,6 +2423,10 @@ impl NapletServer {
                     } else {
                         // admitted but never run: re-run through the
                         // normal registration gate
+                        self.obs
+                            .emit(now, &self.host, Some(&id), || TraceKind::RecoveryReplayed {
+                                phase: "resident-rerun".to_string(),
+                            });
                         self.logf(now, format!("RECOVER resident {id} (re-running visit)"));
                         self.monitor
                             .admit(naplet, action, RunState::AwaitingArrivalAck, now);
@@ -2192,6 +2442,11 @@ impl NapletServer {
                     action,
                 } => {
                     self.recovery.handoffs_resumed += 1;
+                    resumed += 1;
+                    self.obs
+                        .emit(now, &self.host, Some(&id), || TraceKind::RecoveryReplayed {
+                            phase: "in-flight".to_string(),
+                        });
                     self.logf(
                         now,
                         format!("RECOVER in-flight {id} -> {dest} (transfer {transfer_id})"),
@@ -2203,6 +2458,7 @@ impl NapletServer {
                             action,
                             mailbox: Mailbox::new(),
                             dest,
+                            started: now,
                             checkpoint,
                             phase: if awaiting_ack {
                                 TransferPhase::AwaitingAck
@@ -2239,6 +2495,14 @@ impl NapletServer {
             }
         }
         self.logf(now, format!("RECOVER complete: {local} naplet(s)"));
+        self.obs.metrics.incr("recovery.replays", 1);
+        self.obs.metrics.incr("recovery.rehydrated", local);
+        self.obs
+            .emit(now, &self.host, None, || TraceKind::RecoveryDone {
+                rehydrated: local,
+                suppressed,
+                resumed,
+            });
         out
     }
 
@@ -2255,6 +2519,15 @@ impl NapletServer {
             }
             None => {}
         }
+    }
+}
+
+/// Stable label of a journal phase for traces/logs.
+fn phase_label(phase: &JournalPhase) -> &'static str {
+    match phase {
+        JournalPhase::InFlight { .. } => "in-flight",
+        JournalPhase::Resident { .. } => "resident",
+        JournalPhase::Parked => "parked",
     }
 }
 

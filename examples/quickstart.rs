@@ -26,9 +26,11 @@ impl NapletBehavior for LoadScout {
 }
 
 fn main() {
-    // 1. a simulated LAN with four hosts
+    // 1. a simulated LAN with four hosts; record the journey so we can
+    //    dump a trace at the end (metrics are always on, traces opt-in)
     let fabric = Fabric::lan();
     let mut rt = SimRuntime::new(fabric);
+    rt.enable_tracing();
 
     // 2. every server knows the LoadScout codebase (lazy-loaded on
     //    first visit) and exposes an open `sysinfo.load` service
@@ -87,4 +89,16 @@ fn main() {
         snap.messages(TrafficClass::Control),
         snap.bytes(TrafficClass::Code),
     );
+
+    // 6. the journey trace: one causally ordered event stream across
+    //    every server, plus the always-on metrics registry
+    let obs = rt.obs().snapshot();
+    println!("\njourney trace ({} events; first 10):", obs.events.len());
+    for line in render_event_log(&obs.events).lines().take(10) {
+        println!("  {line}");
+    }
+    std::fs::write("quickstart-trace.json", chrome_trace_json(&obs.events))
+        .expect("write trace file");
+    println!("full trace in quickstart-trace.json — load it in chrome://tracing or Perfetto");
+    print!("\n{}", obs.metrics.render_text());
 }

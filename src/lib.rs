@@ -18,6 +18,7 @@
 //! | [`core`] | `naplet-core` | agent model: ids, credentials, state, itineraries, behaviours |
 //! | [`vm`] | `naplet-vm` | mobile bytecode with serializable execution state (strong mobility) |
 //! | [`net`] | `naplet-net` | metered in-process network fabric |
+//! | [`obs`] | `naplet-obs` | journey tracing + metrics registry with deterministic exports |
 //! | [`server`] | `naplet-server` | the NapletServer and the simulation runtime |
 //! | [`snmp`] | `naplet-snmp` | SNMP/MIB substrate with simulated devices |
 //! | [`man`] | `naplet-man` | the network-management application (paper §6) + baseline |
@@ -62,6 +63,7 @@
 pub use naplet_core as core;
 pub use naplet_man as man;
 pub use naplet_net as net;
+pub use naplet_obs as obs;
 pub use naplet_server as server;
 pub use naplet_snmp as snmp;
 pub use naplet_vm as vm;
@@ -79,6 +81,10 @@ pub mod prelude {
     pub use naplet_core::value::Value;
     pub use naplet_core::NapletId;
     pub use naplet_net::{Bandwidth, Fabric, LatencyModel, TrafficClass};
+    pub use naplet_obs::{
+        chrome_trace_json, render_event_log, MetricsRegistry, ObsSink, TraceEvent, TraceKind,
+        Tracer,
+    };
     pub use naplet_server::{
         LocationMode, MonitorPolicy, NapletServer, Policy, ServerConfig, SimRuntime,
     };
