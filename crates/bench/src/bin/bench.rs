@@ -1,0 +1,119 @@
+//! Macro-benchmark driver: runs the throughput suite and emits the
+//! machine-readable report (`BENCH_PR4.json` schema).
+//!
+//! ```text
+//! bench [--profile smoke|quick|full] [--seed N] [--no-live]
+//!       [--out PATH]            write the JSON report to PATH
+//!       [--compare PATH]        gate against a committed report
+//!       [--tolerance PCT]       compare tolerance (default 20)
+//!       [--markdown]            print the EXPERIMENTS.md E11 entry
+//! ```
+//!
+//! `--compare` exits non-zero if any sim workload's speedup or p95
+//! journey latency regresses beyond the tolerance — this is the CI
+//! perf gate. Without `--out`/`--markdown` the JSON goes to stdout.
+
+use std::process::ExitCode;
+
+use naplet_bench::suite::{compare_reports, run_suite, Profile, SuiteConfig};
+
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static ALLOC: naplet_bench::suite::CountingAlloc = naplet_bench::suite::CountingAlloc;
+
+fn main() -> ExitCode {
+    let mut cfg = SuiteConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut tolerance = 0.20;
+    let mut markdown = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let v = args.next().unwrap_or_default();
+                match Profile::parse(&v) {
+                    Some(p) => cfg.profile = p,
+                    None => return usage(&format!("unknown profile `{v}`")),
+                }
+            }
+            "--seed" => match args.next().unwrap_or_default().parse() {
+                Ok(s) => cfg.seed = s,
+                Err(_) => return usage("--seed wants an integer"),
+            },
+            "--no-live" => cfg.include_live = false,
+            "--out" => out_path = args.next(),
+            "--compare" => compare_path = args.next(),
+            "--tolerance" => match args.next().unwrap_or_default().parse::<f64>() {
+                Ok(p) => tolerance = p / 100.0,
+                Err(_) => return usage("--tolerance wants a percentage"),
+            },
+            "--markdown" => markdown = true,
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    eprintln!(
+        "running {} suite (seed {}, live: {}) ...",
+        match cfg.profile {
+            Profile::Smoke => "smoke",
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        },
+        cfg.seed,
+        cfg.include_live
+    );
+    let report = run_suite(&cfg);
+    let json = report.to_json();
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if markdown {
+        print!("{}", report.render_e11());
+    } else if out_path.is_none() {
+        print!("{json}");
+    }
+
+    if let Some(path) = &compare_path {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let checks = compare_reports(&committed, &json, tolerance);
+        let mut failed = false;
+        for c in &checks {
+            eprintln!("  {}", c.line);
+            failed |= !c.ok;
+        }
+        if failed {
+            eprintln!(
+                "perf gate FAILED against {path} (tolerance ±{:.0}%)",
+                tolerance * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "perf gate passed against {path} (tolerance ±{:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: bench [--profile smoke|quick|full] [--seed N] [--no-live] \
+         [--out PATH] [--compare PATH] [--tolerance PCT] [--markdown]"
+    );
+    ExitCode::FAILURE
+}

@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod scenarios;
+pub mod suite;
 
 pub use experiments::{
     exp_e1_crossover, exp_e2_latency, exp_e2_walk, exp_f3_devices, exp_filtering, exp_vm_vs_native,
@@ -20,4 +21,8 @@ pub use scenarios::{
     scheduling_experiment, traced_chaos_experiment, traced_crash_chaos_experiment,
     AccumulationOutcome, ChaosOutcome, CodeLoadingOutcome, CrashChaosOutcome, ItineraryOutcome,
     MessagingOutcome, Probe, RingWorld, TracedChaosOutcome, PROBE_CODEBASE, PROBE_CODE_SIZE,
+};
+pub use suite::{
+    compare_reports, normalize_timing, run_suite, CompareCheck, Profile, SuiteConfig, SuiteReport,
+    WorkloadResult, TIMING_FIELDS,
 };

@@ -1,0 +1,999 @@
+//! Macro-benchmark suite: throughput workloads with a machine-readable
+//! report (`BENCH_PR4.json`).
+//!
+//! Three workloads run at scale on the deterministic [`SimRuntime`]
+//! (events/sec) and one on the threaded `LiveRuntime` (wall-clock
+//! journeys/sec):
+//!
+//! * **ring_storm** — N naplets walk a ring of M hosts concurrently;
+//!   the handoff/journal hot path under migration pressure.
+//! * **par_fanout** — Par fan-out/join itineraries swept over widths;
+//!   the clone/fork path plus many simultaneous small journeys.
+//! * **messenger_storm** — agents on the move while owners post
+//!   messages that chase them through forwarding pointers.
+//!
+//! Every sim workload runs twice in the same process — once on the
+//! optimized hot paths and once on the pre-optimization **baseline
+//! profile** ([`SimRuntime::with_baseline_profile`]: binary-heap event
+//! queue, full-encode wire sizing, deep-clone handoffs) — and the
+//! report records both rates plus their ratio. The two runs must agree
+//! on every deterministic output (events, virtual time, bytes,
+//! latencies); the suite panics if they ever diverge, which is the
+//! built-in proof that the optimizations changed cost, not behaviour.
+//!
+//! The report schema (field names, order, and which fields count as
+//! timing) is documented in DESIGN.md under "Benchmark report schema".
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use naplet_core::clock::Millis;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::message::Payload;
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel, TrafficClass};
+use naplet_server::{LiveRuntime, LocationMode, MonitorPolicy, ServerConfig, SimRuntime};
+
+use crate::scenarios::{bench_key, probe_registry, PROBE_CODEBASE};
+
+#[cfg(feature = "bench-alloc")]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Counting global allocator; the `bench` binary installs it when
+    /// built with `--features bench-alloc`.
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates every operation to `System`, only adding a
+    // relaxed counter bump on the allocation paths.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Allocations counted so far in this process.
+    pub fn alloc_count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(feature = "bench-alloc")]
+pub use alloc_counter::{alloc_count, CountingAlloc};
+
+/// Allocations counted so far (always 0 without the `bench-alloc`
+/// feature — the counting allocator is not installed).
+#[cfg(not(feature = "bench-alloc"))]
+pub fn alloc_count() -> u64 {
+    0
+}
+
+/// How much work each workload does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Tiny sizes, one iteration: for tests (seconds even in debug).
+    Smoke,
+    /// CI-sized: stable wall timings in well under a minute (release).
+    Quick,
+    /// Nightly-sized: larger spaces, more iterations.
+    Full,
+}
+
+impl Profile {
+    /// Parse a CLI profile name.
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "smoke" => Some(Profile::Smoke),
+            "quick" => Some(Profile::Quick),
+            "full" => Some(Profile::Full),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        }
+    }
+}
+
+/// Suite configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Workload sizes.
+    pub profile: Profile,
+    /// Fabric seed (drives every virtual-time outcome).
+    pub seed: u64,
+    /// Run the threaded `LiveRuntime` workload too (skipped by the
+    /// determinism test: live numbers are wall-clock).
+    pub include_live: bool,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            profile: Profile::Quick,
+            seed: 7,
+            include_live: true,
+        }
+    }
+}
+
+/// One workload's measurements. Field order here is the JSON field
+/// order; DESIGN.md documents which fields are *timing* (normalized
+/// away by the determinism test) and which are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Workload name (`ring_storm`, `par_fanout`, `messenger_storm`,
+    /// `live_ring`).
+    pub name: &'static str,
+    /// `sim` or `live`.
+    pub runtime: &'static str,
+    /// Root naplets launched.
+    pub naplets: u64,
+    /// Worker hosts (excluding home).
+    pub hosts: u64,
+    /// Journeys completed (clones included), summed over iterations.
+    pub journeys: u64,
+    /// Events processed (sim only), summed over iterations.
+    pub events: u64,
+    /// Migration-class frames on the wire, summed over iterations.
+    pub migrations: u64,
+    /// Migration-class bytes, summed over iterations.
+    pub migration_bytes: u64,
+    /// `migration_bytes / migrations` — cost of moving one agent hop.
+    pub bytes_per_hop: u64,
+    /// Message forwarding hops performed (messenger storm).
+    pub forwards: u64,
+    /// Virtual ms at quiescence (one iteration).
+    pub virtual_ms: u64,
+    /// Journey-latency quantiles (virtual ms for sim, wall ms for
+    /// live), exact nearest-rank over per-journey completion times.
+    pub journey_ms_p50: u64,
+    /// 95th percentile journey latency.
+    pub journey_ms_p95: u64,
+    /// 99th percentile journey latency.
+    pub journey_ms_p99: u64,
+    /// Handoff round-trip quantiles from the `handoff_rtt_ms`
+    /// histogram (bucket upper bounds).
+    pub handoff_rtt_ms_p50: u64,
+    /// 95th percentile handoff RTT.
+    pub handoff_rtt_ms_p95: u64,
+    /// 99th percentile handoff RTT.
+    pub handoff_rtt_ms_p99: u64,
+    /// Wall time of the baseline-profile run (timing; 0 when no
+    /// baseline run exists for this workload).
+    pub baseline_wall_ms: f64,
+    /// Wall time of the optimized run (timing).
+    pub wall_ms: f64,
+    /// Events/sec of the baseline-profile run (timing).
+    pub baseline_events_per_sec: f64,
+    /// Events/sec of the optimized run (timing).
+    pub events_per_sec: f64,
+    /// `events_per_sec / baseline_events_per_sec` (timing, but
+    /// hardware-normalized: both runs share one process and machine).
+    pub speedup: f64,
+    /// Completed journeys per wall-clock second (live workload).
+    pub journeys_per_sec: f64,
+    /// Allocations per event on the optimized run (0 without the
+    /// `bench-alloc` feature).
+    pub allocs_per_event: f64,
+}
+
+/// The whole suite's report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// Profile label (`smoke`/`quick`/`full`).
+    pub profile: String,
+    /// Fabric seed.
+    pub seed: u64,
+    /// Per-workload results, in run order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// JSON fields whose values are wall-clock (or allocator) dependent;
+/// everything else in the report is deterministic for a given seed.
+pub const TIMING_FIELDS: &[&str] = &[
+    "baseline_wall_ms",
+    "wall_ms",
+    "baseline_events_per_sec",
+    "events_per_sec",
+    "speedup",
+    "journeys_per_sec",
+    "allocs_per_event",
+];
+
+struct Sizes {
+    ring_hosts: usize,
+    ring_naplets: usize,
+    ring_laps: usize,
+    ring_iters: usize,
+    par_widths: &'static [usize],
+    par_roots: usize,
+    par_iters: usize,
+    msg_hosts: usize,
+    msg_agents: usize,
+    msg_posts: usize,
+    msg_iters: usize,
+    live_hosts: usize,
+    live_naplets: usize,
+}
+
+fn sizes(profile: Profile) -> Sizes {
+    match profile {
+        Profile::Smoke => Sizes {
+            ring_hosts: 4,
+            ring_naplets: 4,
+            ring_laps: 1,
+            ring_iters: 1,
+            par_widths: &[3],
+            par_roots: 2,
+            par_iters: 1,
+            msg_hosts: 4,
+            msg_agents: 2,
+            msg_posts: 2,
+            msg_iters: 1,
+            live_hosts: 2,
+            live_naplets: 2,
+        },
+        Profile::Quick => Sizes {
+            ring_hosts: 8,
+            ring_naplets: 16,
+            ring_laps: 2,
+            ring_iters: 8,
+            par_widths: &[4, 8],
+            par_roots: 4,
+            par_iters: 6,
+            msg_hosts: 6,
+            msg_agents: 6,
+            msg_posts: 6,
+            msg_iters: 6,
+            live_hosts: 3,
+            live_naplets: 8,
+        },
+        Profile::Full => Sizes {
+            ring_hosts: 16,
+            ring_naplets: 64,
+            ring_laps: 3,
+            ring_iters: 16,
+            par_widths: &[4, 8, 16, 32],
+            par_roots: 8,
+            par_iters: 12,
+            msg_hosts: 8,
+            msg_agents: 16,
+            msg_posts: 10,
+            msg_iters: 10,
+            live_hosts: 4,
+            live_naplets: 16,
+        },
+    }
+}
+
+/// Bytes of inert state ballast each storm agent carries, so agent
+/// images have a realistic payload. Kept modest: the optimizations
+/// remove fixed per-hop costs (clones, allocations, heap churn), so
+/// per-byte codec work — shared by both profiles — dilutes the
+/// measured speedup as state grows.
+const BALLAST_BYTES: usize = 256;
+
+fn storm_world(
+    n_hosts: usize,
+    mode: LocationMode,
+    dwell_ms: u64,
+    seed: u64,
+    baseline: bool,
+) -> SimRuntime {
+    let fabric = Fabric::new(LatencyModel::Constant(1), Bandwidth::fast_ethernet(), seed);
+    let mut rt = if baseline {
+        SimRuntime::with_baseline_profile(fabric)
+    } else {
+        SimRuntime::new(fabric)
+    };
+    let reg = probe_registry();
+    let policy = MonitorPolicy {
+        native_dwell_ms: dwell_ms,
+        ..MonitorPolicy::default()
+    };
+    for host in std::iter::once("home".to_string()).chain((0..n_hosts).map(|i| format!("s{i}"))) {
+        let mut cfg = ServerConfig::open(&host, mode.clone());
+        cfg.codebase = reg.clone();
+        cfg.monitor_policy = policy.clone();
+        rt.add_server(cfg);
+    }
+    rt
+}
+
+fn storm_agent(pattern: Pattern, ts: u64) -> Naplet {
+    let it = Itinerary::new(pattern)
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    let mut nap = Naplet::create(
+        &bench_key(),
+        "czxu",
+        "home",
+        Millis(ts),
+        PROBE_CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap();
+    nap.state
+        .set("ballast", Value::Bytes(vec![0x42; BALLAST_BYTES]));
+    nap
+}
+
+/// One sim run's deterministic outputs plus its wall time.
+#[derive(Debug, Clone, PartialEq)]
+struct SimMeasure {
+    events: u64,
+    virtual_ms: u64,
+    journeys: u64,
+    migrations: u64,
+    migration_bytes: u64,
+    forwards: u64,
+    journey_ms: Vec<u64>,
+    rtt_p50: u64,
+    rtt_p95: u64,
+    rtt_p99: u64,
+    wall_ms: f64,
+    min_iter_ms: f64,
+    allocs: u64,
+}
+
+impl SimMeasure {
+    /// The fields that must match between the optimized and baseline
+    /// runs (everything except wall time and allocation count).
+    fn deterministic_view(&self) -> SimMeasure {
+        SimMeasure {
+            wall_ms: 0.0,
+            min_iter_ms: 0.0,
+            allocs: 0,
+            ..self.clone()
+        }
+    }
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Run `iters` A/B pairs of the same storm, interleaved.
+///
+/// Timing on a shared machine drifts over seconds, so back-to-back
+/// blocks ("all optimized, then all baseline") can attribute that
+/// drift to the profile. Instead each iteration runs both profiles
+/// adjacently (order alternating), after one untimed warm-up pair,
+/// and each side's rate comes from its *minimum* iteration time —
+/// the standard robust estimator when noise only ever adds time.
+/// Returns `(optimized, baseline)`.
+fn ab_measure<F>(iters: usize, mut one_run: F) -> (SimMeasure, SimMeasure)
+where
+    F: FnMut(bool) -> SimMeasure,
+{
+    // warm-up pair: first-touch page faults and allocator growth land
+    // here, not on either profile's timings
+    let warm_opt = one_run(false);
+    let warm_base = one_run(true);
+    let mut opt = warm_opt;
+    let mut base = warm_base;
+    let mut opt_wall = 0.0f64;
+    let mut base_wall = 0.0f64;
+    let mut opt_min = f64::INFINITY;
+    let mut base_min = f64::INFINITY;
+    let mut opt_allocs = 0u64;
+    for i in 0..iters {
+        let order = if i % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for &baseline in &order {
+            let a0 = alloc_count();
+            let t0 = Instant::now();
+            let m = one_run(baseline);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            let da = alloc_count() - a0;
+            let first = if baseline { &base } else { &opt };
+            assert_eq!(
+                m.deterministic_view(),
+                first.deterministic_view(),
+                "seeded sim iterations must be identical"
+            );
+            if baseline {
+                base_wall += dt;
+                base_min = base_min.min(dt);
+            } else {
+                opt_wall += dt;
+                opt_min = opt_min.min(dt);
+                opt_allocs += da;
+            }
+        }
+    }
+    opt.wall_ms = opt_wall;
+    opt.min_iter_ms = opt_min;
+    opt.allocs = opt_allocs;
+    base.wall_ms = base_wall;
+    base.min_iter_ms = base_min;
+    (opt, base)
+}
+
+fn finish_sim_run(
+    mut rt: SimRuntime,
+    launched: &[naplet_core::id::NapletId],
+    events_before: u64,
+) -> SimMeasure {
+    rt.run_to_quiescence(50_000_000);
+    let stats = rt.fabric().stats().snapshot();
+    let metrics = rt.obs().metrics.snapshot();
+    let mut journey_ms: Vec<u64> = launched
+        .iter()
+        .filter_map(|id| {
+            rt.server("home")
+                .and_then(|s| s.manager.table_entry(id))
+                .map(|e| e.updated.0)
+        })
+        .collect();
+    journey_ms.sort_unstable();
+    let rtt = metrics.histogram("handoff_rtt_ms");
+    let mut forwards = 0;
+    for host in rt.server_hosts() {
+        forwards += rt.server(&host).unwrap().messenger.forwards_performed;
+    }
+    SimMeasure {
+        events: rt.events_processed - events_before,
+        virtual_ms: rt.now().0,
+        journeys: metrics.counter("journeys.completed"),
+        migrations: stats.messages(TrafficClass::Migration),
+        migration_bytes: stats.bytes(TrafficClass::Migration),
+        forwards,
+        rtt_p50: rtt.map(|h| h.quantile(0.50)).unwrap_or(0),
+        rtt_p95: rtt.map(|h| h.quantile(0.95)).unwrap_or(0),
+        rtt_p99: rtt.map(|h| h.quantile(0.99)).unwrap_or(0),
+        journey_ms,
+        wall_ms: 0.0,
+        min_iter_ms: 0.0,
+        allocs: 0,
+    }
+}
+
+fn assemble(
+    name: &'static str,
+    naplets: u64,
+    hosts: u64,
+    iters: u64,
+    optimized: SimMeasure,
+    baseline: SimMeasure,
+) -> WorkloadResult {
+    assert_eq!(
+        optimized.deterministic_view(),
+        baseline.deterministic_view(),
+        "{name}: baseline and optimized profiles must produce identical \
+         deterministic outputs — an optimization changed behaviour"
+    );
+    // rates from the fastest iteration: on a shared machine noise only
+    // ever adds time, so min-over-iterations is the robust estimator
+    let rate = |m: &SimMeasure| {
+        if m.min_iter_ms > 0.0 && m.min_iter_ms.is_finite() {
+            m.events as f64 / (m.min_iter_ms / 1e3)
+        } else {
+            0.0
+        }
+    };
+    let events_per_sec = rate(&optimized);
+    let baseline_events_per_sec = rate(&baseline);
+    WorkloadResult {
+        name,
+        runtime: "sim",
+        naplets,
+        hosts,
+        journeys: optimized.journeys * iters,
+        events: optimized.events * iters,
+        migrations: optimized.migrations * iters,
+        migration_bytes: optimized.migration_bytes * iters,
+        bytes_per_hop: optimized
+            .migration_bytes
+            .checked_div(optimized.migrations)
+            .unwrap_or(0),
+        forwards: optimized.forwards,
+        virtual_ms: optimized.virtual_ms,
+        journey_ms_p50: exact_quantile(&optimized.journey_ms, 0.50),
+        journey_ms_p95: exact_quantile(&optimized.journey_ms, 0.95),
+        journey_ms_p99: exact_quantile(&optimized.journey_ms, 0.99),
+        handoff_rtt_ms_p50: optimized.rtt_p50,
+        handoff_rtt_ms_p95: optimized.rtt_p95,
+        handoff_rtt_ms_p99: optimized.rtt_p99,
+        baseline_wall_ms: baseline.wall_ms,
+        wall_ms: optimized.wall_ms,
+        baseline_events_per_sec,
+        events_per_sec,
+        speedup: if baseline_events_per_sec > 0.0 {
+            events_per_sec / baseline_events_per_sec
+        } else {
+            0.0
+        },
+        journeys_per_sec: 0.0,
+        allocs_per_event: if optimized.events > 0 && iters > 0 {
+            optimized.allocs as f64 / (optimized.events * iters) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn ring_storm(s: &Sizes, seed: u64) -> (SimMeasure, SimMeasure) {
+    ab_measure(s.ring_iters, |baseline| {
+        let mut rt = storm_world(s.ring_hosts, LocationMode::HomeManagers, 2, seed, baseline);
+        let hosts: Vec<String> = (0..s.ring_hosts).map(|i| format!("s{i}")).collect();
+        let mut launched = Vec::with_capacity(s.ring_naplets);
+        for k in 0..s.ring_naplets {
+            // every agent starts at a different ring offset so the
+            // storm spreads over all hosts instead of convoying
+            let mut route: Vec<&str> = Vec::new();
+            for _ in 0..s.ring_laps {
+                for i in 0..hosts.len() {
+                    route.push(hosts[(k + i) % hosts.len()].as_str());
+                }
+            }
+            let nap = storm_agent(Pattern::seq_of_hosts(&route, None), 1 + k as u64);
+            launched.push(nap.id().clone());
+            rt.launch(nap).unwrap();
+        }
+        finish_sim_run(rt, &launched, 0)
+    })
+}
+
+fn par_fanout(s: &Sizes, seed: u64) -> (SimMeasure, SimMeasure) {
+    ab_measure(s.par_iters, |baseline| {
+        let max_width = s.par_widths.iter().copied().max().unwrap_or(1);
+        let mut rt = storm_world(
+            max_width,
+            LocationMode::CentralDirectory("home".into()),
+            2,
+            seed ^ 0x9e37,
+            baseline,
+        );
+        let hosts: Vec<String> = (0..max_width).map(|i| format!("s{i}")).collect();
+        let mut launched = Vec::new();
+        for (w_idx, &width) in s.par_widths.iter().enumerate() {
+            for r in 0..s.par_roots {
+                let refs: Vec<&str> = (0..width)
+                    .map(|i| hosts[(i + r) % hosts.len()].as_str())
+                    .collect();
+                let pattern = Pattern::par_singletons(&refs, Some(ActionSpec::ReportHome));
+                let nap = storm_agent(pattern, 1 + (w_idx * s.par_roots + r) as u64);
+                launched.push(nap.id().clone());
+                rt.launch(nap).unwrap();
+            }
+        }
+        finish_sim_run(rt, &launched, 0)
+    })
+}
+
+fn messenger_storm(s: &Sizes, seed: u64) -> (SimMeasure, SimMeasure) {
+    ab_measure(s.msg_iters, |baseline| {
+        let mut rt = storm_world(
+            s.msg_hosts,
+            LocationMode::ForwardingTrace,
+            25,
+            seed ^ 0x51f0,
+            baseline,
+        );
+        let hosts: Vec<String> = (0..s.msg_hosts).map(|i| format!("s{i}")).collect();
+        let mut launched = Vec::with_capacity(s.msg_agents);
+        for k in 0..s.msg_agents {
+            let route: Vec<&str> = (0..hosts.len())
+                .map(|i| hosts[(k + i) % hosts.len()].as_str())
+                .collect();
+            let nap = storm_agent(Pattern::seq_of_hosts(&route, None), 1 + k as u64);
+            launched.push(nap.id().clone());
+            rt.launch(nap).unwrap();
+        }
+        // post to every moving agent on a fixed virtual schedule; each
+        // post races the agent's migrations and chases via forwarders
+        for round in 0..s.msg_posts {
+            rt.run_until(Millis(5 + 20 * round as u64));
+            for id in &launched {
+                rt.owner_post("home", id.clone(), Payload::User(Value::Int(round as i64)))
+                    .unwrap();
+            }
+        }
+        finish_sim_run(rt, &launched, 0)
+    })
+}
+
+fn live_ring(s: &Sizes, seed: u64) -> WorkloadResult {
+    let fabric = Fabric::new(LatencyModel::Constant(1), Bandwidth::fast_ethernet(), seed);
+    let mut live = LiveRuntime::new(fabric, 0);
+    let reg = probe_registry();
+    let hosts: Vec<String> = (0..s.live_hosts).map(|i| format!("s{i}")).collect();
+    for host in std::iter::once("home".to_string()).chain(hosts.iter().cloned()) {
+        let mut cfg = ServerConfig::open(&host, LocationMode::HomeManagers);
+        cfg.codebase = reg.clone();
+        live.add_server(cfg);
+    }
+    let mut launched = Vec::with_capacity(s.live_naplets);
+    for k in 0..s.live_naplets {
+        let route: Vec<&str> = (0..hosts.len())
+            .map(|i| hosts[(k + i) % hosts.len()].as_str())
+            .collect();
+        let nap = storm_agent(Pattern::seq_of_hosts(&route, None), 1 + k as u64);
+        launched.push(nap.id().clone());
+        live.launch(nap).unwrap();
+    }
+    let metrics = live.obs().metrics.clone();
+    let want = s.live_naplets as u64;
+    let t0 = Instant::now();
+    live.start();
+    // the metrics registry is shared with the server threads, so we
+    // can watch journeys complete without stopping the space
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while metrics.counter("journeys.completed") < want && Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let servers = live.shutdown();
+    let journeys = metrics.counter("journeys.completed");
+    let home = servers.iter().find(|(h, _)| h == "home").map(|(_, s)| s);
+    let mut journey_ms: Vec<u64> = launched
+        .iter()
+        .filter_map(|id| {
+            home.and_then(|s| s.manager.table_entry(id))
+                .map(|e| e.updated.0)
+        })
+        .collect();
+    journey_ms.sort_unstable();
+    let snap = metrics.snapshot();
+    let rtt = snap.histogram("handoff_rtt_ms");
+    WorkloadResult {
+        name: "live_ring",
+        runtime: "live",
+        naplets: s.live_naplets as u64,
+        hosts: s.live_hosts as u64,
+        journeys,
+        events: 0,
+        migrations: snap.counter("handoff.commits"),
+        migration_bytes: 0,
+        bytes_per_hop: 0,
+        forwards: 0,
+        virtual_ms: journey_ms.last().copied().unwrap_or(0),
+        journey_ms_p50: exact_quantile(&journey_ms, 0.50),
+        journey_ms_p95: exact_quantile(&journey_ms, 0.95),
+        journey_ms_p99: exact_quantile(&journey_ms, 0.99),
+        handoff_rtt_ms_p50: rtt.map(|h| h.quantile(0.50)).unwrap_or(0),
+        handoff_rtt_ms_p95: rtt.map(|h| h.quantile(0.95)).unwrap_or(0),
+        handoff_rtt_ms_p99: rtt.map(|h| h.quantile(0.99)).unwrap_or(0),
+        baseline_wall_ms: 0.0,
+        wall_ms,
+        baseline_events_per_sec: 0.0,
+        events_per_sec: 0.0,
+        speedup: 0.0,
+        journeys_per_sec: if wall_ms > 0.0 {
+            journeys as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        allocs_per_event: 0.0,
+    }
+}
+
+/// Run the whole suite.
+pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
+    let s = sizes(cfg.profile);
+    let mut workloads = Vec::new();
+
+    let (opt, base) = ring_storm(&s, cfg.seed);
+    workloads.push(assemble(
+        "ring_storm",
+        s.ring_naplets as u64,
+        s.ring_hosts as u64,
+        s.ring_iters as u64,
+        opt,
+        base,
+    ));
+
+    let (opt, base) = par_fanout(&s, cfg.seed);
+    workloads.push(assemble(
+        "par_fanout",
+        (s.par_widths.len() * s.par_roots) as u64,
+        s.par_widths.iter().copied().max().unwrap_or(0) as u64,
+        s.par_iters as u64,
+        opt,
+        base,
+    ));
+
+    let (opt, base) = messenger_storm(&s, cfg.seed);
+    workloads.push(assemble(
+        "messenger_storm",
+        s.msg_agents as u64,
+        s.msg_hosts as u64,
+        s.msg_iters as u64,
+        opt,
+        base,
+    ));
+
+    if cfg.include_live {
+        workloads.push(live_ring(&s, cfg.seed));
+    }
+
+    SuiteReport {
+        profile: cfg.profile.label().to_string(),
+        seed: cfg.seed,
+        workloads,
+    }
+}
+
+impl SuiteReport {
+    /// Render the report as JSON with a fixed field order (one field
+    /// per line — the determinism test and the CI comparator both rely
+    /// on this exact shape; see DESIGN.md "Benchmark report schema").
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"naplet-bench/v1\",");
+        let _ = writeln!(out, "  \"profile\": \"{}\",", self.profile);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": \"{}\",", w.name);
+            let _ = writeln!(out, "      \"runtime\": \"{}\",", w.runtime);
+            let _ = writeln!(out, "      \"naplets\": {},", w.naplets);
+            let _ = writeln!(out, "      \"hosts\": {},", w.hosts);
+            let _ = writeln!(out, "      \"journeys\": {},", w.journeys);
+            let _ = writeln!(out, "      \"events\": {},", w.events);
+            let _ = writeln!(out, "      \"migrations\": {},", w.migrations);
+            let _ = writeln!(out, "      \"migration_bytes\": {},", w.migration_bytes);
+            let _ = writeln!(out, "      \"bytes_per_hop\": {},", w.bytes_per_hop);
+            let _ = writeln!(out, "      \"forwards\": {},", w.forwards);
+            let _ = writeln!(out, "      \"virtual_ms\": {},", w.virtual_ms);
+            let _ = writeln!(out, "      \"journey_ms_p50\": {},", w.journey_ms_p50);
+            let _ = writeln!(out, "      \"journey_ms_p95\": {},", w.journey_ms_p95);
+            let _ = writeln!(out, "      \"journey_ms_p99\": {},", w.journey_ms_p99);
+            let _ = writeln!(
+                out,
+                "      \"handoff_rtt_ms_p50\": {},",
+                w.handoff_rtt_ms_p50
+            );
+            let _ = writeln!(
+                out,
+                "      \"handoff_rtt_ms_p95\": {},",
+                w.handoff_rtt_ms_p95
+            );
+            let _ = writeln!(
+                out,
+                "      \"handoff_rtt_ms_p99\": {},",
+                w.handoff_rtt_ms_p99
+            );
+            let _ = writeln!(
+                out,
+                "      \"baseline_wall_ms\": {:.1},",
+                w.baseline_wall_ms
+            );
+            let _ = writeln!(out, "      \"wall_ms\": {:.1},", w.wall_ms);
+            let _ = writeln!(
+                out,
+                "      \"baseline_events_per_sec\": {:.0},",
+                w.baseline_events_per_sec
+            );
+            let _ = writeln!(out, "      \"events_per_sec\": {:.0},", w.events_per_sec);
+            let _ = writeln!(out, "      \"speedup\": {:.3},", w.speedup);
+            let _ = writeln!(
+                out,
+                "      \"journeys_per_sec\": {:.1},",
+                w.journeys_per_sec
+            );
+            let _ = writeln!(out, "      \"allocs_per_event\": {:.1}", w.allocs_per_event);
+            out.push_str(if i + 1 == self.workloads.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The EXPERIMENTS.md E11 entry (markdown) for this report.
+    pub fn render_e11(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## E11 · Throughput: storm workloads, optimized vs baseline hot paths"
+        );
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "Regenerate: `cargo run --release -p naplet-bench --bin bench -- \
+             --profile {} --seed {}` (numbers below are from the committed \
+             BENCH_PR4.json; wall-clock rates vary by machine, speedups and \
+             virtual-time latencies do not).",
+            self.profile, self.seed
+        );
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "| workload | runtime | journeys | events | bytes/hop | p50/p95/p99 journey ms | events/sec | baseline | speedup |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+        for w in &self.workloads {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {}/{}/{} | {:.0} | {:.0} | {:.2}x |",
+                w.name,
+                w.runtime,
+                w.journeys,
+                w.events,
+                w.bytes_per_hop,
+                w.journey_ms_p50,
+                w.journey_ms_p95,
+                w.journey_ms_p99,
+                w.events_per_sec,
+                w.baseline_events_per_sec,
+                w.speedup,
+            );
+        }
+        out
+    }
+}
+
+/// Replace every timing field's value with `0` so two seeded runs of
+/// the same suite compare equal (the regression test for report
+/// determinism).
+pub fn normalize_timing(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    'line: for line in json.lines() {
+        let trimmed = line.trim_start();
+        for field in TIMING_FIELDS {
+            let prefix = format!("\"{field}\":");
+            if trimmed.starts_with(&prefix) {
+                let indent = &line[..line.len() - trimmed.len()];
+                let comma = if trimmed.trim_end().ends_with(',') {
+                    ","
+                } else {
+                    ""
+                };
+                out.push_str(indent);
+                out.push_str(&prefix);
+                out.push_str(" 0");
+                out.push_str(comma);
+                out.push('\n');
+                continue 'line;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn extract_str(block: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\": \"");
+    let start = block.find(&key)? + key.len();
+    let end = block[start..].find('"')? + start;
+    Some(block[start..end].to_string())
+}
+
+fn extract_num(block: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let start = block.find(&key)? + key.len();
+    let rest = block[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn workload_blocks(json: &str) -> Vec<String> {
+    // our own fixed emission: each workload object opens with
+    // `    {` and closes with `    }` on its own line
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in json.lines() {
+        if line == "    {" {
+            current = Some(String::new());
+            continue;
+        }
+        if line == "    }" || line == "    }," {
+            if let Some(b) = current.take() {
+                blocks.push(b);
+            }
+            continue;
+        }
+        if let Some(b) = &mut current {
+            b.push_str(line);
+            b.push('\n');
+        }
+    }
+    blocks
+}
+
+/// One comparison check's outcome.
+#[derive(Debug, Clone)]
+pub struct CompareCheck {
+    /// Human-readable line (`ring_storm speedup 1.52 vs 1.48 (ok)`).
+    pub line: String,
+    /// Whether the check passed.
+    pub ok: bool,
+}
+
+/// Compare a fresh report against the committed baseline with a
+/// relative tolerance (0.20 = ±20%) on the throughput ratio
+/// (`speedup`, i.e. events/sec hardware-normalized by the in-process
+/// baseline run) and on p95 journey latency. Only `sim` workloads
+/// gate — live wall-clock numbers are informational. Returns every
+/// check performed; the run regresses if any has `ok == false`.
+pub fn compare_reports(committed: &str, fresh: &str, tolerance: f64) -> Vec<CompareCheck> {
+    let mut checks = Vec::new();
+    let committed_blocks = workload_blocks(committed);
+    for block in workload_blocks(fresh) {
+        let (Some(name), Some(runtime)) =
+            (extract_str(&block, "name"), extract_str(&block, "runtime"))
+        else {
+            continue;
+        };
+        if runtime != "sim" {
+            continue;
+        }
+        let Some(reference) = committed_blocks.iter().find(|b| {
+            extract_str(b, "name").as_deref() == Some(&name)
+                && extract_str(b, "runtime").as_deref() == Some(&runtime)
+        }) else {
+            checks.push(CompareCheck {
+                line: format!("{name}: no committed baseline entry"),
+                ok: false,
+            });
+            continue;
+        };
+        for field in ["speedup", "journey_ms_p95"] {
+            let (Some(got), Some(want)) =
+                (extract_num(&block, field), extract_num(reference, field))
+            else {
+                checks.push(CompareCheck {
+                    line: format!("{name} {field}: missing value"),
+                    ok: false,
+                });
+                continue;
+            };
+            // latencies gate one-sided (faster is fine); the speedup
+            // ratio must hold from below too — losing the optimization
+            // win is exactly the regression this job exists to catch
+            let ok = match field {
+                "journey_ms_p95" => got <= want * (1.0 + tolerance) + 1.0,
+                _ => got >= want * (1.0 - tolerance),
+            };
+            checks.push(CompareCheck {
+                line: format!(
+                    "{name} {field}: {got:.3} vs committed {want:.3} ({})",
+                    if ok { "ok" } else { "REGRESSION" }
+                ),
+                ok,
+            });
+        }
+    }
+    if checks.is_empty() {
+        checks.push(CompareCheck {
+            line: "no comparable sim workloads found".into(),
+            ok: false,
+        });
+    }
+    checks
+}

@@ -1,0 +1,203 @@
+//! Benchmark-suite correctness tests.
+//!
+//! Two families:
+//!
+//! 1. Property tests proving the optimized encode paths (scratch
+//!    reuse, CoW snapshots, frame `encode_into`, `encoded_size`
+//!    counting) are byte-identical to the naive paths they replace,
+//!    for arbitrary naplets, messages, values, and frames. These are
+//!    the laws the hot-path optimizations rely on.
+//! 2. A determinism regression test: two seeded suite runs emit
+//!    identical `BENCH_PR4.json` reports modulo the timing fields.
+
+use bytes::{BufMut, BytesMut};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use naplet_core::clock::Millis;
+use naplet_core::codec;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::message::{Message, Sender};
+use naplet_core::naplet::{AgentKind, Naplet, SharedNaplet};
+use naplet_core::value::Value;
+use naplet_net::{Frame, TrafficClass};
+
+use naplet_bench::{bench_key, PROBE_CODEBASE};
+use naplet_bench::{
+    compare_reports, normalize_timing, run_suite, Profile, SuiteConfig, TIMING_FIELDS,
+};
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,12}"
+}
+
+fn value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        ".{0,24}".prop_map(Value::Str),
+        vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(depth, 48, 6, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 0..5).prop_map(Value::List),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..5).prop_map(Value::Map),
+        ]
+    })
+    .boxed()
+}
+
+/// An arbitrary live naplet: random route, random state entries,
+/// random launch instant — the shapes that actually cross the wire.
+fn naplet() -> impl Strategy<Value = Naplet> {
+    (
+        vec(ident(), 1..6),
+        vec(("[a-z]{1,8}", value(2)), 0..5),
+        1u64..1_000_000,
+    )
+        .prop_map(|(hosts, entries, ts)| {
+            let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+            let it = Itinerary::new(Pattern::seq_of_hosts(&refs, None))
+                .unwrap()
+                .with_final_action(ActionSpec::ReportHome);
+            let mut nap = Naplet::create(
+                &bench_key(),
+                "czxu",
+                "home",
+                Millis(ts),
+                PROBE_CODEBASE,
+                AgentKind::Native,
+                it,
+                vec![],
+            )
+            .unwrap();
+            for (k, v) in entries {
+                nap.state.set(&k, v);
+            }
+            nap
+        })
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (any::<u64>(), ident(), ident(), any::<u64>(), value(2)).prop_map(
+        |(seq, owner, home, ts, body)| {
+            let to = naplet_core::NapletId::new("czxu", &home, Millis(1)).unwrap();
+            Message::user(seq, Sender::Owner(owner), to, Millis(ts), body)
+        },
+    )
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    (
+        ident(),
+        ident(),
+        prop_oneof![
+            Just(TrafficClass::Migration),
+            Just(TrafficClass::Message),
+            Just(TrafficClass::Control),
+        ],
+        vec(any::<u8>(), 0..512),
+    )
+        .prop_map(|(from, to, class, payload)| Frame {
+            from,
+            to,
+            class,
+            payload: payload.into(),
+        })
+}
+
+// ---------------------------------------------------------------------------
+// encode-path identity laws (the hot-path optimizations)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The CoW snapshot serializes byte-for-byte like the naplet it
+    /// wraps, its cached wire image is that same encoding, and the
+    /// counting walk agrees with the real encoder.
+    #[test]
+    fn shared_naplet_is_byte_identical(nap in naplet()) {
+        let naive = codec::to_bytes(&nap).unwrap();
+        let shared = SharedNaplet::new(nap.clone());
+        prop_assert_eq!(&codec::to_bytes(&shared).unwrap(), &naive);
+        let cached = shared.wire_bytes().unwrap();
+        prop_assert_eq!(cached.as_slice(), naive.as_slice());
+        prop_assert_eq!(shared.wire_size().unwrap(), naive.len() as u64);
+        prop_assert_eq!(codec::encoded_size(&nap).unwrap(), naive.len() as u64);
+        // and the round trip returns the same agent
+        let back: Naplet = codec::from_bytes(&naive).unwrap();
+        prop_assert_eq!(back, nap);
+    }
+
+    /// Scratch-buffer encoding reuses capacity but must produce the
+    /// same bytes as a fresh encode, even when the scratch is dirty.
+    #[test]
+    fn scratch_encode_is_byte_identical(
+        nap in naplet(),
+        msg in message(),
+        junk in vec(any::<u8>(), 0..64),
+    ) {
+        let mut scratch = junk;
+        codec::to_bytes_into(&nap, &mut scratch).unwrap();
+        prop_assert_eq!(&scratch, &codec::to_bytes(&nap).unwrap());
+        codec::to_bytes_into(&msg, &mut scratch).unwrap();
+        prop_assert_eq!(&scratch, &codec::to_bytes(&msg).unwrap());
+        prop_assert_eq!(codec::encoded_size(&msg).unwrap(), scratch.len() as u64);
+    }
+
+    /// Appending via `encode_into` writes exactly the bytes `encode`
+    /// produces, `wire_len` predicts them, and they decode back.
+    #[test]
+    fn frame_encode_into_is_byte_identical(f in frame(), junk in vec(any::<u8>(), 0..32)) {
+        let fresh = f.encode();
+        prop_assert_eq!(fresh.len() as u64, f.wire_len());
+        let mut buf = BytesMut::new();
+        buf.put_slice(&junk);
+        f.encode_into(&mut buf);
+        prop_assert_eq!(&buf[junk.len()..], fresh.as_ref());
+        let mut stream = BytesMut::from(fresh.as_ref());
+        let back = Frame::decode(&mut stream).unwrap().unwrap();
+        prop_assert_eq!(back, f);
+        prop_assert!(stream.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// report determinism
+// ---------------------------------------------------------------------------
+
+/// Two seeded runs of the sim suite must emit identical reports once
+/// the wall-clock fields are normalized away — this is what lets CI
+/// compare a fresh run against the committed BENCH_PR4.json at all.
+#[test]
+fn seeded_suite_reports_are_identical_modulo_timing() {
+    let cfg = SuiteConfig {
+        profile: Profile::Smoke,
+        seed: 7,
+        include_live: false,
+    };
+    let a = run_suite(&cfg).to_json();
+    let b = run_suite(&cfg).to_json();
+    assert_eq!(normalize_timing(&a), normalize_timing(&b));
+
+    // normalization really did zero every timing field
+    for field in TIMING_FIELDS {
+        let key = format!("\"{field}\": 0");
+        assert!(
+            normalize_timing(&a).contains(&key),
+            "normalize_timing left `{field}` unzeroed"
+        );
+    }
+
+    // a report always passes the perf gate against itself
+    let checks = compare_reports(&a, &a, 0.0);
+    assert!(!checks.is_empty());
+    for c in &checks {
+        assert!(c.ok, "self-comparison failed: {}", c.line);
+    }
+}

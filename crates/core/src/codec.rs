@@ -34,6 +34,18 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Serialize a value into a caller-supplied scratch buffer.
+///
+/// The buffer is cleared first, so its capacity is reused across calls —
+/// the hot-path alternative to [`to_bytes`] when the same thread encodes
+/// many values in a row. The bytes produced are identical to
+/// [`to_bytes`].
+pub fn to_bytes_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
+    value.serialize(&mut Encoder { out })?;
+    Ok(())
+}
+
 /// Deserialize a value from a byte slice, requiring full consumption.
 pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T> {
     let mut de = Decoder { input: bytes };
@@ -51,8 +63,14 @@ pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T> {
 /// Serialized size of a value in bytes — the framework's canonical measure
 /// of "how much would this cost on the wire", used for traffic metering
 /// and memory budgeting.
+///
+/// Computed by a counting serializer that never materialises the bytes,
+/// so sizing a large agent costs no allocation. The result is always
+/// exactly `to_bytes(value)?.len()`.
 pub fn encoded_size<T: Serialize + ?Sized>(value: &T) -> Result<u64> {
-    Ok(to_bytes(value)?.len() as u64)
+    let mut counter = SizeCounter { len: 0 };
+    value.serialize(&mut counter)?;
+    Ok(counter.len)
 }
 
 impl ser::Error for NapletError {
@@ -81,6 +99,11 @@ pub(crate) fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
         }
         out.push(byte | 0x80);
     }
+}
+
+/// Encoded length in bytes of `v` as a LEB128 uvarint (1..=10).
+pub fn uvarint_len(v: u64) -> u64 {
+    u64::from((64 - v.max(1).leading_zeros()).div_ceil(7))
 }
 
 pub(crate) fn read_uvarint(input: &mut &[u8]) -> Result<u64> {
@@ -401,6 +424,292 @@ impl_sized_compound!(SerializeTupleStruct, serialize_field);
 impl_sized_compound!(SerializeTupleVariant, serialize_field);
 impl_sized_compound!(SerializeStruct, serialize_field, named);
 impl_sized_compound!(SerializeStructVariant, serialize_field, named);
+
+// ---------------------------------------------------------------------------
+// Size counter
+// ---------------------------------------------------------------------------
+
+/// Serializer twin of [`Encoder`] that adds up byte lengths instead of
+/// writing them. Every arm must mirror the encoder exactly — the
+/// `encoded_size_matches_bytes` tests (unit + proptest) hold the two in
+/// lock-step.
+struct SizeCounter {
+    len: u64,
+}
+
+impl SizeCounter {
+    fn put_u64(&mut self, v: u64) {
+        self.len += uvarint_len(v);
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.put_u64(zigzag(v));
+    }
+    fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u64(b.len() as u64);
+        self.len += b.len() as u64;
+    }
+}
+
+/// Compound counter: sized compounds already counted their prefix;
+/// unknown-length seqs/maps count elements as they stream by and charge
+/// the count prefix at `end` (position is irrelevant for a sum).
+enum CountCompound<'a> {
+    Sized(&'a mut SizeCounter),
+    Counted {
+        counter: &'a mut SizeCounter,
+        count: u64,
+    },
+}
+
+impl<'a> ser::Serializer for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = NapletError;
+    type SerializeSeq = CountCompound<'a>;
+    type SerializeTuple = CountCompound<'a>;
+    type SerializeTupleStruct = CountCompound<'a>;
+    type SerializeTupleVariant = CountCompound<'a>;
+    type SerializeMap = CountCompound<'a>;
+    type SerializeStruct = CountCompound<'a>;
+    type SerializeStructVariant = CountCompound<'a>;
+
+    fn serialize_bool(self, _v: bool) -> Result<()> {
+        self.len += 1;
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<()> {
+        self.put_i64(v.into());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<()> {
+        self.put_i64(v.into());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<()> {
+        self.put_i64(v.into());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        self.put_i64(v);
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<()> {
+        self.put_u64(v.into());
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<()> {
+        self.put_u64(v.into());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<()> {
+        self.put_u64(v.into());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        self.put_u64(v);
+        Ok(())
+    }
+    fn serialize_f32(self, _v: f32) -> Result<()> {
+        self.len += 4;
+        Ok(())
+    }
+    fn serialize_f64(self, _v: f64) -> Result<()> {
+        self.len += 8;
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.put_u64(v as u64);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_bytes(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_bytes(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<()> {
+        self.len += 1;
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.len += 1;
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.put_u64(variant_index.into());
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.put_u64(variant_index.into());
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        match len {
+            Some(n) => {
+                self.put_u64(n as u64);
+                Ok(CountCompound::Sized(self))
+            }
+            None => Ok(CountCompound::Counted {
+                counter: self,
+                count: 0,
+            }),
+        }
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(CountCompound::Sized(self))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(CountCompound::Sized(self))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        self.put_u64(variant_index.into());
+        Ok(CountCompound::Sized(self))
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        match len {
+            Some(n) => {
+                self.put_u64(n as u64);
+                Ok(CountCompound::Sized(self))
+            }
+            None => Ok(CountCompound::Counted {
+                counter: self,
+                count: 0,
+            }),
+        }
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(CountCompound::Sized(self))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        self.put_u64(variant_index.into());
+        Ok(CountCompound::Sized(self))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+impl CountCompound<'_> {
+    fn count_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        match self {
+            CountCompound::Sized(c) => value.serialize(&mut **c),
+            CountCompound::Counted { counter, count } => {
+                *count += 1;
+                value.serialize(&mut **counter)
+            }
+        }
+    }
+    fn finish(self) -> Result<()> {
+        if let CountCompound::Counted { counter, count } = self {
+            counter.put_u64(count);
+        }
+        Ok(())
+    }
+}
+
+impl ser::SerializeSeq for CountCompound<'_> {
+    type Ok = ();
+    type Error = NapletError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.count_element(value)
+    }
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeMap for CountCompound<'_> {
+    type Ok = ();
+    type Error = NapletError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        self.count_element(key)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.count_element(value)
+    }
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+macro_rules! impl_count_compound {
+    ($trait:ident, $method:ident) => {
+        impl ser::$trait for CountCompound<'_> {
+            type Ok = ();
+            type Error = NapletError;
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+                self.count_element(value)
+            }
+            fn end(self) -> Result<()> {
+                self.finish()
+            }
+        }
+    };
+    ($trait:ident, $method:ident, named) => {
+        impl ser::$trait for CountCompound<'_> {
+            type Ok = ();
+            type Error = NapletError;
+            fn $method<T: Serialize + ?Sized>(
+                &mut self,
+                _key: &'static str,
+                value: &T,
+            ) -> Result<()> {
+                self.count_element(value)
+            }
+            fn end(self) -> Result<()> {
+                self.finish()
+            }
+        }
+    };
+}
+
+impl_count_compound!(SerializeTuple, serialize_element);
+impl_count_compound!(SerializeTupleStruct, serialize_field);
+impl_count_compound!(SerializeTupleVariant, serialize_field);
+impl_count_compound!(SerializeStruct, serialize_field, named);
+impl_count_compound!(SerializeStructVariant, serialize_field, named);
 
 // ---------------------------------------------------------------------------
 // Decoder
@@ -801,6 +1110,61 @@ mod tests {
             assert_eq!(read_uvarint(&mut slice).unwrap(), v);
             assert!(slice.is_empty());
         }
+    }
+
+    #[test]
+    fn uvarint_len_matches_write_uvarint() {
+        for shift in 0..64 {
+            for v in [1u64 << shift, (1u64 << shift) - 1, (1u64 << shift) + 1] {
+                let mut out = Vec::new();
+                write_uvarint(&mut out, v);
+                assert_eq!(uvarint_len(v), out.len() as u64, "v={v}");
+            }
+        }
+    }
+
+    /// Serializes through `serialize_seq(None)`, forcing the buffered /
+    /// counted compound path that derived impls never exercise.
+    struct UnsizedSeq(Vec<i64>);
+
+    impl Serialize for UnsizedSeq {
+        fn serialize<S: serde::Serializer>(
+            &self,
+            serializer: S,
+        ) -> std::result::Result<S::Ok, S::Error> {
+            use serde::ser::SerializeSeq;
+            let mut seq = serializer.serialize_seq(None)?;
+            for v in &self.0 {
+                seq.serialize_element(v)?;
+            }
+            seq.end()
+        }
+    }
+
+    #[test]
+    fn counted_size_matches_bytes_for_unsized_seq() {
+        // 200 elements pushes the count prefix to two varint bytes
+        let v = UnsizedSeq((0..200).map(|i| i - 100).collect());
+        assert_eq!(
+            encoded_size(&v).unwrap(),
+            to_bytes(&v).unwrap().len() as u64
+        );
+    }
+
+    #[test]
+    fn to_bytes_into_reuses_and_matches() {
+        let v = Nested {
+            name: "scratch".into(),
+            samples: vec![Sample::Tup(-3, "x".into()), Sample::Unit],
+            flags: (true, true),
+            blob: vec![9; 100],
+        };
+        let mut scratch = Vec::new();
+        to_bytes_into(&"first".to_string(), &mut scratch).unwrap();
+        to_bytes_into(&v, &mut scratch).unwrap();
+        assert_eq!(scratch, to_bytes(&v).unwrap());
+        let back: Nested = from_bytes(&scratch).unwrap();
+        assert_eq!(back, v);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   the naplet (strong mobility; interpreted by `naplet-vm`). The
 //!   image is opaque bytes at this layer.
 
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
 use crate::address_book::AddressBook;
@@ -239,6 +242,121 @@ impl Naplet {
     }
 }
 
+/// A copy-on-write handle to an immutable [`Naplet`] snapshot.
+///
+/// During a migration the same agent image is needed several times —
+/// the journal write, the transfer frame, every retransmit of that
+/// frame, and the byte metering on the fabric. Deep-cloning (and
+/// re-encoding) the whole agent each time dominates the handoff hot
+/// path, so the reliable-transfer layer holds one `SharedNaplet`
+/// instead: clones are `Arc` bumps, and the wire encoding / wire size
+/// are computed once and cached inside the shared allocation.
+///
+/// The handle serializes exactly like the underlying [`Naplet`]
+/// (byte-identical `napcode`), so it can replace `Naplet` inside wire
+/// envelopes without changing the format.
+#[derive(Debug, Clone)]
+pub struct SharedNaplet {
+    inner: Arc<SharedInner>,
+}
+
+#[derive(Debug)]
+struct SharedInner {
+    naplet: Naplet,
+    /// Cached `to_wire` snapshot, filled on first use and shared by
+    /// every clone of the handle (journal + retransmits reuse it).
+    bytes: OnceLock<Arc<Vec<u8>>>,
+    /// Cached wire size for when only metering is needed.
+    size: OnceLock<u64>,
+}
+
+impl SharedNaplet {
+    /// Freeze a naplet into a shared snapshot.
+    pub fn new(naplet: Naplet) -> SharedNaplet {
+        SharedNaplet {
+            inner: Arc::new(SharedInner {
+                naplet,
+                bytes: OnceLock::new(),
+                size: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Borrow the underlying naplet.
+    pub fn get(&self) -> &Naplet {
+        &self.inner.naplet
+    }
+
+    /// Take the naplet back out for mutation: zero-copy when this is
+    /// the last handle, a deep clone otherwise (copy-on-write).
+    pub fn into_owned(self) -> Naplet {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.naplet,
+            Err(shared) => shared.naplet.clone(),
+        }
+    }
+
+    /// The wire encoding, computed once per snapshot and shared across
+    /// clones — the cheap path for journal writes and retransmits.
+    pub fn wire_bytes(&self) -> Result<Arc<Vec<u8>>> {
+        if let Some(bytes) = self.inner.bytes.get() {
+            return Ok(Arc::clone(bytes));
+        }
+        let bytes = Arc::new(self.inner.naplet.to_wire()?);
+        Ok(Arc::clone(self.inner.bytes.get_or_init(|| bytes)))
+    }
+
+    /// The wire size in bytes, cached like [`wire_bytes`]
+    /// (`SharedNaplet::wire_bytes`) but without materialising the
+    /// encoding when it has not been needed yet.
+    pub fn wire_size(&self) -> Result<u64> {
+        if let Some(bytes) = self.inner.bytes.get() {
+            return Ok(bytes.len() as u64);
+        }
+        if let Some(&size) = self.inner.size.get() {
+            return Ok(size);
+        }
+        let size = self.inner.naplet.wire_size()?;
+        Ok(*self.inner.size.get_or_init(|| size))
+    }
+}
+
+impl Deref for SharedNaplet {
+    type Target = Naplet;
+    fn deref(&self) -> &Naplet {
+        &self.inner.naplet
+    }
+}
+
+impl From<Naplet> for SharedNaplet {
+    fn from(naplet: Naplet) -> SharedNaplet {
+        SharedNaplet::new(naplet)
+    }
+}
+
+impl PartialEq for SharedNaplet {
+    fn eq(&self, other: &SharedNaplet) -> bool {
+        self.inner.naplet == other.inner.naplet
+    }
+}
+
+impl Serialize for SharedNaplet {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        self.inner.naplet.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for SharedNaplet {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<SharedNaplet, D::Error> {
+        Naplet::deserialize(deserializer).map(SharedNaplet::new)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +481,35 @@ mod tests {
         let before = n.wire_size().unwrap();
         n.state.set("blob", Value::Bytes(vec![0; 2048]));
         assert!(n.wire_size().unwrap() >= before + 2048);
+    }
+
+    #[test]
+    fn shared_naplet_encodes_byte_identically() {
+        let mut n = sample();
+        n.state.set("gathered", Value::list([Value::Int(3)]));
+        let plain = n.to_wire().unwrap();
+        let shared = SharedNaplet::new(n.clone());
+        assert_eq!(codec::to_bytes(&shared).unwrap(), plain);
+        assert_eq!(shared.wire_size().unwrap(), plain.len() as u64);
+        assert_eq!(shared.wire_bytes().unwrap().as_slice(), plain.as_slice());
+        // decoding a plain wire image yields the same snapshot
+        let back: SharedNaplet = codec::from_bytes(&plain).unwrap();
+        assert_eq!(back, shared);
+        assert_eq!(back.into_owned(), n);
+    }
+
+    #[test]
+    fn shared_naplet_cache_is_shared_and_cow_is_cheap_when_unique() {
+        let n = sample();
+        let a = SharedNaplet::new(n.clone());
+        let b = a.clone();
+        // the snapshot computed through one handle is visible via the other
+        let bytes = a.wire_bytes().unwrap();
+        assert!(Arc::ptr_eq(&bytes, &b.wire_bytes().unwrap()));
+        drop(a);
+        // last handle: into_owned must not clone
+        let owned = b.into_owned();
+        assert_eq!(owned, n);
     }
 
     #[test]

@@ -68,6 +68,15 @@ impl Frame {
     /// Encode to a self-delimiting byte string.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_len() as usize);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encode by appending to a caller-supplied buffer, so batch
+    /// senders reuse one allocation across many frames instead of a
+    /// fresh `BytesMut` each. Bytes appended are exactly
+    /// [`Frame::encode`].
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         let body_len = self.wire_len() as u32 - 4;
         buf.put_u32(body_len);
         buf.put_u8(class_tag(self.class));
@@ -76,7 +85,6 @@ impl Frame {
         buf.put_u16(self.to.len() as u16);
         buf.put_slice(self.to.as_bytes());
         buf.put_slice(&self.payload);
-        buf.freeze()
     }
 
     /// Decode one frame from the start of `buf`, consuming it.
@@ -120,8 +128,13 @@ fn get_string(b: &mut BytesMut) -> Result<String> {
     if b.len() < n {
         return Err(NapletError::Codec("frame truncated (name)".into()));
     }
-    let raw = b.split_to(n);
-    String::from_utf8(raw.to_vec()).map_err(|e| NapletError::Codec(format!("bad utf8: {e}")))
+    // validate on the borrowed bytes; only a valid name pays for the
+    // owned String
+    let name = std::str::from_utf8(&b[..n])
+        .map_err(|e| NapletError::Codec(format!("bad utf8: {e}")))?
+        .to_string();
+    b.advance(n);
+    Ok(name)
 }
 
 #[cfg(test)]
@@ -174,6 +187,29 @@ mod tests {
             let mut buf = BytesMut::from(&f.encode()[..]);
             assert_eq!(Frame::decode(&mut buf).unwrap().unwrap().class, c);
         }
+    }
+
+    #[test]
+    fn encode_into_appends_identical_bytes() {
+        let a = Frame::new("alpha", "beta", TrafficClass::Migration, vec![7u8; 32]);
+        let b = Frame::new("beta", "alpha", TrafficClass::Message, vec![1u8, 2]);
+        let mut buf = BytesMut::new();
+        a.encode_into(&mut buf);
+        b.encode_into(&mut buf);
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&a.encode());
+        expected.extend_from_slice(&b.encode());
+        assert_eq!(&buf[..], expected.as_slice());
+        assert_eq!(Frame::decode(&mut buf).unwrap(), Some(a));
+        assert_eq!(Frame::decode(&mut buf).unwrap(), Some(b));
+    }
+
+    #[test]
+    fn invalid_utf8_name_rejected() {
+        let f = Frame::new("ab", "cd", TrafficClass::Control, vec![]);
+        let mut raw = BytesMut::from(&f.encode()[..]);
+        raw[7] = 0xff; // first byte of `from`
+        assert!(Frame::decode(&mut raw).is_err());
     }
 
     #[test]

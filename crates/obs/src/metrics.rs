@@ -189,6 +189,32 @@ impl HistogramSnapshot {
         self.counts.iter().rposition(|&c| c > 0)
     }
 
+    /// Bucketed quantile estimate: the upper bound of the bucket in
+    /// which the `q`-quantile observation falls (`q` in `0.0..=1.0`).
+    /// Observations in the overflow bucket answer with the exact
+    /// recorded `max`; an empty histogram answers 0. Bench reporting
+    /// (p50/p95/p99) reads latencies through this, so the resolution
+    /// is the bucket grid — deterministic and conservative (never
+    /// under-reports).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return if idx < self.bounds.len() {
+                    self.bounds[idx]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
     /// Upper bound of bucket `idx` rendered for humans.
     pub fn bucket_label(&self, idx: usize) -> String {
         if idx < self.bounds.len() {
@@ -296,6 +322,36 @@ mod tests {
         assert_eq!(h.counts[COUNT_BOUNDS.len()], 1);
         assert_eq!(h.highest_nonzero_bucket(), Some(COUNT_BOUNDS.len()));
         assert!(h.bucket_label(COUNT_BOUNDS.len()).starts_with("> "));
+    }
+
+    #[test]
+    fn quantiles_walk_the_bucket_grid() {
+        let m = MetricsRegistry::new();
+        // 90 fast (≤5ms), 9 slow (≤500ms), 1 in overflow (max 20s)
+        for _ in 0..90 {
+            m.observe("lat", LATENCY_BOUNDS_MS, 4);
+        }
+        for _ in 0..9 {
+            m.observe("lat", LATENCY_BOUNDS_MS, 400);
+        }
+        m.observe("lat", LATENCY_BOUNDS_MS, 20_000);
+        let snap = m.snapshot();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(0.95), 500);
+        // p99 = 99th of 100 observations: still the ≤500 bucket
+        assert_eq!(h.quantile(0.99), 500);
+        // p100 lands in the overflow bucket → exact max
+        assert_eq!(h.quantile(1.0), 20_000);
+        let empty = HistogramSnapshot {
+            bounds: LATENCY_BOUNDS_MS.to_vec(),
+            counts: vec![0; LATENCY_BOUNDS_MS.len() + 1],
+            total: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0);
     }
 
     #[test]

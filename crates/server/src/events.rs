@@ -13,7 +13,7 @@ use naplet_core::clock::Millis;
 use naplet_core::id::NapletId;
 use naplet_core::itinerary::ActionSpec;
 use naplet_core::message::Message;
-use naplet_core::naplet::Naplet;
+use naplet_core::naplet::SharedNaplet;
 use naplet_core::value::Value;
 use naplet_net::TrafficClass;
 
@@ -24,8 +24,11 @@ use crate::manager::NapletStatus;
 /// into (the `T` of `<S;T>` decided at the previous host).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransferEnvelope {
-    /// The serialized agent.
-    pub naplet: Naplet,
+    /// The serialized agent. Held as a [`SharedNaplet`] so the retained
+    /// retransmission copy, the journal snapshot and the frame on the
+    /// wire all share one immutable image (encoded once); the format on
+    /// the wire is identical to a plain `Naplet`.
+    pub naplet: SharedNaplet,
     /// Post-action for the upcoming visit.
     pub action: Option<ActionSpec>,
     /// Origin-scoped transfer id correlating `Transfer` with its

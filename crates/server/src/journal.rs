@@ -326,6 +326,27 @@ impl Journal {
             .put(&Self::naplet_key(id), &codec::to_bytes(&record)?)
     }
 
+    /// Like [`record_naplet`](Self::record_naplet), but from an
+    /// already-encoded agent image — the hot path for handoffs, where a
+    /// [`naplet_core::naplet::SharedNaplet`] snapshot is encoded once
+    /// and every phase update (departure, retransmit) reuses the bytes
+    /// instead of re-serializing the whole agent.
+    pub fn record_naplet_bytes(
+        &mut self,
+        id: &NapletId,
+        naplet_bytes: &[u8],
+        phase: JournalPhase,
+        now: Millis,
+    ) -> Result<()> {
+        let record = JournalRecord {
+            naplet: naplet_bytes.to_vec(),
+            phase,
+            updated: now,
+        };
+        self.store
+            .put(&Self::naplet_key(id), &codec::to_bytes(&record)?)
+    }
+
     /// Retire a naplet record: the agent is durably someone else's
     /// responsibility (acked away) or its journey ended here.
     pub fn retire(&mut self, id: &NapletId) -> Result<()> {

@@ -100,7 +100,7 @@ impl LiveRuntime {
         // timers; the timers are handed to the server's thread on start
         let host = home.clone();
         let net = Arc::clone(&self.net);
-        enact(&host, &net, outputs, timers);
+        enact(&host, &net, outputs, timers, &mut Vec::new());
         Ok(())
     }
 
@@ -150,6 +150,9 @@ fn serve(
     epoch: Instant,
     stop: Arc<AtomicBool>,
 ) -> NapletServer {
+    // one encode scratch per server thread: every outgoing wire reuses
+    // its capacity instead of growing a fresh Vec per send
+    let mut scratch = Vec::new();
     while !stop.load(Ordering::Relaxed) {
         let now = Millis(epoch.elapsed().as_millis() as u64);
         // keep fault schedules in step with wall-clock-since-epoch time
@@ -159,7 +162,7 @@ fn serve(
                 Ok(wire) => {
                     let from = frame.from.clone();
                     let outputs = server.handle(now, Input::Wire { from, wire });
-                    enact(server.host(), &net, outputs, &mut timers);
+                    enact(server.host(), &net, outputs, &mut timers, &mut scratch);
                 }
                 Err(_) => { /* corrupt frame: drop */ }
             }
@@ -171,7 +174,7 @@ fn serve(
         for (_, event) in ready {
             let now = Millis(epoch.elapsed().as_millis() as u64);
             let outputs = server.handle(now, Input::Local(event));
-            enact(server.host(), &net, outputs, &mut timers);
+            enact(server.host(), &net, outputs, &mut timers, &mut scratch);
         }
     }
     server
@@ -182,6 +185,7 @@ fn enact(
     net: &ThreadedNet,
     outputs: Vec<Output>,
     timers: &mut Vec<(Instant, LocalEvent)>,
+    scratch: &mut Vec<u8>,
 ) {
     for output in outputs {
         match output {
@@ -189,8 +193,12 @@ fn enact(
                 if wire.retry_attempt() > 1 {
                     net.fabric().stats().record_retransmit();
                 }
-                if let Ok(payload) = naplet_core::codec::to_bytes(&wire) {
-                    let frame = Frame::new(host, &to, wire.traffic_class(), payload);
+                // encode into the reused scratch, then copy exactly the
+                // payload's length into the owned frame buffer — the
+                // repeated grow-and-copy of a cold Vec is what the
+                // storm benchmarks flagged here
+                if naplet_core::codec::to_bytes_into(&wire, scratch).is_ok() {
+                    let frame = Frame::new(host, &to, wire.traffic_class(), scratch.clone());
                     let _ = net.send(frame);
                 }
             }

@@ -18,7 +18,7 @@ use naplet_core::error::{NapletError, Result};
 use naplet_core::id::NapletId;
 use naplet_core::itinerary::{ActionSpec, Cursor, Step};
 use naplet_core::message::{ControlVerb, Mailbox, Message, Payload, Sender};
-use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::naplet::{AgentKind, Naplet, SharedNaplet};
 use naplet_core::value::Value;
 use naplet_vm::{ContextVmHost, VmImage, VmYield};
 
@@ -110,12 +110,54 @@ enum TransferPhase {
     AwaitingAck,
 }
 
+/// What the origin retains for an outbound migration.
+enum RetainedAgent {
+    /// The live in-memory handle: custody before the Transfer frame is
+    /// sent, and (on the baseline profile) for the whole handoff.
+    Local(SharedNaplet),
+    /// After the Transfer is sent on the CoW path the origin keeps only
+    /// the encoded image: the live handle rides in the frame, so the
+    /// destination's admission is a move instead of a deep clone. The
+    /// rare retransmit/failure paths decode the image back.
+    Image {
+        id: NapletId,
+        bytes: std::sync::Arc<Vec<u8>>,
+    },
+}
+
+impl RetainedAgent {
+    fn id(&self) -> &NapletId {
+        match self {
+            RetainedAgent::Local(n) => n.id(),
+            RetainedAgent::Image { id, .. } => id,
+        }
+    }
+
+    /// The live handle, present outside the post-send CoW window.
+    fn local(&self) -> Option<&SharedNaplet> {
+        match self {
+            RetainedAgent::Local(n) => Some(n),
+            RetainedAgent::Image { .. } => None,
+        }
+    }
+
+    /// Take the agent back into sole local custody (failure paths).
+    fn into_naplet(self) -> Naplet {
+        match self {
+            RetainedAgent::Local(n) => n.into_owned(),
+            RetainedAgent::Image { bytes, .. } => naplet_core::codec::from_bytes(&bytes)
+                .expect("retained agent image decodes: it was produced by our own encoder"),
+        }
+    }
+}
+
 /// An outbound migration the navigator has not committed yet. The
 /// naplet stays in the origin's custody until the destination
 /// acknowledges the transfer, so a lost frame can be retried and a
 /// dead destination can be failed over.
 struct PendingTransfer {
-    naplet: Naplet,
+    /// The retained custody copy — live handle or encoded image.
+    naplet: RetainedAgent,
     action: Option<ActionSpec>,
     mailbox: Mailbox,
     dest: String,
@@ -160,6 +202,12 @@ pub struct NapletServer {
     actions: ActionRegistry,
     max_residents: Option<usize>,
     retry: RetryPolicy,
+    /// Copy-on-write handoff fast path (default on). Off restores the
+    /// pre-optimization costs — deep agent clones per transfer frame
+    /// and a full re-encode per journal write — so the bench suite can
+    /// measure the optimization honestly inside one process. Wire
+    /// bytes and traces are identical either way.
+    cow_handoff: bool,
     next_token: u64,
     pending_transfers: HashMap<u64, PendingTransfer>,
     pending_queries: HashMap<u64, PendingQuery>,
@@ -223,6 +271,7 @@ impl NapletServer {
             actions: config.actions,
             max_residents: config.max_residents,
             retry: config.retry,
+            cow_handoff: true,
             next_token: 0,
             pending_transfers: HashMap::new(),
             pending_queries: HashMap::new(),
@@ -285,6 +334,16 @@ impl NapletServer {
     /// Mutable access to the security manager (policy reconfiguration).
     pub fn security_mut(&mut self) -> &mut SecurityManager {
         &mut self.security
+    }
+
+    /// Toggle the copy-on-write handoff fast path (default on).
+    /// Turning it off restores the pre-optimization baseline — a deep
+    /// agent clone per transfer frame and a full re-encode per journal
+    /// write — and exists so the bench suite can A/B the optimization
+    /// within one process. Observable behaviour (wire bytes, traces,
+    /// journal contents) is identical either way.
+    pub fn set_cow_handoff(&mut self, enabled: bool) {
+        self.cow_handoff = enabled;
     }
 
     /// Mutable access to the action registry.
@@ -358,6 +417,56 @@ impl NapletServer {
                 phase: phase_label.to_string(),
                 records,
             });
+    }
+
+    /// Journal a snapshot from a shared agent image, reusing its cached
+    /// encoding instead of re-serializing the whole agent per write.
+    /// Falls back to the re-encoding path when the CoW fast path is
+    /// disabled (bench baseline) or encoding fails.
+    fn journal_shared(&mut self, naplet: &SharedNaplet, phase: JournalPhase, now: Millis) {
+        if !self.cow_handoff {
+            let owned = naplet.get().clone();
+            self.journal_naplet(&owned, phase, now);
+            return;
+        }
+        let bytes = match naplet.wire_bytes() {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                let owned = naplet.get().clone();
+                self.journal_naplet(&owned, phase, now);
+                return;
+            }
+        };
+        let id = naplet.id().clone();
+        self.journal_image(&id, &bytes, phase, now);
+    }
+
+    /// Journal a pre-encoded agent image directly.
+    fn journal_image(&mut self, id: &NapletId, bytes: &[u8], phase: JournalPhase, now: Millis) {
+        let phase_label = phase_label(&phase);
+        if let Err(e) = self.journal.record_naplet_bytes(id, bytes, phase, now) {
+            self.logf(now, format!("JOURNAL write failed for {id}: {e}"));
+        }
+        let records = self.journal.len() as u64;
+        self.obs
+            .metrics
+            .observe("journal_records", COUNT_BOUNDS, records);
+        self.obs
+            .emit(now, &self.host, Some(id), || TraceKind::JournalAppend {
+                phase: phase_label.to_string(),
+                records,
+            });
+    }
+
+    /// Journal from whatever custody form the origin currently holds.
+    fn journal_retained(&mut self, retained: &RetainedAgent, phase: JournalPhase, now: Millis) {
+        match retained {
+            RetainedAgent::Local(n) => self.journal_shared(n, phase, now),
+            RetainedAgent::Image { id, bytes } => {
+                let (id, bytes) = (id.clone(), std::sync::Arc::clone(bytes));
+                self.journal_image(&id, &bytes, phase, now);
+            }
+        }
     }
 
     /// Retire a naplet's journal record and trace the shrink.
@@ -551,7 +660,7 @@ impl NapletServer {
                         format!("LANDING denied for {id} at {}: {reason}", pending.dest),
                     );
                     // itinerary exception: skip the refused visit
-                    self.continue_journey(pending.naplet, pending.mailbox, now, out);
+                    self.continue_journey(pending.naplet.into_naplet(), pending.mailbox, now, out);
                 }
             }
             Wire::Transfer(envelope) => {
@@ -956,7 +1065,7 @@ impl NapletServer {
                         // migration; unread mail stays in the naplet's
                         // custody and rides straight into the new entry
                         let envelope = TransferEnvelope {
-                            naplet,
+                            naplet: naplet.into(),
                             action,
                             transfer_id: 0, // same-host: no handoff protocol
                             attempt: 1,
@@ -1017,7 +1126,11 @@ impl NapletServer {
             return;
         }
         let transfer_id = self.token();
-        let est_bytes = naplet.wire_size().unwrap_or(0);
+        // from here the agent travels as a shared image: the pending
+        // copy, journal snapshots and transfer frames all reuse one
+        // encoding computed at most once per itinerary hop
+        let naplet = SharedNaplet::new(naplet);
+        let est_bytes = self.estimate_wire_size(&naplet);
         let wire = Wire::LandingRequest {
             token: transfer_id,
             from_host: self.host.clone(),
@@ -1028,7 +1141,7 @@ impl NapletServer {
         };
         // journal before the first frame leaves: a crash here resumes
         // the handoff instead of losing the departing agent
-        self.journal_naplet(
+        self.journal_shared(
             &naplet,
             JournalPhase::InFlight {
                 transfer_id,
@@ -1044,7 +1157,7 @@ impl NapletServer {
         self.pending_transfers.insert(
             transfer_id,
             PendingTransfer {
-                naplet,
+                naplet: RetainedAgent::Local(naplet),
                 action,
                 mailbox,
                 dest: dest.clone(),
@@ -1061,6 +1174,43 @@ impl NapletServer {
             });
         out.push(Output::Send { to: dest, wire });
         self.arm_transfer_timer(transfer_id, 1, out);
+    }
+
+    /// Wire-size estimate for a landing request. The fast path reads
+    /// the shared image's cached size (computed once per hop); the
+    /// baseline path re-encodes the whole agent, as the code did
+    /// before the CoW optimization.
+    fn estimate_wire_size(&self, naplet: &SharedNaplet) -> u64 {
+        if self.cow_handoff {
+            naplet.wire_size().unwrap_or(0)
+        } else {
+            naplet_core::codec::to_bytes(naplet.get())
+                .map(|b| b.len() as u64)
+                .unwrap_or(0)
+        }
+    }
+
+    /// The agent image that rides in a transfer frame: an `Arc` bump on
+    /// the fast path, a deep clone on the baseline path.
+    fn clone_for_wire(&self, naplet: &SharedNaplet) -> SharedNaplet {
+        if self.cow_handoff {
+            naplet.clone()
+        } else {
+            SharedNaplet::new(naplet.get().clone())
+        }
+    }
+
+    /// Rebuild a wire copy from whatever custody form we retained: the
+    /// live handle (baseline, or pre-encode failure) or the encoded
+    /// image kept after the first transmission.
+    fn wire_copy(&self, retained: &RetainedAgent) -> SharedNaplet {
+        match retained {
+            RetainedAgent::Local(n) => self.clone_for_wire(n),
+            RetainedAgent::Image { bytes, .. } => SharedNaplet::new(
+                naplet_core::codec::from_bytes(bytes)
+                    .expect("retained agent image decodes: it was produced by our own encoder"),
+            ),
+        }
     }
 
     /// Arm the acknowledgement timer for the given attempt of an
@@ -1149,17 +1299,15 @@ impl NapletServer {
                 dest: dest.clone(),
                 transfer_id,
             });
-        out.push(Output::Send {
-            to: dest.clone(),
-            wire: Wire::Transfer(TransferEnvelope {
-                naplet: naplet.clone(),
-                action: action.clone(),
-                transfer_id,
-                attempt: 1,
-            }),
-        });
+        let naplet = match naplet {
+            RetainedAgent::Local(n) => n,
+            RetainedAgent::Image { bytes, .. } => SharedNaplet::new(
+                naplet_core::codec::from_bytes(&bytes)
+                    .expect("retained agent image decodes: it was produced by our own encoder"),
+            ),
+        };
         // advance the journaled phase: past the permit, transfer sent
-        self.journal_naplet(
+        self.journal_shared(
             &naplet,
             JournalPhase::InFlight {
                 transfer_id,
@@ -1171,10 +1319,40 @@ impl NapletServer {
             },
             now,
         );
+        // CoW path: the origin keeps only the encoded image, so the
+        // live handle moves into the frame and the destination admits
+        // it without a clone. Baseline path: deep-clone for the wire
+        // and keep the in-memory copy, as the pre-optimization code did.
+        let (wire_naplet, retained) = if self.cow_handoff {
+            match naplet.wire_bytes() {
+                Ok(bytes) => {
+                    let retained = RetainedAgent::Image {
+                        id: id.clone(),
+                        bytes,
+                    };
+                    (naplet, retained)
+                }
+                Err(_) => (naplet.clone(), RetainedAgent::Local(naplet)),
+            }
+        } else {
+            (
+                SharedNaplet::new(naplet.get().clone()),
+                RetainedAgent::Local(naplet),
+            )
+        };
+        out.push(Output::Send {
+            to: dest.clone(),
+            wire: Wire::Transfer(TransferEnvelope {
+                naplet: wire_naplet,
+                action: action.clone(),
+                transfer_id,
+                attempt: 1,
+            }),
+        });
         self.pending_transfers.insert(
             transfer_id,
             PendingTransfer {
-                naplet,
+                naplet: retained,
                 action,
                 mailbox: Mailbox::new(),
                 dest,
@@ -1201,16 +1379,22 @@ impl NapletServer {
         let dest = pending.dest.clone();
         let id = pending.naplet.id().clone();
         let wire = match pending.phase {
-            TransferPhase::AwaitingPermit => Wire::LandingRequest {
-                token: transfer_id,
-                from_host: self.host.clone(),
-                credential: pending.naplet.credential().clone(),
-                naplet_id: id.clone(),
-                est_bytes: pending.naplet.wire_size().unwrap_or(0),
-                attempt,
-            },
+            TransferPhase::AwaitingPermit => {
+                let local = pending
+                    .naplet
+                    .local()
+                    .expect("permit phase retains the live agent");
+                Wire::LandingRequest {
+                    token: transfer_id,
+                    from_host: self.host.clone(),
+                    credential: local.credential().clone(),
+                    naplet_id: id.clone(),
+                    est_bytes: self.estimate_wire_size(local),
+                    attempt,
+                }
+            }
             TransferPhase::AwaitingAck => Wire::Transfer(TransferEnvelope {
-                naplet: pending.naplet.clone(),
+                naplet: self.wire_copy(&pending.naplet),
                 action: pending.action.clone(),
                 transfer_id,
                 attempt,
@@ -1218,7 +1402,7 @@ impl NapletServer {
         };
         // keep the journaled attempt in step so a recovered origin
         // picks up the retry budget where it left off
-        self.journal_naplet(
+        self.journal_retained(
             &pending.naplet,
             JournalPhase::InFlight {
                 transfer_id,
@@ -1259,7 +1443,7 @@ impl NapletServer {
         out: &mut Vec<Output>,
     ) {
         let PendingTransfer {
-            mut naplet,
+            naplet,
             mailbox,
             dest,
             checkpoint,
@@ -1267,6 +1451,8 @@ impl NapletServer {
             attempt,
             ..
         } = pending;
+        // the agent is back in our sole custody: unshare for mutation
+        let mut naplet = naplet.into_naplet();
         let id = naplet.id().clone();
         let reason = match phase {
             TransferPhase::AwaitingPermit => "no landing reply",
@@ -1381,9 +1567,10 @@ impl NapletServer {
         now: Millis,
         out: &mut Vec<Output>,
     ) {
-        let TransferEnvelope {
-            mut naplet, action, ..
-        } = envelope;
+        let TransferEnvelope { naplet, action, .. } = envelope;
+        // sole owner on the receiving side (the origin's retained copy
+        // lives in another process/server), so this is move-or-clone
+        let mut naplet = naplet.into_owned();
         let id = naplet.id().clone();
         if let Err(e) = self.security.verify_naplet(&naplet) {
             self.logf(now, format!("ARRIVAL rejected for {id}: {e}"));
@@ -2454,7 +2641,7 @@ impl NapletServer {
                     self.pending_transfers.insert(
                         transfer_id,
                         PendingTransfer {
-                            naplet,
+                            naplet: RetainedAgent::Local(naplet.into()),
                             action,
                             mailbox: Mailbox::new(),
                             dest,

@@ -221,7 +221,7 @@ fn duplicate_transfer_is_reacked_but_not_readmitted() {
     let naplet = agent(Pattern::singleton("b"), 1);
     let id = naplet.id().clone();
     let envelope = TransferEnvelope {
-        naplet,
+        naplet: naplet.into(),
         action: None,
         transfer_id: 7,
         attempt: 1,
