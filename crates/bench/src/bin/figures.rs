@@ -60,6 +60,19 @@ fn main() {
     if args.iter().any(|a| a == "trace") {
         dump_trace();
     }
+    // explicit opt-in: ops-plane views — a cluster health table
+    // (`figures status`), an interval watch (`figures watch`), and the
+    // machine-readable Prometheus page (`figures prom > page.prom`,
+    // byte-compared twice by the CI status-plane check)
+    if args.iter().any(|a| a == "status") {
+        show_status();
+    }
+    if args.iter().any(|a| a == "watch") {
+        show_watch();
+    }
+    if args.iter().any(|a| a == "prom") {
+        dump_prometheus();
+    }
 }
 
 /// F1 — the hierarchical naplet id of Figure 1.
@@ -369,6 +382,84 @@ fn exp_e10() {
 fn dump_trace() {
     let out = traced_chaos_experiment(0.05, &[("s1", 10, 700)], 42);
     println!("{}", out.chrome_json);
+}
+
+/// `figures status` — the cluster health table: one probe walking the
+/// ring, a mid-flight status sweep (agent resident, journal lag live)
+/// and the quiescent end state.
+fn show_status() {
+    println!("== status: cluster health probes over a ring journey ==");
+    let world = RingWorld::build(
+        7,
+        LocationMode::HomeManagers,
+        naplet_net::LatencyModel::Constant(2),
+        5,
+        7,
+    );
+    let naplet = world.probe_naplet(1, 1);
+    let mut rt = world.rt;
+    rt.enable_watchdog(naplet_obs::WatchdogConfig::default());
+    rt.launch(naplet).unwrap();
+    rt.run_until(Millis(20));
+    println!("-- t={:>4}ms (mid-journey) --", rt.now().0);
+    for report in rt.status_reports() {
+        println!("  {}", report.summary());
+    }
+    rt.run_to_quiescence(50_000_000);
+    println!("-- t={:>4}ms (quiescent) --", rt.now().0);
+    for report in rt.status_reports() {
+        println!("  {}", report.summary());
+    }
+    println!("  alerts raised: {}\n", rt.alerts().len());
+}
+
+/// `figures watch` — two polls of the stalled chaos journey with the
+/// interval metrics diff between them (what changed since last poll).
+fn show_watch() {
+    println!("== watch: interval metrics — stalled journey (s1 down 10..700 ms) ==");
+    let world = RingWorld::build(
+        7,
+        LocationMode::HomeManagers,
+        naplet_net::LatencyModel::Constant(2),
+        5,
+        42,
+    );
+    let naplet = world.probe_naplet(1, 1);
+    let mut rt = world.rt;
+    rt.enable_watchdog(naplet_obs::WatchdogConfig {
+        deadline_ms: 200,
+        tick_ms: 50,
+        ..Default::default()
+    });
+    rt.fabric().schedule_down("s1", 10, 700);
+    rt.launch(naplet).unwrap();
+    rt.run_until(Millis(400));
+    let early = rt.obs().snapshot().metrics;
+    println!(
+        "-- poll 1 at t={}ms: {} alert(s) so far --",
+        rt.now().0,
+        rt.alerts().len()
+    );
+    for alert in rt.alerts() {
+        println!(
+            "  {} {} last seen at {} ({}ms idle)",
+            if alert.orphan { "ORPHAN?" } else { "STALLED" },
+            alert.naplet,
+            alert.last_host,
+            alert.event.at.0
+        );
+    }
+    rt.run_to_quiescence(50_000_000);
+    let full = rt.obs().snapshot().metrics;
+    println!("-- poll 2 at t={}ms: counters since poll 1 --", rt.now().0);
+    println!("{}", full.diff(&early).render_text());
+}
+
+/// `figures prom` — the Prometheus text exposition of the watched
+/// chaos run, on stdout for the CI two-run byte comparison.
+fn dump_prometheus() {
+    let out = watched_chaos_experiment(0.05, &[("s1", 10, 700)], 200, 42);
+    print!("{}", naplet_obs::prometheus_text(&out.obs.metrics));
 }
 
 /// E9 — scheduling-policy ablation (§5.2 future work): journey time by

@@ -19,8 +19,9 @@ pub use scenarios::{
     accumulation_experiment, bench_key, chaos_experiment, code_loading_experiment,
     crash_chaos_experiment, itinerary_experiment, messaging_experiment, probe_registry,
     scheduling_experiment, traced_chaos_experiment, traced_crash_chaos_experiment,
-    AccumulationOutcome, ChaosOutcome, CodeLoadingOutcome, CrashChaosOutcome, ItineraryOutcome,
-    MessagingOutcome, Probe, RingWorld, TracedChaosOutcome, PROBE_CODEBASE, PROBE_CODE_SIZE,
+    watched_chaos_experiment, AccumulationOutcome, ChaosOutcome, CodeLoadingOutcome,
+    CrashChaosOutcome, ItineraryOutcome, MessagingOutcome, Probe, RingWorld, TracedChaosOutcome,
+    PROBE_CODEBASE, PROBE_CODE_SIZE,
 };
 pub use suite::{
     compare_reports, normalize_timing, run_suite, CompareCheck, Profile, SuiteConfig, SuiteReport,

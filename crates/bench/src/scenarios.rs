@@ -14,8 +14,10 @@ use naplet_core::message::{Payload, Sender};
 use naplet_core::naplet::{AgentKind, Naplet};
 use naplet_core::value::Value;
 use naplet_net::{Bandwidth, Fabric, LatencyModel};
-use naplet_obs::ObsSnapshot;
-use naplet_server::{LocationMode, MonitorPolicy, ResourceUsage, ServerConfig, SimRuntime};
+use naplet_obs::{ObsSnapshot, StallAlert, WatchdogConfig};
+use naplet_server::{
+    LocationMode, MonitorPolicy, ResourceUsage, ServerConfig, SimRuntime, StatusReport,
+};
 
 /// Codebase name for the probe behaviour.
 pub const PROBE_CODEBASE: &str = "naplet://code/probe.jar";
@@ -521,7 +523,7 @@ pub struct ChaosOutcome {
 /// `(host, from_ms, until_ms)` outages. With no faults this measures
 /// the protocol's baseline traffic (retransmits and drops must be 0).
 pub fn chaos_experiment(loss: f64, down_windows: &[(&str, u64, u64)], seed: u64) -> ChaosOutcome {
-    chaos_experiment_impl(loss, down_windows, seed, false).chaos
+    chaos_experiment_impl(loss, down_windows, seed, false, None).chaos
 }
 
 /// A chaos run with journey tracing switched on: the same outcome plus
@@ -538,6 +540,12 @@ pub struct TracedChaosOutcome {
     /// Per-(host, naplet) resource totals from the NapletMonitors,
     /// sorted by host for deterministic tables.
     pub usage: Vec<(String, String, ResourceUsage)>,
+    /// Stall alerts the journey watchdog raised, in raise order
+    /// (empty unless the run was watched).
+    pub alerts: Vec<StallAlert>,
+    /// End-of-run status report of every live server, sorted by host
+    /// (empty unless the run was watched).
+    pub status: Vec<StatusReport>,
 }
 
 /// [`chaos_experiment`] with the tracer enabled. Kept separate so the
@@ -547,7 +555,27 @@ pub fn traced_chaos_experiment(
     down_windows: &[(&str, u64, u64)],
     seed: u64,
 ) -> TracedChaosOutcome {
-    chaos_experiment_impl(loss, down_windows, seed, true)
+    chaos_experiment_impl(loss, down_windows, seed, true, None)
+}
+
+/// The chaos journey with the ops plane armed: tracing on, journey
+/// watchdog checking a `deadline_ms` progress deadline every 50 ms of
+/// virtual time, and a whole-space status sweep at quiescence. A
+/// down-window that strands the probe mid-handoff must surface as a
+/// typed alert (the origin's retransmits deliberately do not count as
+/// progress); a clean run must raise none.
+pub fn watched_chaos_experiment(
+    loss: f64,
+    down_windows: &[(&str, u64, u64)],
+    deadline_ms: u64,
+    seed: u64,
+) -> TracedChaosOutcome {
+    let config = WatchdogConfig {
+        deadline_ms,
+        tick_ms: 50,
+        ..WatchdogConfig::default()
+    };
+    chaos_experiment_impl(loss, down_windows, seed, true, Some(config))
 }
 
 fn chaos_experiment_impl(
@@ -555,6 +583,7 @@ fn chaos_experiment_impl(
     down_windows: &[(&str, u64, u64)],
     seed: u64,
     traced: bool,
+    watchdog: Option<WatchdogConfig>,
 ) -> TracedChaosOutcome {
     // home + s0..s6 = 8 servers; dwell 5 ms keeps the journey well
     // inside the retry horizon (~7.7 s worst case per hop)
@@ -568,6 +597,10 @@ fn chaos_experiment_impl(
     let mut rt = world.rt;
     if traced {
         rt.enable_tracing();
+    }
+    let watched = watchdog.is_some();
+    if let Some(config) = watchdog {
+        rt.enable_watchdog(config);
     }
     rt.fabric().set_loss(loss);
     for (host, from_ms, until_ms) in down_windows {
@@ -634,6 +667,11 @@ fn chaos_experiment_impl(
     } else {
         String::new()
     };
+    let (alerts, status) = if watched {
+        (rt.alerts().to_vec(), rt.status_reports())
+    } else {
+        (Vec::new(), Vec::new())
+    };
 
     TracedChaosOutcome {
         chaos: ChaosOutcome {
@@ -651,6 +689,8 @@ fn chaos_experiment_impl(
         obs,
         chrome_json,
         usage,
+        alerts,
+        status,
     }
 }
 

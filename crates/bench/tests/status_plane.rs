@@ -1,0 +1,102 @@
+//! Ops-plane acceptance: the journey watchdog must flag every injected
+//! stall with zero clean-run false positives, the alert stream and
+//! status reports must be deterministic for a seeded run, and the
+//! Prometheus exposition must be a pure function of the metrics.
+
+use naplet_bench::watched_chaos_experiment;
+use naplet_obs::prometheus_text;
+
+/// Down-window that strands the probe mid-handoff: s1 goes dark just
+/// before the agent's first hop off s0 and stays dark far longer than
+/// the watchdog deadline, so only retransmits (non-progress) follow.
+const STALL_WINDOW: &[(&str, u64, u64)] = &[("s1", 10, 700)];
+
+/// Progress deadline sitting well above the clean-run inter-progress
+/// gap (~15 ms: dwell 5 + latency 2 per leg) and well below the
+/// 690 ms down-window.
+const DEADLINE_MS: u64 = 200;
+
+#[test]
+fn watchdog_flags_an_injected_stall() {
+    let out = watched_chaos_experiment(0.0, STALL_WINDOW, DEADLINE_MS, 42);
+    assert_eq!(
+        out.chaos.completed, 1,
+        "the handoff protocol still finishes the journey after the outage"
+    );
+    assert!(
+        !out.alerts.is_empty(),
+        "a journey silent for {DEADLINE_MS} ms must raise an alert"
+    );
+    let orphan = out
+        .alerts
+        .iter()
+        .find(|a| a.orphan)
+        .expect("a departure-side stall is an orphan suspicion");
+    assert_eq!(
+        orphan.last_host, "s0",
+        "last progress was the landing request issued at s0"
+    );
+    assert_eq!(orphan.home, "home");
+    assert!(
+        out.obs.metrics.counter("alerts.orphan") >= 1,
+        "alerts must also land in the metrics registry"
+    );
+    // the alert is part of the trace stream too
+    assert!(
+        out.obs.events.iter().any(|e| e.kind.is_alert()),
+        "alert events belong to the journey trace"
+    );
+}
+
+#[test]
+fn clean_run_raises_zero_alerts() {
+    let out = watched_chaos_experiment(0.0, &[], DEADLINE_MS, 7);
+    assert_eq!(out.chaos.completed, 1);
+    assert_eq!(out.chaos.retransmits, 0);
+    assert!(
+        out.alerts.is_empty(),
+        "no fault, no alert — got {:?}",
+        out.alerts
+    );
+    assert_eq!(out.obs.metrics.counter("alerts.raised"), 0);
+}
+
+#[test]
+fn alert_stream_and_status_are_deterministic() {
+    let a = watched_chaos_experiment(0.05, STALL_WINDOW, DEADLINE_MS, 42);
+    let b = watched_chaos_experiment(0.05, STALL_WINDOW, DEADLINE_MS, 42);
+    assert!(!a.alerts.is_empty(), "the chaos run must alert");
+    assert_eq!(
+        format!("{:?}", a.alerts),
+        format!("{:?}", b.alerts),
+        "two identical seeded runs must raise a byte-identical alert list"
+    );
+    let reports_a = naplet_core::codec::to_bytes(&a.status).unwrap();
+    let reports_b = naplet_core::codec::to_bytes(&b.status).unwrap();
+    assert_eq!(
+        reports_a, reports_b,
+        "status aggregation must be byte-identical across identical runs"
+    );
+    assert_eq!(
+        prometheus_text(&a.obs.metrics),
+        prometheus_text(&b.obs.metrics),
+        "the Prometheus page is a pure function of the run"
+    );
+}
+
+#[test]
+fn status_reports_cover_every_server() {
+    let out = watched_chaos_experiment(0.0, &[], DEADLINE_MS, 7);
+    let hosts: Vec<&str> = out.status.iter().map(|r| r.host.as_str()).collect();
+    assert_eq!(hosts, ["home", "s0", "s1", "s2", "s3", "s4", "s5", "s6"]);
+    // quiescent space: nothing resident, nothing parked, no journal lag
+    for report in &out.status {
+        assert!(report.residents.is_empty(), "{}", report.summary());
+        assert_eq!(report.parked, 0, "{}", report.summary());
+        assert_eq!(report.pending_transfers, 0, "{}", report.summary());
+    }
+    // one probe instant for the whole space, after the journey ended
+    let at = out.status[0].at;
+    assert!(at.0 > 0);
+    assert!(out.status.iter().all(|r| r.at == at));
+}

@@ -12,9 +12,12 @@
 
 use std::collections::BTreeMap;
 
+use naplet_core::clock::Millis;
+use naplet_core::credential::{Credential, SigningKey};
 use naplet_core::error::{NapletError, Result};
+use naplet_core::id::NapletId;
 use naplet_core::value::Value;
-use naplet_server::{SimRuntime, Wire};
+use naplet_server::{SimRuntime, StatusReport, Wire};
 use naplet_snmp::{Oid, SnmpOp, SnmpRequest, SnmpResponse};
 
 use crate::service::SharedDevice;
@@ -139,6 +142,45 @@ impl CentralizedManager {
                 .extend(resp.bindings.iter().cloned());
         }
         Ok(results)
+    }
+
+    /// Poll every target server's ops-plane status over the wire-level
+    /// status protocol. The privileged `StatusRequest` frames carry a
+    /// credential issued under `key`; a server whose security policy
+    /// denies `PrivilegedService("status")` answers with no report and
+    /// is omitted from the result. Reports come back sorted by host,
+    /// so the same world polled twice encodes byte-identically.
+    pub fn status_poll(
+        &mut self,
+        rt: &mut SimRuntime,
+        targets: &[String],
+        key: &SigningKey,
+    ) -> Result<Vec<StatusReport>> {
+        let id = NapletId::new(&key.principal, &self.station, Millis(1))?;
+        let credential = Credential::issue(key, id, "ops-plane", vec![]);
+        for target in targets {
+            self.next_token += 1;
+            self.station_ops += 1;
+            rt.station_send(
+                &self.station.clone(),
+                target,
+                Wire::StatusRequest {
+                    token: self.next_token,
+                    reply_to: self.station.clone(),
+                    credential: credential.clone(),
+                },
+            )?;
+        }
+        rt.run_to_quiescence(10_000_000);
+        let server = rt
+            .server_mut(&self.station)
+            .ok_or_else(|| NapletError::NotFound(format!("no server at `{}`", self.station)))?;
+        let mut reports: Vec<StatusReport> = std::mem::take(&mut server.status_replies)
+            .into_iter()
+            .filter_map(|(_, report)| report)
+            .collect();
+        reports.sort_by(|a, b| a.host.cmp(&b.host));
+        Ok(reports)
     }
 
     /// Walk a subtree on every device with per-variable get-next

@@ -293,6 +293,15 @@ impl ManWorld {
         })
     }
 
+    /// Poll every device server's ops-plane health over the wire-level
+    /// status protocol (the NOC acts as the probing station). Reports
+    /// come back sorted by host.
+    pub fn cluster_status(&mut self) -> Result<Vec<naplet_server::StatusReport>> {
+        let mut manager = CentralizedManager::new(&self.noc);
+        let devices = self.devices.clone();
+        manager.status_poll(&mut self.rt, &devices, &self.key)
+    }
+
     /// Run one centralized-SNMP round (the §6 baseline).
     pub fn centralized_poll(&mut self, oids: &[Oid], fine_grained: bool) -> Result<PollOutcome> {
         let before = self.rt.fabric().stats().snapshot();
@@ -410,6 +419,26 @@ mod tests {
         };
         assert!(count(&filtered) < count(&full));
         assert_eq!(count(&filtered), 0);
+    }
+
+    #[test]
+    fn cluster_status_polls_every_device_deterministically() {
+        let mut w = world(3);
+        // leave some management traffic behind so the reports are
+        // non-trivial (journal entries, locator activity)
+        let oids = health_oids(3, 4);
+        w.agent_poll(&oids, false, None).unwrap();
+        let reports = w.cluster_status().unwrap();
+        let hosts: Vec<&str> = reports.iter().map(|r| r.host.as_str()).collect();
+        assert_eq!(hosts, ["d0", "d1", "d2"]);
+
+        // identical world, identical history → byte-identical reports
+        let mut w2 = world(3);
+        w2.agent_poll(&oids, false, None).unwrap();
+        let again = w2.cluster_status().unwrap();
+        let a = naplet_core::codec::to_bytes(&reports).unwrap();
+        let b = naplet_core::codec::to_bytes(&again).unwrap();
+        assert_eq!(a, b, "status protocol must aggregate deterministically");
     }
 
     #[test]

@@ -23,7 +23,9 @@
 
 pub mod export;
 pub mod metrics;
+pub mod prometheus;
 pub mod trace;
+pub mod watchdog;
 
 pub use export::{
     chrome_trace_json, parse_json, render_event_log, validate_chrome_trace, Json, ObsSnapshot,
@@ -31,7 +33,9 @@ pub use export::{
 pub use metrics::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, COUNT_BOUNDS, LATENCY_BOUNDS_MS,
 };
+pub use prometheus::prometheus_text;
 pub use trace::{ArgValue, TraceEvent, TraceKind, Tracer};
+pub use watchdog::{StallAlert, Watchdog, WatchdogConfig};
 
 use naplet_core::clock::Millis;
 use naplet_core::id::NapletId;
@@ -44,10 +48,13 @@ pub struct ObsSink {
     pub tracer: Tracer,
     /// The always-on metrics registry.
     pub metrics: MetricsRegistry,
+    /// The journey stall watchdog (disabled until
+    /// [`ObsSink::enable_watchdog`]).
+    pub watchdog: Watchdog,
 }
 
 impl ObsSink {
-    /// A fresh sink: metrics on, tracing off.
+    /// A fresh sink: metrics on, tracing and watchdog off.
     pub fn new() -> ObsSink {
         ObsSink::default()
     }
@@ -57,8 +64,15 @@ impl ObsSink {
         self.tracer.set_enabled(true);
     }
 
-    /// Record one event; the `kind` closure runs only when tracing is
-    /// enabled, so instrumented hot paths allocate nothing when off.
+    /// Arm the journey watchdog; every event emitted through this
+    /// sink then feeds its progress tracker.
+    pub fn enable_watchdog(&self, config: WatchdogConfig) {
+        self.watchdog.enable(config);
+    }
+
+    /// Record one event; the `kind` closure runs only when the tracer
+    /// or the watchdog wants it, so instrumented hot paths allocate
+    /// nothing when both are off (two atomic loads).
     pub fn emit(
         &self,
         at: Millis,
@@ -66,11 +80,19 @@ impl ObsSink {
         naplet: Option<&NapletId>,
         kind: impl FnOnce() -> TraceKind,
     ) {
+        if !self.tracer.enabled() && !self.watchdog.enabled() {
+            return;
+        }
+        let kind = kind();
+        if self.watchdog.enabled() {
+            let id = naplet.map(|id| id.to_string());
+            self.watchdog.observe(at, host, id.as_deref(), &kind);
+        }
         self.tracer.emit(|| TraceEvent {
             at,
             host: host.to_string(),
             naplet: naplet.map(|id| id.to_string()),
-            kind: kind(),
+            kind,
         });
     }
 
@@ -95,6 +117,32 @@ mod tests {
         sink.enable_tracing();
         sink.emit(Millis(2), "h", None, || TraceKind::Crash);
         assert_eq!(sink.tracer.len(), 1);
+    }
+
+    #[test]
+    fn sink_feeds_the_watchdog_even_with_tracing_off() {
+        let sink = ObsSink::new();
+        let id = NapletId::new("czxu", "home", Millis(1)).unwrap();
+        sink.emit(Millis(2), "s1", Some(&id), || TraceKind::VisitEnd {
+            started: Millis(1),
+            epoch: 1,
+            gas: 0,
+            msg_bytes: 0,
+        });
+        assert_eq!(sink.watchdog.tracked(), 0, "disabled watchdog sees nothing");
+        sink.enable_watchdog(WatchdogConfig {
+            deadline_ms: 100,
+            ..WatchdogConfig::default()
+        });
+        sink.emit(Millis(3), "s1", Some(&id), || TraceKind::VisitEnd {
+            started: Millis(2),
+            epoch: 1,
+            gas: 0,
+            msg_bytes: 0,
+        });
+        assert_eq!(sink.watchdog.tracked(), 1);
+        assert!(sink.tracer.is_empty(), "tracing stays off independently");
+        assert_eq!(sink.watchdog.check(Millis(500)).len(), 1);
     }
 
     #[test]

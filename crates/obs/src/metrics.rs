@@ -190,12 +190,20 @@ impl HistogramSnapshot {
     }
 
     /// Bucketed quantile estimate: the upper bound of the bucket in
-    /// which the `q`-quantile observation falls (`q` in `0.0..=1.0`).
-    /// Observations in the overflow bucket answer with the exact
-    /// recorded `max`; an empty histogram answers 0. Bench reporting
-    /// (p50/p95/p99) reads latencies through this, so the resolution
-    /// is the bucket grid — deterministic and conservative (never
-    /// under-reports).
+    /// which the `q`-quantile observation falls (`q` in `0.0..=1.0`;
+    /// out-of-range values clamp). Bench reporting (p50/p95/p99) reads
+    /// latencies through this, so the resolution is the bucket grid —
+    /// deterministic and conservative (never under-reports).
+    ///
+    /// Edge cases, all documented and tested:
+    /// - **empty histogram** → `0` for every `q` (there is no
+    ///   observation to bound);
+    /// - **`q = 0.0`** → the upper bound of the first non-empty bucket
+    ///   (the rank clamps to 1, i.e. the smallest observation's
+    ///   bucket);
+    /// - **mass in the overflow bucket** → the exact recorded `max`,
+    ///   not a fabricated bound — an all-overflow histogram answers
+    ///   `max` for every `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
@@ -240,6 +248,71 @@ impl MetricsSnapshot {
     /// Histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
+    }
+
+    /// Per-interval view: everything accumulated since `earlier`.
+    ///
+    /// Counters, gauges, and histogram counts/totals/sums subtract
+    /// saturating — a metric absent from `earlier` contributes its
+    /// full value; a metric that shrank (registry cleared between
+    /// snapshots) contributes zero, never wraps. Histogram `min`/`max`
+    /// are not recoverable per-interval from cumulative buckets, so a
+    /// delta with surviving observations keeps the later snapshot's
+    /// values and an empty delta reports 0/0 — which makes
+    /// `snap.diff(&snap)` all-zero everywhere. `figures watch` and the
+    /// CI perf job render rates from this instead of cumulative
+    /// totals.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| {
+                let before = earlier.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, &v)| {
+                let before = earlier.gauges.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let delta = match earlier.histograms.get(name) {
+                    Some(e) if e.bounds == h.bounds => {
+                        let counts = h
+                            .counts
+                            .iter()
+                            .zip(&e.counts)
+                            .map(|(&a, &b)| a.saturating_sub(b))
+                            .collect();
+                        let total = h.total.saturating_sub(e.total);
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts,
+                            total,
+                            sum: h.sum.saturating_sub(e.sum),
+                            min: if total == 0 { 0 } else { h.min },
+                            max: if total == 0 { 0 } else { h.max },
+                        }
+                    }
+                    // unseen (or re-bucketed) histogram: the whole
+                    // thing is new this interval
+                    _ => h.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
     }
 
     /// Counter by name (zero if absent).
@@ -352,6 +425,86 @@ mod tests {
             max: 0,
         };
         assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // empty histogram: 0 for every q, including the extremes
+        let empty = HistogramSnapshot {
+            bounds: LATENCY_BOUNDS_MS.to_vec(),
+            counts: vec![0; LATENCY_BOUNDS_MS.len() + 1],
+            total: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        };
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+
+        // q=0.0 clamps to rank 1: the first non-empty bucket's bound
+        let m = MetricsRegistry::new();
+        m.observe("lat", LATENCY_BOUNDS_MS, 4); // bucket "<= 5"
+        m.observe("lat", LATENCY_BOUNDS_MS, 400); // bucket "<= 500"
+        let snap = m.snapshot();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 500);
+
+        // all observations in the overflow bucket: every quantile
+        // answers the exact recorded max, not a fabricated bound
+        let m = MetricsRegistry::new();
+        m.observe("big", COUNT_BOUNDS, 500);
+        m.observe("big", COUNT_BOUNDS, 700);
+        let snap = m.snapshot();
+        let h = snap.histogram("big").unwrap();
+        assert_eq!(h.counts[COUNT_BOUNDS.len()], 2, "all mass in overflow");
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 700, "all-overflow histogram at q={q}");
+        }
+
+        // out-of-range q clamps rather than panicking
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn diff_of_a_snapshot_with_itself_is_all_zero() {
+        let m = MetricsRegistry::new();
+        m.incr("c", 7);
+        m.gauge_max("g", 5);
+        m.observe("h", COUNT_BOUNDS, 2);
+        m.observe("h", COUNT_BOUNDS, 90); // overflow mass too
+        let snap = m.snapshot();
+        let zero = snap.diff(&snap);
+        assert!(zero.counters.values().all(|&v| v == 0), "{zero:?}");
+        assert!(zero.gauges.values().all(|&v| v == 0), "{zero:?}");
+        for (name, h) in &zero.histograms {
+            assert!(h.counts.iter().all(|&c| c == 0), "{name}: {h:?}");
+            assert_eq!((h.total, h.sum, h.min, h.max), (0, 0, 0, 0), "{name}");
+        }
+    }
+
+    #[test]
+    fn diff_reports_only_the_interval() {
+        let m = MetricsRegistry::new();
+        m.incr("c", 3);
+        m.observe("h", COUNT_BOUNDS, 2);
+        let before = m.snapshot();
+        m.incr("c", 4);
+        m.incr("new", 1);
+        m.observe("h", COUNT_BOUNDS, 10);
+        let after = m.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.counter("c"), 4);
+        assert_eq!(delta.counter("new"), 1, "unseen counter counts in full");
+        let h = delta.histogram("h").unwrap();
+        assert_eq!(h.total, 1, "one new observation this interval");
+        assert_eq!(h.sum, 10);
+        // saturating: a cleared registry never wraps
+        let wrapped = before.diff(&after);
+        assert_eq!(wrapped.counter("c"), 0);
     }
 
     #[test]

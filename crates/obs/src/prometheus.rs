@@ -1,0 +1,123 @@
+//! Prometheus text exposition (version 0.0.4) for a
+//! [`MetricsSnapshot`].
+//!
+//! The renderer is a pure function of the snapshot: metric families
+//! come out in `BTreeMap` order (counters, then gauges, then
+//! histograms, each alphabetical), every family carries `# HELP` and
+//! `# TYPE` lines, and nothing reads a clock — so two snapshots of
+//! identical registries render byte-identical pages. CI leans on that
+//! (the `status-plane` golden check diffs two seeded runs).
+//!
+//! Naming follows the Prometheus conventions: registry names are
+//! dotted (`handoff.rtt_ms`); exposition names replace every
+//! character outside `[a-zA-Z0-9_]` with `_`, prefix the `naplet_`
+//! namespace, and counters gain the conventional `_total` suffix
+//! (`naplet_handoff_rtt_ms_bucket`, `naplet_journeys_completed_total`).
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Map a dotted registry name onto the Prometheus grammar:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, namespaced under `naplet_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("naplet_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render `snapshot` as a Prometheus text-exposition page.
+///
+/// Counters export as `counter` (with `_total` appended), high-water
+/// gauges as `gauge`, and histograms as the standard cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`, closing with
+/// the mandatory `le="+Inf"` bucket. Output order and bytes are
+/// deterministic for a given snapshot.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, &value) in &snapshot.counters {
+        let prom = sanitize(name);
+        let _ = writeln!(out, "# HELP {prom}_total Counter `{name}`.");
+        let _ = writeln!(out, "# TYPE {prom}_total counter");
+        let _ = writeln!(out, "{prom}_total {value}");
+    }
+    for (name, &value) in &snapshot.gauges {
+        let prom = sanitize(name);
+        let _ = writeln!(out, "# HELP {prom} High-water gauge `{name}`.");
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        let _ = writeln!(out, "{prom} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let prom = sanitize(name);
+        let _ = writeln!(out, "# HELP {prom} Histogram `{name}`.");
+        let _ = writeln!(out, "# TYPE {prom} histogram");
+        let mut cumulative = 0u64;
+        for (idx, &bound) in h.bounds.iter().enumerate() {
+            cumulative += h.counts.get(idx).copied().unwrap_or(0);
+            let _ = writeln!(out, "{prom}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.total);
+        let _ = writeln!(out, "{prom}_sum {}", h.sum);
+        let _ = writeln!(out, "{prom}_count {}", h.total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsRegistry, COUNT_BOUNDS};
+
+    #[test]
+    fn names_sanitize_into_the_prometheus_grammar() {
+        assert_eq!(sanitize("handoff.rtt_ms"), "naplet_handoff_rtt_ms");
+        assert_eq!(sanitize("wire.sent"), "naplet_wire_sent");
+        assert_eq!(sanitize("a-b c"), "naplet_a_b_c");
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_typed() {
+        let m = MetricsRegistry::new();
+        m.incr("wire.sent", 3);
+        m.incr("journeys.completed", 1);
+        m.gauge_max("mailbox_depth", 4);
+        m.observe("journal_records", COUNT_BOUNDS, 2);
+        m.observe("journal_records", COUNT_BOUNDS, 100); // overflow
+        let snap = m.snapshot();
+        let a = prometheus_text(&snap);
+        let b = prometheus_text(&m.snapshot());
+        assert_eq!(a, b, "same registry must render byte-identical pages");
+
+        assert!(a.contains("# TYPE naplet_wire_sent_total counter"));
+        assert!(a.contains("naplet_wire_sent_total 3"));
+        assert!(a.contains("# TYPE naplet_mailbox_depth gauge"));
+        assert!(a.contains("naplet_mailbox_depth 4"));
+        assert!(a.contains("# TYPE naplet_journal_records histogram"));
+        assert!(a.contains("naplet_journal_records_sum 102"));
+        assert!(a.contains("naplet_journal_records_count 2"));
+        // counters render sorted: journeys.* before wire.*
+        let j = a.find("naplet_journeys_completed_total").unwrap();
+        let w = a.find("naplet_wire_sent_total").unwrap();
+        assert!(j < w, "families must render in sorted order:\n{a}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_with_inf() {
+        let m = MetricsRegistry::new();
+        m.observe("d", COUNT_BOUNDS, 1);
+        m.observe("d", COUNT_BOUNDS, 2);
+        m.observe("d", COUNT_BOUNDS, 2);
+        let page = prometheus_text(&m.snapshot());
+        assert!(page.contains("naplet_d_bucket{le=\"1\"} 1"));
+        assert!(page.contains("naplet_d_bucket{le=\"2\"} 3"), "{page}");
+        assert!(page.contains("naplet_d_bucket{le=\"64\"} 3"));
+        assert!(page.contains("naplet_d_bucket{le=\"+Inf\"} 3"));
+    }
+}

@@ -218,6 +218,44 @@ pub enum TraceKind {
         /// Was the orphan re-dispatched from its creation record?
         redispatched: bool,
     },
+    /// Watchdog alert: a journey emitted no progress event within its
+    /// deadline. The host field of the event is the journey's
+    /// last-known location.
+    StalledJourney {
+        /// Last host a progress event was observed at.
+        last_host: String,
+        /// Time since the last progress event, ms.
+        idle_ms: u64,
+        /// The configured progress deadline, ms.
+        deadline_ms: u64,
+    },
+    /// Watchdog alert: a journey stalled while its last progress event
+    /// was departure-side (landing requested / transfer in flight), so
+    /// the agent may be orphaned between hosts.
+    OrphanSuspected {
+        /// Host the agent was last seen departing from.
+        last_host: String,
+        /// Time since the last progress event, ms.
+        idle_ms: u64,
+    },
+    /// Watchdog alert: a server's mailbox depth crossed the
+    /// configured backlog threshold.
+    MailboxBacklog {
+        /// Observed mailbox depth (ordinary + special).
+        depth: u64,
+        /// The configured threshold.
+        threshold: u64,
+    },
+    /// Watchdog alert: a server's write-ahead journal held too many
+    /// un-retired entries at sweep time.
+    JournalLagHigh {
+        /// Un-retired journal entries.
+        entries: u64,
+        /// Bytes held by those entries.
+        bytes: u64,
+        /// The configured entry threshold.
+        threshold: u64,
+    },
 }
 
 impl TraceKind {
@@ -248,7 +286,24 @@ impl TraceKind {
             TraceKind::RecoveryReplayed { .. } => "recovery.replay",
             TraceKind::RecoveryDone { .. } => "recovery.done",
             TraceKind::LeaseExpired { .. } => "lease.expired",
+            TraceKind::StalledJourney { .. } => "alert.stalled",
+            TraceKind::OrphanSuspected { .. } => "alert.orphan",
+            TraceKind::MailboxBacklog { .. } => "alert.mailbox",
+            TraceKind::JournalLagHigh { .. } => "alert.journal",
         }
+    }
+
+    /// Is this kind a watchdog alert? Alerts are operational signals
+    /// (something needs attention *now*), distinct from the journey
+    /// narration the rest of the taxonomy records.
+    pub fn is_alert(&self) -> bool {
+        matches!(
+            self,
+            TraceKind::StalledJourney { .. }
+                | TraceKind::OrphanSuspected { .. }
+                | TraceKind::MailboxBacklog { .. }
+                | TraceKind::JournalLagHigh { .. }
+        )
     }
 
     /// For span-like kinds, the instant the span opened. Exporters
@@ -398,6 +453,31 @@ impl TraceKind {
             TraceKind::LeaseExpired { redispatched } => {
                 vec![("redispatched", Bool(*redispatched))]
             }
+            TraceKind::StalledJourney {
+                last_host,
+                idle_ms,
+                deadline_ms,
+            } => vec![
+                ("last_host", Str(last_host.clone())),
+                ("idle_ms", Int(*idle_ms)),
+                ("deadline_ms", Int(*deadline_ms)),
+            ],
+            TraceKind::OrphanSuspected { last_host, idle_ms } => vec![
+                ("last_host", Str(last_host.clone())),
+                ("idle_ms", Int(*idle_ms)),
+            ],
+            TraceKind::MailboxBacklog { depth, threshold } => {
+                vec![("depth", Int(*depth)), ("threshold", Int(*threshold))]
+            }
+            TraceKind::JournalLagHigh {
+                entries,
+                bytes,
+                threshold,
+            } => vec![
+                ("entries", Int(*entries)),
+                ("bytes", Int(*bytes)),
+                ("threshold", Int(*threshold)),
+            ],
         }
     }
 }
@@ -562,11 +642,59 @@ mod tests {
             TraceKind::LeaseExpired {
                 redispatched: false,
             },
+            TraceKind::StalledJourney {
+                last_host: "h".into(),
+                idle_ms: 1,
+                deadline_ms: 1,
+            },
+            TraceKind::OrphanSuspected {
+                last_host: "h".into(),
+                idle_ms: 1,
+            },
+            TraceKind::MailboxBacklog {
+                depth: 1,
+                threshold: 1,
+            },
+            TraceKind::JournalLagHigh {
+                entries: 1,
+                bytes: 1,
+                threshold: 1,
+            },
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn alert_kinds_are_instant_and_flagged() {
+        let alerts = [
+            TraceKind::StalledJourney {
+                last_host: "s1".into(),
+                idle_ms: 250,
+                deadline_ms: 200,
+            },
+            TraceKind::OrphanSuspected {
+                last_host: "s1".into(),
+                idle_ms: 250,
+            },
+            TraceKind::MailboxBacklog {
+                depth: 40,
+                threshold: 32,
+            },
+            TraceKind::JournalLagHigh {
+                entries: 70,
+                bytes: 9_000,
+                threshold: 64,
+            },
+        ];
+        for kind in alerts {
+            assert!(kind.is_alert(), "{} must be an alert", kind.name());
+            assert!(kind.span_start().is_none(), "alerts are instants");
+            assert!(kind.name().starts_with("alert."));
+        }
+        assert!(!TraceKind::Crash.is_alert());
     }
 
     #[test]

@@ -193,6 +193,27 @@ pub enum Wire {
         /// The admitted naplet (diagnostics).
         id: NapletId,
     },
+    /// Privileged health probe: ask a server for its
+    /// [`crate::status::StatusReport`]. Gated by the receiving
+    /// server's security policy under
+    /// `Permission::PrivilegedService("status")` — an unauthorized
+    /// credential is refused with an empty reply.
+    StatusRequest {
+        /// Correlation token (echoed in the reply).
+        token: u64,
+        /// Where to send the reply.
+        reply_to: String,
+        /// The prober's credential, checked against the policy matrix.
+        credential: naplet_core::credential::Credential,
+    },
+    /// Health probe reply. `report` is `None` when the probe was
+    /// refused by the security policy.
+    StatusReply {
+        /// Echoed token.
+        token: u64,
+        /// The probed server's report, or `None` on refusal.
+        report: Option<crate::status::StatusReport>,
+    },
 }
 
 impl Wire {
@@ -236,6 +257,8 @@ impl Wire {
             Wire::Notify { .. } => "Notify",
             Wire::AppRequest { .. } => "AppRequest",
             Wire::AppReply { .. } => "AppReply",
+            Wire::StatusRequest { .. } => "StatusRequest",
+            Wire::StatusReply { .. } => "StatusReply",
         }
     }
 
@@ -258,7 +281,9 @@ impl Wire {
             Wire::LandingReply { .. }
             | Wire::Post { .. }
             | Wire::AppRequest { .. }
-            | Wire::AppReply { .. } => None,
+            | Wire::AppReply { .. }
+            | Wire::StatusRequest { .. }
+            | Wire::StatusReply { .. } => None,
         }
     }
 }
@@ -547,6 +572,34 @@ mod tests {
         };
         assert_eq!(reply.label(), "LandingReply");
         assert_eq!(reply.subject(), None);
+    }
+
+    #[test]
+    fn status_frames_are_control_class_and_round_trip() {
+        let key = naplet_core::credential::SigningKey::new("ops", b"secret");
+        let id = NapletId::new("ops", "man", Millis(0)).unwrap();
+        let req = Wire::StatusRequest {
+            token: 5,
+            reply_to: "man".into(),
+            credential: naplet_core::credential::Credential::issue(&key, id, "status", vec![]),
+        };
+        assert_eq!(req.traffic_class(), TrafficClass::Control);
+        assert_eq!(req.retry_attempt(), 1);
+        assert_eq!(req.label(), "StatusRequest");
+        assert_eq!(req.subject(), None);
+        let bytes = naplet_core::codec::to_bytes(&req).unwrap();
+        let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, req);
+
+        let reply = Wire::StatusReply {
+            token: 5,
+            report: None,
+        };
+        assert_eq!(reply.label(), "StatusReply");
+        assert_eq!(reply.traffic_class(), TrafficClass::Control);
+        let bytes = naplet_core::codec::to_bytes(&reply).unwrap();
+        let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, reply);
     }
 
     #[test]

@@ -460,6 +460,28 @@ impl Journal {
             .unwrap_or(0)
     }
 
+    /// Journal lag for the ops plane: `(entries, bytes)` over the
+    /// un-retired naplet records (`n/` prefix) — durable work the
+    /// protocol has not yet confirmed away. O(records); meant for
+    /// status sweeps, not hot paths.
+    pub fn lag(&self) -> (u64, u64) {
+        let Ok(keys) = self.store.keys() else {
+            return (0, 0);
+        };
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for key in keys {
+            if !key.starts_with("n/") {
+                continue;
+            }
+            entries += 1;
+            if let Ok(Some(value)) = self.store.get(&key) {
+                bytes += value.len() as u64;
+            }
+        }
+        (entries, bytes)
+    }
+
     /// Number of records of any kind.
     pub fn len(&self) -> usize {
         self.store.keys().map(|k| k.len()).unwrap_or(0)
@@ -597,6 +619,24 @@ mod tests {
         let left = journal.seen();
         assert_eq!(left.len(), 1);
         assert_eq!(left[0].0, ("s2".to_string(), 9));
+    }
+
+    #[test]
+    fn lag_counts_only_unretired_naplet_records() {
+        let mut journal = Journal::in_memory();
+        assert_eq!(journal.lag(), (0, 0));
+        let naplet = sample_naplet();
+        let id = naplet.id().clone();
+        journal
+            .record_naplet(&id, &naplet, JournalPhase::Parked, Millis(1))
+            .unwrap();
+        journal.record_creation(&id, &naplet).unwrap(); // not lag
+        journal.note_seen("s1", 7, Millis(1)).unwrap(); // not lag
+        let (entries, bytes) = journal.lag();
+        assert_eq!(entries, 1);
+        assert!(bytes > 0, "a journaled agent image has bytes");
+        journal.retire(&id).unwrap();
+        assert_eq!(journal.lag(), (0, 0));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod runtime;
 pub mod security;
 pub mod server;
 pub mod service_channel;
+pub mod status;
 
 pub use directory::{DirEntry, DirEvent, NapletDirectory};
 pub use events::{EventLog, Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
@@ -52,3 +53,4 @@ pub use runtime::SimRuntime;
 pub use security::{Matcher, Permission, Policy, Rule, SecurityManager};
 pub use server::{LocationMode, NapletServer, ServerConfig};
 pub use service_channel::{ChannelIo, OpenService, PrivilegedService, ServiceChannel};
+pub use status::{ResidentStatus, StatusReport};

@@ -17,7 +17,7 @@ use naplet_core::clock::Millis;
 use naplet_core::error::{NapletError, Result};
 use naplet_core::naplet::Naplet;
 use naplet_net::{Fabric, Frame, ThreadedNet, TrafficClass};
-use naplet_obs::ObsSink;
+use naplet_obs::{ObsSink, WatchdogConfig};
 
 use crate::events::{Input, LocalEvent, Output, Wire};
 use crate::server::{NapletServer, ServerConfig};
@@ -41,6 +41,8 @@ pub struct LiveRuntime {
     /// are wall-clock ordered, so unlike the sim they are not
     /// deterministic — but the same taxonomy and exporters apply.
     obs: ObsSink,
+    /// Watchdog sweep thread (armed by `enable_watchdog` + `start`).
+    sweeper: Option<JoinHandle<()>>,
 }
 
 impl LiveRuntime {
@@ -55,6 +57,7 @@ impl LiveRuntime {
             threads: Vec::new(),
             staging: Vec::new(),
             obs: ObsSink::default(),
+            sweeper: None,
         }
     }
 
@@ -72,6 +75,21 @@ impl LiveRuntime {
     /// servers added after the call or before [`LiveRuntime::start`].
     pub fn enable_tracing(&mut self) {
         self.obs.enable_tracing();
+    }
+
+    /// Arm the journey watchdog for the whole space. The sweep thread
+    /// started by [`LiveRuntime::start`] checks progress deadlines in
+    /// wall-clock-since-epoch time; server-health sweeps are a
+    /// sim-runtime feature only (live servers belong to their threads,
+    /// and the status protocol polls them over the wire instead).
+    pub fn enable_watchdog(&mut self, config: WatchdogConfig) {
+        self.obs.enable_watchdog(config);
+    }
+
+    /// Stall alerts raised so far (wall-clock ordered, so not
+    /// deterministic — the sim runtime is the measurement harness).
+    pub fn alerts(&self) -> Vec<naplet_obs::TraceEvent> {
+        self.obs.watchdog.alerts()
     }
 
     /// Add a server. It starts pumping when [`LiveRuntime::start`] is
@@ -117,6 +135,35 @@ impl LiveRuntime {
                 .expect("spawn server thread");
             self.threads.push((host, handle));
         }
+        if self.obs.watchdog.enabled() && self.sweeper.is_none() {
+            let obs = self.obs.clone();
+            let stop = Arc::clone(&self.stop);
+            let epoch = self.epoch;
+            let tick = Duration::from_millis(self.obs.watchdog.config().tick_ms.max(1));
+            let handle = std::thread::Builder::new()
+                .name("naplet-watchdog".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        let now = Millis(epoch.elapsed().as_millis() as u64);
+                        for alert in obs.watchdog.check(now) {
+                            obs.metrics.incr("alerts.raised", 1);
+                            obs.metrics.incr(
+                                if alert.orphan {
+                                    "alerts.orphan"
+                                } else {
+                                    "alerts.stalled"
+                                },
+                                1,
+                            );
+                            let ev = alert.event;
+                            obs.tracer.emit(move || ev);
+                        }
+                    }
+                })
+                .expect("spawn watchdog thread");
+            self.sweeper = Some(handle);
+        }
     }
 
     /// Wall-clock time since the runtime epoch, in ms.
@@ -128,6 +175,9 @@ impl LiveRuntime {
     /// (reports, logs, tables), keyed by host.
     pub fn shutdown(mut self) -> Vec<(String, NapletServer)> {
         self.stop.store(true, Ordering::Relaxed);
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
+        }
         let mut out = Vec::new();
         for (host, handle) in self.threads.drain(..) {
             if let Ok(server) = handle.join() {

@@ -32,6 +32,11 @@ pub struct Locator {
     pub hits: u64,
     /// Cache misses.
     pub misses: u64,
+    /// Hits that later proved stale (the hinted host had to forward
+    /// or bounce the message).
+    pub stale_hits: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
 }
 
 impl Default for Locator {
@@ -48,6 +53,8 @@ impl Locator {
             capacity: capacity.max(1),
             hits: 0,
             misses: 0,
+            stale_hits: 0,
+            evictions: 0,
         }
     }
 
@@ -66,8 +73,10 @@ impl Locator {
     }
 
     /// Install or refresh a hint (on directory replies, confirmations,
-    /// and migration notifications).
-    pub fn put(&mut self, id: NapletId, host: &str, now: Millis) {
+    /// and migration notifications). Returns true when an older entry
+    /// was evicted to make room.
+    pub fn put(&mut self, id: NapletId, host: &str, now: Millis) -> bool {
+        let mut evicted = false;
         if self.cache.len() >= self.capacity && !self.cache.contains_key(&id) {
             // evict the oldest entry
             if let Some(oldest) = self
@@ -77,6 +86,8 @@ impl Locator {
                 .map(|(k, _)| k.clone())
             {
                 self.cache.remove(&oldest);
+                self.evictions += 1;
+                evicted = true;
             }
         }
         self.cache.insert(
@@ -86,11 +97,30 @@ impl Locator {
                 cached_at: now,
             },
         );
+        evicted
     }
 
     /// Drop a hint that proved wrong (forwarded message bounced).
     pub fn invalidate(&mut self, id: &NapletId) {
         self.cache.remove(id);
+    }
+
+    /// A hit served earlier proved stale: the hinted host no longer
+    /// held the agent and the message had to forward or bounce.
+    /// Counted separately from `hits` so the ops plane can report the
+    /// cache's *useful* hit rate.
+    pub fn note_stale(&mut self) {
+        self.stale_hits += 1;
+    }
+
+    /// Age in ms of the oldest surviving hint (0 when empty): the
+    /// staleness floor the status report exposes.
+    pub fn oldest_hint_age(&self, now: Millis) -> u64 {
+        self.cache
+            .values()
+            .map(|loc| now.since(loc.cached_at))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Cached entry count.
@@ -156,6 +186,22 @@ mod tests {
         l.put(nid(1), "a2", Millis(3)); // refresh, no eviction
         assert_eq!(l.len(), 2);
         assert!(l.get(&nid(2)).is_some());
+    }
+
+    #[test]
+    fn staleness_accounting() {
+        let mut l = Locator::new(2);
+        l.put(nid(1), "a", Millis(1));
+        l.put(nid(2), "b", Millis(4));
+        assert_eq!(l.oldest_hint_age(Millis(10)), 9);
+        let _ = l.get(&nid(1));
+        l.note_stale(); // the hint at "a" bounced
+        assert_eq!(l.stale_hits, 1);
+        assert!(l.put(nid(3), "c", Millis(5)), "evicts nid(1)");
+        assert_eq!(l.evictions, 1);
+        assert_eq!(l.oldest_hint_age(Millis(10)), 6);
+        let empty = Locator::new(2);
+        assert_eq!(empty.oldest_hint_age(Millis(10)), 0);
     }
 
     #[test]

@@ -18,10 +18,11 @@ use naplet_core::message::Payload;
 use naplet_core::naplet::Naplet;
 use naplet_core::value::Value;
 use naplet_net::{EventQueue, Fabric, TrafficClass};
-use naplet_obs::{ObsSink, TraceKind};
+use naplet_obs::{ObsSink, StallAlert, TraceKind, WatchdogConfig};
 
 use crate::events::{Input, LocalEvent, Output, Wire};
 use crate::server::{NapletServer, ServerConfig};
+use crate::status::StatusReport;
 
 /// Approximate frame overhead on top of the codec-encoded payload
 /// (length prefix, class tag, host names) — mirrors
@@ -55,6 +56,10 @@ enum SimEvent {
     /// Restart a crashed `host`: rebuild the server from its original
     /// configuration and replay its journal.
     Restart { host: String },
+    /// Periodic journey-stall / server-health sweep. At most one is in
+    /// flight; it re-arms itself only while the watchdog still tracks
+    /// an unalerted journey, so a drained space reaches quiescence.
+    WatchdogTick,
 }
 
 /// The deterministic multi-server driver.
@@ -83,6 +88,10 @@ pub struct SimRuntime {
     /// [`SimRuntime::with_baseline_profile`] so the bench suite can
     /// A/B the hot-path work; results are byte-for-byte identical.
     baseline_sizing: bool,
+    /// True while a [`SimEvent::WatchdogTick`] sits in the queue.
+    tick_pending: bool,
+    /// Stall alerts raised by the watchdog, in raise order.
+    alerts: Vec<StallAlert>,
 }
 
 impl SimRuntime {
@@ -100,6 +109,8 @@ impl SimRuntime {
             events_processed: 0,
             obs: ObsSink::default(),
             baseline_sizing: false,
+            tick_pending: false,
+            alerts: Vec::new(),
         }
     }
 
@@ -131,6 +142,35 @@ impl SimRuntime {
     /// collected; the trace-event stream is opt-in.
     pub fn enable_tracing(&mut self) {
         self.obs.enable_tracing();
+    }
+
+    /// Arm the journey watchdog for the whole space. Progress is fed
+    /// from the trace-event stream (even with tracing off); a sweep
+    /// runs every `config.tick_ms` of virtual time while any unalerted
+    /// journey is tracked, so a drained space still quiesces. Alerts
+    /// land in [`SimRuntime::alerts`], the metrics registry, and (when
+    /// tracing is on) the trace stream.
+    pub fn enable_watchdog(&mut self, config: WatchdogConfig) {
+        self.obs.enable_watchdog(config);
+        self.maybe_schedule_tick();
+    }
+
+    /// Stall alerts raised so far, in raise order (deterministic for a
+    /// seeded run).
+    pub fn alerts(&self) -> &[StallAlert] {
+        &self.alerts
+    }
+
+    /// Assemble a [`StatusReport`] from every live server, sorted by
+    /// host — the local (in-process) counterpart of the wire-level
+    /// status protocol, and what `figures status` renders.
+    pub fn status_reports(&self) -> Vec<StatusReport> {
+        let now = self.now();
+        self.server_hosts()
+            .iter()
+            .filter(|h| !self.crashed.contains(*h))
+            .filter_map(|h| self.servers.get(h).map(|s| s.status_report(now)))
+            .collect()
     }
 
     /// Current virtual time.
@@ -291,6 +331,7 @@ impl SimRuntime {
             SimEvent::Deliver { to, .. } => Some(to.clone()),
             SimEvent::Local { host, .. } => Some(host.clone()),
             SimEvent::Crash { host, .. } | SimEvent::Restart { host } => Some(host.clone()),
+            SimEvent::WatchdogTick => None,
         };
         self.dispatch(ev);
         target
@@ -298,10 +339,11 @@ impl SimRuntime {
 
     /// The host the next queued event targets, without processing it.
     pub fn peek_target(&self) -> Option<String> {
-        self.queue.peek().map(|ev| match ev {
-            SimEvent::Deliver { to, .. } => to.clone(),
-            SimEvent::Local { host, .. } => host.clone(),
-            SimEvent::Crash { host, .. } | SimEvent::Restart { host } => host.clone(),
+        self.queue.peek().and_then(|ev| match ev {
+            SimEvent::Deliver { to, .. } => Some(to.clone()),
+            SimEvent::Local { host, .. } => Some(host.clone()),
+            SimEvent::Crash { host, .. } | SimEvent::Restart { host } => Some(host.clone()),
+            SimEvent::WatchdogTick => None,
         })
     }
 
@@ -374,6 +416,92 @@ impl SimRuntime {
             }
             SimEvent::Restart { host } => {
                 self.perform_restart(&host);
+            }
+            SimEvent::WatchdogTick => {
+                self.tick_pending = false;
+                self.watchdog_sweep(now);
+            }
+        }
+        self.maybe_schedule_tick();
+    }
+
+    /// Keep exactly one watchdog tick queued while any unalerted
+    /// journey is tracked. Called after every dispatched event (and on
+    /// enable), so ticks stop — and the sim drains — once every
+    /// journey has finished or already alerted.
+    fn maybe_schedule_tick(&mut self) {
+        if self.tick_pending || !self.obs.watchdog.enabled() || !self.obs.watchdog.wants_tick() {
+            return;
+        }
+        self.queue
+            .push_after(self.obs.watchdog.config().tick_ms, SimEvent::WatchdogTick);
+        self.tick_pending = true;
+    }
+
+    /// One watchdog pass: journey-stall checks, then a server-health
+    /// sweep (mailbox backlog, journal lag) over live servers in
+    /// sorted-host order — both deterministic in virtual time.
+    fn watchdog_sweep(&mut self, now: Millis) {
+        let config = self.obs.watchdog.config();
+        let alerts = self.obs.watchdog.check(now);
+        for alert in &alerts {
+            self.obs.metrics.incr("alerts.raised", 1);
+            self.obs.metrics.incr(
+                if alert.orphan {
+                    "alerts.orphan"
+                } else {
+                    "alerts.stalled"
+                },
+                1,
+            );
+            let ev = alert.event.clone();
+            self.obs.tracer.emit(move || ev);
+            if config.early_redispatch {
+                // pull the home server's lease check forward: the
+                // watchdog suspects an orphan before the lease window
+                // would have noticed on its own
+                if let Ok(id) = alert.naplet.parse::<NapletId>() {
+                    if let Some(server) = self.servers.get_mut(&alert.home) {
+                        let outputs =
+                            server.handle(now, Input::Local(LocalEvent::LeaseCheck { id }));
+                        let home = alert.home.clone();
+                        self.process_outputs(&home, outputs);
+                    }
+                }
+            }
+        }
+        self.alerts.extend(alerts);
+        for host in self.server_hosts() {
+            if self.crashed.contains(&host) {
+                continue;
+            }
+            let Some(server) = self.servers.get(&host) else {
+                continue;
+            };
+            let report = server.status_report(now);
+            let depth = report.mailbox_depth + report.special_mailbox_depth;
+            if depth >= config.mailbox_threshold {
+                let kind = TraceKind::MailboxBacklog {
+                    depth,
+                    threshold: config.mailbox_threshold,
+                };
+                if let Some(ev) = self.obs.watchdog.raise_server_alert(now, &host, kind) {
+                    self.obs.metrics.incr("alerts.raised", 1);
+                    self.obs.metrics.incr("alerts.mailbox", 1);
+                    self.obs.tracer.emit(move || ev);
+                }
+            }
+            if report.journal_entries >= config.journal_threshold {
+                let kind = TraceKind::JournalLagHigh {
+                    entries: report.journal_entries,
+                    bytes: report.journal_bytes,
+                    threshold: config.journal_threshold,
+                };
+                if let Some(ev) = self.obs.watchdog.raise_server_alert(now, &host, kind) {
+                    self.obs.metrics.incr("alerts.raised", 1);
+                    self.obs.metrics.incr("alerts.journal", 1);
+                    self.obs.tracer.emit(move || ev);
+                }
             }
         }
     }

@@ -35,6 +35,7 @@ use crate::monitor::{MonitorPolicy, NapletMonitor, RunState};
 use crate::resources::ResourceManager;
 use crate::retry::RetryPolicy;
 use crate::security::{Permission, SecurityManager};
+use crate::status::{ResidentStatus, StatusReport};
 
 /// How naplets are traced and located (paper §4.1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -247,6 +248,9 @@ pub struct NapletServer {
     /// Application-level replies received at this host
     /// (token, tag, body).
     pub app_replies: Vec<(u64, String, Vec<u8>)>,
+    /// Status-probe replies received at this host (token, report);
+    /// `None` reports mark probes the peer's security policy refused.
+    pub status_replies: Vec<(u64, Option<StatusReport>)>,
     /// Human-readable event log (bounded ring).
     pub log: EventLog,
     /// Structured observation endpoint (shared with the driver).
@@ -290,6 +294,7 @@ impl NapletServer {
             completed: Vec::new(),
             reports: Vec::new(),
             app_replies: Vec::new(),
+            status_replies: Vec::new(),
             log: EventLog::with_capacity(config.log_capacity),
             obs: ObsSink::default(),
         }
@@ -782,7 +787,7 @@ impl NapletServer {
                 };
                 match entry {
                     Some((host, _event)) => {
-                        self.locator.put(id.clone(), &host, now);
+                        self.cache_location(id.clone(), &host, now);
                         self.send_post(pending.msg, &host, now, out);
                     }
                     None => {
@@ -810,7 +815,7 @@ impl NapletServer {
                 self.messenger
                     .record_confirmation(sender, seq, &delivered_at, now);
                 // the confirmation doubles as a fresh location hint
-                self.locator.put(target, &delivered_at, now);
+                self.cache_location(target, &delivered_at, now);
             }
             Wire::Report { id, body } => {
                 self.logf(now, format!("REPORT from {id}"));
@@ -854,6 +859,38 @@ impl NapletServer {
                 // collected for local application code (e.g. the
                 // centralized management baseline running at this host)
                 self.app_replies.push((token, tag, body));
+            }
+            Wire::StatusRequest {
+                token,
+                reply_to,
+                credential,
+            } => {
+                // the probe is privileged: only credentials the policy
+                // matrix grants PrivilegedService("status") may read a
+                // server's internals
+                let report = match self
+                    .security
+                    .check(&credential, Permission::PrivilegedService("status".into()))
+                {
+                    Ok(()) => {
+                        self.obs.metrics.incr("status.probes", 1);
+                        Some(self.status_report(now))
+                    }
+                    Err(e) => {
+                        self.obs.metrics.incr("status.refused", 1);
+                        self.logf(now, format!("STATUS probe from {from} refused: {e}"));
+                        None
+                    }
+                };
+                out.push(Output::Send {
+                    to: reply_to,
+                    wire: Wire::StatusReply { token, report },
+                });
+            }
+            Wire::StatusReply { token, report } => {
+                // collected for the polling side (peer server, the
+                // centralized manager, or a figures CLI station)
+                self.status_replies.push((token, report));
             }
         }
     }
@@ -1555,6 +1592,64 @@ impl NapletServer {
         self.pending_transfers.len()
     }
 
+    /// Assemble this server's health probe report: a deterministic,
+    /// read-only aggregation of the monitor's run table, the post
+    /// office's queues, the journal's un-retired lag, the lease table
+    /// and the locator's cache counters. Sorted collections only, so
+    /// the codec encoding of the report is byte-stable. No new locks,
+    /// no hot-path bookkeeping — probing costs what a diagnostics
+    /// dump costs.
+    pub fn status_report(&self, now: Millis) -> StatusReport {
+        let mut residents = Vec::new();
+        let mut mailbox_depth = 0u64;
+        for id in self.monitor.resident() {
+            let Some(entry) = self.monitor.get(&id) else {
+                continue;
+            };
+            let usage = self
+                .monitor
+                .usage()
+                .get(&id.to_string())
+                .copied()
+                .unwrap_or_default();
+            let mailbox = entry.mailbox.len() as u64;
+            mailbox_depth += mailbox;
+            residents.push(ResidentStatus {
+                id: id.to_string(),
+                visit_epoch: entry.naplet.nav_log.visit_epoch(),
+                dwell_ms: now.since(entry.arrived_at),
+                mailbox,
+                visits: usage.visits,
+                gas: usage.gas,
+                msg_bytes: usage.msg_bytes,
+                peak_state_bytes: usage.peak_state_bytes,
+            });
+        }
+        let (journal_entries, journal_bytes) = self.journal.lag();
+        StatusReport {
+            host: self.host.clone(),
+            at: now,
+            residents,
+            parked: self.parked.len() as u64,
+            mailbox_depth,
+            special_mailbox_depth: self.messenger.early_waiting() as u64,
+            journal_entries,
+            journal_bytes,
+            leases_held: self.leases.held() as u64,
+            leases_expired: self.leases.expired,
+            leases_redispatched: self.leases.redispatched,
+            leases_lost: self.leases.lost,
+            locator_entries: self.locator.len() as u64,
+            locator_hits: self.locator.hits,
+            locator_misses: self.locator.misses,
+            locator_stale_hits: self.locator.stale_hits,
+            locator_evictions: self.locator.evictions,
+            locator_oldest_age_ms: self.locator.oldest_hint_age(now),
+            pending_transfers: self.pending_transfers.len() as u64,
+            outstanding_posts: self.messenger.outstanding_count() as u64,
+        }
+    }
+
     /// Arrival processing (local continuation or network transfer).
     /// `carry` is mail already in the naplet's custody (same-host
     /// continuations); it bypasses the delivery-dedup check because it
@@ -2108,6 +2203,14 @@ impl NapletServer {
         }
     }
 
+    /// Install a location hint, surfacing capacity evictions to the
+    /// space-wide metrics registry (`locator_cache_evictions`).
+    fn cache_location(&mut self, id: NapletId, host: &str, now: Millis) {
+        if self.locator.put(id, host, now) {
+            self.obs.metrics.incr("locator_cache_evictions", 1);
+        }
+    }
+
     /// First-hop routing for a locally posted message. Also the
     /// redelivery entry point: the origin retains a copy and arms a
     /// timer, so a message lost in flight is re-routed until its
@@ -2139,6 +2242,7 @@ impl NapletServer {
         // locator cache
         if let Some(loc) = self.locator.get(&target) {
             let host = loc.host.clone();
+            self.obs.metrics.incr("locator_cache_hits", 1);
             self.send_post(msg, &host, now, out);
             return;
         }
@@ -2160,7 +2264,7 @@ impl NapletServer {
                 // we hold the directory shard
                 match self.directory.lookup(&target).map(|e| e.host.clone()) {
                     Some(host) => {
-                        self.locator.put(target, &host, now);
+                        self.cache_location(target, &host, now);
                         self.send_post(msg, &host, now, out);
                     }
                     None => self.messenger.stash_early(msg, &self.host),
@@ -2248,9 +2352,12 @@ impl NapletServer {
         match self.manager.trace(&target) {
             Some(Some(next)) => {
                 // case 2: it moved on — forward the chase, and refresh
-                // our own cache with the footprint's fresher pointer
+                // our own cache with the footprint's fresher pointer.
+                // Whatever hint routed the chase here was stale.
                 let next = next.to_string();
-                self.locator.put(target.clone(), &next, now);
+                self.locator.note_stale();
+                self.obs.metrics.incr("locator_cache_stale_hits", 1);
+                self.cache_location(target.clone(), &next, now);
                 if self.messenger.may_forward(&msg) {
                     msg.forward_hops += 1;
                     self.obs.metrics.incr("post.forward_hops", 1);
@@ -2273,6 +2380,8 @@ impl NapletServer {
                 // case 3: no record — it may not have arrived yet.
                 // Whatever cached location pointed this chase here is
                 // stale; forget it so the next resolution starts fresh.
+                self.locator.note_stale();
+                self.obs.metrics.incr("locator_cache_stale_hits", 1);
                 self.locator.invalidate(&target);
                 self.messenger.stash_early(msg, &origin_host);
                 self.note_special_mailbox_depth();

@@ -194,6 +194,49 @@ fn locator_cache_accelerates_repeat_sends() {
 }
 
 #[test]
+fn forwarded_message_counts_a_stale_cache_hit() {
+    // message 1 caches the naplet's location at s0; the agent then
+    // migrates to s1, so message 2 is routed on a stale hint and has
+    // to chase — which must show up in the locator staleness counters
+    let mut rt = world(
+        LocationMode::CentralDirectory("dir".into()),
+        &["home", "dir", "s0", "s1"],
+        200,
+    );
+    let naplet = probe(&["s0", "s1"], 1);
+    let id = naplet.id().clone();
+    rt.launch(naplet).unwrap();
+    rt.run_until(Millis(100)); // resident and dwelling at s0
+
+    rt.owner_post("home", id.clone(), Payload::User(Value::Int(1)))
+        .unwrap();
+    rt.run_until(Millis(150)); // delivered; hint "s0" cached at home
+    let stale_before = rt.obs().metrics.counter("locator_cache_stale_hits");
+    rt.run_until(Millis(350)); // dwell over: the agent moved on to s1
+
+    rt.owner_post("home", id, Payload::User(Value::Int(2)))
+        .unwrap();
+    rt.run_to_quiescence(100_000);
+    let stale_after = rt.obs().metrics.counter("locator_cache_stale_hits");
+    assert!(
+        stale_after > stale_before,
+        "the chased delivery must count a stale cache hit \
+         (before {stale_before}, after {stale_after})"
+    );
+    let home = rt.server("home").unwrap();
+    assert!(
+        home.messenger
+            .confirmation(&naplet_core::message::Sender::Owner("home".into()), 2)
+            .is_some(),
+        "message 2 still reaches the agent via the chase"
+    );
+    assert!(
+        rt.obs().metrics.counter("locator_cache_hits") >= 1,
+        "message 2's first hop was served from the (stale) cache"
+    );
+}
+
+#[test]
 fn alt_itinerary_picks_reachable_alternative_end_to_end() {
     let mut rt = world(
         LocationMode::ForwardingTrace,
