@@ -73,6 +73,18 @@ fn main() {
     if args.iter().any(|a| a == "prom") {
         dump_prometheus();
     }
+    // live counterpart of `status`: poll a running napletd cluster.
+    // `figures cluster-status <bootstrap.toml> [station]` — paths may
+    // be case-sensitive, so read them from the raw (un-lowercased)
+    // argument list
+    if args.iter().any(|a| a == "cluster-status") {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let at = raw
+            .iter()
+            .position(|a| a.to_lowercase() == "cluster-status")
+            .unwrap();
+        std::process::exit(cluster_status(&raw[at + 1..]));
+    }
 }
 
 /// F1 — the hierarchical naplet id of Figure 1.
@@ -460,6 +472,63 @@ fn show_watch() {
 fn dump_prometheus() {
     let out = watched_chaos_experiment(0.05, &[("s1", 10, 700)], 200, 42);
     print!("{}", naplet_obs::prometheus_text(&out.obs.metrics));
+}
+
+/// `figures cluster-status <bootstrap.toml> [station]` — the live
+/// counterpart of `figures status`: bind the `station` node (default
+/// `ctl`) from the bootstrap file and poll every other node's running
+/// daemon for its status report. Exit code 1 when any node fails to
+/// answer, so the CI cluster-smoke job can use it as a health gate.
+fn cluster_status(rest: &[String]) -> i32 {
+    let Some(path) = rest.first() else {
+        eprintln!("usage: figures cluster-status <bootstrap.toml> [station]");
+        return 2;
+    };
+    let station = rest.get(1).map(String::as_str).unwrap_or("ctl");
+    let config = match naplet_server::BootstrapConfig::load(std::path::Path::new(path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cluster-status: cannot load `{path}`: {e}");
+            return 2;
+        }
+    };
+    let targets: Vec<String> = config
+        .nodes
+        .iter()
+        .map(|n| n.name.clone())
+        .filter(|n| n != station)
+        .collect();
+    let mut poller = match naplet_man::ClusterStatusPoller::connect(&config, station) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cluster-status: cannot bind station `{station}`: {e}");
+            return 2;
+        }
+    };
+    let reports = match poller.poll(&targets, std::time::Duration::from_secs(5)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster-status: poll failed: {e}");
+            return 2;
+        }
+    };
+    print!(
+        "{}",
+        naplet_man::ClusterStatusPoller::render_table(&reports)
+    );
+    let heard: std::collections::BTreeSet<&str> = reports.iter().map(|r| r.host.as_str()).collect();
+    let mut missing = 0;
+    for target in &targets {
+        if !heard.contains(target.as_str()) {
+            eprintln!("cluster-status: no reply from `{target}`");
+            missing += 1;
+        }
+    }
+    if missing > 0 {
+        1
+    } else {
+        0
+    }
 }
 
 /// E9 — scheduling-policy ablation (§5.2 future work): journey time by

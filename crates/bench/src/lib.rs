@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod scenarios;
 pub mod suite;

@@ -1,0 +1,198 @@
+//! Live ops plane over real sockets: poll a running `napletd` cluster.
+//!
+//! [`crate::centralized::CentralizedManager::status_poll`] drives the
+//! wire-level status protocol inside the deterministic sim; this is
+//! the same protocol pointed at real daemons. A
+//! [`ClusterStatusPoller`] is a station node from the cluster's
+//! bootstrap file (an entry no daemon was started for — conventionally
+//! `ctl` or `mon`): it binds the station's listen address, sends
+//! privileged `StatusRequest` frames to named peers over TCP, and
+//! pumps its in-process station server until every reply has landed or
+//! the deadline passes.
+//!
+//! A daemon that is down, or whose security policy refuses
+//! `PrivilegedService("status")`, simply contributes no report — the
+//! poller returns what it heard, sorted by host, and the caller
+//! compares against the set it asked for.
+
+use std::time::{Duration, Instant};
+
+use naplet_core::clock::Millis;
+use naplet_core::credential::{Credential, SigningKey};
+use naplet_core::error::Result;
+use naplet_core::NapletId;
+use naplet_net::tcp::TcpTransport;
+use naplet_net::Frame;
+use naplet_server::bootstrap::BootstrapConfig;
+use naplet_server::events::{Input, Wire};
+use naplet_server::status::StatusReport;
+use naplet_server::{LocationMode, NapletServer, ServerConfig};
+
+/// A status station attached to a live cluster.
+pub struct ClusterStatusPoller {
+    station: String,
+    server: NapletServer,
+    rx: crossbeam::channel::Receiver<Frame>,
+    net: TcpTransport,
+    key: SigningKey,
+    next_token: u64,
+    epoch: Instant,
+    scratch: Vec<u8>,
+}
+
+impl ClusterStatusPoller {
+    /// Bind the `station` node's listen address from `config` and get
+    /// ready to poll its peers. The station must be a `[[node]]` entry
+    /// no daemon occupies.
+    pub fn connect(config: &BootstrapConfig, station: &str) -> Result<ClusterStatusPoller> {
+        let net = TcpTransport::start(config.tcp_config(station)?)?;
+        let rx = net.register(station);
+        let server = NapletServer::new(ServerConfig::open(station, LocationMode::ForwardingTrace));
+        Ok(ClusterStatusPoller {
+            station: station.to_string(),
+            server,
+            rx,
+            net,
+            key: SigningKey::new("ops", b"status-station"),
+            next_token: 0,
+            epoch: Instant::now(),
+            scratch: Vec::new(),
+        })
+    }
+
+    fn now(&self) -> Millis {
+        Millis(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    /// Poll `targets` and wait up to `timeout` for their reports.
+    /// Returns whatever arrived in time, sorted by host — absent hosts
+    /// are the caller's signal that a node is down or refusing.
+    pub fn poll(&mut self, targets: &[String], timeout: Duration) -> Result<Vec<StatusReport>> {
+        let id = NapletId::new(&self.key.principal, &self.station, Millis(1))?;
+        let credential = Credential::issue(&self.key, id, "ops-plane", vec![]);
+        let mut waiting = std::collections::BTreeSet::new();
+        for target in targets {
+            self.next_token += 1;
+            waiting.insert(self.next_token);
+            let wire = Wire::StatusRequest {
+                token: self.next_token,
+                reply_to: self.station.clone(),
+                credential: credential.clone(),
+            };
+            if naplet_core::codec::to_bytes_into(&wire, &mut self.scratch).is_ok() {
+                let frame = Frame::new(
+                    &self.station,
+                    target,
+                    wire.traffic_class(),
+                    self.scratch.clone(),
+                );
+                let _ = self.net.send(frame);
+            }
+        }
+
+        let deadline = Instant::now() + timeout;
+        while !waiting.is_empty() && Instant::now() < deadline {
+            match self.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(frame) => {
+                    if let Ok(wire) = naplet_core::codec::from_bytes::<Wire>(&frame.payload) {
+                        let now = self.now();
+                        let from = frame.from.clone();
+                        // a station only collects; replies need no
+                        // enactment of their own
+                        let _ = self.server.handle(now, Input::Wire { from, wire });
+                    }
+                    for (token, _) in &self.server.status_replies {
+                        waiting.remove(token);
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+
+        let mut reports: Vec<StatusReport> = std::mem::take(&mut self.server.status_replies)
+            .into_iter()
+            .filter_map(|(_, report)| report)
+            .collect();
+        reports.sort_by(|a, b| a.host.cmp(&b.host));
+        Ok(reports)
+    }
+
+    /// Render reports as a fixed-width health table, the live
+    /// counterpart of the `figures status` sim view.
+    pub fn render_table(reports: &[StatusReport]) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "host        residents  parked  mailbox  journal(entries/bytes)  leases(held/exp/redisp/lost)\n",
+        );
+        for r in reports {
+            out.push_str(&format!(
+                "{:<11} {:>9}  {:>6}  {:>7}  {:>11}/{:<10}  {}/{}/{}/{}\n",
+                r.host,
+                r.residents.len(),
+                r.parked,
+                r.mailbox_depth + r.special_mailbox_depth,
+                r.journal_entries,
+                r.journal_bytes,
+                r.leases_held,
+                r.leases_expired,
+                r.leases_redispatched,
+                r.leases_lost,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naplet_server::Daemon;
+    use std::net::TcpListener;
+    use std::sync::atomic::Ordering;
+
+    fn free_addrs(n: usize) -> Vec<String> {
+        // reserved until the Vec drops, just before the daemons bind
+        let held: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        held.iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn poller_collects_reports_from_live_daemons() {
+        let addrs = free_addrs(3);
+        let config = BootstrapConfig::parse(&format!(
+            "[[node]]\nname = \"alpha\"\nlisten = \"{}\"\n\
+             [[node]]\nname = \"beta\"\nlisten = \"{}\"\n\
+             [[node]]\nname = \"mon\"\nlisten = \"{}\"\n",
+            addrs[0], addrs[1], addrs[2]
+        ))
+        .unwrap();
+        let alpha = Daemon::start(&config, "alpha").unwrap();
+        let beta = Daemon::start(&config, "beta").unwrap();
+
+        let mut poller = ClusterStatusPoller::connect(&config, "mon").unwrap();
+        let targets = vec!["alpha".to_string(), "beta".to_string()];
+        let reports = poller.poll(&targets, Duration::from_secs(10)).unwrap();
+        let hosts: Vec<&str> = reports.iter().map(|r| r.host.as_str()).collect();
+        assert_eq!(hosts, vec!["alpha", "beta"], "both daemons must answer");
+
+        let table = ClusterStatusPoller::render_table(&reports);
+        assert!(table.contains("alpha") && table.contains("beta"));
+
+        // an unknown target contributes nothing — the send is a
+        // counted drop, not an error, and the poll times out clean
+        let none = poller
+            .poll(&["ghost".to_string()], Duration::from_millis(200))
+            .unwrap();
+        assert!(none.is_empty(), "no daemon named ghost can answer");
+
+        for daemon in [alpha, beta] {
+            let flag = daemon.shutdown_flag();
+            flag.store(true, Ordering::Relaxed);
+            daemon.run().unwrap();
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! One backoff engine serves every layer that retries: the
+//! reliable-transfer acknowledgement timers in `naplet-server`
+//! (`RetryPolicy` delegates here) and the per-peer reconnect loop of
+//! the TCP transport ([`crate::tcp::TcpTransport`]). Keeping the math
+//! in one place means a retransmit storm and a reconnect storm
+//! de-synchronize the same way.
+
+/// Capped exponential backoff for a 1-based attempt number:
+/// `min(base << (attempt - 1), max)`. The shift amount is clamped so
+/// absurd attempt numbers cannot overflow.
+pub fn capped_backoff_ms(base_ms: u64, max_ms: u64, attempt: u32) -> u64 {
+    let exp = attempt.saturating_sub(1).min(16);
+    base_ms.saturating_mul(1u64 << exp).min(max_ms)
+}
+
+/// Backoff plus deterministic jitter in `[0, backoff/4]`, keyed on the
+/// retrying entity's identity. Jitter de-synchronizes retry storms
+/// while keeping discrete-event runs reproducible: the same `(key,
+/// attempt)` always jitters identically.
+pub fn jittered_backoff_ms(base_ms: u64, max_ms: u64, key: u64, attempt: u32) -> u64 {
+    let backoff = capped_backoff_ms(base_ms, max_ms, attempt);
+    let span = (backoff / 4).max(1);
+    // splitmix64-style finalizer over (key, attempt)
+    let mut h = key ^ (u64::from(attempt) << 32) ^ 0x9e37_79b9_7f4a_7c15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    backoff + (h % span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_and_caps() {
+        assert_eq!(capped_backoff_ms(200, 3_200, 1), 200);
+        assert_eq!(capped_backoff_ms(200, 3_200, 2), 400);
+        assert_eq!(capped_backoff_ms(200, 3_200, 5), 3_200);
+        assert_eq!(capped_backoff_ms(200, 3_200, 6), 3_200); // capped
+        assert_eq!(capped_backoff_ms(200, 3_200, 60), 3_200); // shift clamped
+    }
+
+    #[test]
+    fn jitter_deterministic_and_bounded() {
+        for attempt in 1..=8 {
+            for key in [0u64, 1, 42, u64::MAX] {
+                let a = jittered_backoff_ms(200, 3_200, key, attempt);
+                let b = jittered_backoff_ms(200, 3_200, key, attempt);
+                assert_eq!(a, b, "same inputs must jitter identically");
+                let base = capped_backoff_ms(200, 3_200, attempt);
+                assert!(a >= base && a <= base + base / 4 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_base_never_panics() {
+        assert_eq!(capped_backoff_ms(0, 100, 3), 0);
+        let j = jittered_backoff_ms(0, 100, 7, 3);
+        assert_eq!(j, 0, "span is clamped to 1 so jitter stays 0");
+    }
+}

@@ -76,7 +76,7 @@ impl Frame {
     /// senders reuse one allocation across many frames instead of a
     /// fresh `BytesMut` each. Bytes appended are exactly
     /// [`Frame::encode`].
-    pub fn encode_into(&self, buf: &mut BytesMut) {
+    pub fn encode_into(&self, buf: &mut impl BufMut) {
         let body_len = self.wire_len() as u32 - 4;
         buf.put_u32(body_len);
         buf.put_u8(class_tag(self.class));
@@ -91,10 +91,25 @@ impl Frame {
     /// Returns `Ok(None)` when `buf` does not yet hold a full frame
     /// (stream reassembly).
     pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>> {
+        Frame::decode_limited(buf, u32::MAX as usize)
+    }
+
+    /// [`Frame::decode`] with a frame-size ceiling: a length prefix
+    /// claiming a body larger than `max_frame_bytes` is rejected
+    /// immediately instead of making a stream reader buffer (or wait
+    /// for) gigabytes that will never arrive. Socket transports use
+    /// this so a malformed or hostile peer costs one counted drop, not
+    /// a hang or an allocation bomb.
+    pub fn decode_limited(buf: &mut BytesMut, max_frame_bytes: usize) -> Result<Option<Frame>> {
         if buf.len() < 4 {
             return Ok(None);
         }
         let body_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if body_len > max_frame_bytes {
+            return Err(NapletError::Codec(format!(
+                "frame body of {body_len} bytes exceeds the {max_frame_bytes}-byte limit"
+            )));
+        }
         if buf.len() < 4 + body_len {
             return Ok(None);
         }
@@ -210,6 +225,28 @@ mod tests {
         let mut raw = BytesMut::from(&f.encode()[..]);
         raw[7] = 0xff; // first byte of `from`
         assert!(Frame::decode(&mut raw).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        // a malformed prefix claiming a 64 MiB body must error at once,
+        // not wait for 64 MiB that will never arrive
+        let mut buf = BytesMut::new();
+        buf.put_u32(64 * 1024 * 1024);
+        buf.put_slice(&[0u8; 16]);
+        let err = Frame::decode_limited(&mut buf, 1024 * 1024).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn limit_boundary_is_inclusive() {
+        let f = Frame::new("a", "b", TrafficClass::Message, vec![3u8; 100]);
+        let body = f.wire_len() as usize - 4;
+        let mut buf = BytesMut::from(&f.encode()[..]);
+        assert_eq!(Frame::decode_limited(&mut buf, body).unwrap(), Some(f));
+        let g = Frame::new("a", "b", TrafficClass::Message, vec![3u8; 101]);
+        let mut buf = BytesMut::from(&g.encode()[..]);
+        assert!(Frame::decode_limited(&mut buf, body).is_err());
     }
 
     #[test]

@@ -13,20 +13,32 @@
 //!   measurements in virtual time;
 //! * a live threaded transport ([`threaded::ThreadedNet`]) where every
 //!   host owns a channel and a timer thread applies modelled delays —
-//!   the "autonomously running servers" deployment shape.
+//!   the "autonomously running servers" deployment shape *inside one
+//!   process*;
+//! * a real-socket transport ([`tcp::TcpTransport`]) shipping the same
+//!   length-prefixed [`Frame`] codec over persistent per-peer TCP
+//!   connections — the multi-process `napletd` deployment shape.
+//!
+//! The latter two sit behind the pluggable [`transport::Transport`]
+//! trait, so live drivers are written once and run over either.
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod fabric;
 pub mod frame;
 pub mod latency;
 pub mod sim;
 pub mod stats;
+pub mod tcp;
 pub mod threaded;
+pub mod transport;
 
 pub use fabric::Fabric;
 pub use frame::Frame;
 pub use latency::{Bandwidth, LatencyModel};
 pub use sim::EventQueue;
 pub use stats::{Counter, NetStats, StatsSnapshot, TrafficClass};
+pub use tcp::{TcpConfig, TcpTransport};
 pub use threaded::ThreadedNet;
+pub use transport::Transport;

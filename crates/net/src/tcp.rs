@@ -1,0 +1,548 @@
+//! Real-socket transport: length-prefixed [`Frame`]s over TCP.
+//!
+//! [`TcpTransport`] is the multi-process deployment shape of the
+//! paper: one `napletd` process per host, each hosting one
+//! NapletServer, exchanging the already-byte-stable [`Frame`] codec
+//! over persistent per-peer connections. The design mirrors the
+//! in-process fabric's fault semantics so the reliable-transfer layer
+//! above needs no changes:
+//!
+//! * every fault — an unreachable peer, a mid-write connection drop, a
+//!   reset, a short read, a malformed or oversized length prefix — is
+//!   a *counted drop* in [`NetStats`], never a panic, exactly like an
+//!   injected fault-schedule loss on the fabric;
+//! * outbound connections are persistent and reconnect on drop with
+//!   the capped, deterministically-jittered backoff of
+//!   [`crate::backoff`] (the same machinery the acknowledgement timers
+//!   use), so a restarted peer is re-reached by the very next
+//!   retransmission after the backoff window;
+//! * frames arrive byte-identical to what was sent — the loopback
+//!   parity suite holds this transport to the in-process fabric frame
+//!   for frame.
+//!
+//! Peers are static (the cluster-bootstrap config's peer list);
+//! discovery is future work tracked in ROADMAP.md.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use naplet_core::error::{NapletError, Result};
+
+use crate::backoff::jittered_backoff_ms;
+use crate::frame::Frame;
+use crate::stats::{NetStats, TrafficClass};
+use crate::transport::Transport;
+
+/// Static configuration of one TCP transport endpoint.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Address to listen on (`0.0.0.0:port`, or port `0` for tests).
+    pub listen: SocketAddr,
+    /// Static peer list: node name → address.
+    pub peers: BTreeMap<String, SocketAddr>,
+    /// Reject frames whose length prefix claims a body larger than
+    /// this (a malformed or hostile peer costs one drop, not a hang).
+    pub max_frame_bytes: usize,
+    /// Timeout for one outbound connection attempt.
+    pub connect_timeout_ms: u64,
+    /// First-attempt reconnect backoff (doubles per failed attempt).
+    pub reconnect_base_ms: u64,
+    /// Reconnect backoff cap.
+    pub reconnect_max_ms: u64,
+}
+
+impl TcpConfig {
+    /// Config listening on `listen` with the given peer list and
+    /// defaults for everything else.
+    pub fn new(listen: SocketAddr, peers: BTreeMap<String, SocketAddr>) -> TcpConfig {
+        TcpConfig {
+            listen,
+            peers,
+            max_frame_bytes: 16 * 1024 * 1024,
+            connect_timeout_ms: 500,
+            reconnect_base_ms: 100,
+            reconnect_max_ms: 3_200,
+        }
+    }
+}
+
+type Registry = Arc<Mutex<HashMap<String, Sender<Frame>>>>;
+
+struct Shared {
+    registry: Registry,
+    stats: NetStats,
+    stop: Arc<AtomicBool>,
+    max_frame_bytes: usize,
+}
+
+/// A live TCP transport: one listener, persistent per-peer outbound
+/// connections, shared [`NetStats`].
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    config: TcpConfig,
+    local_addr: SocketAddr,
+    /// Outbound queues, one writer thread per peer.
+    peers: Mutex<HashMap<String, Sender<Frame>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Bind the listener and start the accept loop plus one writer per
+    /// configured peer. With port `0` the OS picks; see
+    /// [`TcpTransport::local_addr`].
+    pub fn start(config: TcpConfig) -> Result<TcpTransport> {
+        let listener = TcpListener::bind(config.listen)
+            .map_err(|e| NapletError::Internal(format!("bind {}: {e}", config.listen)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NapletError::Internal(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NapletError::Internal(format!("nonblocking listener: {e}")))?;
+        let shared = Arc::new(Shared {
+            registry: Arc::new(Mutex::new(HashMap::new())),
+            stats: NetStats::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            max_frame_bytes: config.max_frame_bytes,
+        });
+        let transport = TcpTransport {
+            shared: Arc::clone(&shared),
+            config: config.clone(),
+            local_addr,
+            peers: Mutex::new(HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+        };
+        let accept_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("naplet-tcp-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| NapletError::Internal(format!("spawn accept thread: {e}")))?;
+        transport.threads.lock().push(handle);
+        for (name, addr) in &config.peers {
+            transport.spawn_peer(name, *addr)?;
+        }
+        Ok(transport)
+    }
+
+    /// The bound listen address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Add (or re-point) an outbound peer after start. Used by tests
+    /// and by drivers that learn addresses late.
+    pub fn add_peer(&self, name: &str, addr: SocketAddr) -> Result<()> {
+        self.spawn_peer(name, addr)
+    }
+
+    /// Register a local endpoint; inbound frames addressed to `host`
+    /// arrive on the returned receiver.
+    pub fn register(&self, host: &str) -> Receiver<Frame> {
+        let (tx, rx) = unbounded();
+        self.shared.registry.lock().insert(host.to_string(), tx);
+        rx
+    }
+
+    /// Send a frame: local endpoints deliver directly (free and
+    /// unmetered, like the fabric's local delivery); remote frames are
+    /// queued to the peer's writer. `Err` only for destinations in
+    /// neither the local registry nor the peer list.
+    pub fn send(&self, frame: Frame) -> Result<bool> {
+        if let Some(tx) = self.shared.registry.lock().get(&frame.to) {
+            let _ = tx.send(frame);
+            return Ok(true);
+        }
+        let peers = self.peers.lock();
+        let Some(tx) = peers.get(&frame.to) else {
+            return Err(NapletError::NotFound(format!(
+                "unknown destination host `{}`",
+                frame.to
+            )));
+        };
+        // a disconnected writer means shutdown is in progress
+        let _ = tx.send(frame);
+        Ok(true)
+    }
+
+    /// Shared transport statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.shared.stats
+    }
+
+    fn spawn_peer(&self, name: &str, addr: SocketAddr) -> Result<()> {
+        let (tx, rx) = unbounded::<Frame>();
+        self.peers.lock().insert(name.to_string(), tx);
+        let shared = Arc::clone(&self.shared);
+        let config = self.config.clone();
+        let key = name_key(name);
+        let handle = std::thread::Builder::new()
+            .name(format!("naplet-tcp-peer-{name}"))
+            .spawn(move || writer_loop(rx, addr, shared, config, key))
+            .map_err(|e| NapletError::Internal(format!("spawn peer thread: {e}")))?;
+        self.threads.lock().push(handle);
+        Ok(())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn register(&self, host: &str) -> Receiver<Frame> {
+        TcpTransport::register(self, host)
+    }
+
+    fn send(&self, frame: Frame) -> Result<bool> {
+        TcpTransport::send(self, frame)
+    }
+
+    fn stats(&self) -> &NetStats {
+        TcpTransport::stats(self)
+    }
+
+    fn fetch(&self, from: &str, to: &str, class: TrafficClass, bytes: u64) -> Result<Option<u64>> {
+        // a real fetch has no modelled delay; meter the bytes so code
+        // traffic still shows in the per-class accounting
+        self.shared.stats.record(from, to, class, bytes, 0);
+        Ok(Some(0))
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // dropping the queue senders unblocks every writer
+        self.peers.lock().clear();
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Stable per-peer jitter key so concurrent reconnect loops
+/// de-synchronize deterministically (FNV-1a over the peer name).
+fn name_key(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("naplet-tcp-read".into())
+                    .spawn(move || reader_loop(stream, conn_shared))
+                {
+                    readers.push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        readers.retain(|h| !h.is_finished());
+    }
+    for handle in readers {
+        let _ = handle.join();
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = BytesMut::new();
+    let mut chunk = [0u8; 64 * 1024];
+    while !shared.stop.load(Ordering::Relaxed) {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF; data short of a full frame is a counted loss
+                if !buf.is_empty() {
+                    shared.stats.record_drop();
+                }
+                return;
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match Frame::decode_limited(&mut buf, shared.max_frame_bytes) {
+                        Ok(Some(frame)) => deliver(&shared, frame),
+                        Ok(None) => break,
+                        Err(_) => {
+                            // malformed length prefix or body: count
+                            // one drop and cut the connection — the
+                            // stream cannot be resynchronized
+                            shared.stats.record_drop();
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => {
+                // ECONNRESET and friends: fault-schedule-equivalent drop
+                shared.stats.record_drop();
+                return;
+            }
+        }
+    }
+}
+
+fn deliver(shared: &Shared, frame: Frame) {
+    let tx = shared.registry.lock().get(&frame.to).cloned();
+    match tx {
+        Some(tx) => {
+            // a closed inbox means the endpoint's pump exited
+            let _ = tx.send(frame);
+        }
+        None => shared.stats.record_drop(),
+    }
+}
+
+fn writer_loop(
+    rx: Receiver<Frame>,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    config: TcpConfig,
+    jitter_key: u64,
+) {
+    let mut conn: Option<TcpStream> = None;
+    let mut attempt: u32 = 0;
+    let mut next_attempt = Instant::now();
+    // one encode scratch per writer thread, reused across frames
+    let mut scratch: Vec<u8> = Vec::new();
+    loop {
+        let frame = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(frame) => frame,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        };
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if conn.is_none() {
+            let now = Instant::now();
+            if now < next_attempt {
+                // inside the backoff window: the frame is lost, the
+                // reliability layer above will retransmit past it
+                shared.stats.record_drop();
+                continue;
+            }
+            match TcpStream::connect_timeout(
+                &addr,
+                Duration::from_millis(config.connect_timeout_ms),
+            ) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    conn = Some(stream);
+                    attempt = 0;
+                }
+                Err(_) => {
+                    attempt = attempt.saturating_add(1);
+                    let wait = jittered_backoff_ms(
+                        config.reconnect_base_ms,
+                        config.reconnect_max_ms,
+                        jitter_key,
+                        attempt,
+                    );
+                    next_attempt = now + Duration::from_millis(wait);
+                    shared.stats.record_drop();
+                    continue;
+                }
+            }
+        }
+        scratch.clear();
+        frame.encode_into(&mut scratch);
+        let stream = conn.as_mut().expect("connected above");
+        match stream.write_all(&scratch) {
+            Ok(()) => {
+                shared
+                    .stats
+                    .record(&frame.from, &frame.to, frame.class, frame.wire_len(), 0);
+            }
+            Err(_) => {
+                // connection dropped mid-write: count the loss, arm the
+                // reconnect backoff — the next send past the window
+                // re-dials the (possibly restarted) peer
+                shared.stats.record_drop();
+                conn = None;
+                attempt = attempt.saturating_add(1);
+                let wait = jittered_backoff_ms(
+                    config.reconnect_base_ms,
+                    config.reconnect_max_ms,
+                    jitter_key,
+                    attempt,
+                );
+                next_attempt = Instant::now() + Duration::from_millis(wait);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        // bootstrap two endpoints on OS-assigned ports, then teach
+        // each the other's real address
+        let a = TcpTransport::start(TcpConfig::new(
+            "127.0.0.1:0".parse().unwrap(),
+            BTreeMap::new(),
+        ))
+        .unwrap();
+        let b = TcpTransport::start(TcpConfig::new(
+            "127.0.0.1:0".parse().unwrap(),
+            BTreeMap::new(),
+        ))
+        .unwrap();
+        a.add_peer("b", b.local_addr()).unwrap();
+        b.add_peer("a", a.local_addr()).unwrap();
+        (a, b)
+    }
+
+    fn recv(rx: &Receiver<Frame>) -> Frame {
+        rx.recv_timeout(Duration::from_secs(5)).expect("frame")
+    }
+
+    #[test]
+    fn frames_cross_the_wire() {
+        let (a, b) = pair();
+        let _ain = a.register("a");
+        let bin = b.register("b");
+        a.send(Frame::new(
+            "a",
+            "b",
+            TrafficClass::Migration,
+            vec![1u8, 2, 3],
+        ))
+        .unwrap();
+        let f = recv(&bin);
+        assert_eq!(f.from, "a");
+        assert_eq!(f.class, TrafficClass::Migration);
+        assert_eq!(&f.payload[..], &[1, 2, 3]);
+        // sender-side metering, fabric parity
+        let snap = a.stats().snapshot();
+        assert_eq!(snap.messages(TrafficClass::Migration), 1);
+        assert_eq!(snap.bytes(TrafficClass::Migration), f.wire_len());
+    }
+
+    #[test]
+    fn local_delivery_bypasses_the_socket() {
+        let (a, _b) = pair();
+        let ain = a.register("a");
+        a.send(Frame::new("a", "a", TrafficClass::Message, vec![9u8]))
+            .unwrap();
+        assert_eq!(&recv(&ain).payload[..], &[9]);
+        assert_eq!(a.stats().snapshot().total_messages(), 0, "unmetered");
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let (a, _b) = pair();
+        assert!(a
+            .send(Frame::new("a", "ghost", TrafficClass::Message, vec![]))
+            .is_err());
+    }
+
+    #[test]
+    fn unreachable_peer_counts_drops_not_panics() {
+        let a = TcpTransport::start(TcpConfig::new(
+            "127.0.0.1:0".parse().unwrap(),
+            BTreeMap::new(),
+        ))
+        .unwrap();
+        // a port nobody listens on
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+        a.add_peer("void", addr).unwrap();
+        a.send(Frame::new("a", "void", TrafficClass::Control, vec![1]))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.stats().snapshot().dropped == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(a.stats().snapshot().dropped >= 1);
+    }
+
+    #[test]
+    fn oversized_frame_is_dropped_and_connection_cut() {
+        let config = TcpConfig {
+            max_frame_bytes: 1024,
+            ..TcpConfig::new("127.0.0.1:0".parse().unwrap(), BTreeMap::new())
+        };
+        let b = TcpTransport::start(config).unwrap();
+        let bin = b.register("b");
+        // raw client writes a malformed (huge) length prefix
+        let mut raw = TcpStream::connect(b.local_addr()).unwrap();
+        raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        raw.write_all(&[0u8; 64]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.stats().snapshot().dropped == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(b.stats().snapshot().dropped, 1, "one counted drop");
+        assert!(
+            bin.recv_timeout(Duration::from_millis(100)).is_err(),
+            "nothing delivered"
+        );
+        // a well-formed connection still works afterwards
+        let f = Frame::new("x", "b", TrafficClass::Message, vec![5u8]);
+        let mut ok = TcpStream::connect(b.local_addr()).unwrap();
+        ok.write_all(&f.encode()).unwrap();
+        assert_eq!(recv(&bin), f);
+    }
+
+    #[test]
+    fn short_read_counts_a_drop() {
+        let b = TcpTransport::start(TcpConfig::new(
+            "127.0.0.1:0".parse().unwrap(),
+            BTreeMap::new(),
+        ))
+        .unwrap();
+        let _bin = b.register("b");
+        let f = Frame::new("x", "b", TrafficClass::Message, vec![7u8; 100]);
+        let encoded = f.encode();
+        let mut raw = TcpStream::connect(b.local_addr()).unwrap();
+        // half a frame, then a clean close: the truncated frame is lost
+        raw.write_all(&encoded[..encoded.len() / 2]).unwrap();
+        drop(raw);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.stats().snapshot().dropped == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(b.stats().snapshot().dropped, 1);
+    }
+
+    #[test]
+    fn frame_to_unregistered_local_host_is_dropped() {
+        let (a, b) = pair();
+        let _ain = a.register("a");
+        // "b" endpoint never registered on transport b
+        a.send(Frame::new("a", "b", TrafficClass::Message, vec![1]))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.stats().snapshot().dropped == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(b.stats().snapshot().dropped, 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Single-node daemon lifecycle: what `napletd` runs.
+//!
+//! A daemon is one NapletServer deployed over a real-socket
+//! [`TcpTransport`], configured from a shared cluster-bootstrap file
+//! (see [`crate::bootstrap`]). Boot order matters and is fixed here so
+//! every node restarts identically:
+//!
+//! 1. bind the listen socket and start writer threads toward the
+//!    static peer list;
+//! 2. open the write-ahead journal ([`FileStore`] when the node has a
+//!    `journal` path, in-memory otherwise);
+//! 3. replay the journal — retransmitted handshakes go out before the
+//!    server accepts new work, so an agent in-flight across a crash
+//!    re-enters the retry machinery first;
+//! 4. start the server thread plus the watchdog sweeper.
+//!
+//! Shutdown is cooperative: any holder of the [`Daemon::shutdown_flag`]
+//! (the SIGTERM handler in `napletd`, a test harness) stores `true`,
+//! the serve loop drains, and [`Daemon::run`] returns a
+//! [`DaemonSummary`] built from the server's final status report. The
+//! `FileStore` journal writes through on every record, so a clean exit
+//! needs no separate flush step — the summary's journal figures are
+//! what a successor process will replay.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use naplet_core::error::{NapletError, Result};
+use naplet_core::value::Value;
+use naplet_net::tcp::TcpTransport;
+use naplet_obs::WatchdogConfig;
+
+use crate::bootstrap::BootstrapConfig;
+use crate::journal::{FileStore, Journal, RecoveryStats};
+use crate::lease::LeasePolicy;
+use crate::live::LiveRuntime;
+use crate::server::{LocationMode, NapletServer, ServerConfig};
+use crate::status::StatusReport;
+
+/// Codebase every daemon registers at boot: a minimal journey probe
+/// the cluster smoke tests (and operators) can dispatch to prove
+/// end-to-end migration works. It reports `probe:<host>` home from
+/// every stop.
+pub const PROBE_CODEBASE: &str = "cluster-probe";
+
+struct ClusterProbe;
+
+impl naplet_core::behavior::NapletBehavior for ClusterProbe {
+    fn on_start(&mut self, ctx: &mut dyn naplet_core::context::NapletContext) -> Result<()> {
+        ctx.report_home(Value::from(format!("probe:{}", ctx.host_name())))
+    }
+}
+
+/// Register the [`PROBE_CODEBASE`] factory in any registry, so harness
+/// home nodes can dispatch the same probe the daemons serve.
+pub fn register_probe(codebase: &mut naplet_core::codebase::CodebaseRegistry) {
+    codebase.register(PROBE_CODEBASE, 256, || ClusterProbe);
+}
+
+/// A running single-node daemon.
+pub struct Daemon {
+    node: String,
+    live: LiveRuntime<TcpTransport>,
+    shutdown: Arc<AtomicBool>,
+    recovery: RecoveryStats,
+}
+
+/// What a daemon reports when it exits cleanly.
+#[derive(Debug, Clone)]
+pub struct DaemonSummary {
+    /// The node name this daemon served.
+    pub node: String,
+    /// The server's final status report (residents, journal figures,
+    /// lease counters).
+    pub status: StatusReport,
+    /// What the boot-time journal replay restored.
+    pub recovery: RecoveryStats,
+    /// Values reported home to this node by visiting naplets.
+    pub reports: Vec<Value>,
+    /// Stall alerts the watchdog raised over the daemon's lifetime.
+    pub alerts: u64,
+}
+
+impl Daemon {
+    /// Boot a daemon for `node` as described by `config`: bind the
+    /// transport, open and replay the journal, start the server and
+    /// watchdog threads. Returns once the node is serving.
+    pub fn start(config: &BootstrapConfig, node: &str) -> Result<Daemon> {
+        let node_cfg = config
+            .node(node)
+            .ok_or_else(|| NapletError::NotFound(format!("no node `{node}` in config")))?
+            .clone();
+        let transport = TcpTransport::start(config.tcp_config(node)?)?;
+        let mut live = LiveRuntime::over(transport);
+        live.enable_watchdog(WatchdogConfig::default());
+
+        let mut server_cfg = ServerConfig::open(node, LocationMode::HomeManagers);
+        register_probe(&mut server_cfg.codebase);
+        if let Some(dwell_ms) = config.dwell_ms {
+            server_cfg.monitor_policy.native_dwell_ms = dwell_ms;
+        }
+        if let Some(duration_ms) = config.lease_ms {
+            server_cfg.lease = Some(LeasePolicy {
+                duration_ms,
+                ..LeasePolicy::default()
+            });
+        }
+        let server = live.add_server(server_cfg);
+        if let Some(dir) = &node_cfg.journal {
+            server.set_journal(Journal::with_store(Box::new(FileStore::open(dir)?)));
+        }
+        let recovery = live.recover(node)?;
+        live.start();
+        Ok(Daemon {
+            node: node.to_string(),
+            live,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            recovery,
+        })
+    }
+
+    /// The cooperative shutdown flag. Storing `true` (from a signal
+    /// handler, another thread, or a test) makes [`Daemon::run`]
+    /// return after the serve loop drains.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// What the boot-time journal replay restored.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The node's transport (peer control, wire stats).
+    pub fn transport(&self) -> &TcpTransport {
+        self.live.transport()
+    }
+
+    /// Serve until the shutdown flag is raised, then stop the server
+    /// and watchdog threads and summarize.
+    pub fn run(self) -> Result<DaemonSummary> {
+        while !self.shutdown.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let alerts = self.live.alerts().len() as u64;
+        let now = self.live.now();
+        let node = self.node;
+        let recovery = self.recovery;
+        let mut servers = self.live.shutdown();
+        let server: NapletServer = servers
+            .iter()
+            .position(|(host, _)| *host == node)
+            .map(|i| servers.swap_remove(i).1)
+            .ok_or_else(|| NapletError::Internal(format!("daemon server `{node}` vanished")))?;
+        let status = server.status_report(now);
+        let reports = server.reports.iter().map(|(_, v)| v.clone()).collect();
+        Ok(DaemonSummary {
+            node,
+            status,
+            recovery,
+            reports,
+            alerts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naplet_core::clock::Millis;
+    use naplet_core::credential::SigningKey;
+    use naplet_core::itinerary::{Itinerary, Pattern};
+    use naplet_core::naplet::{AgentKind, Naplet};
+    use std::net::TcpListener;
+
+    /// Two free ports, reserved briefly so the config is valid when
+    /// the daemons bind.
+    fn two_free_addrs() -> (String, String) {
+        let a = TcpListener::bind("127.0.0.1:0").unwrap();
+        let b = TcpListener::bind("127.0.0.1:0").unwrap();
+        (
+            a.local_addr().unwrap().to_string(),
+            b.local_addr().unwrap().to_string(),
+        )
+    }
+
+    fn two_node_config(addr_a: &str, addr_b: &str, journal_a: Option<&str>) -> BootstrapConfig {
+        let journal = journal_a
+            .map(|d| format!("journal = \"{d}\"\n"))
+            .unwrap_or_default();
+        BootstrapConfig::parse(&format!(
+            "[[node]]\nname = \"alpha\"\nlisten = \"{addr_a}\"\n{journal}\
+             [[node]]\nname = \"beta\"\nlisten = \"{addr_b}\"\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn daemon_boots_serves_a_probe_and_shuts_down() {
+        let (addr_a, addr_b) = two_free_addrs();
+        let config = two_node_config(&addr_a, &addr_b, None);
+        let alpha = Daemon::start(&config, "alpha").unwrap();
+        let beta = Daemon::start(&config, "beta").unwrap();
+
+        // drive a probe from a third, in-process "operator" node that
+        // the daemons don't know as a peer — alpha only needs to see
+        // the operator to send replies, so teach alpha the route
+        let op_transport = TcpTransport::start(naplet_net::tcp::TcpConfig::new(
+            "127.0.0.1:0".parse().unwrap(),
+            Default::default(),
+        ))
+        .unwrap();
+        let op_addr = op_transport.local_addr();
+        alpha.transport().add_peer("op", op_addr).unwrap();
+        op_transport
+            .add_peer("alpha", addr_a.parse().unwrap())
+            .unwrap();
+        let mut op = LiveRuntime::over(op_transport);
+        let mut cfg = ServerConfig::open("op", LocationMode::HomeManagers);
+        cfg.codebase.register(PROBE_CODEBASE, 256, || ClusterProbe);
+        op.add_server(cfg);
+        let key = SigningKey::new("ops", b"secret");
+        let it = Itinerary::new(Pattern::singleton("alpha")).unwrap();
+        let naplet = Naplet::create(
+            &key,
+            "ops",
+            "op",
+            Millis(0),
+            PROBE_CODEBASE,
+            AgentKind::Native,
+            it,
+            vec![],
+        )
+        .unwrap();
+        op.launch(naplet).unwrap();
+        op.start();
+
+        // the probe migrates op → alpha, runs, and reports home; the
+        // running server belongs to its thread, so give the journey a
+        // bounded while, then stop and inspect (retry backoff covers
+        // any frame the connection setup races)
+        std::thread::sleep(Duration::from_secs(2));
+        let servers = op.shutdown();
+        let (_, op_server) = servers.into_iter().find(|(h, _)| h == "op").unwrap();
+        let reports: Vec<Value> = op_server.reports.iter().map(|(_, v)| v.clone()).collect();
+        assert_eq!(
+            reports,
+            vec![Value::from("probe:alpha")],
+            "probe must run on the daemon and report home over TCP"
+        );
+
+        for daemon in [alpha, beta] {
+            let flag = daemon.shutdown_flag();
+            flag.store(true, Ordering::Relaxed);
+            let summary = daemon.run().unwrap();
+            assert_eq!(summary.status.parked, 0);
+        }
+    }
+
+    #[test]
+    fn journal_survives_a_daemon_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "naplet-daemon-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (addr_a, addr_b) = two_free_addrs();
+        let config = two_node_config(&addr_a, &addr_b, dir.to_str());
+
+        let daemon = Daemon::start(&config, "alpha").unwrap();
+        assert_eq!(
+            daemon.recovery().rehydrated,
+            0,
+            "first boot replays nothing"
+        );
+        daemon.shutdown_flag().store(true, Ordering::Relaxed);
+        daemon.run().unwrap();
+
+        // a second incarnation reopens the same journal directory
+        let daemon = Daemon::start(&config, "alpha").unwrap();
+        assert_eq!(daemon.recovery().rehydrated, 0);
+        daemon.shutdown_flag().store(true, Ordering::Relaxed);
+        daemon.run().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_node_name_is_rejected() {
+        let (addr_a, addr_b) = two_free_addrs();
+        let config = two_node_config(&addr_a, &addr_b, None);
+        assert!(Daemon::start(&config, "nope").is_err());
+    }
+}

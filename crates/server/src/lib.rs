@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bootstrap;
+pub mod daemon;
 pub mod directory;
 pub mod events;
 pub mod journal;
@@ -34,6 +36,8 @@ pub mod server;
 pub mod service_channel;
 pub mod status;
 
+pub use bootstrap::{BootstrapConfig, NodeConfig};
+pub use daemon::{register_probe, Daemon, DaemonSummary, PROBE_CODEBASE};
 pub use directory::{DirEntry, DirEvent, NapletDirectory};
 pub use events::{EventLog, Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
 pub use journal::{

@@ -4,9 +4,11 @@
 //! harness; [`LiveRuntime`] is the deployment shape the paper
 //! describes — "the NapletServers are running autonomously and they
 //! collectively form an agent flow space". The very same event-handler
-//! servers are pumped by threads over the
-//! `naplet_net::ThreadedNet` transport, with modelled
-//! link delays scaled into real sleeps.
+//! servers are pumped by threads over any
+//! [`naplet_net::Transport`] — the in-process
+//! `naplet_net::ThreadedNet` fabric (modelled link delays scaled into
+//! real sleeps) or the real-socket `naplet_net::TcpTransport` the
+//! `napletd` daemon deploys on.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,15 +18,18 @@ use std::time::{Duration, Instant};
 use naplet_core::clock::Millis;
 use naplet_core::error::{NapletError, Result};
 use naplet_core::naplet::Naplet;
-use naplet_net::{Fabric, Frame, ThreadedNet, TrafficClass};
+use naplet_net::{Fabric, Frame, ThreadedNet, TrafficClass, Transport};
 use naplet_obs::{ObsSink, WatchdogConfig};
 
 use crate::events::{Input, LocalEvent, Output, Wire};
 use crate::server::{NapletServer, ServerConfig};
 
-/// A naplet space running on real threads.
-pub struct LiveRuntime {
-    net: Arc<ThreadedNet>,
+/// A naplet space running on real threads over a pluggable
+/// [`Transport`]. The default transport is the in-process
+/// [`ThreadedNet`]; [`LiveRuntime::over`] runs the same servers over
+/// real sockets.
+pub struct LiveRuntime<T: Transport = ThreadedNet> {
+    net: Arc<T>,
     stop: Arc<AtomicBool>,
     epoch: Instant,
     threads: Vec<(String, JoinHandle<NapletServer>)>,
@@ -45,13 +50,27 @@ pub struct LiveRuntime {
     sweeper: Option<JoinHandle<()>>,
 }
 
-impl LiveRuntime {
+impl LiveRuntime<ThreadedNet> {
     /// Create a live runtime over a fabric. `us_per_ms` scales modelled
     /// link delay into real sleep (1000 = real time, 0 = as fast as
     /// possible).
     pub fn new(fabric: Fabric, us_per_ms: u64) -> LiveRuntime {
+        LiveRuntime::over(ThreadedNet::start(fabric, us_per_ms))
+    }
+
+    /// The underlying fabric (stats, failure injection).
+    pub fn fabric(&self) -> &Fabric {
+        self.net.fabric()
+    }
+}
+
+impl<T: Transport> LiveRuntime<T> {
+    /// Create a live runtime over an already-started transport (e.g. a
+    /// `naplet_net::TcpTransport` bound to this process's listen
+    /// address).
+    pub fn over(transport: T) -> LiveRuntime<T> {
         LiveRuntime {
-            net: Arc::new(ThreadedNet::start(fabric, us_per_ms)),
+            net: Arc::new(transport),
             stop: Arc::new(AtomicBool::new(false)),
             epoch: Instant::now(),
             threads: Vec::new(),
@@ -61,9 +80,9 @@ impl LiveRuntime {
         }
     }
 
-    /// The underlying fabric (stats, failure injection).
-    pub fn fabric(&self) -> &Fabric {
-        self.net.fabric()
+    /// The underlying transport (stats, peer control).
+    pub fn transport(&self) -> &T {
+        &self.net
     }
 
     /// The shared observability sink (tracer + metrics).
@@ -118,8 +137,29 @@ impl LiveRuntime {
         // timers; the timers are handed to the server's thread on start
         let host = home.clone();
         let net = Arc::clone(&self.net);
-        enact(&host, &net, outputs, timers, &mut Vec::new());
+        enact(&host, net.as_ref(), outputs, timers, &mut Vec::new());
         Ok(())
+    }
+
+    /// Replay a staged server's write-ahead journal and enact the
+    /// recovery outputs — retransmitted handshakes go out over the
+    /// transport, re-armed acknowledgement/lease timers are handed to
+    /// the server's thread on [`LiveRuntime::start`]. Only valid
+    /// before `start` (recovery is a boot-time activity; a running
+    /// server's journal belongs to its thread).
+    pub fn recover(&mut self, host: &str) -> Result<crate::journal::RecoveryStats> {
+        let now = self.now();
+        let net = Arc::clone(&self.net);
+        let (server, _, timers) = self
+            .staging
+            .iter_mut()
+            .find(|(s, _, _)| s.host() == host)
+            .ok_or_else(|| NapletError::NotFound(format!("no staged server at `{host}`")))?;
+        let outputs = server.recover(now);
+        let stats = server.recovery_stats();
+        let host = host.to_string();
+        enact(&host, net.as_ref(), outputs, timers, &mut Vec::new());
+        Ok(stats)
     }
 
     /// Start all staged servers on their threads.
@@ -192,9 +232,9 @@ impl LiveRuntime {
     }
 }
 
-fn serve(
+fn serve<T: Transport>(
     mut server: NapletServer,
-    net: Arc<ThreadedNet>,
+    net: Arc<T>,
     rx: crossbeam::channel::Receiver<Frame>,
     mut timers: Vec<(Instant, LocalEvent)>,
     epoch: Instant,
@@ -206,13 +246,19 @@ fn serve(
     while !stop.load(Ordering::Relaxed) {
         let now = Millis(epoch.elapsed().as_millis() as u64);
         // keep fault schedules in step with wall-clock-since-epoch time
-        net.fabric().set_now(now.0);
+        net.set_now(now.0);
         if let Ok(frame) = rx.recv_timeout(Duration::from_millis(1)) {
             match naplet_core::codec::from_bytes::<Wire>(&frame.payload) {
                 Ok(wire) => {
                     let from = frame.from.clone();
                     let outputs = server.handle(now, Input::Wire { from, wire });
-                    enact(server.host(), &net, outputs, &mut timers, &mut scratch);
+                    enact(
+                        server.host(),
+                        net.as_ref(),
+                        outputs,
+                        &mut timers,
+                        &mut scratch,
+                    );
                 }
                 Err(_) => { /* corrupt frame: drop */ }
             }
@@ -224,15 +270,21 @@ fn serve(
         for (_, event) in ready {
             let now = Millis(epoch.elapsed().as_millis() as u64);
             let outputs = server.handle(now, Input::Local(event));
-            enact(server.host(), &net, outputs, &mut timers, &mut scratch);
+            enact(
+                server.host(),
+                net.as_ref(),
+                outputs,
+                &mut timers,
+                &mut scratch,
+            );
         }
     }
     server
 }
 
-fn enact(
+fn enact<T: Transport>(
     host: &str,
-    net: &ThreadedNet,
+    net: &T,
     outputs: Vec<Output>,
     timers: &mut Vec<(Instant, LocalEvent)>,
     scratch: &mut Vec<u8>,
@@ -241,7 +293,7 @@ fn enact(
         match output {
             Output::Send { to, wire } => {
                 if wire.retry_attempt() > 1 {
-                    net.fabric().stats().record_retransmit();
+                    net.stats().record_retransmit();
                 }
                 // encode into the reused scratch, then copy exactly the
                 // payload's length into the owned frame buffer — the
@@ -257,8 +309,7 @@ fn enact(
             }
             Output::FetchCode { from, bytes, id } => {
                 let delay = net
-                    .fabric()
-                    .transfer(&from, host, TrafficClass::Code, bytes)
+                    .fetch(&from, host, TrafficClass::Code, bytes)
                     .ok()
                     .flatten()
                     .unwrap_or(0);

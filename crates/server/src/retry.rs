@@ -33,26 +33,23 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Capped exponential backoff for a 1-based attempt number:
-    /// `min(base << (attempt-1), max)`.
+    /// `min(base << (attempt-1), max)`. Delegates to the shared
+    /// [`naplet_net::backoff`] engine so acknowledgement timers and
+    /// TCP reconnects back off identically.
     pub fn backoff_ms(&self, attempt: u32) -> u64 {
-        let exp = attempt.saturating_sub(1).min(16);
-        self.base_timeout_ms
-            .saturating_mul(1u64 << exp)
-            .min(self.max_timeout_ms)
+        naplet_net::backoff::capped_backoff_ms(self.base_timeout_ms, self.max_timeout_ms, attempt)
     }
 
     /// Backoff plus deterministic jitter in `[0, backoff/4]`, keyed on
     /// the transfer identity. Jitter de-synchronizes retry storms while
     /// keeping discrete-event runs reproducible.
     pub fn jittered_backoff_ms(&self, key: u64, attempt: u32) -> u64 {
-        let backoff = self.backoff_ms(attempt);
-        let span = (backoff / 4).max(1);
-        // splitmix64-style finalizer over (key, attempt)
-        let mut h = key ^ (u64::from(attempt) << 32) ^ 0x9e37_79b9_7f4a_7c15;
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-        backoff + (h % span)
+        naplet_net::backoff::jittered_backoff_ms(
+            self.base_timeout_ms,
+            self.max_timeout_ms,
+            key,
+            attempt,
+        )
     }
 }
 
