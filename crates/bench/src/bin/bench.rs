@@ -7,11 +7,18 @@
 //!       [--compare PATH]        gate against a committed report
 //!       [--tolerance PCT]       compare tolerance (default 20)
 //!       [--markdown]            print the EXPERIMENTS.md E11 entry
+//!       [--churn]               run the directory churn storm instead
+//!       [--churn-naplets N]     storm size (default 100000)
 //! ```
 //!
 //! `--compare` exits non-zero if any sim workload's speedup or p95
 //! journey latency regresses beyond the tolerance — this is the CI
 //! perf gate. Without `--out`/`--markdown` the JSON goes to stdout.
+//!
+//! `--churn` runs the replicated-directory churn storm (`BENCH_PR7.json`
+//! schema) instead of the throughput suite: waves of naplets over a
+//! 3-replica directory with the leader crashed mid-storm, reporting
+//! lookup and commit-lag quantiles plus stale-hit rates.
 
 use std::process::ExitCode;
 
@@ -27,10 +34,17 @@ fn main() -> ExitCode {
     let mut compare_path: Option<String> = None;
     let mut tolerance = 0.20;
     let mut markdown = false;
+    let mut churn = false;
+    let mut churn_naplets = 100_000usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--churn" => churn = true,
+            "--churn-naplets" => match args.next().unwrap_or_default().parse() {
+                Ok(n) => churn_naplets = n,
+                Err(_) => return usage("--churn-naplets wants an integer"),
+            },
             "--profile" => {
                 let v = args.next().unwrap_or_default();
                 match Profile::parse(&v) {
@@ -52,6 +66,33 @@ fn main() -> ExitCode {
             "--markdown" => markdown = true,
             other => return usage(&format!("unknown flag `{other}`")),
         }
+    }
+
+    if churn {
+        let storm = naplet_bench::churn::ChurnConfig::storm(churn_naplets, cfg.seed);
+        eprintln!(
+            "running directory churn storm ({} naplets, seed {}) ...",
+            storm.naplets, storm.seed
+        );
+        let report = naplet_bench::churn::run_churn(&storm);
+        let json = report.to_json();
+        if let Some(path) = &out_path {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        } else {
+            print!("{json}");
+        }
+        if report.journeys_lost > 0 || report.duplicate_reports > 0 {
+            eprintln!(
+                "churn storm FAILED: {} lost, {} duplicated",
+                report.journeys_lost, report.duplicate_reports
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
 
     eprintln!(
@@ -113,7 +154,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: bench [--profile smoke|quick|full] [--seed N] [--no-live] \
-         [--out PATH] [--compare PATH] [--tolerance PCT] [--markdown]"
+         [--out PATH] [--compare PATH] [--tolerance PCT] [--markdown] \
+         [--churn] [--churn-naplets N]"
     );
     ExitCode::FAILURE
 }

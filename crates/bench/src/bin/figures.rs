@@ -474,17 +474,59 @@ fn dump_prometheus() {
     print!("{}", naplet_obs::prometheus_text(&out.obs.metrics));
 }
 
-/// `figures cluster-status <bootstrap.toml> [station]` — the live
-/// counterpart of `figures status`: bind the `station` node (default
-/// `ctl`) from the bootstrap file and poll every other node's running
-/// daemon for its status report. Exit code 1 when any node fails to
-/// answer, so the CI cluster-smoke job can use it as a health gate.
+/// `figures cluster-status <bootstrap.toml> [station] [--watch <secs>
+/// [--rounds <n>]]` — the live counterpart of `figures status`: bind
+/// the `station` node (default `ctl`) from the bootstrap file and poll
+/// every other node's running daemon for its status report. With
+/// `--watch` it re-polls every `<secs>` seconds (forever, or `--rounds
+/// <n>` times) and prints the field-level diff between successive
+/// polls instead of repeating the full table. Exit code 1 when any
+/// poll missed a node, so the CI cluster-smoke job can use it as a
+/// health gate in either mode.
 fn cluster_status(rest: &[String]) -> i32 {
-    let Some(path) = rest.first() else {
-        eprintln!("usage: figures cluster-status <bootstrap.toml> [station]");
+    const USAGE: &str =
+        "usage: figures cluster-status <bootstrap.toml> [station] [--watch <secs> [--rounds <n>]]";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut watch_secs: Option<u64> = None;
+    let mut rounds: u64 = 0; // 0 = unbounded while watching
+    let mut i = 0;
+    while i < rest.len() {
+        let flag_value = |name: &str| -> Option<u64> {
+            rest.get(i + 1).and_then(|v| v.parse().ok()).or_else(|| {
+                eprintln!("cluster-status: {name} needs a numeric argument\n{USAGE}");
+                None
+            })
+        };
+        match rest[i].as_str() {
+            "--watch" => match flag_value("--watch") {
+                Some(v) => {
+                    watch_secs = Some(v);
+                    i += 2;
+                }
+                None => return 2,
+            },
+            "--rounds" => match flag_value("--rounds") {
+                Some(v) => {
+                    rounds = v;
+                    i += 2;
+                }
+                None => return 2,
+            },
+            other if other.starts_with("--") => {
+                eprintln!("cluster-status: unknown flag `{other}`\n{USAGE}");
+                return 2;
+            }
+            _ => {
+                positional.push(&rest[i]);
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = positional.first() else {
+        eprintln!("{USAGE}");
         return 2;
     };
-    let station = rest.get(1).map(String::as_str).unwrap_or("ctl");
+    let station = positional.get(1).map(|s| s.as_str()).unwrap_or("ctl");
     let config = match naplet_server::BootstrapConfig::load(std::path::Path::new(path)) {
         Ok(c) => c,
         Err(e) => {
@@ -505,26 +547,47 @@ fn cluster_status(rest: &[String]) -> i32 {
             return 2;
         }
     };
-    let reports = match poller.poll(&targets, std::time::Duration::from_secs(5)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cluster-status: poll failed: {e}");
-            return 2;
+    let mut previous: Option<Vec<naplet_server::StatusReport>> = None;
+    let mut any_missing = false;
+    let mut round: u64 = 0;
+    loop {
+        round += 1;
+        let reports = match poller.poll(&targets, std::time::Duration::from_secs(5)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cluster-status: poll failed: {e}");
+                return 2;
+            }
+        };
+        match &previous {
+            None => print!(
+                "{}",
+                naplet_man::ClusterStatusPoller::render_table(&reports)
+            ),
+            Some(prev) => {
+                let diffs = naplet_man::ClusterStatusPoller::diff_reports(prev, &reports);
+                println!("-- poll {round}: {} change(s) --", diffs.len());
+                for line in &diffs {
+                    println!("  {line}");
+                }
+            }
         }
-    };
-    print!(
-        "{}",
-        naplet_man::ClusterStatusPoller::render_table(&reports)
-    );
-    let heard: std::collections::BTreeSet<&str> = reports.iter().map(|r| r.host.as_str()).collect();
-    let mut missing = 0;
-    for target in &targets {
-        if !heard.contains(target.as_str()) {
-            eprintln!("cluster-status: no reply from `{target}`");
-            missing += 1;
+        let heard: std::collections::BTreeSet<&str> =
+            reports.iter().map(|r| r.host.as_str()).collect();
+        for target in &targets {
+            if !heard.contains(target.as_str()) {
+                eprintln!("cluster-status: no reply from `{target}`");
+                any_missing = true;
+            }
         }
+        let Some(secs) = watch_secs else { break };
+        if rounds > 0 && round >= rounds {
+            break;
+        }
+        previous = Some(reports);
+        std::thread::sleep(std::time::Duration::from_secs(secs));
     }
-    if missing > 0 {
+    if any_missing {
         1
     } else {
         0

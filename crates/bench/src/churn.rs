@@ -1,0 +1,505 @@
+//! Churn-storm benchmark for the replicated NapletDirectory (PR7).
+//!
+//! Launches waves of short-lived probe naplets against a
+//! [`LocationMode::ReplicatedDirectory`] space, crashes the consensus
+//! *leader* mid-storm, and measures what the paper's robustness story
+//! cares about: did any registration get lost or duplicated, how long
+//! does an owner-side lookup take end to end (post → delivery
+//! confirmation), and how often the location cache serves an answer
+//! that turns out stale. The whole run is virtual-time deterministic
+//! for a fixed seed; only `wall_ms`/`events_per_sec` vary between
+//! machines.
+//!
+//! The committed `BENCH_PR7.json` at the repo root is this workload at
+//! 100 000 naplets (`ChurnConfig::storm`), regenerated via
+//! `cargo run --release -p naplet-bench --bin bench -- --churn --out BENCH_PR7.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use naplet_core::clock::Millis;
+use naplet_core::id::NapletId;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::message::{Payload, Sender};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::{LocationMode, MonitorPolicy, ServerConfig, SimRuntime};
+
+use crate::scenarios::{bench_key, probe_registry, PROBE_CODEBASE};
+
+/// Shape of a churn-storm run.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Total naplets launched across all waves.
+    pub naplets: usize,
+    /// Number of launch waves the naplets are spread over.
+    pub waves: usize,
+    /// Virtual ms between wave starts.
+    pub wave_gap_ms: u64,
+    /// Worker hosts journeys hop across.
+    pub workers: usize,
+    /// Directory replica-set size (dedicated `d*` hosts).
+    pub replicas: usize,
+    /// Worker hops per journey.
+    pub hops: usize,
+    /// Owner-post a lookup probe to every k-th naplet (0 = none).
+    pub lookup_every: usize,
+    /// Crash the current directory leader when this wave launches.
+    pub failover_at_wave: Option<usize>,
+    /// Virtual ms the crashed leader stays down before restarting.
+    pub restart_after_ms: u64,
+    /// Fabric seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// The headline storm: `naplets` journeys in waves of ~100 over 16
+    /// workers and a 3-replica directory, leader killed a third of the
+    /// way in and restarted 2 s (virtual) later. Wave count scales
+    /// with the storm so the launch rate stays ~1000 naplets per
+    /// virtual second regardless of total size.
+    pub fn storm(naplets: usize, seed: u64) -> ChurnConfig {
+        let waves = (naplets.div_ceil(100)).clamp(1, naplets.max(1));
+        ChurnConfig {
+            naplets,
+            waves,
+            wave_gap_ms: 100,
+            workers: 16,
+            replicas: 3,
+            hops: 3,
+            lookup_every: 50,
+            failover_at_wave: Some(waves / 3),
+            restart_after_ms: 2_000,
+            seed,
+        }
+    }
+}
+
+/// Measured outcome of a churn-storm run. All fields except `wall_ms`
+/// and `events_per_sec` are deterministic for a fixed config.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Config echo: total naplets launched.
+    pub naplets: u64,
+    /// Config echo: worker hosts.
+    pub workers: u64,
+    /// Config echo: directory replicas.
+    pub replicas: u64,
+    /// Config echo: launch waves.
+    pub waves: u64,
+    /// Config echo: worker hops per journey.
+    pub hops: u64,
+    /// Config echo: seed.
+    pub seed: u64,
+    /// Leader crashes injected (0 or 1).
+    pub forced_failovers: u64,
+    /// Elections won across the replica set (`repl.elections`).
+    pub elections: u64,
+    /// Leadership handovers observed by followers (`repl.leader_changes`).
+    pub leader_changes: u64,
+    /// Directory operations committed through the replicated log.
+    pub commits: u64,
+    /// Commit latency quantiles (propose → commit, virtual ms).
+    pub commit_lag_ms_p50: u64,
+    /// 95th percentile commit lag.
+    pub commit_lag_ms_p95: u64,
+    /// 99th percentile commit lag.
+    pub commit_lag_ms_p99: u64,
+    /// Journeys that reported home (target: all of them).
+    pub journeys_completed: u64,
+    /// Launched naplets that never reported (target: 0).
+    pub journeys_lost: u64,
+    /// Naplets that reported more than once (target: 0).
+    pub duplicate_reports: u64,
+    /// Journey completion quantiles (launch → final report, virtual ms).
+    pub journey_ms_p50: u64,
+    /// 95th percentile journey time.
+    pub journey_ms_p95: u64,
+    /// 99th percentile journey time — this is where a stalled election
+    /// would show up, since arrivals gate on a committed registration.
+    pub journey_ms_p99: u64,
+    /// Owner lookups posted at moving naplets.
+    pub lookups: u64,
+    /// Lookups confirmed delivered (the rest raced journey completion).
+    pub lookups_confirmed: u64,
+    /// Lookup round-trip quantiles (post → delivery confirmation,
+    /// virtual ms) — each one resolves the target through the
+    /// replicated directory.
+    pub lookup_ms_p50: u64,
+    /// 95th percentile lookup round-trip.
+    pub lookup_ms_p95: u64,
+    /// 99th percentile lookup round-trip.
+    pub lookup_ms_p99: u64,
+    /// Location-cache hits summed over the space.
+    pub locator_hits: u64,
+    /// Location-cache misses summed over the space.
+    pub locator_misses: u64,
+    /// Location answers (cache or directory) that later proved stale:
+    /// the message arrived after the agent moved on and had to forward
+    /// along the footprint trail or bounce back for re-resolution.
+    pub locator_stale_hits: u64,
+    /// Fraction of all location resolutions (cache hits + directory
+    /// queries) that proved stale (0 when there were none).
+    pub stale_hit_rate: f64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Virtual duration of the whole storm.
+    pub virtual_ms: u64,
+    /// Wall-clock duration (timing; machine-dependent).
+    pub wall_ms: f64,
+    /// Events per wall-clock second (timing; machine-dependent).
+    pub events_per_sec: u64,
+}
+
+impl ChurnReport {
+    /// Render the report in the committed `BENCH_PR7.json` shape:
+    /// fixed field order, timing fields last.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"naplet-bench/churn-v1\",");
+        let _ = writeln!(out, "  \"name\": \"directory_churn_storm\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"naplets\": {},", self.naplets);
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"replicas\": {},", self.replicas);
+        let _ = writeln!(out, "  \"waves\": {},", self.waves);
+        let _ = writeln!(out, "  \"hops\": {},", self.hops);
+        let _ = writeln!(out, "  \"forced_failovers\": {},", self.forced_failovers);
+        let _ = writeln!(out, "  \"elections\": {},", self.elections);
+        let _ = writeln!(out, "  \"leader_changes\": {},", self.leader_changes);
+        let _ = writeln!(out, "  \"commits\": {},", self.commits);
+        let _ = writeln!(out, "  \"commit_lag_ms_p50\": {},", self.commit_lag_ms_p50);
+        let _ = writeln!(out, "  \"commit_lag_ms_p95\": {},", self.commit_lag_ms_p95);
+        let _ = writeln!(out, "  \"commit_lag_ms_p99\": {},", self.commit_lag_ms_p99);
+        let _ = writeln!(
+            out,
+            "  \"journeys_completed\": {},",
+            self.journeys_completed
+        );
+        let _ = writeln!(out, "  \"journeys_lost\": {},", self.journeys_lost);
+        let _ = writeln!(out, "  \"duplicate_reports\": {},", self.duplicate_reports);
+        let _ = writeln!(out, "  \"journey_ms_p50\": {},", self.journey_ms_p50);
+        let _ = writeln!(out, "  \"journey_ms_p95\": {},", self.journey_ms_p95);
+        let _ = writeln!(out, "  \"journey_ms_p99\": {},", self.journey_ms_p99);
+        let _ = writeln!(out, "  \"lookups\": {},", self.lookups);
+        let _ = writeln!(out, "  \"lookups_confirmed\": {},", self.lookups_confirmed);
+        let _ = writeln!(out, "  \"lookup_ms_p50\": {},", self.lookup_ms_p50);
+        let _ = writeln!(out, "  \"lookup_ms_p95\": {},", self.lookup_ms_p95);
+        let _ = writeln!(out, "  \"lookup_ms_p99\": {},", self.lookup_ms_p99);
+        let _ = writeln!(out, "  \"locator_hits\": {},", self.locator_hits);
+        let _ = writeln!(out, "  \"locator_misses\": {},", self.locator_misses);
+        let _ = writeln!(
+            out,
+            "  \"locator_stale_hits\": {},",
+            self.locator_stale_hits
+        );
+        let _ = writeln!(out, "  \"stale_hit_rate\": {:.4},", self.stale_hit_rate);
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"virtual_ms\": {},", self.virtual_ms);
+        let _ = writeln!(out, "  \"wall_ms\": {:.1},", self.wall_ms);
+        let _ = writeln!(out, "  \"events_per_sec\": {}", self.events_per_sec);
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Run the churn storm and measure it.
+pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
+    let replicas: Vec<String> = (0..cfg.replicas).map(|i| format!("d{i}")).collect();
+    let workers: Vec<String> = (0..cfg.workers).map(|i| format!("w{i}")).collect();
+    let mode = LocationMode::ReplicatedDirectory(replicas.clone());
+
+    let fabric = Fabric::new(
+        LatencyModel::Constant(2),
+        Bandwidth::fast_ethernet(),
+        cfg.seed,
+    );
+    let mut rt = SimRuntime::new(fabric);
+    let reg = probe_registry();
+    // dwell long enough that a mid-journey owner post can win the
+    // race against the moving agent: resolution costs one directory
+    // round-trip (~2 network hops + commit lag), so a 5ms dwell makes
+    // every lookup chase a ghost
+    let policy = MonitorPolicy {
+        native_dwell_ms: 20,
+        ..MonitorPolicy::default()
+    };
+    for host in std::iter::once("home".to_string())
+        .chain(replicas.iter().cloned())
+        .chain(workers.iter().cloned())
+    {
+        let mut sc = ServerConfig::open(&host, mode.clone());
+        sc.codebase = reg.clone();
+        sc.monitor_policy = policy.clone();
+        rt.add_server(sc);
+    }
+
+    let key = bench_key();
+    let wave_size = cfg.naplets.div_ceil(cfg.waves.max(1));
+    let mut launched: Vec<(NapletId, u64)> = Vec::with_capacity(cfg.naplets);
+    let mut lookup_sends: Vec<Millis> = Vec::new();
+    let mut forced_failovers = 0u64;
+    let mut failover_pending = cfg.failover_at_wave;
+    let mut ts = 0u64;
+
+    let wall_start = Instant::now();
+
+    // warm up: run until the replica set has elected its first leader
+    // (~700ms with the default election timeout), so wave 0 measures
+    // steady-state churn rather than the cold-start election and the
+    // forced failover fires at exactly the configured wave
+    while !replicas.iter().any(|d| {
+        rt.server(d)
+            .and_then(|s| s.repl_core())
+            .is_some_and(|c| c.is_leader())
+    }) {
+        let t = rt.now().0 + 100;
+        if t > 10_000 {
+            break;
+        }
+        rt.run_until(Millis(t));
+    }
+
+    let base = rt.now().0 + 50;
+    for wave in 0..cfg.waves {
+        let wave_start = Millis(base + wave as u64 * cfg.wave_gap_ms);
+        rt.run_until(wave_start);
+
+        // crash whoever leads at the first wave (at or after the
+        // configured one) where an election has produced a leader; the
+        // survivors must re-elect while this wave's registrations are
+        // in flight
+        if failover_pending.is_some_and(|w| wave >= w) {
+            let leader = replicas
+                .iter()
+                .find(|d| {
+                    rt.server(d)
+                        .and_then(|s| s.repl_core())
+                        .is_some_and(|c| c.is_leader())
+                })
+                .cloned();
+            if let Some(leader) = leader {
+                rt.crash_server(&leader, Some(cfg.restart_after_ms));
+                forced_failovers += 1;
+                failover_pending = None;
+            }
+        }
+
+        let mut sampled: Vec<NapletId> = Vec::new();
+        for k in 0..wave_size {
+            let i = launched.len();
+            if i >= cfg.naplets {
+                break;
+            }
+            // unique creation timestamp: NapletId is (owner, home,
+            // creation ms), so same-instant launches must not share one
+            ts += 1;
+            let route: Vec<&str> = (0..cfg.hops)
+                .map(|h| workers[(i + h * 5) % workers.len()].as_str())
+                .collect();
+            let it = Itinerary::new(Pattern::seq_of_hosts(&route, None))
+                .unwrap()
+                .with_final_action(ActionSpec::ReportHome);
+            let naplet = Naplet::create(
+                &key,
+                "czxu",
+                "home",
+                Millis(ts),
+                PROBE_CODEBASE,
+                AgentKind::Native,
+                it,
+                vec![],
+            )
+            .unwrap();
+            launched.push((naplet.id().clone(), rt.now().0));
+            rt.launch(naplet).unwrap();
+
+            if cfg.lookup_every > 0 && i.is_multiple_of(cfg.lookup_every) {
+                sampled.push(launched[i].0.clone());
+            }
+            let _ = k;
+        }
+
+        // owner-side lookup probes at a sample of this wave's naplets,
+        // posted mid-journey so the target is registered somewhere:
+        // the first post resolves through the replicated directory,
+        // the second (a beat later) exercises the location cache — by
+        // then the agent has usually hopped, so some cached answers
+        // prove stale and must chase
+        if !sampled.is_empty() {
+            for burst in [cfg.wave_gap_ms / 3, cfg.wave_gap_ms / 2] {
+                rt.run_until(Millis(wave_start.0 + burst));
+                for id in &sampled {
+                    lookup_sends.push(rt.now());
+                    rt.owner_post("home", id.clone(), Payload::User(Value::Int(0)))
+                        .unwrap();
+                }
+            }
+        }
+    }
+    rt.run_to_quiescence(500_000_000);
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    // journey outcomes: exactly one home report per naplet
+    let reports = rt.drain_reports("home");
+    let mut report_counts: std::collections::HashMap<&NapletId, u64> =
+        std::collections::HashMap::new();
+    for (id, _) in &reports {
+        *report_counts.entry(id).or_default() += 1;
+    }
+    let mut completed = 0u64;
+    let mut duplicates = 0u64;
+    let mut journey_ms: Vec<u64> = Vec::with_capacity(launched.len());
+    for (id, launched_at) in &launched {
+        match report_counts.get(id).copied().unwrap_or(0) {
+            0 => {}
+            n => {
+                completed += 1;
+                if n > 1 {
+                    duplicates += 1;
+                }
+                if let Some(entry) = rt.server("home").and_then(|s| s.manager.table_entry(id)) {
+                    journey_ms.push(entry.updated.0.saturating_sub(*launched_at));
+                }
+            }
+        }
+    }
+    journey_ms.sort_unstable();
+
+    // lookup round-trips from the home messenger's confirmations
+    let home = rt.server("home").unwrap();
+    let mut lookup_ms: Vec<u64> = Vec::new();
+    for (k, sent) in lookup_sends.iter().enumerate() {
+        let seq = (k + 1) as u64;
+        if let Some(c) = home
+            .messenger
+            .confirmation(&Sender::Owner("home".into()), seq)
+        {
+            lookup_ms.push(c.at.since(*sent));
+        }
+    }
+    lookup_ms.sort_unstable();
+
+    // location-cache effectiveness across the whole space
+    let mut locator_hits = 0u64;
+    let mut locator_misses = 0u64;
+    let mut locator_stale = 0u64;
+    for host in rt.server_hosts() {
+        let s = rt.server(&host).unwrap();
+        locator_hits += s.locator.hits;
+        locator_misses += s.locator.misses;
+        locator_stale += s.locator.stale_hits;
+    }
+
+    let metrics = rt.obs().metrics.snapshot();
+    let lag = metrics.histogram("repl_commit_lag_ms");
+    let q = |p: f64| lag.map(|h| h.quantile(p)).unwrap_or(0);
+
+    ChurnReport {
+        naplets: launched.len() as u64,
+        workers: cfg.workers as u64,
+        replicas: cfg.replicas as u64,
+        waves: cfg.waves as u64,
+        hops: cfg.hops as u64,
+        seed: cfg.seed,
+        forced_failovers,
+        elections: metrics.counter("repl.elections"),
+        leader_changes: metrics.counter("repl.leader_changes"),
+        commits: metrics.counter("repl.commits"),
+        commit_lag_ms_p50: q(0.50),
+        commit_lag_ms_p95: q(0.95),
+        commit_lag_ms_p99: q(0.99),
+        journeys_completed: completed,
+        journeys_lost: launched.len() as u64 - completed,
+        duplicate_reports: duplicates,
+        journey_ms_p50: exact_quantile(&journey_ms, 0.50),
+        journey_ms_p95: exact_quantile(&journey_ms, 0.95),
+        journey_ms_p99: exact_quantile(&journey_ms, 0.99),
+        lookups: lookup_sends.len() as u64,
+        lookups_confirmed: lookup_ms.len() as u64,
+        lookup_ms_p50: exact_quantile(&lookup_ms, 0.50),
+        lookup_ms_p95: exact_quantile(&lookup_ms, 0.95),
+        lookup_ms_p99: exact_quantile(&lookup_ms, 0.99),
+        locator_hits,
+        locator_misses,
+        locator_stale_hits: locator_stale,
+        stale_hit_rate: if locator_hits + locator_misses > 0 {
+            locator_stale as f64 / (locator_hits + locator_misses) as f64
+        } else {
+            0.0
+        },
+        events: rt.events_processed,
+        virtual_ms: rt.now().0,
+        wall_ms,
+        events_per_sec: if wall_ms > 0.0 {
+            (rt.events_processed as f64 / (wall_ms / 1e3)) as u64
+        } else {
+            0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini() -> ChurnConfig {
+        ChurnConfig {
+            naplets: 240,
+            waves: 8,
+            wave_gap_ms: 120,
+            workers: 6,
+            replicas: 3,
+            hops: 2,
+            lookup_every: 20,
+            failover_at_wave: Some(3),
+            restart_after_ms: 1_500,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn storm_survives_leader_crash_without_losing_journeys() {
+        let r = run_churn(&mini());
+        assert_eq!(r.forced_failovers, 1, "leader crash must be injected");
+        assert_eq!(r.journeys_lost, 0, "no journey may be lost: {r:?}");
+        assert_eq!(r.duplicate_reports, 0, "no journey may duplicate: {r:?}");
+        assert_eq!(r.journeys_completed, 240);
+        // the survivors elected at least once more after the crash
+        assert!(r.elections >= 2, "expected a re-election: {r:?}");
+        assert!(r.commits > 0);
+        // lookups posted outside the outage window confirm; ones whose
+        // target retires before redelivery legitimately never do
+        assert!(
+            r.lookups > 0 && r.lookups_confirmed >= r.lookups / 3,
+            "too few lookups confirmed: {r:?}"
+        );
+        assert!(r.lookup_ms_p99 >= r.lookup_ms_p50);
+        assert!(r.locator_hits > 0, "cache never hit: {r:?}");
+        assert!(r.locator_stale_hits > 0, "no stale answer observed: {r:?}");
+    }
+
+    #[test]
+    fn seeded_storm_is_deterministic() {
+        let a = run_churn(&mini());
+        let b = run_churn(&mini());
+        let strip = |r: &ChurnReport| {
+            r.to_json()
+                .lines()
+                .filter(|l| !l.contains("wall_ms") && !l.contains("events_per_sec"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&a), strip(&b));
+    }
+}

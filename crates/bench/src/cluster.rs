@@ -93,6 +93,18 @@ impl ClusterHarness {
     /// and a `ctl` node entry is added for the in-process home. Blocks
     /// until every daemon's listen port accepts.
     pub fn launch(tag: &str, nodes: &[&str], cluster_section: &str) -> Result<ClusterHarness> {
+        ClusterHarness::launch_with(tag, nodes, cluster_section, "")
+    }
+
+    /// [`ClusterHarness::launch`] plus `extra_toml` appended verbatim
+    /// after the node entries — how chaos tests add a `[directory]`
+    /// replica-set section to the generated bootstrap file.
+    pub fn launch_with(
+        tag: &str,
+        nodes: &[&str],
+        cluster_section: &str,
+        extra_toml: &str,
+    ) -> Result<ClusterHarness> {
         let bin = napletd_bin()?;
         let root =
             std::env::temp_dir().join(format!("naplet-cluster-{tag}-{}", std::process::id()));
@@ -128,6 +140,10 @@ impl ClusterHarness {
                 addrs[name],
                 journal.display()
             ));
+        }
+        if !extra_toml.is_empty() {
+            toml.push('\n');
+            toml.push_str(extra_toml);
         }
         let config_path = root.join("cluster.toml");
         std::fs::write(&config_path, &toml)
@@ -309,13 +325,27 @@ pub struct CtlNode {
     scratch: Vec<u8>,
     key: SigningKey,
     launched: u64,
+    /// Creation timestamp handed to the previous launch: two probes
+    /// launched within one wall-clock millisecond must still get
+    /// distinct naplet ids (id = owner+home+creation time).
+    last_launch_ts: u64,
 }
 
 impl CtlNode {
     fn start(config: &BootstrapConfig) -> Result<CtlNode> {
         let net = TcpTransport::start(config.tcp_config(CTL)?)?;
         let rx = net.register(CTL);
-        let mut cfg = ServerConfig::open(CTL, LocationMode::HomeManagers);
+        // mirror the daemons' location mode: with a `[directory]`
+        // section the home routes registrations (and lease probes) at
+        // the replica set instead of acting as its own manager
+        let mode = match &config.directory {
+            Some(dir) => LocationMode::ReplicatedDirectory(dir.replicas.clone()),
+            None => LocationMode::HomeManagers,
+        };
+        let mut cfg = ServerConfig::open(CTL, mode);
+        if let Some(dir) = &config.directory {
+            cfg.repl = Some(dir.repl_config());
+        }
         register_probe(&mut cfg.codebase);
         if let Some(duration_ms) = config.lease_ms {
             cfg.lease = Some(LeasePolicy {
@@ -339,6 +369,7 @@ impl CtlNode {
             scratch: Vec::new(),
             key: SigningKey::new("ops", b"cluster-harness"),
             launched: 0,
+            last_launch_ts: 0,
         })
     }
 
@@ -350,12 +381,14 @@ impl CtlNode {
     /// Launch one probe around `hosts` (in order) and home again.
     pub fn launch_probe(&mut self, hosts: &[&str]) -> Result<()> {
         self.launched += 1;
+        let ts = self.now().0.max(self.last_launch_ts + 1);
+        self.last_launch_ts = ts;
         let it = Itinerary::new(Pattern::seq_of_hosts(hosts, None))?;
         let naplet = Naplet::create(
             &self.key,
             "ops",
             CTL,
-            self.now(),
+            Millis(ts),
             PROBE_CODEBASE,
             AgentKind::Native,
             it,

@@ -7,11 +7,13 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod cluster;
 pub mod experiments;
 pub mod scenarios;
 pub mod suite;
 
+pub use churn::{run_churn, ChurnConfig, ChurnReport};
 pub use experiments::{
     exp_e1_crossover, exp_e2_latency, exp_e2_walk, exp_f3_devices, exp_filtering, exp_vm_vs_native,
     render_man_table, ManRow,

@@ -5,7 +5,7 @@
 //! by the CI `cluster-smoke` job (`cargo test -p naplet-bench --test
 //! cluster_smoke -- --ignored`) after building the `napletd` binary.
 //!
-//! Three scenarios, in escalating hostility:
+//! Four scenarios, in escalating hostility:
 //! 1. **smoke**: a probe rings three daemons and reports home from
 //!    each, daemons shut down cleanly on SIGTERM;
 //! 2. **kill -9 + journal recovery**: a daemon is SIGKILLed while an
@@ -13,7 +13,11 @@
 //!    journal, and the journey still completes exactly once;
 //! 3. **lease re-dispatch**: a daemon is SIGKILLed and *not*
 //!    restarted; the home node's lease expires and the orphaned agent
-//!    is re-dispatched from its creation record.
+//!    is re-dispatched from its creation record;
+//! 4. **directory failover**: the replicated directory's *leader* is
+//!    SIGKILLed mid-churn; journeys keep completing exactly once, a
+//!    new leader emerges, and the restarted replica catches up to the
+//!    same committed log.
 
 use std::time::Duration;
 
@@ -174,4 +178,109 @@ fn dead_node_triggers_home_lease_redispatch() {
     // outage sends are counted drops on the ctl transport, not panics
     let give_up = ctl.pump_until(Duration::from_secs(30), |c| c.net_stats().dropped >= 1);
     assert!(give_up, "sends into the dead node must count as drops");
+}
+
+#[test]
+#[ignore = "spawns real napletd processes; run via the CI cluster-smoke job"]
+fn directory_leader_kill9_mid_churn_loses_no_registrations() {
+    let replicas = ["d1", "d2", "d3"];
+    let mut harness = ClusterHarness::launch_with(
+        "chaos-directory",
+        &["d1", "d2", "d3", "w1"],
+        "lease_ms = 60000\n",
+        "[directory]\nreplicas = \"d1, d2, d3\"\n",
+    )
+    .unwrap();
+    let mut ctl = harness.ctl().unwrap();
+    let mut poller =
+        naplet_man::ClusterStatusPoller::connect(harness.config(), naplet_bench::cluster::MON)
+            .unwrap();
+    let replica_targets: Vec<String> = replicas.iter().map(|s| s.to_string()).collect();
+
+    // wait for the replica set to elect, and learn who leads
+    let mut leader = String::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while leader.is_empty() && std::time::Instant::now() < deadline {
+        let reports = poller
+            .poll(&replica_targets, Duration::from_secs(5))
+            .unwrap();
+        leader = reports
+            .iter()
+            .filter_map(|r| r.repl.as_ref())
+            .find(|r| r.role == "leader")
+            .and_then(|r| r.leader.clone())
+            .unwrap_or_default();
+        if leader.is_empty() {
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+    assert!(
+        !leader.is_empty(),
+        "replica set never elected a leader over TCP"
+    );
+
+    // churn before the kill: journeys whose arrival registrations
+    // commit through the current leader
+    for _ in 0..3 {
+        ctl.launch_probe(&["w1"]).unwrap();
+    }
+    let first_wave = ctl.pump_until(Duration::from_secs(30), |c| c.server().reports.len() >= 3);
+    assert!(
+        first_wave,
+        "pre-kill churn stalled; reports: {:?}",
+        ctl.reports()
+    );
+
+    // kill -9 the directory leader mid-churn, keep launching while the
+    // survivors elect, then restart the corpse
+    harness.kill9(&leader).unwrap();
+    for _ in 0..3 {
+        ctl.launch_probe(&["w1"]).unwrap();
+    }
+    let second_wave = ctl.pump_until(Duration::from_secs(60), |c| c.server().reports.len() >= 6);
+    assert!(
+        second_wave,
+        "churn through directory failover stalled; reports: {:?}",
+        ctl.reports()
+    );
+    // zero lost registrations: every launched probe reported exactly
+    // once — none dropped, none re-dispatched into a duplicate
+    assert_eq!(
+        ctl.reports(),
+        vec![probe("w1"); 6],
+        "each probe must report exactly once across the failover"
+    );
+    harness.restart(&leader).unwrap();
+
+    // the survivors elected exactly one new leader, and the restarted
+    // replica rejoins and catches up to the same committed log
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let converged = loop {
+        let reports = poller
+            .poll(&replica_targets, Duration::from_secs(5))
+            .unwrap();
+        let repl: Vec<_> = reports.iter().filter_map(|r| r.repl.as_ref()).collect();
+        let leaders = repl.iter().filter(|r| r.role == "leader").count();
+        let commits: Vec<u64> = repl.iter().map(|r| r.commit).collect();
+        if repl.len() == 3
+            && leaders == 1
+            && commits.windows(2).all(|w| w[0] == w[1])
+            && commits[0] >= 1
+        {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            eprintln!("final replica status: {repl:?}");
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    };
+    assert!(
+        converged,
+        "restarted replica never converged with the new leader"
+    );
+
+    for (node, clean) in harness.shutdown() {
+        assert!(clean, "napletd[{node}] did not exit cleanly");
+    }
 }

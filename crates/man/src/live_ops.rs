@@ -117,6 +117,109 @@ impl ClusterStatusPoller {
         Ok(reports)
     }
 
+    /// Field-level diff between two polls of the same cluster: one
+    /// line per host that changed, naming each field as `old -> new`,
+    /// plus `lost`/`appeared` lines for hosts present in only one
+    /// poll. Drives `figures cluster-status --watch`.
+    pub fn diff_reports(prev: &[StatusReport], next: &[StatusReport]) -> Vec<String> {
+        let by_host =
+            |reports: &[StatusReport]| -> std::collections::BTreeMap<String, StatusReport> {
+                reports
+                    .iter()
+                    .map(|r| (r.host.clone(), r.clone()))
+                    .collect()
+            };
+        let prev = by_host(prev);
+        let next = by_host(next);
+        let mut lines = Vec::new();
+        for (host, old) in &prev {
+            let Some(new) = next.get(host) else {
+                lines.push(format!("{host}: lost (answered last poll, silent now)"));
+                continue;
+            };
+            let mut changes = Vec::new();
+            let mut field = |name: &str, a: u64, b: u64| {
+                if a != b {
+                    changes.push(format!("{name} {a} -> {b}"));
+                }
+            };
+            field(
+                "residents",
+                old.residents.len() as u64,
+                new.residents.len() as u64,
+            );
+            field("parked", old.parked, new.parked);
+            field(
+                "mailbox",
+                old.mailbox_depth + old.special_mailbox_depth,
+                new.mailbox_depth + new.special_mailbox_depth,
+            );
+            field("journal_entries", old.journal_entries, new.journal_entries);
+            field("journal_bytes", old.journal_bytes, new.journal_bytes);
+            field("leases_held", old.leases_held, new.leases_held);
+            field("leases_expired", old.leases_expired, new.leases_expired);
+            field(
+                "leases_redispatched",
+                old.leases_redispatched,
+                new.leases_redispatched,
+            );
+            field("leases_lost", old.leases_lost, new.leases_lost);
+            field(
+                "locator_stale_hits",
+                old.locator_stale_hits,
+                new.locator_stale_hits,
+            );
+            field(
+                "pending_transfers",
+                old.pending_transfers,
+                new.pending_transfers,
+            );
+            field(
+                "outstanding_posts",
+                old.outstanding_posts,
+                new.outstanding_posts,
+            );
+            match (&old.repl, &new.repl) {
+                (Some(a), Some(b)) => {
+                    if a.role != b.role {
+                        changes.push(format!("dir role {} -> {}", a.role, b.role));
+                    }
+                    if a.term != b.term {
+                        changes.push(format!("dir term {} -> {}", a.term, b.term));
+                    }
+                    if a.commit != b.commit {
+                        changes.push(format!("dir commit {} -> {}", a.commit, b.commit));
+                    }
+                    if a.last_index != b.last_index {
+                        changes.push(format!("dir log {} -> {}", a.last_index, b.last_index));
+                    }
+                    if a.leader != b.leader {
+                        changes.push(format!(
+                            "dir leader {} -> {}",
+                            a.leader.as_deref().unwrap_or("?"),
+                            b.leader.as_deref().unwrap_or("?")
+                        ));
+                    }
+                    if a.entries != b.entries {
+                        changes.push(format!("dir entries {} -> {}", a.entries, b.entries));
+                    }
+                }
+                (None, Some(_)) => changes.push("dir replica came up".into()),
+                (Some(_), None) => changes.push("dir replica gone".into()),
+                (None, None) => {}
+            }
+            if !changes.is_empty() {
+                lines.push(format!("{host}: {}", changes.join(", ")));
+            }
+        }
+        for host in next.keys() {
+            if !prev.contains_key(host) {
+                lines.push(format!("{host}: appeared (silent last poll)"));
+            }
+        }
+        lines
+    }
+
     /// Render reports as a fixed-width health table, the live
     /// counterpart of the `figures status` sim view.
     pub fn render_table(reports: &[StatusReport]) -> String {
@@ -158,6 +261,82 @@ mod tests {
         held.iter()
             .map(|l| l.local_addr().unwrap().to_string())
             .collect()
+    }
+
+    fn blank_report(host: &str) -> StatusReport {
+        StatusReport {
+            host: host.into(),
+            at: Millis(0),
+            residents: Vec::new(),
+            parked: 0,
+            mailbox_depth: 0,
+            special_mailbox_depth: 0,
+            journal_entries: 0,
+            journal_bytes: 0,
+            leases_held: 0,
+            leases_expired: 0,
+            leases_redispatched: 0,
+            leases_lost: 0,
+            locator_entries: 0,
+            locator_hits: 0,
+            locator_misses: 0,
+            locator_stale_hits: 0,
+            locator_evictions: 0,
+            locator_oldest_age_ms: 0,
+            pending_transfers: 0,
+            outstanding_posts: 0,
+            repl: None,
+        }
+    }
+
+    #[test]
+    fn diff_names_changed_fields_and_missing_hosts() {
+        use naplet_server::ReplStatus;
+        let mut a1 = blank_report("alpha");
+        a1.journal_entries = 3;
+        a1.repl = Some(ReplStatus {
+            role: "follower".into(),
+            term: 2,
+            commit: 4,
+            last_index: 4,
+            leader: Some("beta".into()),
+            entries: 1,
+        });
+        let b1 = blank_report("beta");
+        let mut a2 = a1.clone();
+        a2.journal_entries = 5;
+        a2.parked = 1;
+        a2.repl = Some(ReplStatus {
+            role: "leader".into(),
+            term: 3,
+            commit: 9,
+            last_index: 9,
+            leader: Some("alpha".into()),
+            entries: 1,
+        });
+        // beta answered poll 1 but not poll 2; gamma is new
+        let g2 = blank_report("gamma");
+
+        let diffs = ClusterStatusPoller::diff_reports(&[a1, b1], &[a2, g2]);
+        let text = diffs.join("\n");
+        assert!(text.contains("alpha: "), "{text}");
+        assert!(text.contains("journal_entries 3 -> 5"), "{text}");
+        assert!(text.contains("parked 0 -> 1"), "{text}");
+        assert!(text.contains("dir role follower -> leader"), "{text}");
+        assert!(text.contains("dir term 2 -> 3"), "{text}");
+        assert!(text.contains("dir leader beta -> alpha"), "{text}");
+        assert!(text.contains("beta: lost"), "{text}");
+        assert!(text.contains("gamma: appeared"), "{text}");
+        // unchanged fields stay silent
+        assert!(!text.contains("leases_held"), "{text}");
+    }
+
+    #[test]
+    fn diff_of_identical_polls_is_empty() {
+        let a = blank_report("alpha");
+        let diffs =
+            ClusterStatusPoller::diff_reports(std::slice::from_ref(&a), std::slice::from_ref(&a));
+        assert!(diffs.is_empty(), "{diffs:?}");
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct TcpConfig {
     pub max_frame_bytes: usize,
     /// Timeout for one outbound connection attempt.
     pub connect_timeout_ms: u64,
+    /// Deadline for one outbound frame write. A peer that accepted the
+    /// connection but stopped draining it (wedged process, full socket
+    /// buffers) stalls `write` forever without this; with it the frame
+    /// becomes a counted drop and the connection re-dials through the
+    /// reconnect backoff. `0` disables the deadline.
+    pub write_timeout_ms: u64,
     /// First-attempt reconnect backoff (doubles per failed attempt).
     pub reconnect_base_ms: u64,
     /// Reconnect backoff cap.
@@ -69,6 +75,7 @@ impl TcpConfig {
             peers,
             max_frame_bytes: 16 * 1024 * 1024,
             connect_timeout_ms: 500,
+            write_timeout_ms: 2_000,
             reconnect_base_ms: 100,
             reconnect_max_ms: 3_200,
         }
@@ -351,6 +358,11 @@ fn writer_loop(
             ) {
                 Ok(stream) => {
                     let _ = stream.set_nodelay(true);
+                    if config.write_timeout_ms > 0 {
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                            config.write_timeout_ms,
+                        )));
+                    }
                     conn = Some(stream);
                     attempt = 0;
                 }
@@ -481,6 +493,45 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert!(a.stats().snapshot().dropped >= 1);
+    }
+
+    #[test]
+    fn stalled_peer_write_times_out_and_counts_a_drop() {
+        // a listener that never accepts: connections land in the
+        // kernel backlog, so connect succeeds but nothing ever drains
+        // the socket — without a write deadline the writer thread
+        // wedges forever once the buffers fill
+        let sink = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = sink.local_addr().unwrap();
+        let config = TcpConfig {
+            write_timeout_ms: 100,
+            ..TcpConfig::new("127.0.0.1:0".parse().unwrap(), BTreeMap::new())
+        };
+        let a = TcpTransport::start(config).unwrap();
+        a.add_peer("stall", addr).unwrap();
+        // enough bytes to overrun loopback send+receive buffers
+        for _ in 0..64 {
+            a.send(Frame::new(
+                "a",
+                "stall",
+                TrafficClass::Message,
+                vec![0u8; 256 * 1024],
+            ))
+            .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while a.stats().snapshot().dropped == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            a.stats().snapshot().dropped >= 1,
+            "write deadline must turn a stalled peer into counted drops"
+        );
+        // the writer armed its reconnect backoff instead of wedging:
+        // dropping the transport joins every thread, so reaching the
+        // end of this test at all proves the loop came back
+        drop(a);
+        drop(sink);
     }
 
     #[test]

@@ -256,6 +256,30 @@ pub enum TraceKind {
         /// The configured entry threshold.
         threshold: u64,
     },
+    /// A directory replica started an election campaign.
+    ReplElection {
+        /// The campaign term.
+        term: u64,
+    },
+    /// A directory replica learned (or became) the leader of a term.
+    ReplLeader {
+        /// The term.
+        term: u64,
+        /// The leader's host name.
+        leader: String,
+    },
+    /// A replicated directory operation committed (majority ack).
+    ReplCommit {
+        /// The committed log index.
+        index: u64,
+        /// Short label of the operation (`register`, `remove`, `noop`).
+        op: String,
+    },
+    /// A rejoining replica installed a full state snapshot.
+    ReplSnapshot {
+        /// Last log index the snapshot covers.
+        index: u64,
+    },
 }
 
 impl TraceKind {
@@ -290,6 +314,10 @@ impl TraceKind {
             TraceKind::OrphanSuspected { .. } => "alert.orphan",
             TraceKind::MailboxBacklog { .. } => "alert.mailbox",
             TraceKind::JournalLagHigh { .. } => "alert.journal",
+            TraceKind::ReplElection { .. } => "repl.election",
+            TraceKind::ReplLeader { .. } => "repl.leader",
+            TraceKind::ReplCommit { .. } => "repl.commit",
+            TraceKind::ReplSnapshot { .. } => "repl.snapshot",
         }
     }
 
@@ -478,6 +506,14 @@ impl TraceKind {
                 ("bytes", Int(*bytes)),
                 ("threshold", Int(*threshold)),
             ],
+            TraceKind::ReplElection { term } => vec![("term", Int(*term))],
+            TraceKind::ReplLeader { term, leader } => {
+                vec![("term", Int(*term)), ("leader", Str(leader.clone()))]
+            }
+            TraceKind::ReplCommit { index, op } => {
+                vec![("index", Int(*index)), ("op", Str(op.clone()))]
+            }
+            TraceKind::ReplSnapshot { index } => vec![("index", Int(*index))],
         }
     }
 }

@@ -43,6 +43,48 @@ pub struct NodeConfig {
     pub journal: Option<PathBuf>,
 }
 
+/// The `[directory]` section: which nodes replicate the naplet
+/// directory, plus optional consensus-timer overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectoryConfig {
+    /// Names of the replica-set members (each must be a declared
+    /// `[[node]]`), in the order written.
+    pub replicas: Vec<String>,
+    /// `ReplConfig::tick_ms` override.
+    pub tick_ms: Option<u64>,
+    /// `ReplConfig::lease_ms` override (leader lease).
+    pub lease_ms: Option<u64>,
+    /// `ReplConfig::heartbeat_ms` override.
+    pub heartbeat_ms: Option<u64>,
+    /// `ReplConfig::election_ms` override.
+    pub election_ms: Option<u64>,
+    /// `ReplConfig::snapshot_keep` override.
+    pub snapshot_keep: Option<u64>,
+}
+
+impl DirectoryConfig {
+    /// Materialize the consensus-core configuration.
+    pub fn repl_config(&self) -> crate::repl::ReplConfig {
+        let mut cfg = crate::repl::ReplConfig::new(self.replicas.clone());
+        if let Some(v) = self.tick_ms {
+            cfg.tick_ms = v;
+        }
+        if let Some(v) = self.lease_ms {
+            cfg.lease_ms = v;
+        }
+        if let Some(v) = self.heartbeat_ms {
+            cfg.heartbeat_ms = v;
+        }
+        if let Some(v) = self.election_ms {
+            cfg.election_ms = v;
+        }
+        if let Some(v) = self.snapshot_keep {
+            cfg.snapshot_keep = v;
+        }
+        cfg
+    }
+}
+
 /// The whole cluster as one parsed, validated bootstrap file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BootstrapConfig {
@@ -57,6 +99,9 @@ pub struct BootstrapConfig {
     pub dwell_ms: Option<u64>,
     /// Transport frame-size ceiling override (bytes).
     pub max_frame_bytes: Option<usize>,
+    /// Replicated-directory configuration; `None` keeps every node in
+    /// the default home-manager location mode.
+    pub directory: Option<DirectoryConfig>,
 }
 
 impl BootstrapConfig {
@@ -65,8 +110,11 @@ impl BootstrapConfig {
     pub fn parse(text: &str) -> Result<BootstrapConfig> {
         let raw = parse_toml_subset(text)?;
         let mut errors = Vec::new();
-        let mut nodes = Vec::new();
+        // each parsed node keeps the line of its `[[node]]` header so
+        // cross-node errors can point at both definitions
+        let mut nodes: Vec<(NodeConfig, usize)> = Vec::new();
         for (i, entry) in raw.nodes.iter().enumerate() {
+            let header_line = raw.node_lines[i];
             let label = entry
                 .get("name")
                 .map(|v| format!("node `{}`", v.as_str_lossy()))
@@ -118,28 +166,38 @@ impl BootstrapConfig {
                     errors.push(format!("node `{name}`: unknown key `{key}`"));
                 }
             }
-            nodes.push(NodeConfig {
-                name,
-                listen,
-                journal,
-            });
+            nodes.push((
+                NodeConfig {
+                    name,
+                    listen,
+                    journal,
+                },
+                header_line,
+            ));
         }
 
         // cross-node validation: names and listen addresses must be
-        // cluster-unique, else two daemons would claim one identity
-        for (i, a) in nodes.iter().enumerate() {
-            for b in &nodes[i + 1..] {
+        // cluster-unique, else two daemons would claim one identity.
+        // Every collision is reported with both definition sites so a
+        // large config is fixable in one pass.
+        for (i, (a, a_line)) in nodes.iter().enumerate() {
+            for (b, b_line) in &nodes[i + 1..] {
                 if a.name == b.name {
-                    errors.push(format!("duplicate node name `{}`", a.name));
+                    errors.push(format!(
+                        "line {b_line}: duplicate node name `{}` (first defined at line {a_line})",
+                        a.name
+                    ));
                 }
                 if a.listen == b.listen {
                     errors.push(format!(
-                        "nodes `{}` and `{}` both listen on {}",
+                        "line {b_line}: nodes `{}` and `{}` both listen on {} \
+                         (first defined at line {a_line})",
                         a.name, b.name, a.listen
                     ));
                 }
             }
         }
+        let nodes: Vec<NodeConfig> = nodes.into_iter().map(|(n, _)| n).collect();
         if nodes.is_empty() && errors.is_empty() {
             errors.push("config defines no [[node]] entries".to_string());
         }
@@ -167,12 +225,80 @@ impl BootstrapConfig {
             }
         }
 
+        let mut directory = None;
+        if let Some(table) = &raw.directory {
+            let mut dir = DirectoryConfig {
+                replicas: Vec::new(),
+                tick_ms: None,
+                lease_ms: None,
+                heartbeat_ms: None,
+                election_ms: None,
+                snapshot_keep: None,
+            };
+            let mut saw_replicas = false;
+            for (key, value) in table {
+                // the TOML subset has no arrays, so the replica set is
+                // a comma-separated string of node names
+                match (key.as_str(), value) {
+                    ("replicas", RawValue::Str(s)) => {
+                        saw_replicas = true;
+                        dir.replicas = s
+                            .split(',')
+                            .map(|p| p.trim().to_string())
+                            .filter(|p| !p.is_empty())
+                            .collect();
+                    }
+                    ("replicas", _) => errors.push(
+                        "[directory] `replicas` must be a comma-separated string of node names"
+                            .into(),
+                    ),
+                    (
+                        k @ ("tick_ms" | "lease_ms" | "heartbeat_ms" | "election_ms"
+                        | "snapshot_keep"),
+                        RawValue::Int(n),
+                    ) if *n > 0 => {
+                        let v = Some(*n as u64);
+                        match k {
+                            "tick_ms" => dir.tick_ms = v,
+                            "lease_ms" => dir.lease_ms = v,
+                            "heartbeat_ms" => dir.heartbeat_ms = v,
+                            "election_ms" => dir.election_ms = v,
+                            _ => dir.snapshot_keep = v,
+                        }
+                    }
+                    (
+                        k @ ("tick_ms" | "lease_ms" | "heartbeat_ms" | "election_ms"
+                        | "snapshot_keep"),
+                        _,
+                    ) => errors.push(format!("[directory] `{k}` must be a positive integer")),
+                    (other, _) => errors.push(format!("[directory] unknown key `{other}`")),
+                }
+            }
+            if !saw_replicas {
+                errors.push("[directory] missing required key `replicas`".into());
+            } else if dir.replicas.is_empty() {
+                errors.push("[directory] `replicas` names no nodes".into());
+            }
+            for (i, r) in dir.replicas.iter().enumerate() {
+                if !nodes.iter().any(|n| n.name == *r) {
+                    errors.push(format!(
+                        "[directory] replica `{r}` is not a declared [[node]]"
+                    ));
+                }
+                if dir.replicas[..i].contains(r) {
+                    errors.push(format!("[directory] replica `{r}` listed twice"));
+                }
+            }
+            directory = Some(dir);
+        }
+
         if errors.is_empty() {
             Ok(BootstrapConfig {
                 nodes,
                 lease_ms,
                 dwell_ms,
                 max_frame_bytes,
+                directory,
             })
         } else {
             Err(NapletError::Parse(errors.join("\n")))
@@ -238,6 +364,10 @@ impl RawValue {
 struct RawConfig {
     cluster: BTreeMap<String, RawValue>,
     nodes: Vec<BTreeMap<String, RawValue>>,
+    /// Line number of each `[[node]]` header, parallel to `nodes` —
+    /// lets validation point at the offending definition.
+    node_lines: Vec<usize>,
+    directory: Option<BTreeMap<String, RawValue>>,
 }
 
 /// Which table subsequent `key = value` lines land in.
@@ -245,6 +375,7 @@ enum Section {
     None,
     Cluster,
     Node,
+    Directory,
 }
 
 fn parse_toml_subset(text: &str) -> Result<RawConfig> {
@@ -258,12 +389,21 @@ fn parse_toml_subset(text: &str) -> Result<RawConfig> {
         }
         if line == "[[node]]" {
             raw.nodes.push(BTreeMap::new());
+            raw.node_lines.push(lineno);
             section = Section::Node;
         } else if line == "[cluster]" {
             section = Section::Cluster;
+        } else if line == "[directory]" {
+            if raw.directory.is_some() {
+                return Err(NapletError::Parse(format!(
+                    "line {lineno}: [directory] defined twice"
+                )));
+            }
+            raw.directory = Some(BTreeMap::new());
+            section = Section::Directory;
         } else if line.starts_with('[') {
             return Err(NapletError::Parse(format!(
-                "line {lineno}: unknown section `{line}` (expected [cluster] or [[node]])"
+                "line {lineno}: unknown section `{line}` (expected [cluster], [directory], or [[node]])"
             )));
         } else if let Some((key, value)) = line.split_once('=') {
             let key = key.trim().to_string();
@@ -272,6 +412,7 @@ fn parse_toml_subset(text: &str) -> Result<RawConfig> {
             let table = match section {
                 Section::Cluster => &mut raw.cluster,
                 Section::Node => raw.nodes.last_mut().expect("section implies a node"),
+                Section::Directory => raw.directory.as_mut().expect("section implies directory"),
                 Section::None => {
                     return Err(NapletError::Parse(format!(
                         "line {lineno}: `{key}` appears before any [cluster] or [[node]] header"
@@ -392,6 +533,80 @@ listen = "127.0.0.1:7401"
         let err = BootstrapConfig::parse(bad).unwrap_err().to_string();
         assert!(err.contains("duplicate node name `a`"), "{err}");
         assert!(err.contains("both listen on"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_errors_point_at_both_definitions() {
+        // headers at lines 2, 6 and 10; `b` collides with `a` on the
+        // listen address, `c` reuses the name `a`
+        let bad = "\n\
+[[node]]\n\
+name = \"a\"\n\
+listen = \"127.0.0.1:7401\"\n\
+\n\
+[[node]]\n\
+name = \"b\"\n\
+listen = \"127.0.0.1:7401\"\n\
+\n\
+[[node]]\n\
+name = \"a\"\n\
+listen = \"127.0.0.1:7403\"\n";
+        let err = BootstrapConfig::parse(bad).unwrap_err().to_string();
+        assert!(
+            err.contains("line 10: duplicate node name `a` (first defined at line 2)"),
+            "{err}"
+        );
+        assert!(
+            err.contains("line 6: nodes `a` and `b` both listen on 127.0.0.1:7401"),
+            "{err}"
+        );
+        assert!(err.contains("(first defined at line 2)"), "{err}");
+        // both problems in the one error: fixable in a single pass
+        assert_eq!(err.lines().count(), 2, "{err}");
+    }
+
+    #[test]
+    fn directory_section_parses_and_maps_to_repl_config() {
+        let text =
+            format!("{GOOD}\n[directory]\nreplicas = \"alpha, beta, gamma\"\nheartbeat_ms = 250\n");
+        let cfg = BootstrapConfig::parse(&text).unwrap();
+        let dir = cfg.directory.as_ref().unwrap();
+        assert_eq!(dir.replicas, vec!["alpha", "beta", "gamma"]);
+        let repl = dir.repl_config();
+        assert_eq!(repl.heartbeat_ms, 250);
+        assert_eq!(
+            repl.tick_ms,
+            crate::repl::ReplConfig::new(Vec::new()).tick_ms
+        );
+        assert_eq!(repl.majority(), 2);
+    }
+
+    #[test]
+    fn directory_validation_reports_every_problem() {
+        let text = format!(
+            "{GOOD}\n[directory]\nreplicas = \"alpha, ghost, alpha\"\ntick_ms = -5\nwat = 1\n"
+        );
+        let err = BootstrapConfig::parse(&text).unwrap_err().to_string();
+        assert!(
+            err.contains("replica `ghost` is not a declared [[node]]"),
+            "{err}"
+        );
+        assert!(err.contains("replica `alpha` listed twice"), "{err}");
+        assert!(
+            err.contains("`tick_ms` must be a positive integer"),
+            "{err}"
+        );
+        assert!(err.contains("unknown key `wat`"), "{err}");
+
+        let err = BootstrapConfig::parse(&format!("{GOOD}\n[directory]\n"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("missing required key `replicas`"), "{err}");
+
+        let err = BootstrapConfig::parse(&format!("{GOOD}\n[directory]\nreplicas = \", ,\"\n"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("`replicas` names no nodes"), "{err}");
     }
 
     #[test]

@@ -95,7 +95,16 @@ impl Daemon {
         let mut live = LiveRuntime::over(transport);
         live.enable_watchdog(WatchdogConfig::default());
 
-        let mut server_cfg = ServerConfig::open(node, LocationMode::HomeManagers);
+        let mode = match &config.directory {
+            Some(dir) => LocationMode::ReplicatedDirectory(dir.replicas.clone()),
+            None => LocationMode::HomeManagers,
+        };
+        let mut server_cfg = ServerConfig::open(node, mode);
+        if let Some(dir) = &config.directory {
+            // only replica-set members instantiate a consensus core;
+            // other nodes use the config for routing alone
+            server_cfg.repl = Some(dir.repl_config());
+        }
         register_probe(&mut server_cfg.codebase);
         if let Some(dwell_ms) = config.dwell_ms {
             server_cfg.monitor_policy.native_dwell_ms = dwell_ms;
@@ -291,5 +300,54 @@ mod tests {
         let (addr_a, addr_b) = two_free_addrs();
         let config = two_node_config(&addr_a, &addr_b, None);
         assert!(Daemon::start(&config, "nope").is_err());
+    }
+
+    #[test]
+    fn replicated_directory_cluster_elects_one_leader_over_tcp() {
+        let addrs: Vec<String> = (0..3)
+            .map(|_| {
+                TcpListener::bind("127.0.0.1:0")
+                    .unwrap()
+                    .local_addr()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        let mut text = String::new();
+        for (i, addr) in addrs.iter().enumerate() {
+            text.push_str(&format!("[[node]]\nname = \"d{i}\"\nlisten = \"{addr}\"\n"));
+        }
+        text.push_str("[directory]\nreplicas = \"d0, d1, d2\"\n");
+        let config = BootstrapConfig::parse(&text).unwrap();
+        let daemons: Vec<Daemon> = (0..3)
+            .map(|i| Daemon::start(&config, &format!("d{i}")).unwrap())
+            .collect();
+
+        // give the replica set a moment to elect, then inspect the
+        // final status reports: exactly one leader, everyone agreeing
+        // on it, and at least the leader's noop committed everywhere
+        std::thread::sleep(Duration::from_secs(2));
+        let summaries: Vec<DaemonSummary> = daemons
+            .into_iter()
+            .map(|d| {
+                d.shutdown_flag().store(true, Ordering::Relaxed);
+                d.run().unwrap()
+            })
+            .collect();
+        let repl: Vec<_> = summaries
+            .iter()
+            .map(|s| s.status.repl.as_ref().expect("replica must report"))
+            .collect();
+        let leaders = repl.iter().filter(|r| r.role == "leader").count();
+        assert_eq!(leaders, 1, "exactly one leader: {repl:?}");
+        assert!(
+            repl.iter().all(|r| r.commit >= 1),
+            "noop must commit on every replica: {repl:?}"
+        );
+        let hints: Vec<_> = repl.iter().filter_map(|r| r.leader.clone()).collect();
+        assert!(
+            hints.windows(2).all(|w| w[0] == w[1]),
+            "replicas disagree on the leader: {hints:?}"
+        );
     }
 }

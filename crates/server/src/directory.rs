@@ -84,6 +84,25 @@ impl NapletDirectory {
         self.entries.remove(id)
     }
 
+    /// All records, sorted by naplet id — the deterministic snapshot
+    /// image the replicated directory ships to rejoining replicas.
+    pub fn entries(&self) -> Vec<(NapletId, DirEntry)> {
+        let mut out: Vec<(NapletId, DirEntry)> = self
+            .entries
+            .iter()
+            .map(|(id, e)| (id.clone(), e.clone()))
+            .collect();
+        out.sort_by_key(|(id, _)| id.to_string());
+        out
+    }
+
+    /// Replace the whole map with a snapshot image (replica catch-up).
+    /// The registrations counter is left alone: it counts operations
+    /// this replica processed, not entries it holds.
+    pub fn install(&mut self, entries: Vec<(NapletId, DirEntry)>) {
+        self.entries = entries.into_iter().collect();
+    }
+
     /// Number of tracked naplets.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -118,8 +118,11 @@ pub enum Wire {
         token: u64,
         /// The naplet.
         id: NapletId,
-        /// Latest known (host, event), or None when unknown.
-        entry: Option<(String, DirEvent)>,
+        /// Latest known (host, event, registered-at), or None when
+        /// unknown. The timestamp lets a home server judge recency —
+        /// lease probes after a directory failover renew instead of
+        /// re-dispatching when the last registration is fresh.
+        entry: Option<(String, DirEvent, Millis)>,
     },
     /// Post-office delivery attempt: the message heading to the server
     /// believed to host the target (§4.2).
@@ -214,6 +217,12 @@ pub enum Wire {
         /// The probed server's report, or `None` on refusal.
         report: Option<crate::status::StatusReport>,
     },
+    /// Consensus traffic between directory replicas
+    /// ([`crate::repl`]): elections, log replication, snapshots.
+    Repl {
+        /// The consensus message.
+        msg: crate::repl::ReplMsg,
+    },
 }
 
 impl Wire {
@@ -259,6 +268,7 @@ impl Wire {
             Wire::AppReply { .. } => "AppReply",
             Wire::StatusRequest { .. } => "StatusRequest",
             Wire::StatusReply { .. } => "StatusReply",
+            Wire::Repl { .. } => "Repl",
         }
     }
 
@@ -283,7 +293,8 @@ impl Wire {
             | Wire::AppRequest { .. }
             | Wire::AppReply { .. }
             | Wire::StatusRequest { .. }
-            | Wire::StatusReply { .. } => None,
+            | Wire::StatusReply { .. }
+            | Wire::Repl { .. } => None,
         }
     }
 }
@@ -341,6 +352,12 @@ pub enum LocalEvent {
         /// Attempt the timer was armed for.
         attempt: u32,
     },
+    /// The consensus timer of a directory replica came due: drive
+    /// elections/heartbeats ([`crate::repl::ReplicaCore::tick`]). The
+    /// tick re-arms itself only while the core asks for it — an idle
+    /// replicated directory schedules nothing, so simulated runs still
+    /// reach quiescence.
+    ReplTick,
 }
 
 /// One input to a server's handler.

@@ -53,6 +53,13 @@ pub trait JournalStore: std::fmt::Debug + Send {
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
     /// All keys, sorted, for recovery scans.
     fn keys(&self) -> Result<Vec<String>>;
+    /// Number of records. The default walks `keys()`; stores that can
+    /// answer cheaper should override — this is polled on every
+    /// journal write for the ops-plane gauge, so an O(records)
+    /// implementation turns a long-running server quadratic.
+    fn count(&self) -> usize {
+        self.keys().map(|k| k.len()).unwrap_or(0)
+    }
 }
 
 /// In-memory store: "durable" relative to a *simulated* crash, which
@@ -86,6 +93,10 @@ impl JournalStore for MemoryStore {
 
     fn keys(&self) -> Result<Vec<String>> {
         Ok(self.map.keys().cloned().collect())
+    }
+
+    fn count(&self) -> usize {
+        self.map.len()
     }
 }
 
@@ -279,6 +290,8 @@ impl RecoveryStats {
 /// * `c/<naplet-id>` — creation snapshot for lease re-dispatch (home)
 /// * `s/<transfer-id>/<origin>` — receiver-side transfer dedup entry
 /// * `t/watermark` — high-water mark of issued transfer tokens
+/// * `r/<suffix>` — replicated-directory consensus records (term/vote
+///   meta, log entries, compaction snapshot); opaque to the journal
 #[derive(Debug)]
 pub struct Journal {
     store: Box<dyn JournalStore>,
@@ -482,9 +495,37 @@ impl Journal {
         (entries, bytes)
     }
 
+    /// Durably write a consensus record under `r/<suffix>`. The
+    /// replicated directory ([`crate::repl`]) persists its term/vote
+    /// meta, log entries and snapshots here; the journal treats the
+    /// bytes as opaque.
+    pub fn put_repl(&mut self, suffix: &str, bytes: &[u8]) -> Result<()> {
+        self.store.put(&format!("r/{suffix}"), bytes)
+    }
+
+    /// Read the consensus record under `r/<suffix>`, if any.
+    pub fn get_repl(&self, suffix: &str) -> Option<Vec<u8>> {
+        self.store.get(&format!("r/{suffix}")).ok().flatten()
+    }
+
+    /// Remove the consensus record under `r/<suffix>`.
+    pub fn remove_repl(&mut self, suffix: &str) -> Result<()> {
+        self.store.remove(&format!("r/{suffix}"))
+    }
+
+    /// All consensus-record suffixes, sorted (recovery scan).
+    pub fn repl_keys(&self) -> Vec<String> {
+        let Ok(keys) = self.store.keys() else {
+            return Vec::new();
+        };
+        keys.into_iter()
+            .filter_map(|k| k.strip_prefix("r/").map(|s| s.to_string()))
+            .collect()
+    }
+
     /// Number of records of any kind.
     pub fn len(&self) -> usize {
-        self.store.keys().map(|k| k.len()).unwrap_or(0)
+        self.store.count()
     }
 
     /// True when nothing is journaled.

@@ -28,6 +28,7 @@ pub mod locator;
 pub mod manager;
 pub mod messenger;
 pub mod monitor;
+pub mod repl;
 pub mod resources;
 pub mod retry;
 pub mod runtime;
@@ -51,10 +52,11 @@ pub use messenger::Messenger;
 pub use monitor::{
     MonitorPolicy, NapletMonitor, Priority, ResourceUsage, RunEntry, RunState, SchedulingPolicy,
 };
+pub use repl::{DirOp, ReplConfig, ReplMsg, ReplicaCore};
 pub use resources::ResourceManager;
 pub use retry::RetryPolicy;
 pub use runtime::SimRuntime;
 pub use security::{Matcher, Permission, Policy, Rule, SecurityManager};
 pub use server::{LocationMode, NapletServer, ServerConfig};
 pub use service_channel::{ChannelIo, OpenService, PrivilegedService, ServiceChannel};
-pub use status::{ResidentStatus, StatusReport};
+pub use status::{ReplStatus, ResidentStatus, StatusReport};

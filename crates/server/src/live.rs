@@ -117,7 +117,17 @@ impl<T: Transport> LiveRuntime<T> {
         let rx = self.net.register(&config.host);
         let mut server = NapletServer::new(config);
         server.set_obs(self.obs.clone());
-        self.staging.push((server, rx, Vec::new()));
+        // directory replicas drive their consensus clock off a
+        // self-rearming tick; the first one is armed here, the rest by
+        // the server's own outputs
+        let mut timers = Vec::new();
+        if let Some(tick_ms) = server.arm_initial_repl_tick() {
+            timers.push((
+                Instant::now() + Duration::from_millis(tick_ms),
+                LocalEvent::ReplTick,
+            ));
+        }
+        self.staging.push((server, rx, timers));
         &mut self.staging.last_mut().expect("just pushed").0
     }
 

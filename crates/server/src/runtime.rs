@@ -187,10 +187,24 @@ impl SimRuntime {
             .or_insert_with(|| config.clone());
         let obs = self.obs.clone();
         let cow = !self.baseline_sizing;
-        self.servers.entry(host).or_insert_with(|| {
+        let epoch = self.crash_epoch.get(&host).copied().unwrap_or(0);
+        let queue = &mut self.queue;
+        self.servers.entry(host.clone()).or_insert_with(|| {
             let mut server = NapletServer::new(config);
             server.set_obs(obs);
             server.set_cow_handoff(cow);
+            // a directory replica needs its consensus clock running
+            // before any input arrives, or no leader is ever elected
+            if let Some(tick_ms) = server.arm_initial_repl_tick() {
+                queue.push_after(
+                    tick_ms,
+                    SimEvent::Local {
+                        host,
+                        event: LocalEvent::ReplTick,
+                        epoch,
+                    },
+                );
+            }
             server
         })
     }

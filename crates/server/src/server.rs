@@ -32,6 +32,7 @@ use crate::locator::Locator;
 use crate::manager::{NapletManager, NapletStatus};
 use crate::messenger::Messenger;
 use crate::monitor::{MonitorPolicy, NapletMonitor, RunState};
+use crate::repl::{DirOp, ReplConfig, ReplNote, ReplicaCore};
 use crate::resources::ResourceManager;
 use crate::retry::RetryPolicy;
 use crate::security::{Permission, SecurityManager};
@@ -47,6 +48,11 @@ pub enum LocationMode {
     HomeManagers,
     /// No directory: footprint traces + message forwarding.
     ForwardingTrace,
+    /// The directory replicated over the named hosts with the
+    /// leader-lease consensus core ([`crate::repl`]): registrations
+    /// commit on a majority, lookups are served from any replica's
+    /// committed state, and the name space survives replica crashes.
+    ReplicatedDirectory(Vec<String>),
 }
 
 /// Static server configuration. `Clone` so a crash driver can rebuild
@@ -80,6 +86,10 @@ pub struct ServerConfig {
     /// Ring capacity of the human-readable event log; the oldest lines
     /// are evicted (and counted) beyond this. 0 disables the log.
     pub log_capacity: usize,
+    /// Consensus timing override for [`LocationMode::ReplicatedDirectory`]
+    /// members. `None` (the default) derives [`ReplConfig::new`] from
+    /// the mode's replica list; irrelevant in every other mode.
+    pub repl: Option<ReplConfig>,
 }
 
 impl ServerConfig {
@@ -97,6 +107,7 @@ impl ServerConfig {
             lease: None,
             retention_ms: 600_000,
             log_capacity: 4096,
+            repl: None,
         }
     }
 }
@@ -255,11 +266,43 @@ pub struct NapletServer {
     pub log: EventLog,
     /// Structured observation endpoint (shared with the driver).
     obs: ObsSink,
+    /// Consensus core — present only when this host is a member of a
+    /// [`LocationMode::ReplicatedDirectory`] replica set.
+    repl: Option<ReplicaCore>,
+    /// Rotating index into the replica set for non-member hosts;
+    /// bumped on registration retries and stale lookups so a dead
+    /// replica is routed around.
+    replica_hint: usize,
+    /// Leader-side registrations awaiting commit: log index →
+    /// (ack destination, naplet). The `DirAck` is released only once
+    /// the entry is majority-replicated — a committed registration is
+    /// never lost to a leader crash.
+    repl_pending_acks: HashMap<u64, (String, NapletId)>,
+    /// Home-side lease probes in flight (token → naplet): in
+    /// replicated mode an expired lease is verified against the
+    /// replicated directory before the orphan is re-dispatched.
+    pending_lease_probes: HashMap<u64, NapletId>,
+    /// Probe attempts per naplet whose lease is in question.
+    lease_probe_attempts: HashMap<NapletId, u32>,
+    /// True while a `ReplTick` is scheduled; keeps exactly one tick
+    /// chain alive so an idle replica schedules nothing.
+    repl_tick_armed: bool,
 }
 
 impl NapletServer {
     /// Build a server from its configuration.
     pub fn new(config: ServerConfig) -> NapletServer {
+        let journal = Journal::in_memory();
+        let repl = match &config.mode {
+            LocationMode::ReplicatedDirectory(replicas) if replicas.contains(&config.host) => {
+                let cfg = config
+                    .repl
+                    .clone()
+                    .unwrap_or_else(|| ReplConfig::new(replicas.clone()));
+                Some(ReplicaCore::recover(&config.host, cfg, &journal))
+            }
+            _ => None,
+        };
         NapletServer {
             host: config.host,
             mode: config.mode,
@@ -284,7 +327,7 @@ impl NapletServer {
             parked: HashMap::new(),
             app_handler: None,
             state_hook: None,
-            journal: Journal::in_memory(),
+            journal,
             lease_policy: config.lease,
             leases: LeaseTable::new(),
             retention_ms: config.retention_ms,
@@ -297,6 +340,12 @@ impl NapletServer {
             status_replies: Vec::new(),
             log: EventLog::with_capacity(config.log_capacity),
             obs: ObsSink::default(),
+            repl,
+            replica_hint: 0,
+            repl_pending_acks: HashMap::new(),
+            pending_lease_probes: HashMap::new(),
+            lease_probe_attempts: HashMap::new(),
+            repl_tick_armed: false,
         }
     }
 
@@ -510,6 +559,217 @@ impl NapletServer {
             LocationMode::CentralDirectory(host) => Some(host.clone()),
             LocationMode::HomeManagers => Some(id.home().to_string()),
             LocationMode::ForwardingTrace => None,
+            LocationMode::ReplicatedDirectory(replicas) => {
+                if let Some(repl) = &self.repl {
+                    // a member handles (or forwards) locally; prefer
+                    // the leader when known so one hop suffices
+                    Some(repl.leader_hint().unwrap_or(&self.host).to_string())
+                } else if replicas.is_empty() {
+                    None
+                } else {
+                    Some(replicas[self.replica_hint % replicas.len()].clone())
+                }
+            }
+        }
+    }
+
+    // =====================================================================
+    // Replicated directory (consensus core hosting)
+    // =====================================================================
+
+    /// Keep exactly one `ReplTick` chain alive for the consensus core.
+    fn arm_repl_tick(&mut self, out: &mut Vec<Output>) {
+        if self.repl_tick_armed {
+            return;
+        }
+        let Some(repl) = &self.repl else {
+            return;
+        };
+        self.repl_tick_armed = true;
+        out.push(Output::Schedule {
+            delay_ms: repl.config().tick_ms,
+            event: LocalEvent::ReplTick,
+        });
+    }
+
+    /// Mark the initial consensus tick as armed (the driver schedules
+    /// the matching `ReplTick` itself when installing the server).
+    /// Returns the tick interval, or `None` when this host is not a
+    /// directory replica.
+    pub fn arm_initial_repl_tick(&mut self) -> Option<u64> {
+        let Some(repl) = &self.repl else {
+            return None;
+        };
+        if self.repl_tick_armed {
+            return None;
+        }
+        self.repl_tick_armed = true;
+        Some(repl.config().tick_ms)
+    }
+
+    /// Whether this host is a directory replica (diagnostics/tests).
+    pub fn repl_core(&self) -> Option<&ReplicaCore> {
+        self.repl.as_ref()
+    }
+
+    /// Route a replicated directory operation: the leader proposes it,
+    /// a follower forwards the original wire to its leader, and a
+    /// leaderless replica drops it for the sender's retry machinery.
+    fn repl_submit(&mut self, op: DirOp, forward: Wire, now: Millis, out: &mut Vec<Output>) {
+        let Some(repl) = self.repl.as_mut() else {
+            return;
+        };
+        let woke = repl.client_activity(now);
+        if repl.is_leader() {
+            let (index, rout) = repl.propose(op, now, &mut self.journal);
+            if let Some(index) = index {
+                if let Wire::DirRegister {
+                    id,
+                    ack_to: Some(ack_to),
+                    ..
+                } = forward
+                {
+                    self.repl_pending_acks.insert(index, (ack_to, id));
+                }
+            }
+            self.enact_repl(now, rout, out);
+        } else if let Some(leader) = repl.leader_hint().map(|l| l.to_string()) {
+            self.obs.metrics.incr("repl.forwarded", 1);
+            out.push(Output::Send {
+                to: leader,
+                wire: forward,
+            });
+        } else {
+            // no leader yet (election in progress): drop — the
+            // registrar's RegisterTimeout machinery re-sends, and the
+            // wake above makes sure an election is actually running
+            self.obs.metrics.incr("repl.no_leader_drops", 1);
+        }
+        if woke {
+            self.arm_repl_tick(out);
+        }
+    }
+
+    /// Turn a [`crate::repl::ReplOut`] into wire traffic, committed-op
+    /// side effects, metrics and trace events.
+    fn enact_repl(&mut self, now: Millis, rout: crate::repl::ReplOut, out: &mut Vec<Output>) {
+        for (to, msg) in rout.msgs {
+            out.push(Output::Send {
+                to,
+                wire: Wire::Repl { msg },
+            });
+        }
+        for note in rout.notes {
+            match note {
+                ReplNote::ElectionStarted { term } => {
+                    self.obs.metrics.incr("repl.elections", 1);
+                    self.logf(now, format!("REPL campaigning for term {term}"));
+                    self.obs
+                        .emit(now, &self.host, None, || TraceKind::ReplElection { term });
+                }
+                ReplNote::LeaderElected { term } => {
+                    self.obs.metrics.incr("repl.leader_changes", 1);
+                    self.logf(now, format!("REPL won leadership of term {term}"));
+                    let leader = self.host.clone();
+                    self.obs
+                        .emit(now, &self.host, None, || TraceKind::ReplLeader {
+                            term,
+                            leader,
+                        });
+                }
+                ReplNote::LeaderChanged { term, leader } => {
+                    self.obs.metrics.incr("repl.leader_changes", 1);
+                    self.logf(now, format!("REPL leader of term {term} is {leader}"));
+                    self.obs
+                        .emit(now, &self.host, None, || TraceKind::ReplLeader {
+                            term,
+                            leader,
+                        });
+                }
+                ReplNote::SnapshotInstalled { index } => {
+                    self.obs.metrics.incr("repl.snapshots_installed", 1);
+                    self.logf(now, format!("REPL snapshot installed through {index}"));
+                    self.obs
+                        .emit(now, &self.host, None, || TraceKind::ReplSnapshot { index });
+                }
+            }
+        }
+        for (index, op, lag) in rout.committed {
+            self.obs.metrics.incr("repl.commits", 1);
+            if let Some(lag) = lag {
+                self.obs
+                    .metrics
+                    .observe("repl_commit_lag_ms", LATENCY_BOUNDS_MS, lag);
+            }
+            let label = match &op {
+                DirOp::Register { .. } => "register",
+                DirOp::Remove { .. } => "remove",
+                DirOp::Noop => "noop",
+            };
+            self.obs
+                .emit(now, &self.host, op.subject(), || TraceKind::ReplCommit {
+                    index,
+                    op: label.to_string(),
+                });
+            if let DirOp::Register {
+                id, host, event, ..
+            } = op
+            {
+                // every replica keeps its liveness/status views fresh
+                // from the committed stream
+                if id.home() == self.host {
+                    self.leases.renew(&id, now);
+                }
+                let status = if event == DirEvent::Arrival {
+                    NapletStatus::Running
+                } else {
+                    NapletStatus::InTransit
+                };
+                self.manager.update_status(&id, status, &host, now);
+                if self.repl.as_ref().is_some_and(|r| r.is_leader()) {
+                    if let Some((ack_to, ack_id)) = self.repl_pending_acks.remove(&index) {
+                        if ack_to == self.host {
+                            // registrar and leader are the same host:
+                            // release the execution gate inline
+                            let waiting = self
+                                .monitor
+                                .get_mut(&ack_id)
+                                .is_some_and(|e| e.state == RunState::AwaitingArrivalAck);
+                            if waiting {
+                                self.proceed_after_registration(&ack_id, false, now, out);
+                            }
+                        } else {
+                            out.push(Output::Send {
+                                to: ack_to,
+                                wire: Wire::DirAck { id: ack_id },
+                            });
+                        }
+                    }
+                    // echo committed movement to a non-replica home so
+                    // its lease table still sees signs of life
+                    let home = id.home().to_string();
+                    let home_is_replica = matches!(
+                        &self.mode,
+                        LocationMode::ReplicatedDirectory(replicas)
+                            if replicas.contains(&home)
+                    );
+                    if home != self.host && !home_is_replica {
+                        out.push(Output::Send {
+                            to: home,
+                            wire: Wire::DirRegister {
+                                id,
+                                host,
+                                event,
+                                ack_to: None,
+                                attempt: 1,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        if rout.rearm {
+            self.arm_repl_tick(out);
         }
     }
 
@@ -738,8 +998,25 @@ impl NapletServer {
                 host,
                 event,
                 ack_to,
-                attempt: _,
+                attempt,
             } => {
+                if self.repl.is_some() {
+                    let op = DirOp::Register {
+                        id: id.clone(),
+                        host: host.clone(),
+                        event,
+                        at: now,
+                    };
+                    let forward = Wire::DirRegister {
+                        id,
+                        host,
+                        event,
+                        ack_to,
+                        attempt,
+                    };
+                    self.repl_submit(op, forward, now, out);
+                    return;
+                }
                 self.directory.register(&id, &host, event, now);
                 // any movement registration is a sign of life
                 self.leases.renew(&id, now);
@@ -765,6 +1042,11 @@ impl NapletServer {
                 }
             }
             Wire::DirRemove { id } => {
+                if self.repl.is_some() {
+                    let op = DirOp::Remove { id: id.clone() };
+                    self.repl_submit(op, Wire::DirRemove { id }, now, out);
+                    return;
+                }
                 self.directory.remove(&id);
             }
             Wire::DirQuery {
@@ -772,21 +1054,33 @@ impl NapletServer {
                 id,
                 reply_to,
             } => {
-                let entry = self
-                    .directory
-                    .lookup(&id)
-                    .map(|e| (e.host.clone(), e.event));
+                // a replica answers from the committed replicated state;
+                // any member may serve reads (stale hits are healed by
+                // the locator's forwarding chain)
+                let entry = if let Some(repl) = &self.repl {
+                    repl.state
+                        .lookup(&id)
+                        .map(|e| (e.host.clone(), e.event, e.at))
+                } else {
+                    self.directory
+                        .lookup(&id)
+                        .map(|e| (e.host.clone(), e.event, e.at))
+                };
                 out.push(Output::Send {
                     to: reply_to,
                     wire: Wire::DirReply { token, id, entry },
                 });
             }
             Wire::DirReply { token, id, entry } => {
+                if let Some(probe_id) = self.pending_lease_probes.remove(&token) {
+                    self.resolve_lease_probe(probe_id, entry, now, out);
+                    return;
+                }
                 let Some(pending) = self.pending_queries.remove(&token) else {
                     return;
                 };
                 match entry {
-                    Some((host, _event)) => {
+                    Some((host, _event, _at)) => {
                         self.cache_location(id.clone(), &host, now);
                         self.send_post(pending.msg, &host, now, out);
                     }
@@ -802,6 +1096,15 @@ impl NapletServer {
                         }
                     }
                 }
+            }
+            Wire::Repl { msg } => {
+                let Some(repl) = self.repl.as_mut() else {
+                    // not a replica: a stale peer list sent us consensus
+                    // traffic — drop it
+                    return;
+                };
+                let rout = repl.receive(now, from, msg, &mut self.journal);
+                self.enact_repl(now, rout, out);
             }
             Wire::Post { msg, origin_host } => {
                 self.deliver_or_chase(msg, origin_host, now, out);
@@ -990,26 +1293,49 @@ impl NapletServer {
                     self.proceed_after_registration(&id, true, now, out);
                     return;
                 }
+                if matches!(self.mode, LocationMode::ReplicatedDirectory(_)) {
+                    // rotate the contact replica: the one we tried may
+                    // be the dead node that forced this retry
+                    self.replica_hint = self.replica_hint.wrapping_add(1);
+                }
                 let Some(holder) = self.directory_holder(&id) else {
                     self.proceed_after_registration(&id, false, now, out);
                     return;
                 };
                 let next = attempt + 1;
                 self.logf(now, format!("RETRY register {id} (attempt {next})"));
-                out.push(Output::Send {
-                    to: holder,
-                    wire: Wire::DirRegister {
+                let wire = Wire::DirRegister {
+                    id: id.clone(),
+                    host: self.host.clone(),
+                    event: DirEvent::Arrival,
+                    ack_to: Some(self.host.clone()),
+                    attempt: next,
+                };
+                if holder == self.host && self.repl.is_some() {
+                    // this host is itself a replica: submit directly
+                    // instead of a self-addressed wire
+                    let op = DirOp::Register {
                         id: id.clone(),
                         host: self.host.clone(),
                         event: DirEvent::Arrival,
-                        ack_to: Some(self.host.clone()),
-                        attempt: next,
-                    },
-                });
+                        at: now,
+                    };
+                    self.repl_submit(op, wire, now, out);
+                } else {
+                    out.push(Output::Send { to: holder, wire });
+                }
                 self.arm_register_timer(&id, next, out);
             }
             LocalEvent::LeaseCheck { id } => {
                 self.check_lease(&id, now, out);
+            }
+            LocalEvent::ReplTick => {
+                self.repl_tick_armed = false;
+                let Some(repl) = self.repl.as_mut() else {
+                    return;
+                };
+                let rout = repl.tick(now, &mut self.journal);
+                self.enact_repl(now, rout, out);
             }
             LocalEvent::PostTimeout {
                 sender,
@@ -1647,6 +1973,14 @@ impl NapletServer {
             locator_oldest_age_ms: self.locator.oldest_hint_age(now),
             pending_transfers: self.pending_transfers.len() as u64,
             outstanding_posts: self.messenger.outstanding_count() as u64,
+            repl: self.repl.as_ref().map(|r| crate::status::ReplStatus {
+                role: r.role().name().to_string(),
+                term: r.term(),
+                commit: r.commit_index(),
+                last_index: r.last_index(),
+                leader: r.leader_hint().map(str::to_string),
+                entries: r.state.len() as u64,
+            }),
         }
     }
 
@@ -1783,6 +2117,34 @@ impl NapletServer {
                     // registration is retried like any other acked
                     // frame — a lost DirRegister/DirAck must not
                     // strand the agent
+                    self.obs
+                        .emit(now, &self.host, Some(id), || TraceKind::RegisterGated {
+                            holder,
+                        });
+                    self.arm_register_timer(id, 1, out);
+                }
+            }
+            Some(_) if self.repl.is_some() => {
+                // we are a directory replica: the registration must go
+                // through consensus like anyone else's; the gate is
+                // released by the commit (repl_pending_acks) or by the
+                // retry timer if no leader emerges
+                let op = DirOp::Register {
+                    id: id.clone(),
+                    host: self.host.clone(),
+                    event: DirEvent::Arrival,
+                    at: now,
+                };
+                let wire = Wire::DirRegister {
+                    id: id.clone(),
+                    host: self.host.clone(),
+                    event: DirEvent::Arrival,
+                    ack_to: gate_execution.then(|| self.host.clone()),
+                    attempt: 1,
+                };
+                self.repl_submit(op, wire, now, out);
+                if gate_execution {
+                    let holder = self.host.clone();
                     self.obs
                         .emit(now, &self.host, Some(id), || TraceKind::RegisterGated {
                             holder,
@@ -2261,8 +2623,14 @@ impl NapletServer {
                 });
             }
             Some(_) => {
-                // we hold the directory shard
-                match self.directory.lookup(&target).map(|e| e.host.clone()) {
+                // we hold the directory shard (a replica answers from
+                // its committed replicated state)
+                let hit = if let Some(repl) = &self.repl {
+                    repl.state.lookup(&target).map(|e| e.host.clone())
+                } else {
+                    self.directory.lookup(&target).map(|e| e.host.clone())
+                };
+                match hit {
                     Some(host) => {
                         self.cache_location(target, &host, now);
                         self.send_post(msg, &host, now, out);
@@ -2493,7 +2861,7 @@ impl NapletServer {
                 status: "destroyed".to_string(),
             });
         self.notify_home(id, NapletStatus::Destroyed, reason, now, out);
-        self.dir_remove(id, out);
+        self.dir_remove(id, now, out);
     }
 
     fn finish_journey(
@@ -2512,7 +2880,7 @@ impl NapletServer {
             NapletStatus::Destroyed
         };
         self.notify_home(&id, status, detail, now, out);
-        self.dir_remove(&id, out);
+        self.dir_remove(&id, now, out);
         self.monitor.evict(&id);
         self.resources.release(&id);
         self.journal_retire(&id, now);
@@ -2612,6 +2980,41 @@ impl NapletServer {
             });
             return;
         }
+        if matches!(self.mode, LocationMode::ReplicatedDirectory(_)) && self.repl.is_none() {
+            // a non-replica home sees little direct registration
+            // traffic in replicated mode (the leader's commit echo can
+            // lag or drop): before declaring the agent orphaned, ask
+            // the replica set whether it has seen recent movement
+            let attempts = self.lease_probe_attempts.entry(id.clone()).or_insert(0);
+            if *attempts < self.retry.max_retries {
+                *attempts += 1;
+                let attempt = *attempts;
+                if let Some(holder) = self.directory_holder(id) {
+                    let token = self.token();
+                    self.pending_lease_probes.insert(token, id.clone());
+                    self.obs.metrics.incr("lease.probes", 1);
+                    self.logf(now, format!("LEASE probe {attempt} for {id} via {holder}"));
+                    out.push(Output::Send {
+                        to: holder,
+                        wire: Wire::DirQuery {
+                            token,
+                            id: id.clone(),
+                            reply_to: self.host.clone(),
+                        },
+                    });
+                    // rotate in case this replica is the dead one
+                    self.replica_hint = self.replica_hint.wrapping_add(1);
+                    let key = token ^ 0x4c50_524f_4245u64;
+                    out.push(Output::Schedule {
+                        delay_ms: self.retry.jittered_backoff_ms(key, attempt),
+                        event: LocalEvent::LeaseCheck { id: id.clone() },
+                    });
+                    return;
+                }
+            } else {
+                self.lease_probe_attempts.remove(id);
+            }
+        }
         self.leases.expired += 1;
         self.logf(
             now,
@@ -2651,6 +3054,45 @@ impl NapletServer {
         }
     }
 
+    /// A directory replica answered a lease probe. A registration
+    /// fresher than the lease window counts as a sign of life (the
+    /// commit echo to this home was merely lost); a stale or missing
+    /// entry is an authoritative verdict — stop probing so the pending
+    /// [`LocalEvent::LeaseCheck`] runs the ordinary expiry path.
+    fn resolve_lease_probe(
+        &mut self,
+        id: NapletId,
+        entry: Option<(String, DirEvent, Millis)>,
+        now: Millis,
+        out: &mut Vec<Output>,
+    ) {
+        let _ = out;
+        let Some(policy) = self.lease_policy.clone() else {
+            return;
+        };
+        if self.leases.get(&id).is_none() {
+            self.lease_probe_attempts.remove(&id);
+            return; // released in the meantime
+        }
+        let fresh = entry
+            .as_ref()
+            .is_some_and(|(_, _, at)| now.since(*at) <= policy.duration_ms);
+        if fresh {
+            self.lease_probe_attempts.remove(&id);
+            self.leases.renew(&id, now);
+            self.obs.metrics.incr("lease.probe_confirmed", 1);
+            self.logf(now, format!("LEASE probe confirmed {id} alive"));
+        } else {
+            self.obs.metrics.incr("lease.probe_stale", 1);
+            self.lease_probe_attempts
+                .insert(id.clone(), self.retry.max_retries);
+            self.logf(
+                now,
+                format!("LEASE probe found no recent movement for {id}"),
+            );
+        }
+    }
+
     // =====================================================================
     // Crash recovery
     // =====================================================================
@@ -2670,6 +3112,14 @@ impl NapletServer {
     /// tracking survive the crash.
     pub fn recover(&mut self, now: Millis) -> Vec<Output> {
         let mut out = Vec::new();
+        // consensus state first: term, vote and the replicated log are
+        // durable — a rejoining replica must not regress its promises
+        if let Some(old) = self.repl.take() {
+            let cfg = old.config().clone();
+            self.repl = Some(ReplicaCore::recover(&self.host, cfg, &self.journal));
+            self.repl_tick_armed = false;
+            self.arm_repl_tick(&mut out);
+        }
         // dedup + token state first: nothing replayed below may admit
         // a duplicate or reuse a pre-crash transfer id
         for (key, at) in self.journal.seen() {
@@ -2802,10 +3252,15 @@ impl NapletServer {
         out
     }
 
-    fn dir_remove(&mut self, id: &NapletId, out: &mut Vec<Output>) {
+    fn dir_remove(&mut self, id: &NapletId, now: Millis, out: &mut Vec<Output>) {
         match self.directory_holder(id) {
             Some(holder) if holder == self.host => {
-                self.directory.remove(id);
+                if self.repl.is_some() {
+                    let op = DirOp::Remove { id: id.clone() };
+                    self.repl_submit(op, Wire::DirRemove { id: id.clone() }, now, out);
+                } else {
+                    self.directory.remove(id);
+                }
             }
             Some(holder) => {
                 out.push(Output::Send {

@@ -38,6 +38,24 @@ pub struct ResidentStatus {
     pub peak_state_bytes: u64,
 }
 
+/// Replicated-directory consensus status of one replica (present only
+/// on hosts that are members of the directory replica set).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplStatus {
+    /// Current role: `follower`, `candidate` or `leader`.
+    pub role: String,
+    /// Current consensus term.
+    pub term: u64,
+    /// Highest log index known committed here.
+    pub commit: u64,
+    /// Highest log index appended here.
+    pub last_index: u64,
+    /// Who this replica believes leads the current term, if known.
+    pub leader: Option<String>,
+    /// Naplets in the committed replicated directory.
+    pub entries: u64,
+}
+
 /// Point-in-time health report of one naplet server.
 ///
 /// Every collection field is sorted, so the codec encoding of a
@@ -86,12 +104,14 @@ pub struct StatusReport {
     pub pending_transfers: u64,
     /// Posted messages awaiting delivery confirmation.
     pub outstanding_posts: u64,
+    /// Consensus status when this host replicates the directory.
+    pub repl: Option<ReplStatus>,
 }
 
 impl StatusReport {
     /// One-line operator summary (`figures status` table row body).
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}: {} resident, {} parked, mailbox {}+{}, journal {} ({} B), \
              leases {}/{} exp, locator {} ({} stale), {} in-flight",
             self.host,
@@ -106,7 +126,14 @@ impl StatusReport {
             self.locator_entries,
             self.locator_stale_hits,
             self.pending_transfers,
-        )
+        );
+        if let Some(r) = &self.repl {
+            line.push_str(&format!(
+                ", dir {} t{} c{}/{}",
+                r.role, r.term, r.commit, r.last_index
+            ));
+        }
+        line
     }
 }
 
@@ -145,6 +172,14 @@ mod tests {
             locator_oldest_age_ms: 17,
             pending_transfers: 0,
             outstanding_posts: 0,
+            repl: Some(ReplStatus {
+                role: "leader".into(),
+                term: 3,
+                commit: 9,
+                last_index: 9,
+                leader: Some("s1".into()),
+                entries: 4,
+            }),
         }
     }
 
@@ -164,5 +199,6 @@ mod tests {
         assert!(s.starts_with("s1: 1 resident"), "{s}");
         assert!(s.contains("journal 1 (300 B)"), "{s}");
         assert!(s.contains("1 stale"), "{s}");
+        assert!(s.contains("dir leader t3 c9/9"), "{s}");
     }
 }

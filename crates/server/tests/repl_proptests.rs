@@ -1,0 +1,264 @@
+//! Property tests of the replicated directory's consensus core under
+//! crash injection: for a random journey over a replicated-directory
+//! space, crash a directory replica just before *every* event index in
+//! turn. Two invariants must hold at every instant and at the end:
+//!
+//! 1. at most one leader per term (election safety), and
+//! 2. the committed log never rolls back — a registration observed
+//!    committed anywhere is still committed on every live replica at
+//!    the end, and all replicas converge to the same directory state.
+//!
+//! The journey itself must also converge to the crash-free outcome
+//! (same report, same visit list): directory failover is invisible to
+//! the agents riding on it.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use naplet_core::behavior::NapletBehavior;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::CodebaseRegistry;
+use naplet_core::context::NapletContext;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::Result;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::repl::Role;
+use naplet_server::{LocationMode, MonitorPolicy, ReplConfig, ServerConfig, SimRuntime};
+
+const CODEBASE: &str = "naplet://code/collector.jar";
+const REPLICAS: [&str; 3] = ["d0", "d1", "d2"];
+const WORKERS: [&str; 2] = ["s0", "s1"];
+
+struct Collector;
+
+impl NapletBehavior for Collector {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+        let host = ctx.host_name().to_string();
+        let mut visits = match ctx.state().get("visits") {
+            Value::List(l) => l,
+            _ => Vec::new(),
+        };
+        visits.push(Value::Str(host));
+        ctx.state().set("visits", Value::List(visits));
+        Ok(())
+    }
+}
+
+fn build_world(seed: u64) -> SimRuntime {
+    let mut reg = CodebaseRegistry::new();
+    reg.register(CODEBASE, 4096, || Collector);
+    let fabric = Fabric::new(LatencyModel::Constant(2), Bandwidth::fast_ethernet(), seed);
+    let mut rt = SimRuntime::new(fabric);
+    let replicas: Vec<String> = REPLICAS.iter().map(|r| r.to_string()).collect();
+    let mode = LocationMode::ReplicatedDirectory(replicas.clone());
+    // a coarser consensus clock keeps the event count (and so the
+    // crash-at-every-index sweep) bounded without changing the protocol
+    let repl = ReplConfig {
+        tick_ms: 50,
+        heartbeat_ms: 200,
+        lease_ms: 600,
+        election_ms: 800,
+        ..ReplConfig::new(replicas)
+    };
+    for host in std::iter::once("home").chain(WORKERS).chain(REPLICAS) {
+        let mut cfg = ServerConfig::open(host, mode.clone());
+        cfg.codebase = reg.clone();
+        cfg.monitor_policy = MonitorPolicy {
+            native_dwell_ms: 5,
+            ..MonitorPolicy::default()
+        };
+        cfg.repl = Some(repl.clone());
+        rt.add_server(cfg);
+    }
+    rt
+}
+
+fn probe(route: &[&str]) -> Naplet {
+    let it = Itinerary::new(Pattern::seq_of_hosts(route, None))
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    Naplet::create(
+        &SigningKey::new("czxu", b"campus-secret"),
+        "czxu",
+        "home",
+        Millis(1),
+        CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap()
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct RunOutcome {
+    visits: Vec<String>,
+    directory: Vec<String>,
+}
+
+/// Scan the replica set after one event: record any leader per term
+/// (at most one may ever exist) and the highest committed index seen.
+fn observe(
+    rt: &SimRuntime,
+    leaders_by_term: &mut BTreeMap<u64, String>,
+    max_commit: &mut u64,
+) -> std::result::Result<(), String> {
+    for r in REPLICAS {
+        let Some(core) = rt.server(r).and_then(|s| s.repl_core()) else {
+            continue;
+        };
+        *max_commit = (*max_commit).max(core.commit_index());
+        if core.role() == Role::Leader {
+            let prev = leaders_by_term.insert(core.term(), r.to_string());
+            if let Some(prev) = prev {
+                if prev != r {
+                    return Err(format!(
+                        "two leaders in term {}: {prev} and {r}",
+                        core.term()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the journey, crashing the replica the `crash_at`-th event
+/// targets just before it is processed (restart 600 ms later). `None`
+/// runs crash-free. Returns `None` when the chosen event does not
+/// target a replica (workers/home stay up — this suite is about
+/// directory failover; `recovery_proptests` covers the rest).
+fn run(
+    route: &[&str],
+    seed: u64,
+    crash_at: Option<u64>,
+) -> std::result::Result<Option<(RunOutcome, u64)>, String> {
+    let mut rt = build_world(seed);
+    rt.launch(probe(route)).unwrap();
+    let mut leaders_by_term = BTreeMap::new();
+    let mut max_commit = 0u64;
+    let mut steps = 0u64;
+    if let Some(k) = crash_at {
+        while steps < k {
+            if rt.step().is_none() {
+                break;
+            }
+            steps += 1;
+            observe(&rt, &mut leaders_by_term, &mut max_commit)?;
+        }
+        match rt.peek_target() {
+            Some(host) if REPLICAS.contains(&host.as_str()) => {
+                rt.crash_server(&host, Some(600));
+            }
+            _ => return Ok(None),
+        }
+    }
+    while rt.step().is_some() {
+        steps += 1;
+        observe(&rt, &mut leaders_by_term, &mut max_commit)?;
+        if steps > 2_000_000 {
+            return Err("run did not quiesce".into());
+        }
+    }
+    // commit durability: nothing observed committed may have rolled
+    // back, and every replica converged to the same directory state
+    let mut states = Vec::new();
+    for r in REPLICAS {
+        let core = rt.server(r).unwrap().repl_core().unwrap();
+        if core.commit_index() < max_commit {
+            return Err(format!(
+                "{r} lost committed entries: commit {} < observed {max_commit}",
+                core.commit_index()
+            ));
+        }
+        states.push(
+            core.state
+                .entries()
+                .into_iter()
+                .map(|(id, e)| format!("{id}@{}", e.host))
+                .collect::<Vec<_>>(),
+        );
+    }
+    if states[0] != states[1] || states[1] != states[2] {
+        return Err(format!("replica states diverged: {states:?}"));
+    }
+    let reports = rt.drain_reports("home");
+    let mut visits = Vec::new();
+    for (_, report) in &reports {
+        if let Value::List(l) = report.get("visits") {
+            for v in &l {
+                if let Value::Str(s) = v {
+                    visits.push(s.clone());
+                }
+            }
+        }
+    }
+    Ok(Some((
+        RunOutcome {
+            visits,
+            directory: states.remove(0),
+        },
+        steps,
+    )))
+}
+
+proptest! {
+    // every case sweeps the crash point across the full event
+    // schedule, so one case is itself a few hundred simulations;
+    // PROPTEST_CASES scales the count
+    #[test]
+    fn replica_crash_at_any_instant_preserves_commits_and_outcome(
+        hops in vec(0..WORKERS.len(), 1..3),
+        seed in any::<u64>(),
+    ) {
+        let mut route: Vec<&str> = Vec::new();
+        for i in hops {
+            if route.last() != Some(&WORKERS[i]) {
+                route.push(WORKERS[i]);
+            }
+        }
+        route.push("home");
+
+        let (baseline, events) = run(&route, seed, None)
+            .map_err(TestCaseError::fail)?
+            .unwrap();
+        prop_assert!(!baseline.visits.is_empty(), "crash-free journey must report");
+        prop_assert!(baseline.directory.is_empty(), "finished journey must be deregistered");
+        for k in 0..events {
+            let Some((outcome, _)) = run(&route, seed, Some(k))
+                .map_err(|e| TestCaseError::fail(format!("crash before event {k}: {e}")))?
+            else {
+                continue; // next event does not target a replica
+            };
+            prop_assert_eq!(
+                &outcome.visits,
+                &baseline.visits,
+                "crash before event {} diverged (route {:?}, seed {})",
+                k,
+                &route,
+                seed
+            );
+            // deregistration is fire-and-forget: when the journey's
+            // single DirRemove hits a crashed replica it is lost, and
+            // at most the probe's own entry may linger (the locator
+            // chase heals such stale hits; the tombstone machinery
+            // guarantees it can never *resurrect* after a successful
+            // removal). Anything else lingering is a real leak.
+            prop_assert!(
+                outcome.directory.len() <= 1
+                    && outcome
+                        .directory
+                        .iter()
+                        .all(|e| e.starts_with("czxu@home:1@")),
+                "crash before event {} left stale entries {:?}",
+                k,
+                &outcome.directory
+            );
+        }
+    }
+}

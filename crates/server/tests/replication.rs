@@ -1,0 +1,227 @@
+//! Replicated-directory scenarios: a three-node directory replica set
+//! elects a leader, commits registrations through the consensus log,
+//! survives leader crashes without losing committed movement, and
+//! quiesces (the leader suspends its heartbeat once the log is fully
+//! replicated, so `run_to_quiescence` terminates).
+
+use naplet_core::behavior::NapletBehavior;
+use naplet_core::clock::Millis;
+use naplet_core::codebase::CodebaseRegistry;
+use naplet_core::context::NapletContext;
+use naplet_core::credential::SigningKey;
+use naplet_core::error::Result;
+use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::value::Value;
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::repl::Role;
+use naplet_server::{
+    LeasePolicy, LocationMode, MonitorPolicy, NapletStatus, ServerConfig, SimRuntime,
+};
+
+const CODEBASE: &str = "naplet://code/collector.jar";
+const REPLICAS: [&str; 3] = ["d0", "d1", "d2"];
+const WORKERS: [&str; 2] = ["s0", "s1"];
+
+struct Collector;
+
+impl NapletBehavior for Collector {
+    fn on_start(&mut self, ctx: &mut dyn NapletContext) -> Result<()> {
+        let host = ctx.host_name().to_string();
+        let mut visits = match ctx.state().get("visits") {
+            Value::List(l) => l,
+            _ => Vec::new(),
+        };
+        visits.push(Value::Str(host));
+        ctx.state().set("visits", Value::List(visits));
+        Ok(())
+    }
+}
+
+fn world(seed: u64, lease: Option<LeasePolicy>) -> SimRuntime {
+    let mut reg = CodebaseRegistry::new();
+    reg.register(CODEBASE, 4096, || Collector);
+    let fabric = Fabric::new(LatencyModel::Constant(2), Bandwidth::fast_ethernet(), seed);
+    let mut rt = SimRuntime::new(fabric);
+    let replicas: Vec<String> = REPLICAS.iter().map(|r| r.to_string()).collect();
+    let mode = LocationMode::ReplicatedDirectory(replicas);
+    for host in std::iter::once("home").chain(WORKERS).chain(REPLICAS) {
+        let mut cfg = ServerConfig::open(host, mode.clone());
+        cfg.codebase = reg.clone();
+        cfg.monitor_policy = MonitorPolicy {
+            native_dwell_ms: 5,
+            ..MonitorPolicy::default()
+        };
+        cfg.lease = lease.clone();
+        rt.add_server(cfg);
+    }
+    rt
+}
+
+fn probe(route: &[&str], ts: u64) -> Naplet {
+    let it = Itinerary::new(Pattern::seq_of_hosts(route, None))
+        .unwrap()
+        .with_final_action(ActionSpec::ReportHome);
+    Naplet::create(
+        &SigningKey::new("czxu", b"campus-secret"),
+        "czxu",
+        "home",
+        Millis(ts),
+        CODEBASE,
+        AgentKind::Native,
+        it,
+        vec![],
+    )
+    .unwrap()
+}
+
+fn leaders(rt: &SimRuntime) -> Vec<String> {
+    REPLICAS
+        .iter()
+        .filter(|r| {
+            rt.server(r)
+                .and_then(|s| s.repl_core())
+                .is_some_and(|c| c.role() == Role::Leader)
+        })
+        .map(|r| r.to_string())
+        .collect()
+}
+
+#[test]
+fn replica_set_elects_one_leader_and_quiesces() {
+    let mut rt = world(11, None);
+    let processed = rt.run_to_quiescence(60_000);
+    assert!(processed < 60_000, "idle replica set must quiesce");
+    assert_eq!(leaders(&rt).len(), 1, "exactly one leader after election");
+    for r in REPLICAS {
+        let core = rt.server(r).unwrap().repl_core().unwrap();
+        assert!(core.is_suspended(), "{r} must suspend when idle");
+        assert!(core.commit_index() >= 1, "{r} must commit the leader noop");
+    }
+}
+
+#[test]
+fn registrations_commit_on_every_replica_and_journeys_complete() {
+    let mut rt = world(12, None);
+    rt.launch(probe(&["s0", "s1", "home"], 1)).unwrap();
+    rt.launch(probe(&["s1", "s0", "home"], 2)).unwrap();
+    let processed = rt.run_to_quiescence(120_000);
+    assert!(processed < 120_000, "replicated run must quiesce");
+    assert_eq!(rt.drain_reports("home").len(), 2);
+    // both journeys ended: the committed directory forgot both agents,
+    // and all replicas applied the identical log
+    let commits: Vec<u64> = REPLICAS
+        .iter()
+        .map(|r| rt.server(r).unwrap().repl_core().unwrap().commit_index())
+        .collect();
+    assert!(
+        commits[0] >= 6,
+        "expected arrival/departure commits, got {commits:?}"
+    );
+    assert_eq!(commits[0], commits[1]);
+    assert_eq!(commits[1], commits[2]);
+    for r in REPLICAS {
+        let core = rt.server(r).unwrap().repl_core().unwrap();
+        assert_eq!(core.state.len(), 0, "{r} still tracks a finished agent");
+    }
+}
+
+#[test]
+fn leader_crash_mid_churn_loses_no_committed_registration() {
+    let mut rt = world(13, None);
+    // let the election settle first so there is a leader to kill
+    rt.run_to_quiescence(30_000);
+    let before = leaders(&rt);
+    assert_eq!(before.len(), 1);
+    let victim = before[0].clone();
+
+    rt.launch(probe(&["s0", "s1", "s0", "home"], 1)).unwrap();
+    // run a little churn, then kill the leader mid-journey
+    for _ in 0..40 {
+        rt.step();
+    }
+    rt.crash_server(&victim, Some(2_000));
+    let processed = rt.run_to_quiescence(300_000);
+    assert!(processed < 300_000, "failover run must quiesce");
+    assert_eq!(
+        rt.drain_reports("home").len(),
+        1,
+        "journey must survive directory failover"
+    );
+    // the rejoined replica caught back up to the same committed state
+    let commits: Vec<u64> = REPLICAS
+        .iter()
+        .map(|r| rt.server(r).unwrap().repl_core().unwrap().commit_index())
+        .collect();
+    assert_eq!(commits[0], commits[1], "commit divergence: {commits:?}");
+    assert_eq!(commits[1], commits[2], "commit divergence: {commits:?}");
+    assert_eq!(leaders(&rt).len(), 1, "a new leader must have emerged");
+}
+
+#[test]
+fn follower_crash_is_invisible_to_clients() {
+    let mut rt = world(14, None);
+    rt.run_to_quiescence(30_000);
+    let leader = &leaders(&rt)[0];
+    let follower = REPLICAS.iter().find(|r| *r != leader).unwrap().to_string();
+    rt.launch(probe(&["s0", "s1", "home"], 1)).unwrap();
+    for _ in 0..20 {
+        rt.step();
+    }
+    rt.crash_server(&follower, Some(1_500));
+    let processed = rt.run_to_quiescence(300_000);
+    assert!(processed < 300_000);
+    assert_eq!(rt.drain_reports("home").len(), 1);
+}
+
+#[test]
+fn home_redispatch_after_failover_never_duplicates_an_agent() {
+    // satellite: exactly-once across leader changes — the home's lease
+    // machinery probes the replica set before re-dispatching, so an
+    // agent that is alive (its movement committed under a new leader)
+    // is not forked into a second live copy
+    let lease = LeasePolicy {
+        duration_ms: 4_000,
+        redispatch: true,
+        max_redispatches: 3,
+    };
+    let mut rt = world(15, Some(lease));
+    rt.run_to_quiescence(30_000);
+    let victim = leaders(&rt)[0].clone();
+    rt.launch(probe(&["s0", "s1", "s0", "s1", "home"], 1))
+        .unwrap();
+    for _ in 0..60 {
+        rt.step();
+    }
+    rt.crash_server(&victim, Some(3_000));
+    let processed = rt.run_to_quiescence(600_000);
+    assert!(processed < 600_000, "failover + lease run must quiesce");
+    let reports = rt.drain_reports("home");
+    assert_eq!(
+        reports.len(),
+        1,
+        "exactly one report: a re-dispatch would have produced a second"
+    );
+    // the visit list shows a single pass over the route (no forked
+    // second copy re-walking it)
+    let mut visits = Vec::new();
+    for (_, report) in &reports {
+        if let Value::List(l) = report.get("visits") {
+            for v in &l {
+                if let Value::Str(s) = v {
+                    visits.push(s.clone());
+                }
+            }
+        }
+    }
+    assert_eq!(visits, vec!["s0", "s1", "s0", "s1", "home"]);
+    let home = rt.server("home").unwrap();
+    assert_eq!(home.leases.lost, 0, "agent must not be declared lost");
+    let lost = home
+        .manager
+        .launched()
+        .iter()
+        .filter(|e| e.status == NapletStatus::Lost)
+        .count();
+    assert_eq!(lost, 0);
+}
