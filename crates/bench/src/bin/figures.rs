@@ -85,6 +85,18 @@ fn main() {
             .unwrap();
         std::process::exit(cluster_status(&raw[at + 1..]));
     }
+    // merge per-daemon flight-recorder segments into one cluster-wide
+    // Chrome trace: `figures cluster-trace <bootstrap.toml> [station]`
+    // live-polls a running cluster; `figures cluster-trace --dumps
+    // <file...>` merges dump files written on SIGUSR1/shutdown/panic
+    if args.iter().any(|a| a == "cluster-trace") {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let at = raw
+            .iter()
+            .position(|a| a.to_lowercase() == "cluster-trace")
+            .unwrap();
+        std::process::exit(cluster_trace(&raw[at + 1..]));
+    }
 }
 
 /// F1 — the hierarchical naplet id of Figure 1.
@@ -591,6 +603,168 @@ fn cluster_status(rest: &[String]) -> i32 {
         1
     } else {
         0
+    }
+}
+
+/// `figures cluster-trace` — merge every daemon's flight-recorder
+/// segment into one cluster-wide Chrome trace and flag causality
+/// violations (a receive with no earlier matching send, a gap in a
+/// journey's hop sequence).
+///
+/// ```text
+/// figures cluster-trace <bootstrap.toml> [station] [--out f] [--tolerance-ms n]
+/// figures cluster-trace --dumps <a.trace.json> <b.trace.json> ... [--out f] [--tolerance-ms n]
+/// ```
+///
+/// The first form binds `station` (default `mon`) from the bootstrap
+/// file and pages every other node's recorder out over the privileged
+/// trace protocol; the second merges dump files that daemons wrote on
+/// SIGUSR1, clean shutdown, or panic. The merged trace goes to `--out`
+/// (default `cluster-trace.json`, `-` for stdout). Exit 0 when the
+/// merge is causally clean, 1 when violations were flagged, 2 on
+/// usage/IO errors — so CI can gate on it directly.
+fn cluster_trace(rest: &[String]) -> i32 {
+    const USAGE: &str = "usage: figures cluster-trace <bootstrap.toml> [station] \
+                         [--out <file>] [--tolerance-ms <n>]\n\
+                         \x20      figures cluster-trace --dumps <file...> \
+                         [--out <file>] [--tolerance-ms <n>]";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut dumps: Vec<&String> = Vec::new();
+    let mut in_dumps = false;
+    let mut out_path = "cluster-trace.json".to_string();
+    let mut tolerance_ms: u64 = 5;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--dumps" => {
+                in_dumps = true;
+                i += 1;
+            }
+            "--out" => {
+                in_dumps = false;
+                let Some(v) = rest.get(i + 1) else {
+                    eprintln!("cluster-trace: --out needs a path\n{USAGE}");
+                    return 2;
+                };
+                out_path = v.clone();
+                i += 2;
+            }
+            "--tolerance-ms" => {
+                in_dumps = false;
+                let Some(v) = rest.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("cluster-trace: --tolerance-ms needs a numeric argument\n{USAGE}");
+                    return 2;
+                };
+                tolerance_ms = v;
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("cluster-trace: unknown flag `{other}`\n{USAGE}");
+                return 2;
+            }
+            _ => {
+                if in_dumps {
+                    dumps.push(&rest[i]);
+                } else {
+                    positional.push(&rest[i]);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let segments: Vec<naplet_obs::FlatSegment> = if !dumps.is_empty() {
+        let mut segments = Vec::new();
+        for path in dumps {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cluster-trace: cannot read `{path}`: {e}");
+                    return 2;
+                }
+            };
+            match naplet_obs::parse_flight_dump(&text) {
+                Ok(seg) => segments.push(seg),
+                Err(e) => {
+                    eprintln!("cluster-trace: `{path}` is not a flight dump: {e}");
+                    return 2;
+                }
+            }
+        }
+        segments
+    } else {
+        let Some(path) = positional.first() else {
+            eprintln!("{USAGE}");
+            return 2;
+        };
+        let station = positional.get(1).map(|s| s.as_str()).unwrap_or("mon");
+        let config = match naplet_server::BootstrapConfig::load(std::path::Path::new(path)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cluster-trace: cannot load `{path}`: {e}");
+                return 2;
+            }
+        };
+        let targets: Vec<String> = config
+            .nodes
+            .iter()
+            .map(|n| n.name.clone())
+            .filter(|n| n != station)
+            .collect();
+        let mut poller = match naplet_man::ClusterTracePoller::connect(&config, station) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cluster-trace: cannot bind station `{station}`: {e}");
+                return 2;
+            }
+        };
+        match poller.fetch_traces(&targets, std::time::Duration::from_secs(10)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cluster-trace: fetch failed: {e}");
+                return 2;
+            }
+        }
+    };
+
+    if segments.is_empty() {
+        eprintln!("cluster-trace: no segments to merge");
+        return 2;
+    }
+    let merged = naplet_obs::merge_cluster_trace(&segments, tolerance_ms);
+    if out_path == "-" {
+        print!("{}", merged.json);
+    } else if let Err(e) = std::fs::write(&out_path, &merged.json) {
+        eprintln!("cluster-trace: cannot write `{out_path}`: {e}");
+        return 2;
+    }
+    let truncated: Vec<&str> = segments
+        .iter()
+        .filter(|s| s.dropped > 0)
+        .map(|s| s.host.as_str())
+        .collect();
+    eprintln!(
+        "cluster-trace: merged {} event(s) from {} node(s) into {out_path}{}",
+        merged.event_count,
+        segments.len(),
+        if truncated.is_empty() {
+            String::new()
+        } else {
+            format!(" (truncated rings on: {})", truncated.join(", "))
+        }
+    );
+    if merged.violations.is_empty() {
+        eprintln!("cluster-trace: causality clean");
+        0
+    } else {
+        eprintln!(
+            "cluster-trace: {} causality violation(s):",
+            merged.violations.len()
+        );
+        for v in &merged.violations {
+            eprintln!("  {v}");
+        }
+        1
     }
 }
 

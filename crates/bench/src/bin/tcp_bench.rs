@@ -1,0 +1,194 @@
+//! Ring-migration throughput over the real TCP backend.
+//!
+//! The ROADMAP phase-2 item PR 6 left open: the suite's `live_ring`
+//! workload measures the threaded runtime over the in-process
+//! `ThreadedNet`; this binary runs the same shape — N probes each
+//! walking the ring home → n1 → n2 → n3 → home — over a loopback
+//! cluster of three real `napletd` processes, so the committed
+//! baseline has a wire-speed number next to the in-process one.
+//!
+//! ```text
+//! cargo build --release -p napletd
+//! cargo run --release -p naplet-bench --bin tcp-bench -- \
+//!     --naplets 200 --out BENCH_PR8.json
+//! ```
+//!
+//! Wall-clock numbers (this is real TCP, there is no virtual time), so
+//! the report is a committed snapshot for eyeballing regressions, not
+//! a byte-compared CI gate.
+
+use std::time::{Duration, Instant};
+
+use naplet_bench::cluster::ClusterHarness;
+use naplet_core::clock::Millis;
+use naplet_core::credential::SigningKey;
+use naplet_core::itinerary::{Itinerary, Pattern};
+use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_net::{Bandwidth, Fabric, LatencyModel};
+use naplet_server::daemon::{register_probe, PROBE_CODEBASE};
+use naplet_server::{LiveRuntime, LocationMode, ServerConfig};
+
+const HOSTS: [&str; 3] = ["n1", "n2", "n3"];
+
+struct RingNumbers {
+    wall_ms: f64,
+    journeys: usize,
+    reports: usize,
+}
+
+impl RingNumbers {
+    fn journeys_per_sec(&self) -> f64 {
+        self.journeys as f64 / (self.wall_ms / 1000.0)
+    }
+
+    fn hops_per_sec(&self) -> f64 {
+        // each journey migrates home -> n1 -> n2 -> n3 -> home
+        (self.journeys * (HOSTS.len() + 1)) as f64 / (self.wall_ms / 1000.0)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\n  \"wall_ms\": {:.1},\n  \"journeys\": {},\n  \"reports\": {},\n  \
+             \"journeys_per_sec\": {:.1},\n  \"hops_per_sec\": {:.1}\n }}",
+            self.wall_ms,
+            self.journeys,
+            self.reports,
+            self.journeys_per_sec(),
+            self.hops_per_sec()
+        )
+    }
+}
+
+/// N probes around three real daemons, pumped from the in-process ctl
+/// home node.
+fn tcp_ring(naplets: usize) -> RingNumbers {
+    let harness = ClusterHarness::launch("tcp-bench", &HOSTS, "lease_ms = 600000\n")
+        .expect("launch cluster (build napletd first: cargo build --release -p napletd)");
+    let mut ctl = harness.ctl().expect("ctl node");
+    let started = Instant::now();
+    for _ in 0..naplets {
+        ctl.launch_probe(&HOSTS).expect("launch probe");
+    }
+    let want = naplets * HOSTS.len();
+    let done = ctl.pump_until(Duration::from_secs(600), |c| {
+        c.server().reports.len() >= want
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let reports = ctl.reports().len();
+    assert!(done, "ring stalled: {reports}/{want} reports");
+    harness.shutdown();
+    RingNumbers {
+        wall_ms,
+        journeys: naplets,
+        reports,
+    }
+}
+
+/// The same N-probe ring on the threaded runtime over the in-process
+/// fabric: the in-process baseline the TCP number sits next to.
+fn in_process_ring(naplets: usize) -> RingNumbers {
+    let fabric = Fabric::new(LatencyModel::Constant(1), Bandwidth::fast_ethernet(), 7);
+    let mut live = LiveRuntime::new(fabric, 0);
+    for host in ["home", "n1", "n2", "n3"] {
+        let mut cfg = ServerConfig::open(host, LocationMode::HomeManagers);
+        register_probe(&mut cfg.codebase);
+        live.add_server(cfg);
+    }
+    let key = SigningKey::new("bench", b"tcp-bench");
+    let mut pending = Vec::with_capacity(naplets);
+    for i in 0..naplets {
+        let it = Itinerary::new(Pattern::seq_of_hosts(&HOSTS, None)).unwrap();
+        let naplet = Naplet::create(
+            &key,
+            "bench",
+            "home",
+            Millis(1 + i as u64),
+            PROBE_CODEBASE,
+            AgentKind::Native,
+            it,
+            vec![],
+        )
+        .unwrap();
+        pending.push(naplet);
+    }
+    let metrics = live.obs().metrics.clone();
+    let started = Instant::now();
+    for naplet in pending {
+        live.launch(naplet).unwrap();
+    }
+    live.start();
+    // the metrics registry is shared with the server threads, so
+    // journeys can be watched to completion without stopping the space
+    let want = naplets as u64;
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while metrics.counter("journeys.completed") < want && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let servers = live.shutdown();
+    let journeys = metrics.counter("journeys.completed");
+    assert!(
+        journeys >= want,
+        "in-process ring stalled: {journeys}/{want}"
+    );
+    let reports = servers
+        .iter()
+        .find(|(h, _)| h == "home")
+        .map(|(_, s)| s.reports.len())
+        .unwrap_or(0);
+    RingNumbers {
+        wall_ms,
+        journeys: naplets,
+        reports,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let naplets: usize = flag("--naplets")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let out = flag("--out");
+
+    eprintln!(
+        "tcp-bench: {naplets} probes around {:?} over loopback TCP ...",
+        HOSTS
+    );
+    let tcp = tcp_ring(naplets);
+    eprintln!(
+        "tcp-bench:   tcp        {:>8.1} journeys/s  ({:.1} hops/s, {:.0} ms)",
+        tcp.journeys_per_sec(),
+        tcp.hops_per_sec(),
+        tcp.wall_ms
+    );
+    eprintln!("tcp-bench: same ring on the in-process ThreadedNet ...");
+    let inproc = in_process_ring(naplets);
+    eprintln!(
+        "tcp-bench:   in-process {:>8.1} journeys/s  ({:.1} hops/s, {:.0} ms)",
+        inproc.journeys_per_sec(),
+        inproc.hops_per_sec(),
+        inproc.wall_ms
+    );
+
+    let report = format!(
+        "{{\n \"schema\": \"naplet-bench/tcp-ring-v1\",\n \"name\": \"ring_migration_tcp\",\n \
+         \"hosts\": {},\n \"naplets\": {},\n \"tcp\": {},\n \"in_process\": {}\n}}\n",
+        HOSTS.len(),
+        naplets,
+        tcp.json(),
+        inproc.json()
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &report).expect("write report");
+            eprintln!("tcp-bench: report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+}

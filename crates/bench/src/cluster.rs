@@ -31,9 +31,11 @@ use naplet_core::credential::SigningKey;
 use naplet_core::error::{NapletError, Result};
 use naplet_core::itinerary::{Itinerary, Pattern};
 use naplet_core::naplet::{AgentKind, Naplet};
+use naplet_core::tracectx::CtxTable;
 use naplet_core::value::Value;
 use naplet_net::tcp::TcpTransport;
 use naplet_net::{Frame, TrafficClass, Transport};
+use naplet_obs::{ObsSink, TraceKind, DEFAULT_RECORDER_CAPACITY};
 use naplet_server::bootstrap::BootstrapConfig;
 use naplet_server::daemon::{register_probe, PROBE_CODEBASE};
 use naplet_server::events::{Input, LocalEvent, Output, Wire};
@@ -235,6 +237,27 @@ impl ClusterHarness {
         )))
     }
 
+    /// SIGUSR1 a daemon: ask its watcher thread to write a flight-
+    /// recorder dump without disturbing service.
+    pub fn sigusr1(&self, node: &str) -> Result<()> {
+        let child = self
+            .daemons
+            .get(node)
+            .ok_or_else(|| NapletError::NotFound(format!("no daemon `{node}` running")))?;
+        let status = Command::new("kill")
+            .arg("-USR1")
+            .arg(child.id().to_string())
+            .status()
+            .map_err(|e| NapletError::Internal(format!("kill -USR1 {node}: {e}")))?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(NapletError::Internal(format!(
+                "kill -USR1 {node} exited {status}"
+            )))
+        }
+    }
+
     /// SIGKILL a daemon — the crash the journal exists for. The node's
     /// journal directory survives for the next incarnation.
     pub fn kill9(&mut self, node: &str) -> Result<()> {
@@ -329,6 +352,11 @@ pub struct CtlNode {
     /// launched within one wall-clock millisecond must still get
     /// distinct naplet ids (id = owner+home+creation time).
     last_launch_ts: u64,
+    /// Flight recorder + trace contexts: the ctl node stamps its sends
+    /// like any daemon, so a merged cluster trace can pair the launch
+    /// handshake with its admission on the first daemon.
+    obs: ObsSink,
+    ctxs: CtxTable,
 }
 
 impl CtlNode {
@@ -360,16 +388,28 @@ impl CtlNode {
             max_timeout_ms: 800,
             max_retries: 5,
         };
+        let epoch = Instant::now();
+        let obs = ObsSink::default();
+        obs.enable_recorder(DEFAULT_RECORDER_CAPACITY);
+        let unix_now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        obs.recorder.set_epoch_unix_ms(unix_now);
+        let mut server = NapletServer::new(cfg);
+        server.set_obs(obs.clone());
         Ok(CtlNode {
-            server: NapletServer::new(cfg),
+            server,
             rx,
             net,
             timers: Vec::new(),
-            epoch: Instant::now(),
+            epoch,
             scratch: Vec::new(),
             key: SigningKey::new("ops", b"cluster-harness"),
             launched: 0,
             last_launch_ts: 0,
+            obs,
+            ctxs: CtxTable::new(),
         })
     }
 
@@ -408,6 +448,18 @@ impl CtlNode {
             if let Ok(wire) = naplet_core::codec::from_bytes::<Wire>(&frame.payload) {
                 let now = self.now();
                 let from = frame.from.clone();
+                if self.obs.ctx_enabled() {
+                    if let Some(ctx) = &frame.ctx {
+                        self.ctxs.adopt(ctx);
+                    }
+                    self.obs
+                        .emit_ctx(now, CTL, wire.subject(), frame.ctx.as_ref(), || {
+                            TraceKind::WireRecv {
+                                from: from.clone(),
+                                label: wire.label().to_string(),
+                            }
+                        });
+                }
                 let outputs = self.server.handle(now, Input::Wire { from, wire });
                 self.enact(outputs);
             }
@@ -477,16 +529,43 @@ impl CtlNode {
         self.net.stats().snapshot()
     }
 
+    /// The ctl node's own flight-recorder segment, for merging with the
+    /// segments fetched (or dumped) from the daemons.
+    pub fn trace_segment(&self) -> naplet_obs::TraceSegment {
+        self.obs.recorder.dump(CTL)
+    }
+
     fn enact(&mut self, outputs: Vec<Output>) {
         for output in outputs {
             match output {
                 Output::Send { to, wire } => {
-                    if wire.retry_attempt() > 1 {
+                    let attempt = wire.retry_attempt();
+                    if attempt > 1 {
                         self.net.stats().record_retransmit();
                     }
                     if naplet_core::codec::to_bytes_into(&wire, &mut self.scratch).is_ok() {
-                        let frame =
+                        let mut frame =
                             Frame::new(CTL, &to, wire.traffic_class(), self.scratch.clone());
+                        if self.obs.ctx_enabled() {
+                            let ctx = wire.subject().map(|id| {
+                                let new_hop =
+                                    matches!(&wire, Wire::Transfer(env) if env.attempt == 1);
+                                self.ctxs.on_send(&id.to_string(), CTL, new_hop)
+                            });
+                            frame = frame.with_ctx(ctx.clone());
+                            let bytes = frame.wire_len();
+                            let now = self.now();
+                            self.obs
+                                .emit_ctx(now, CTL, wire.subject(), ctx.as_ref(), || {
+                                    TraceKind::WireSend {
+                                        to: to.clone(),
+                                        label: wire.label().to_string(),
+                                        class: wire.traffic_class().label().to_string(),
+                                        bytes,
+                                        attempt,
+                                    }
+                                });
+                        }
                         let _ = self.net.send(frame);
                     }
                 }

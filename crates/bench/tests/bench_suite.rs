@@ -19,6 +19,7 @@ use naplet_core::codec;
 use naplet_core::itinerary::{ActionSpec, Itinerary, Pattern};
 use naplet_core::message::{Message, Sender};
 use naplet_core::naplet::{AgentKind, Naplet, SharedNaplet};
+use naplet_core::tracectx::TraceCtx;
 use naplet_core::value::Value;
 use naplet_net::{Frame, TrafficClass};
 
@@ -93,6 +94,17 @@ fn message() -> impl Strategy<Value = Message> {
     )
 }
 
+fn trace_ctx() -> impl Strategy<Value = TraceCtx> {
+    (ident(), ident(), any::<u32>(), any::<u64>()).prop_map(|(journey, origin, hop, seq)| {
+        TraceCtx {
+            journey,
+            origin,
+            hop,
+            seq,
+        }
+    })
+}
+
 fn frame() -> impl Strategy<Value = Frame> {
     (
         ident(),
@@ -103,12 +115,14 @@ fn frame() -> impl Strategy<Value = Frame> {
             Just(TrafficClass::Control),
         ],
         vec(any::<u8>(), 0..512),
+        proptest::option::of(trace_ctx()),
     )
-        .prop_map(|(from, to, class, payload)| Frame {
+        .prop_map(|(from, to, class, payload, ctx)| Frame {
             from,
             to,
             class,
             payload: payload.into(),
+            ctx,
         })
 }
 
@@ -164,6 +178,26 @@ proptest! {
         let back = Frame::decode(&mut stream).unwrap().unwrap();
         prop_assert_eq!(back, f);
         prop_assert!(stream.is_empty());
+    }
+
+    /// Attaching a trace context must cost nothing when it is absent:
+    /// a ctx-less frame encodes byte-for-byte like the pre-tracing
+    /// format, and stripping the ctx from a stamped frame recovers
+    /// exactly that encoding.
+    #[test]
+    fn ctx_free_frames_are_byte_stable(f in frame()) {
+        let mut bare = f.clone();
+        bare.ctx = None;
+        let bare_bytes = bare.encode();
+        // the class tag byte never carries the ctx flag when absent
+        prop_assert_eq!(bare_bytes[4] & 0x80, 0);
+        if let Some(ctx) = &f.ctx {
+            let stamped = f.encode();
+            prop_assert_eq!(stamped[4] & 0x80, 0x80);
+            // ctx block size is exactly what wire_len predicts
+            let ctx_len = 2 + ctx.journey.len() + 2 + ctx.origin.len() + 4 + 8;
+            prop_assert_eq!(stamped.len(), bare_bytes.len() + ctx_len);
+        }
     }
 }
 

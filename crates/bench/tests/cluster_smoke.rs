@@ -79,6 +79,162 @@ fn ring_journey_crosses_three_live_daemons() {
 
 #[test]
 #[ignore = "spawns real napletd processes; run via the CI cluster-smoke job"]
+fn cluster_trace_merges_a_ring_journey_across_live_daemons() {
+    // a private trace_dir so dump files from other tests (or runs)
+    // can't leak into the merge; CI overrides it to keep the dumps as
+    // artifacts and feed them to `figures cluster-trace --dumps`
+    let keep = std::env::var("NAPLET_CLUSTER_TRACE_DIR").ok();
+    let trace_dir = keep
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "naplet-cluster-trace-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ))
+        });
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let harness = ClusterHarness::launch(
+        "trace",
+        &["n1", "n2", "n3"],
+        &format!(
+            "lease_ms = 60000\ntrace_dir = \"{}\"\n",
+            trace_dir.display()
+        ),
+    )
+    .unwrap();
+    let mut ctl = harness.ctl().unwrap();
+
+    ctl.launch_probe(&["n1", "n2", "n3"]).unwrap();
+    let done = ctl.pump_until(Duration::from_secs(30), |c| c.server().reports.len() >= 3);
+    assert!(done, "ring journey stalled; reports: {:?}", ctl.reports());
+
+    // --- live fetch: page every daemon's recorder over the wire ----
+    let mut poller =
+        naplet_man::ClusterTracePoller::connect(harness.config(), naplet_bench::cluster::MON)
+            .unwrap();
+    let targets: Vec<String> = ["n1", "n2", "n3"].iter().map(|s| s.to_string()).collect();
+    let mut segments = poller
+        .fetch_traces(&targets, Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(
+        segments.iter().map(|s| s.host.as_str()).collect::<Vec<_>>(),
+        vec!["n1", "n2", "n3"],
+        "every daemon must serve its flight recorder"
+    );
+    // the ctl node recorded the launch handshake and the homebound
+    // reports; with its segment included, every Transfer send has its
+    // matching receive in the merge
+    segments.push(naplet_obs::FlatSegment::from_segment(&ctl.trace_segment()));
+
+    let merged = naplet_obs::merge_cluster_trace(&segments, 5_000);
+    naplet_obs::validate_chrome_trace(&merged.json).unwrap();
+    assert!(
+        merged.violations.is_empty(),
+        "ring journey must merge causally clean: {:?}",
+        merged.violations
+    );
+    // the journey is visible end to end: migration sends from ctl and
+    // every daemon, each carrying a trace context
+    let sends_with_ctx = segments
+        .iter()
+        .flat_map(|s| &s.events)
+        .filter(|e| e.name == "wire.send" && e.ctx.is_some())
+        .count();
+    assert!(
+        sends_with_ctx >= 4,
+        "expected ctx-stamped sends on every hop, saw {sends_with_ctx}"
+    );
+
+    // --- SIGUSR1: a running daemon dumps without disturbing service -
+    harness.sigusr1("n1").unwrap();
+    let usr1_dump = trace_dir.join("n1.trace.json");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !usr1_dump.exists() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let text = std::fs::read_to_string(&usr1_dump).expect("SIGUSR1 must write a dump");
+    let seg = naplet_obs::parse_flight_dump(&text).expect("dump must parse");
+    assert_eq!(seg.host, "n1");
+    assert!(!seg.events.is_empty(), "n1 saw the journey");
+
+    // --- clean shutdown dumps every daemon's recorder --------------
+    for (node, clean) in harness.shutdown() {
+        assert!(clean, "napletd[{node}] did not exit cleanly");
+    }
+    let dumped: Vec<naplet_obs::FlatSegment> = ["n1", "n2", "n3"]
+        .iter()
+        .map(|n| {
+            let text = std::fs::read_to_string(trace_dir.join(format!("{n}.trace.json")))
+                .unwrap_or_else(|e| panic!("shutdown dump for {n} missing: {e}"));
+            naplet_obs::parse_flight_dump(&text).unwrap()
+        })
+        .collect();
+    let merged = naplet_obs::merge_cluster_trace(&dumped, 5_000);
+    naplet_obs::validate_chrome_trace(&merged.json).unwrap();
+    assert!(merged.event_count > 0);
+    if keep.is_none() {
+        let _ = std::fs::remove_dir_all(&trace_dir);
+    }
+}
+
+#[test]
+#[ignore = "spawns real napletd processes; run via the CI cluster-smoke job"]
+fn panicking_daemon_leaves_a_readable_flight_dump() {
+    let bin = naplet_bench::cluster::napletd_bin().unwrap();
+    let root = std::env::temp_dir().join(format!("naplet-panic-dump-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let addr = std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+    let toml = format!(
+        "[cluster]\ntrace_dir = \"{}\"\n\n[[node]]\nname = \"solo\"\nlisten = \"{addr}\"\n\
+         journal = \"{}\"\n",
+        root.display(),
+        root.join("journal").display(),
+    );
+    let config = root.join("solo.toml");
+    std::fs::write(&config, toml).unwrap();
+
+    // the panic fires on a daemon thread 200 ms in; the hook must
+    // write the flight dump before the default handler takes over
+    let log = std::fs::File::create(root.join("solo.log")).unwrap();
+    let mut child = std::process::Command::new(&bin)
+        .arg("--config")
+        .arg(&config)
+        .arg("--node")
+        .arg("solo")
+        .env("NAPLETD_PANIC_AFTER_MS", "200")
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::from(log.try_clone().unwrap()))
+        .stderr(std::process::Stdio::from(log))
+        .spawn()
+        .unwrap();
+
+    let dump = root.join("solo.trace.json");
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while !dump.exists() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let text = std::fs::read_to_string(&dump).expect("panic hook must write a dump");
+    let seg = naplet_obs::parse_flight_dump(&text).expect("panic dump must parse");
+    assert_eq!(seg.host, "solo");
+    let log_text = std::fs::read_to_string(root.join("solo.log")).unwrap_or_default();
+    assert!(
+        log_text.contains("panic — trace dumped to"),
+        "panic hook must announce the dump:\n{log_text}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+#[ignore = "spawns real napletd processes; run via the CI cluster-smoke job"]
 fn kill9_mid_visit_recovers_from_the_journal() {
     // dwell 2s: the agent is resident at n1 long enough to be crashed
     // under; ctl retries absorb the outage

@@ -6,7 +6,9 @@
 //! span.
 
 use naplet_bench::{traced_chaos_experiment, traced_crash_chaos_experiment};
-use naplet_obs::{validate_chrome_trace, TraceEvent, TraceKind};
+use naplet_obs::{
+    merge_cluster_trace, validate_chrome_trace, FlatEvent, FlatSegment, TraceEvent, TraceKind,
+};
 use proptest::prelude::*;
 
 const WINDOWS: [(&str, u64, u64); 2] = [("s1", 10, 700), ("s3", 10, 2_500)];
@@ -124,6 +126,32 @@ fn check_causality(events: &[TraceEvent], require_commits: bool) -> Result<(), S
     Ok(())
 }
 
+/// Split one sim run's shared event stream into per-host flight
+/// segments, the shape the cluster merger consumes. The sim shares one
+/// sink across every host, so a synthetic segment per host (complete,
+/// epoch 0) is exactly what a per-daemon recorder would have captured.
+fn per_host_segments(events: &[TraceEvent]) -> Vec<FlatSegment> {
+    let mut hosts: std::collections::BTreeMap<String, Vec<FlatEvent>> = Default::default();
+    for event in events {
+        hosts
+            .entry(event.host.clone())
+            .or_default()
+            .push(FlatEvent::from_event(event));
+    }
+    hosts
+        .into_iter()
+        .map(|(host, events)| FlatSegment {
+            host,
+            start_seq: 0,
+            next_seq: events.len() as u64,
+            total: events.len() as u64,
+            dropped: 0,
+            epoch_unix_ms: 0,
+            events,
+        })
+        .collect()
+}
+
 proptest! {
     // each case is a full chaos simulation; PROPTEST_CASES scales the
     // count (default 64)
@@ -147,5 +175,80 @@ proptest! {
         if let Err(msg) = check_causality(&obs.events, true) {
             prop_assert!(false, "seed {}: {}", seed, msg);
         }
+    }
+
+    // The wire-context hop counter counts *migrations*, not
+    // transmissions: per journey it must be monotone along the causal
+    // seq order, contiguous from the first hop, and a retransmitted
+    // frame (attempt ≥ 2) must never introduce a hop the journey
+    // hasn't already been seen at.
+    #[test]
+    fn hop_counters_are_monotone_per_journey_under_loss(seed in 0u64..1024) {
+        let out = traced_chaos_experiment(0.04, &[("s1", 10, 400)], seed);
+        prop_assert_eq!(out.chaos.completed, 1, "journey lost (seed {})", seed);
+
+        let mut per_journey: std::collections::BTreeMap<&str, Vec<(u64, u32, bool)>> =
+            Default::default();
+        for e in &out.obs.events {
+            if let Some(ctx) = &e.ctx {
+                let retransmit = matches!(&e.kind, TraceKind::WireSend { attempt, .. } if *attempt >= 2);
+                per_journey
+                    .entry(ctx.journey.as_str())
+                    .or_default()
+                    .push((ctx.seq, ctx.hop, retransmit));
+            }
+        }
+        prop_assert!(!per_journey.is_empty(), "run must stamp wire contexts");
+        for (journey, mut steps) in per_journey {
+            steps.sort_unstable();
+            let mut hops_seen = std::collections::BTreeSet::new();
+            let mut last_hop = 0u32;
+            for (seq, hop, retransmit) in &steps {
+                prop_assert!(
+                    *hop >= last_hop,
+                    "journey {}: hop regressed {} -> {} at seq {} (seed {})",
+                    journey, last_hop, hop, seq, seed
+                );
+                if *retransmit {
+                    prop_assert!(
+                        hops_seen.contains(hop),
+                        "journey {}: retransmit at seq {} minted new hop {} (seed {})",
+                        journey, seq, hop, seed
+                    );
+                }
+                hops_seen.insert(*hop);
+                last_hop = *hop;
+            }
+            // contiguous: every hop between first and last was observed
+            let lo = *hops_seen.iter().next().unwrap();
+            let hi = *hops_seen.iter().next_back().unwrap();
+            prop_assert_eq!(
+                hops_seen.len() as u32, hi - lo + 1,
+                "journey {}: hop gap between {} and {} (seed {})", journey, lo, hi, seed
+            );
+        }
+    }
+
+    // Two identically-seeded sim runs, split into per-host flight
+    // segments and stitched by the cluster merger, must produce
+    // byte-identical merged traces — and a complete (untruncated)
+    // merge of a healthy run must be causally clean even under loss.
+    #[test]
+    fn merged_sim_traces_are_byte_identical_across_seeded_runs(seed in 0u64..1024) {
+        let a = traced_chaos_experiment(0.05, &WINDOWS, seed);
+        let b = traced_chaos_experiment(0.05, &WINDOWS, seed);
+        let merged_a = merge_cluster_trace(&per_host_segments(&a.obs.events), 0);
+        let merged_b = merge_cluster_trace(&per_host_segments(&b.obs.events), 0);
+        prop_assert!(
+            merged_a.violations.is_empty(),
+            "seed {}: merged trace not causally clean: {:?}",
+            seed, merged_a.violations
+        );
+        prop_assert!(merged_a.event_count > 0, "merge must carry events");
+        prop_assert_eq!(
+            merged_a.json, merged_b.json,
+            "seed {}: identically-seeded merges diverged", seed
+        );
+        validate_chrome_trace(&merged_a.json).expect("merged trace is Chrome-loadable");
     }
 }

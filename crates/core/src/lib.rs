@@ -56,6 +56,7 @@ pub mod message;
 pub mod naplet;
 pub mod navlog;
 pub mod state;
+pub mod tracectx;
 pub mod value;
 
 pub use address_book::{AddressBook, AddressEntry};

@@ -27,7 +27,7 @@ pub mod workload;
 pub mod world;
 
 pub use centralized::{install_snmp_endpoint, CentralizedManager, SNMP_TAG};
-pub use live_ops::ClusterStatusPoller;
+pub use live_ops::{ClusterStatusPoller, ClusterTracePoller};
 pub use nm_naplet::{
     nm_naplet, nm_vm_naplet, nm_vm_program, register_nm_codebase, with_threshold, NmBehavior,
     NM_CODEBASE, NM_CODE_SIZE,

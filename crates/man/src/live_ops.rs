@@ -23,10 +23,19 @@ use naplet_core::error::Result;
 use naplet_core::NapletId;
 use naplet_net::tcp::TcpTransport;
 use naplet_net::Frame;
+use naplet_obs::{FlatSegment, TraceSegment};
 use naplet_server::bootstrap::BootstrapConfig;
 use naplet_server::events::{Input, Wire};
 use naplet_server::status::StatusReport;
 use naplet_server::{LocationMode, NapletServer, ServerConfig};
+
+/// The same station wearing its distributed-tracing hat:
+/// [`ClusterStatusPoller::fetch_traces`] pages every daemon's flight
+/// recorder out over the privileged trace protocol, for
+/// [`naplet_obs::merge_cluster_trace`] to join into one cluster-wide
+/// Chrome trace. One bound station serves both protocols, so the
+/// alias exists purely to name the role.
+pub type ClusterTracePoller = ClusterStatusPoller;
 
 /// A status station attached to a live cluster.
 pub struct ClusterStatusPoller {
@@ -115,6 +124,94 @@ impl ClusterStatusPoller {
             .collect();
         reports.sort_by(|a, b| a.host.cmp(&b.host));
         Ok(reports)
+    }
+
+    /// Fetch every target's flight-recorder segment, paging each ring
+    /// out with `TraceSegmentRequest` until a page comes back short.
+    /// Returns one [`FlatSegment`] per answering host (sorted by
+    /// host), ready for [`naplet_obs::merge_cluster_trace`]. A daemon
+    /// that is down, refuses the privileged read, or never enabled its
+    /// recorder contributes nothing.
+    pub fn fetch_traces(
+        &mut self,
+        targets: &[String],
+        timeout: Duration,
+    ) -> Result<Vec<FlatSegment>> {
+        const PAGE: u32 = 512;
+        let id = NapletId::new(&self.key.principal, &self.station, Millis(1))?;
+        let credential = Credential::issue(&self.key, id, "ops-plane", vec![]);
+        let deadline = Instant::now() + timeout;
+        let mut segments = Vec::new();
+        for target in targets {
+            // page this target's ring until a short page or deadline;
+            // one host at a time keeps token bookkeeping trivial and
+            // trace fetches are an offline/ops activity, not a hot path
+            let mut merged: Option<TraceSegment> = None;
+            let mut from_seq = 0u64;
+            loop {
+                self.next_token += 1;
+                let token = self.next_token;
+                let wire = Wire::TraceSegmentRequest {
+                    token,
+                    reply_to: self.station.clone(),
+                    credential: credential.clone(),
+                    from_seq,
+                    max_events: PAGE,
+                };
+                if naplet_core::codec::to_bytes_into(&wire, &mut self.scratch).is_ok() {
+                    let frame = Frame::new(
+                        &self.station,
+                        target,
+                        wire.traffic_class(),
+                        self.scratch.clone(),
+                    );
+                    let _ = self.net.send(frame);
+                }
+                let mut page: Option<Option<TraceSegment>> = None;
+                while page.is_none() && Instant::now() < deadline {
+                    match self.rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(frame) => {
+                            if let Ok(wire) = naplet_core::codec::from_bytes::<Wire>(&frame.payload)
+                            {
+                                let now = self.now();
+                                let from = frame.from.clone();
+                                let _ = self.server.handle(now, Input::Wire { from, wire });
+                            }
+                            for (t, seg) in std::mem::take(&mut self.server.trace_replies) {
+                                if t == token {
+                                    page = Some(seg);
+                                }
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                let Some(Some(seg)) = page else {
+                    // refused, recorder off, or timed out: keep what
+                    // we have (possibly nothing) and move on
+                    break;
+                };
+                let got = seg.events.len();
+                let next_from = seg.start_seq + got as u64;
+                match &mut merged {
+                    None => merged = Some(seg),
+                    Some(m) => {
+                        m.next_seq = seg.next_seq;
+                        m.dropped = seg.dropped;
+                        m.events.extend(seg.events);
+                    }
+                }
+                if got < PAGE as usize {
+                    break;
+                }
+                from_seq = next_from;
+            }
+            if let Some(seg) = merged {
+                segments.push(FlatSegment::from_segment(&seg));
+            }
+        }
+        segments.sort_by(|a, b| a.host.cmp(&b.host));
+        Ok(segments)
     }
 
     /// Field-level diff between two polls of the same cluster: one
@@ -337,6 +434,58 @@ mod tests {
         let diffs =
             ClusterStatusPoller::diff_reports(std::slice::from_ref(&a), std::slice::from_ref(&a));
         assert!(diffs.is_empty(), "{diffs:?}");
+    }
+
+    #[test]
+    fn poller_fetches_flight_recorder_segments_from_live_daemons() {
+        let addrs = free_addrs(3);
+        let config = BootstrapConfig::parse(&format!(
+            "[[node]]\nname = \"alpha\"\nlisten = \"{}\"\n\
+             [[node]]\nname = \"beta\"\nlisten = \"{}\"\n\
+             [[node]]\nname = \"mon\"\nlisten = \"{}\"\n",
+            addrs[0], addrs[1], addrs[2]
+        ))
+        .unwrap();
+        let alpha = Daemon::start(&config, "alpha").unwrap();
+        let beta = Daemon::start(&config, "beta").unwrap();
+
+        let mut poller = ClusterTracePoller::connect(&config, "mon").unwrap();
+        let targets = vec!["alpha".to_string(), "beta".to_string()];
+        // a status poll first, so each daemon's recorder has at least
+        // its wire.recv/wire.send pair for the status exchange
+        let reports = poller.poll(&targets, Duration::from_secs(10)).unwrap();
+        assert_eq!(reports.len(), 2);
+
+        let segments = poller
+            .fetch_traces(&targets, Duration::from_secs(10))
+            .unwrap();
+        let hosts: Vec<&str> = segments.iter().map(|s| s.host.as_str()).collect();
+        assert_eq!(hosts, vec!["alpha", "beta"], "both daemons must answer");
+        for seg in &segments {
+            assert!(
+                seg.events.iter().any(|e| e.name == "wire.recv"),
+                "{}'s segment must show the status request arriving: {:?}",
+                seg.host,
+                seg.events.iter().map(|e| &e.name).collect::<Vec<_>>()
+            );
+            assert!(
+                seg.epoch_unix_ms > 0,
+                "daemon recorders anchor to UNIX time"
+            );
+        }
+
+        // the fetched segments merge into one valid Chrome trace with
+        // no causality violations (status traffic carries no journey
+        // context, so nothing can be flagged)
+        let merged = naplet_obs::merge_cluster_trace(&segments, 5_000);
+        naplet_obs::validate_chrome_trace(&merged.json).unwrap();
+        assert!(merged.violations.is_empty(), "{:?}", merged.violations);
+        assert!(merged.event_count > 0);
+
+        for daemon in [alpha, beta] {
+            daemon.shutdown_flag().store(true, Ordering::Relaxed);
+            daemon.run().unwrap();
+        }
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! SIGTERM (and SIGINT) trigger a cooperative shutdown: the serve loop
 //! drains, the write-through journal is left consistent for the next
 //! incarnation to replay, and a final status summary is printed.
+//! SIGUSR1 dumps the flight recorder (the bounded ring of recent trace
+//! events) to `<trace_dir>/<node>.trace.json` without disturbing the
+//! daemon; the same dump is written on clean shutdown and from the
+//! panic hook, so a crashed daemon leaves its last moments readable.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,14 +29,24 @@ use naplet_server::daemon::Daemon;
 /// cooperative shutdown flag by a watcher thread.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
-extern "C" fn on_signal(_signum: i32) {
+/// Raised by SIGUSR1; the watcher thread writes the flight dump and
+/// clears it.
+static DUMP_TRACE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(signum: i32) {
     // async-signal-safe: a single atomic store
-    SHUTDOWN.store(true, Ordering::Relaxed);
+    if signum == SIGUSR1 {
+        DUMP_TRACE.store(true, Ordering::Relaxed);
+    } else {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
 }
 
-/// Install `on_signal` for SIGTERM and SIGINT. `std` links libc on
-/// every supported platform, so the raw `signal(2)` binding avoids a
-/// dependency; the handler does nothing but flip one atomic.
+const SIGUSR1: i32 = 10;
+
+/// Install `on_signal` for SIGTERM, SIGINT, and SIGUSR1. `std` links
+/// libc on every supported platform, so the raw `signal(2)` binding
+/// avoids a dependency; the handler does nothing but flip one atomic.
 fn install_signal_handlers() {
     #[cfg(unix)]
     {
@@ -44,6 +58,7 @@ fn install_signal_handlers() {
         unsafe {
             signal(SIGTERM, on_signal);
             signal(SIGINT, on_signal);
+            signal(SIGUSR1, on_signal);
         }
     }
 }
@@ -120,14 +135,58 @@ fn main() -> ExitCode {
         recovery.handoffs_resumed,
     );
 
-    // bridge the signal flag onto the daemon's cooperative flag
+    // a panicking daemon still leaves its last moments readable: the
+    // hook writes the flight dump before the default handler unwinds
+    let dumper = daemon.trace_dumper();
+    {
+        let dumper = dumper.clone();
+        let node = node.clone();
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            match dumper.write() {
+                Ok(path) => eprintln!(
+                    "napletd[{node}]: panic — trace dumped to {}",
+                    path.display()
+                ),
+                Err(e) => eprintln!("napletd[{node}]: panic — trace dump failed: {e}"),
+            }
+            default_hook(info);
+        }));
+    }
+
+    // fault-injection hook for the acceptance suite: prove a panicking
+    // daemon leaves a readable dump (the hook fires for any thread)
+    if let Some(ms) = std::env::var("NAPLETD_PANIC_AFTER_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            panic!("injected test panic (NAPLETD_PANIC_AFTER_MS)");
+        });
+    }
+
+    // bridge the signal flags onto the daemon: SIGTERM/SIGINT raise
+    // the cooperative shutdown flag, SIGUSR1 writes a flight dump
     let shutdown = daemon.shutdown_flag();
-    std::thread::spawn(move || {
-        while !SHUTDOWN.load(Ordering::Relaxed) {
-            std::thread::sleep(std::time::Duration::from_millis(20));
-        }
-        shutdown.store(true, Ordering::Relaxed);
-    });
+    {
+        let dumper = dumper.clone();
+        let node = node.clone();
+        std::thread::spawn(move || {
+            while !SHUTDOWN.load(Ordering::Relaxed) {
+                if DUMP_TRACE.swap(false, Ordering::Relaxed) {
+                    match dumper.write() {
+                        Ok(path) => {
+                            println!("napletd[{node}]: trace dumped to {}", path.display())
+                        }
+                        Err(e) => eprintln!("napletd[{node}]: trace dump failed: {e}"),
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            shutdown.store(true, Ordering::Relaxed);
+        });
+    }
 
     match daemon.run() {
         Ok(summary) => {
@@ -148,6 +207,9 @@ fn main() -> ExitCode {
                 summary.reports.len(),
                 summary.alerts,
             );
+            if let Some(path) = &summary.trace_path {
+                println!("napletd[{node}]: trace dumped to {}", path.display());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -9,8 +9,14 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use naplet_core::error::{NapletError, Result};
+use naplet_core::tracectx::TraceCtx;
 
 use crate::stats::TrafficClass;
+
+/// High bit of the class-tag byte: set when a [`TraceCtx`] extension
+/// block follows it. Frames without context encode byte-identically to
+/// the pre-tracing layout (class tags only use the low 3 bits).
+const CTX_FLAG: u8 = 0x80;
 
 /// One transport frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +29,9 @@ pub struct Frame {
     pub class: TrafficClass,
     /// Opaque payload (already codec-encoded by the caller).
     pub payload: Bytes,
+    /// Optional wire-propagated trace context (absent unless the
+    /// sending node has tracing or its flight recorder on).
+    pub ctx: Option<TraceCtx>,
 }
 
 fn class_tag(c: TrafficClass) -> u8 {
@@ -49,20 +58,31 @@ fn tag_class(t: u8) -> Result<TrafficClass> {
 }
 
 impl Frame {
-    /// Build a frame.
+    /// Build a frame (no trace context).
     pub fn new(from: &str, to: &str, class: TrafficClass, payload: impl Into<Bytes>) -> Frame {
         Frame {
             from: from.to_string(),
             to: to.to_string(),
             class,
             payload: payload.into(),
+            ctx: None,
         }
+    }
+
+    /// Attach (or clear) the trace-context extension.
+    pub fn with_ctx(mut self, ctx: Option<TraceCtx>) -> Frame {
+        self.ctx = ctx;
+        self
     }
 
     /// Total encoded length in bytes (what the fabric meters).
     pub fn wire_len(&self) -> u64 {
-        // 4 (frame len) + 1 (class) + 2×(2 + name) + payload
-        (4 + 1 + 2 + self.from.len() + 2 + self.to.len() + self.payload.len()) as u64
+        // 4 (frame len) + 1 (class) [+ ctx block] + 2×(2 + name) + payload
+        let ctx_len = match &self.ctx {
+            Some(ctx) => 2 + ctx.journey.len() + 2 + ctx.origin.len() + 4 + 8,
+            None => 0,
+        };
+        (4 + 1 + ctx_len + 2 + self.from.len() + 2 + self.to.len() + self.payload.len()) as u64
     }
 
     /// Encode to a self-delimiting byte string.
@@ -79,7 +99,18 @@ impl Frame {
     pub fn encode_into(&self, buf: &mut impl BufMut) {
         let body_len = self.wire_len() as u32 - 4;
         buf.put_u32(body_len);
-        buf.put_u8(class_tag(self.class));
+        match &self.ctx {
+            None => buf.put_u8(class_tag(self.class)),
+            Some(ctx) => {
+                buf.put_u8(class_tag(self.class) | CTX_FLAG);
+                buf.put_u16(ctx.journey.len() as u16);
+                buf.put_slice(ctx.journey.as_bytes());
+                buf.put_u16(ctx.origin.len() as u16);
+                buf.put_slice(ctx.origin.as_bytes());
+                buf.put_u32(ctx.hop);
+                buf.put_u64(ctx.seq);
+            }
+        }
         buf.put_u16(self.from.len() as u16);
         buf.put_slice(self.from.as_bytes());
         buf.put_u16(self.to.len() as u16);
@@ -115,7 +146,22 @@ impl Frame {
         }
         buf.advance(4);
         let mut body = buf.split_to(body_len);
-        let class = tag_class(get_u8(&mut body)?)?;
+        let tag = get_u8(&mut body)?;
+        let class = tag_class(tag & !CTX_FLAG)?;
+        let ctx = if tag & CTX_FLAG != 0 {
+            let journey = get_string(&mut body)?;
+            let origin = get_string(&mut body)?;
+            let hop = get_u32(&mut body)?;
+            let seq = get_u64(&mut body)?;
+            Some(TraceCtx {
+                journey,
+                origin,
+                hop,
+                seq,
+            })
+        } else {
+            None
+        };
         let from = get_string(&mut body)?;
         let to = get_string(&mut body)?;
         let payload = body.freeze();
@@ -124,6 +170,7 @@ impl Frame {
             to,
             class,
             payload,
+            ctx,
         }))
     }
 }
@@ -133,6 +180,20 @@ fn get_u8(b: &mut BytesMut) -> Result<u8> {
         return Err(NapletError::Codec("frame truncated (u8)".into()));
     }
     Ok(b.get_u8())
+}
+
+fn get_u32(b: &mut BytesMut) -> Result<u32> {
+    if b.len() < 4 {
+        return Err(NapletError::Codec("frame truncated (u32)".into()));
+    }
+    Ok(b.get_u32())
+}
+
+fn get_u64(b: &mut BytesMut) -> Result<u64> {
+    if b.len() < 8 {
+        return Err(NapletError::Codec("frame truncated (u64)".into()));
+    }
+    Ok(b.get_u64())
 }
 
 fn get_string(b: &mut BytesMut) -> Result<String> {
@@ -247,6 +308,55 @@ mod tests {
         let g = Frame::new("a", "b", TrafficClass::Message, vec![3u8; 101]);
         let mut buf = BytesMut::from(&g.encode()[..]);
         assert!(Frame::decode_limited(&mut buf, body).is_err());
+    }
+
+    fn sample_ctx() -> TraceCtx {
+        TraceCtx {
+            journey: "naplet://czxu@home/1".into(),
+            origin: "home".into(),
+            hop: 3,
+            seq: 17,
+        }
+    }
+
+    #[test]
+    fn ctx_extension_round_trips() {
+        let f = Frame::new("alpha", "beta", TrafficClass::Migration, vec![1u8, 2, 3])
+            .with_ctx(Some(sample_ctx()));
+        assert_eq!(f.encode().len() as u64, f.wire_len());
+        let mut buf = BytesMut::from(&f.encode()[..]);
+        let back = Frame::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.ctx.as_ref().unwrap().seq, 17);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn ctx_free_encoding_is_byte_stable() {
+        // a frame without context must encode exactly as it did before
+        // the extension existed: no flag bit, no extra bytes
+        let f = Frame::new("alpha", "beta", TrafficClass::Code, vec![9u8; 8]);
+        let encoded = f.encode();
+        assert_eq!(encoded[4], 1, "bare class tag, no CTX_FLAG");
+        assert_eq!(
+            encoded.len(),
+            4 + 1 + 2 + 5 + 2 + 4 + 8,
+            "pre-extension layout"
+        );
+        let with = f.clone().with_ctx(Some(sample_ctx()));
+        assert!(with.encode()[4] & CTX_FLAG != 0);
+        assert!(with.wire_len() > f.wire_len());
+    }
+
+    #[test]
+    fn truncated_ctx_block_rejected() {
+        let f = Frame::new("a", "b", TrafficClass::Message, vec![]).with_ctx(Some(sample_ctx()));
+        let encoded = f.encode();
+        // lie about the body length so the ctx block runs off the end
+        let mut raw = BytesMut::from(&encoded[..12]);
+        let short = (raw.len() - 4) as u32;
+        raw[..4].copy_from_slice(&short.to_be_bytes());
+        assert!(Frame::decode(&mut raw).is_err());
     }
 
     #[test]

@@ -18,12 +18,15 @@
 //! vendors no JSON serializer; the flip side is full control over
 //! byte layout.)
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use naplet_core::tracectx::TraceCtx;
+
 use crate::metrics::MetricsSnapshot;
+use crate::recorder::TraceSegment;
 use crate::trace::{ArgValue, TraceEvent};
 
 /// Everything one run observed, as one serde-codable value.
@@ -51,9 +54,9 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+fn push_args<'a>(out: &mut String, args: impl Iterator<Item = (&'a str, &'a ArgValue)>) {
     out.push('{');
-    for (i, (key, value)) in args.iter().enumerate() {
+    for (i, (key, value)) in args.enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -75,6 +78,65 @@ fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
     out.push('}');
 }
 
+/// One trace event lowered to its export form: the kind replaced by
+/// its stable name and pre-rendered arguments. This is the shape
+/// flight-recorder dumps serialize and the cluster merger consumes —
+/// a dump written by one build can be merged by another even if the
+/// [`crate::trace::TraceKind`] taxonomy grew in between.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatEvent {
+    /// Event instant, ms (for spans: the closing instant).
+    pub at: u64,
+    /// Host the event happened at.
+    pub host: String,
+    /// The journey the event concerns, if any.
+    pub naplet: Option<String>,
+    /// Stable kind name (`wire.send`, `handoff.commit`, …).
+    pub name: String,
+    /// For span-like events, the opening instant, ms.
+    pub started: Option<u64>,
+    /// Pre-rendered arguments in kind order.
+    pub args: Vec<(String, ArgValue)>,
+    /// Wire-propagated causal context, if the event carried one.
+    pub ctx: Option<TraceCtx>,
+}
+
+impl FlatEvent {
+    /// Lower one typed event.
+    pub fn from_event(event: &TraceEvent) -> FlatEvent {
+        FlatEvent {
+            at: event.at.0,
+            host: event.host.clone(),
+            naplet: event.naplet.clone(),
+            name: event.kind.name().to_string(),
+            started: event.kind.span_start().map(|m| m.0),
+            args: event
+                .kind
+                .args()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            ctx: event.ctx.clone(),
+        }
+    }
+
+    /// The string value of argument `key`, if present.
+    pub fn arg_str(&self, key: &str) -> Option<&str> {
+        self.args.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+            if let ArgValue::Str(s) = v {
+                Some(s.as_str())
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Lower a typed event slice for export or merging.
+pub fn flatten_events(events: &[TraceEvent]) -> Vec<FlatEvent> {
+    events.iter().map(FlatEvent::from_event).collect()
+}
+
 /// Render `events` as Chrome trace-event JSON.
 ///
 /// `pid` is the sorted index of the host, `tid` the sorted index of
@@ -82,6 +144,14 @@ fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
 /// lane for events with no naplet). Timestamps are the simulation's
 /// milliseconds expressed in microseconds, as the format requires.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    chrome_trace_json_flat(&flatten_events(events))
+}
+
+/// [`chrome_trace_json`] over already-lowered events (the merged
+/// cluster trace renders through this). Events carrying a
+/// [`TraceCtx`] gain `journey`/`origin`/`hop`/`seq` arguments after
+/// the kind's own, so cross-node handoffs are visibly linked.
+pub fn chrome_trace_json_flat(events: &[FlatEvent]) -> String {
     let hosts: BTreeSet<&str> = events.iter().map(|e| e.host.as_str()).collect();
     let host_pid = |host: &str| hosts.iter().position(|h| *h == host).unwrap_or(0) + 1;
     let naplets: BTreeSet<&str> = events.iter().filter_map(|e| e.naplet.as_deref()).collect();
@@ -129,25 +199,43 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         emit(&mut out);
         let pid = host_pid(&event.host);
         let tid = naplet_tid(event.naplet.as_deref());
-        let name = event.kind.name();
-        match event.kind.span_start() {
+        let name = &event.name;
+        match event.started {
             Some(started) => {
-                let ts = started.0 * 1_000;
-                let dur = event.at.0.saturating_sub(started.0) * 1_000;
+                let ts = started * 1_000;
+                let dur = event.at.saturating_sub(started) * 1_000;
                 let _ = write!(
                     out,
                     "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":"
                 );
             }
             None => {
-                let ts = event.at.0 * 1_000;
+                let ts = event.at * 1_000;
                 let _ = write!(
                     out,
                     "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"args\":"
                 );
             }
         }
-        push_args(&mut out, &event.kind.args());
+        // ctx keys are prefixed: several kinds already have their own
+        // `seq`/`origin` arguments
+        let ctx_args: Vec<(&'static str, ArgValue)> = match &event.ctx {
+            Some(ctx) => vec![
+                ("ctx_journey", ArgValue::Str(ctx.journey.clone())),
+                ("ctx_origin", ArgValue::Str(ctx.origin.clone())),
+                ("ctx_hop", ArgValue::Int(u64::from(ctx.hop))),
+                ("ctx_seq", ArgValue::Int(ctx.seq)),
+            ],
+            None => Vec::new(),
+        };
+        push_args(
+            &mut out,
+            event
+                .args
+                .iter()
+                .map(|(k, v)| (k.as_str(), v))
+                .chain(ctx_args.iter().map(|(k, v)| (*k, v))),
+        );
         out.push('}');
     }
 
@@ -454,6 +542,352 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     Ok(events.len())
 }
 
+// ---------------------------------------------------------------------
+// Flight-recorder dumps and the merged cluster trace.
+// ---------------------------------------------------------------------
+
+/// A flight-recorder segment in export form: the same accounting as
+/// [`TraceSegment`], with events lowered to [`FlatEvent`]s. This is
+/// what a dump file parses back into and what the cluster merger
+/// consumes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlatSegment {
+    /// Node the segment came from.
+    pub host: String,
+    /// Absolute sequence of `events[0]`.
+    pub start_seq: u64,
+    /// Absolute sequence one past the last event.
+    pub next_seq: u64,
+    /// Total events ever recorded at the node.
+    pub total: u64,
+    /// Events evicted from the node's ring.
+    pub dropped: u64,
+    /// UNIX ms at the node's event-clock zero (0 for virtual time).
+    pub epoch_unix_ms: u64,
+    /// The events, oldest first.
+    pub events: Vec<FlatEvent>,
+}
+
+impl FlatSegment {
+    /// Lower a typed segment.
+    pub fn from_segment(segment: &TraceSegment) -> FlatSegment {
+        FlatSegment {
+            host: segment.host.clone(),
+            start_seq: segment.start_seq,
+            next_seq: segment.next_seq,
+            total: segment.total,
+            dropped: segment.dropped,
+            epoch_unix_ms: segment.epoch_unix_ms,
+            events: flatten_events(&segment.events),
+        }
+    }
+}
+
+fn push_flat_event(out: &mut String, event: &FlatEvent) {
+    let _ = write!(out, "{{\"at\":{},\"host\":\"", event.at);
+    escape_into(out, &event.host);
+    out.push('"');
+    if let Some(naplet) = &event.naplet {
+        out.push_str(",\"naplet\":\"");
+        escape_into(out, naplet);
+        out.push('"');
+    }
+    out.push_str(",\"name\":\"");
+    escape_into(out, &event.name);
+    out.push('"');
+    if let Some(started) = event.started {
+        let _ = write!(out, ",\"started\":{started}");
+    }
+    if let Some(ctx) = &event.ctx {
+        out.push_str(",\"ctx\":{\"journey\":\"");
+        escape_into(out, &ctx.journey);
+        out.push_str("\",\"origin\":\"");
+        escape_into(out, &ctx.origin);
+        let _ = write!(out, "\",\"hop\":{},\"seq\":{}}}", ctx.hop, ctx.seq);
+    }
+    out.push_str(",\"args\":");
+    push_args(out, event.args.iter().map(|(k, v)| (k.as_str(), v)));
+    out.push('}');
+}
+
+/// Render a flight-recorder segment as a self-describing JSON dump —
+/// human-readable, and parseable back by [`parse_flight_dump`]. Field
+/// order is fixed, so identical segments dump byte-identically.
+pub fn flight_dump_json(segment: &TraceSegment) -> String {
+    let flat = FlatSegment::from_segment(segment);
+    let mut out = String::with_capacity(flat.events.len() * 160 + 256);
+    out.push_str("{\"host\":\"");
+    escape_into(&mut out, &flat.host);
+    let _ = write!(
+        out,
+        "\",\"start_seq\":{},\"next_seq\":{},\"total\":{},\"dropped\":{},\"epoch_unix_ms\":{},\"events\":[",
+        flat.start_seq, flat.next_seq, flat.total, flat.dropped, flat.epoch_unix_ms
+    );
+    for (i, event) in flat.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_flat_event(&mut out, event);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn json_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("missing numeric `{key}`"))
+}
+
+fn parse_flat_event(doc: &Json, index: usize) -> Result<FlatEvent, String> {
+    let err = |what: &str| format!("event {index}: {what}");
+    let host = doc
+        .get("host")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("missing host"))?
+        .to_string();
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("missing name"))?
+        .to_string();
+    let at = json_u64(doc, "at").map_err(|e| err(&e))?;
+    let naplet = doc
+        .get("naplet")
+        .and_then(Json::as_str)
+        .map(|s| s.to_string());
+    let started = doc.get("started").and_then(Json::as_num).map(|n| n as u64);
+    let ctx = match doc.get("ctx") {
+        Some(ctx) => Some(TraceCtx {
+            journey: ctx
+                .get("journey")
+                .and_then(Json::as_str)
+                .ok_or_else(|| err("ctx missing journey"))?
+                .to_string(),
+            origin: ctx
+                .get("origin")
+                .and_then(Json::as_str)
+                .ok_or_else(|| err("ctx missing origin"))?
+                .to_string(),
+            hop: json_u64(ctx, "hop").map_err(|e| err(&e))? as u32,
+            seq: json_u64(ctx, "seq").map_err(|e| err(&e))?,
+        }),
+        None => None,
+    };
+    let args = match doc.get("args") {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    Json::Str(s) => ArgValue::Str(s.clone()),
+                    Json::Num(n) => ArgValue::Int(*n as u64),
+                    Json::Bool(b) => ArgValue::Bool(*b),
+                    other => return Err(err(&format!("bad arg `{k}`: {other:?}"))),
+                };
+                Ok((k.clone(), value))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err(err("missing args object")),
+    };
+    Ok(FlatEvent {
+        at,
+        host,
+        naplet,
+        name,
+        started,
+        args,
+        ctx,
+    })
+}
+
+/// Parse a [`flight_dump_json`] document back into a [`FlatSegment`].
+pub fn parse_flight_dump(text: &str) -> Result<FlatSegment, String> {
+    let doc = parse_json(text.trim_end())?;
+    let host = doc
+        .get("host")
+        .and_then(Json::as_str)
+        .ok_or("missing host")?
+        .to_string();
+    let events = match doc.get("events") {
+        Some(Json::Arr(events)) => events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| parse_flat_event(e, i))
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("missing events array".into()),
+    };
+    Ok(FlatSegment {
+        host,
+        start_seq: json_u64(&doc, "start_seq")?,
+        next_seq: json_u64(&doc, "next_seq")?,
+        total: json_u64(&doc, "total")?,
+        dropped: json_u64(&doc, "dropped")?,
+        epoch_unix_ms: json_u64(&doc, "epoch_unix_ms")?,
+        events,
+    })
+}
+
+/// The stitched cluster-wide trace plus everything the stitching
+/// learned about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedTrace {
+    /// The merged Chrome trace-event JSON (pid = node lane).
+    pub json: String,
+    /// Causality violations found while merging, sorted and deduped;
+    /// empty on a healthy cluster.
+    pub violations: Vec<String>,
+    /// Events in the merged trace (metadata records excluded).
+    pub event_count: usize,
+}
+
+/// Stitch per-node flight-recorder segments into one cluster trace.
+///
+/// Every event is shifted onto the shared timeline (`at +
+/// epoch_unix_ms`), then the union is sorted by the fixed tie-break
+/// `(at, host, journey, ctx seq, kind name)` — so identically-seeded
+/// virtual-time runs merge byte-identically regardless of segment
+/// arrival order. While merging, wire-level causality is checked:
+///
+/// - **recv-before-send**: a `wire.recv` whose matching `wire.send`
+///   (same journey, ctx seq, and sending host) is timestamped later
+///   than `skew_tolerance_ms` after it. Live nodes stamp real clocks,
+///   so a small tolerance absorbs ms-level skew between daemons on
+///   one machine; virtual-time merges use 0.
+/// - **missing-send**: a `wire.recv` naming a sender whose segment is
+///   present and complete (`dropped == 0`) yet holds no matching send.
+/// - **missing-hop**: a journey whose observed hop counters have a
+///   gap (checked only when every segment is complete — a truncated
+///   ring legitimately loses early hops).
+pub fn merge_cluster_trace(segments: &[FlatSegment], skew_tolerance_ms: u64) -> MergedTrace {
+    let mut ordered: Vec<&FlatSegment> = segments.iter().collect();
+    ordered.sort_by(|a, b| a.host.cmp(&b.host));
+
+    let mut truncated = false;
+    let mut complete_hosts: BTreeSet<&str> = BTreeSet::new();
+    let mut events: Vec<FlatEvent> = Vec::new();
+    for seg in &ordered {
+        if seg.dropped > 0 {
+            truncated = true;
+        } else {
+            complete_hosts.insert(seg.host.as_str());
+        }
+        for event in &seg.events {
+            let mut event = event.clone();
+            event.at += seg.epoch_unix_ms;
+            if let Some(s) = event.started {
+                event.started = Some(s + seg.epoch_unix_ms);
+            }
+            events.push(event);
+        }
+    }
+    // the fixed tie-break (stable sort over host-sorted segments)
+    events.sort_by(|a, b| {
+        let ka = (
+            a.at,
+            a.host.as_str(),
+            a.naplet.as_deref().unwrap_or(""),
+            a.ctx.as_ref().map(|c| c.seq).unwrap_or(0),
+            a.name.as_str(),
+        );
+        let kb = (
+            b.at,
+            b.host.as_str(),
+            b.naplet.as_deref().unwrap_or(""),
+            b.ctx.as_ref().map(|c| c.seq).unwrap_or(0),
+            b.name.as_str(),
+        );
+        ka.cmp(&kb)
+    });
+
+    let violations = check_causality(&events, &complete_hosts, skew_tolerance_ms, truncated);
+    MergedTrace {
+        json: chrome_trace_json_flat(&events),
+        violations,
+        event_count: events.len(),
+    }
+}
+
+fn check_causality(
+    events: &[FlatEvent],
+    complete_hosts: &BTreeSet<&str>,
+    skew_tolerance_ms: u64,
+    truncated: bool,
+) -> Vec<String> {
+    // (journey, ctx seq, sending host) -> send instants. A host that
+    // crashed and restarted may reuse sequences, hence the Vec.
+    let mut sends: BTreeMap<(&str, u64, &str), Vec<u64>> = BTreeMap::new();
+    for event in events {
+        if event.name != "wire.send" {
+            continue;
+        }
+        let Some(ctx) = &event.ctx else { continue };
+        sends
+            .entry((ctx.journey.as_str(), ctx.seq, event.host.as_str()))
+            .or_default()
+            .push(event.at);
+    }
+
+    let mut violations: BTreeSet<String> = BTreeSet::new();
+    for event in events {
+        if event.name != "wire.recv" {
+            continue;
+        }
+        let Some(ctx) = &event.ctx else { continue };
+        let Some(from) = event.arg_str("from") else {
+            continue;
+        };
+        match sends.get(&(ctx.journey.as_str(), ctx.seq, from)) {
+            Some(times) => {
+                if times
+                    .iter()
+                    .all(|&sent| sent > event.at + skew_tolerance_ms)
+                {
+                    violations.insert(format!(
+                        "recv-before-send journey={} seq={} {}->{} sent_at={}ms received_at={}ms",
+                        ctx.journey,
+                        ctx.seq,
+                        from,
+                        event.host,
+                        times.iter().min().copied().unwrap_or(0),
+                        event.at
+                    ));
+                }
+            }
+            None => {
+                if complete_hosts.contains(from) {
+                    violations.insert(format!(
+                        "missing-send journey={} seq={} expected at {} for recv at {}",
+                        ctx.journey, ctx.seq, from, event.host
+                    ));
+                }
+            }
+        }
+    }
+
+    if !truncated {
+        let mut hops: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
+        for event in events {
+            if let Some(ctx) = &event.ctx {
+                hops.entry(ctx.journey.as_str())
+                    .or_default()
+                    .insert(ctx.hop);
+            }
+        }
+        for (journey, seen) in &hops {
+            let lo = seen.iter().next().copied().unwrap_or(0);
+            let hi = seen.iter().next_back().copied().unwrap_or(0);
+            for hop in lo..=hi {
+                if !seen.contains(&hop) {
+                    violations.insert(format!("missing-hop journey={journey} hop={hop}"));
+                }
+            }
+        }
+    }
+
+    violations.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +900,7 @@ mod tests {
                 at: Millis(3),
                 host: "home".into(),
                 naplet: Some("naplet://czxu@home/1".into()),
+                ctx: None,
                 kind: TraceKind::LandingRequested {
                     dest: "s0".into(),
                     transfer_id: 1,
@@ -475,6 +910,7 @@ mod tests {
                 at: Millis(9),
                 host: "home".into(),
                 naplet: Some("naplet://czxu@home/1".into()),
+                ctx: None,
                 kind: TraceKind::HandoffCommit {
                     dest: "s0".into(),
                     transfer_id: 1,
@@ -486,6 +922,7 @@ mod tests {
                 at: Millis(12),
                 host: "s0".into(),
                 naplet: None,
+                ctx: None,
                 kind: TraceKind::Crash,
             },
         ]
@@ -525,6 +962,7 @@ mod tests {
             at: Millis(1),
             host: "we\"ird\\host\n".into(),
             naplet: None,
+            ctx: None,
             kind: TraceKind::JourneyDone {
                 status: "tab\there".into(),
             },
@@ -575,5 +1013,215 @@ mod tests {
         let bytes = naplet_core::codec::to_bytes(&snap).unwrap();
         let back: ObsSnapshot = naplet_core::codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, snap);
+    }
+
+    fn ctx(journey: &str, hop: u32, seq: u64) -> TraceCtx {
+        TraceCtx {
+            journey: journey.into(),
+            origin: "home".into(),
+            hop,
+            seq,
+        }
+    }
+
+    fn wire_event(at: u64, host: &str, send: bool, peer: &str, c: TraceCtx) -> TraceEvent {
+        TraceEvent {
+            at: Millis(at),
+            host: host.into(),
+            naplet: Some(c.journey.clone()),
+            ctx: Some(c),
+            kind: if send {
+                TraceKind::WireSend {
+                    to: peer.into(),
+                    label: "transfer".into(),
+                    class: "migration".into(),
+                    bytes: 64,
+                    attempt: 1,
+                }
+            } else {
+                TraceKind::WireRecv {
+                    from: peer.into(),
+                    label: "transfer".into(),
+                }
+            },
+        }
+    }
+
+    fn segment(host: &str, epoch: u64, events: Vec<TraceEvent>) -> TraceSegment {
+        TraceSegment {
+            host: host.into(),
+            start_seq: 0,
+            next_seq: events.len() as u64,
+            total: events.len() as u64,
+            dropped: 0,
+            epoch_unix_ms: epoch,
+            events,
+        }
+    }
+
+    #[test]
+    fn flight_dump_round_trips_and_is_deterministic() {
+        let j = "naplet://czxu@home/1";
+        let mut events = sample_events();
+        events.push(wire_event(20, "home", true, "s0", ctx(j, 1, 1)));
+        let seg = segment("home", 1_700_000_000_000, events);
+        let a = flight_dump_json(&seg);
+        let b = flight_dump_json(&seg);
+        assert_eq!(a, b, "dumps must be byte-stable");
+        let back = parse_flight_dump(&a).expect("dump must parse");
+        assert_eq!(back, FlatSegment::from_segment(&seg));
+        assert_eq!(back.epoch_unix_ms, 1_700_000_000_000);
+        assert_eq!(back.events.len(), 4);
+        assert_eq!(back.events[3].ctx.as_ref().unwrap().seq, 1);
+        assert_eq!(back.events[3].arg_str("to"), Some("s0"));
+    }
+
+    #[test]
+    fn merged_trace_links_sends_to_recvs_across_nodes() {
+        let j = "naplet://czxu@home/1";
+        let home = segment(
+            "home",
+            0,
+            vec![wire_event(5, "home", true, "n1", ctx(j, 1, 1))],
+        );
+        let n1 = segment(
+            "n1",
+            0,
+            vec![wire_event(9, "n1", false, "home", ctx(j, 1, 1))],
+        );
+        // segment order must not matter
+        let fwd = merge_cluster_trace(
+            &[
+                FlatSegment::from_segment(&home),
+                FlatSegment::from_segment(&n1),
+            ],
+            0,
+        );
+        let rev = merge_cluster_trace(
+            &[
+                FlatSegment::from_segment(&n1),
+                FlatSegment::from_segment(&home),
+            ],
+            0,
+        );
+        assert_eq!(fwd, rev, "merge must be order-insensitive");
+        assert!(fwd.violations.is_empty(), "{:?}", fwd.violations);
+        assert_eq!(fwd.event_count, 2);
+        validate_chrome_trace(&fwd.json).expect("merged trace must validate");
+        assert!(fwd.json.contains("\"ctx_seq\":1"));
+    }
+
+    #[test]
+    fn merge_normalizes_per_node_epochs() {
+        let j = "naplet://czxu@home/1";
+        // home's clock started 100ms before n1's: a recv at local 2ms
+        // on n1 is actually *after* a send at local 90ms on home.
+        let home = segment(
+            "home",
+            1_000,
+            vec![wire_event(90, "home", true, "n1", ctx(j, 1, 1))],
+        );
+        let n1 = segment(
+            "n1",
+            1_100,
+            vec![wire_event(2, "n1", false, "home", ctx(j, 1, 1))],
+        );
+        let merged = merge_cluster_trace(
+            &[
+                FlatSegment::from_segment(&home),
+                FlatSegment::from_segment(&n1),
+            ],
+            0,
+        );
+        assert!(merged.violations.is_empty(), "{:?}", merged.violations);
+    }
+
+    #[test]
+    fn merge_flags_causality_violations() {
+        let j = "naplet://czxu@home/1";
+        // recv strictly before its matching send on the shared timeline
+        let home = segment(
+            "home",
+            0,
+            vec![wire_event(50, "home", true, "n1", ctx(j, 1, 1))],
+        );
+        let n1 = segment(
+            "n1",
+            0,
+            vec![wire_event(10, "n1", false, "home", ctx(j, 1, 1))],
+        );
+        let merged = merge_cluster_trace(
+            &[
+                FlatSegment::from_segment(&home),
+                FlatSegment::from_segment(&n1),
+            ],
+            0,
+        );
+        assert_eq!(merged.violations.len(), 1);
+        assert!(
+            merged.violations[0].starts_with("recv-before-send"),
+            "{:?}",
+            merged.violations
+        );
+        // ...but a skew tolerance ≥ the gap absorbs it
+        let tolerant = merge_cluster_trace(
+            &[
+                FlatSegment::from_segment(&home),
+                FlatSegment::from_segment(&n1),
+            ],
+            40,
+        );
+        assert!(tolerant.violations.is_empty());
+
+        // a recv whose sender's complete segment holds no send
+        let lonely = merge_cluster_trace(
+            &[
+                FlatSegment::from_segment(&segment("home", 0, vec![])),
+                FlatSegment::from_segment(&n1),
+            ],
+            0,
+        );
+        assert!(lonely
+            .violations
+            .iter()
+            .any(|v| v.starts_with("missing-send")));
+
+        // a hop gap: hops 1 and 3 observed, 2 never recorded anywhere
+        let gap = merge_cluster_trace(
+            &[FlatSegment::from_segment(&segment(
+                "home",
+                0,
+                vec![
+                    wire_event(1, "home", true, "n1", ctx(j, 1, 1)),
+                    wire_event(9, "home", true, "n1", ctx(j, 3, 3)),
+                ],
+            ))],
+            0,
+        );
+        assert!(
+            gap.violations.iter().any(|v| v.starts_with("missing-hop")),
+            "{:?}",
+            gap.violations
+        );
+    }
+
+    #[test]
+    fn truncated_segments_suppress_hop_gap_checks() {
+        let j = "naplet://czxu@home/1";
+        let mut seg = segment(
+            "home",
+            0,
+            vec![
+                wire_event(1, "home", true, "n1", ctx(j, 1, 1)),
+                wire_event(9, "home", true, "n1", ctx(j, 3, 3)),
+            ],
+        );
+        seg.dropped = 5; // the ring lost the front of the record
+        let merged = merge_cluster_trace(&[FlatSegment::from_segment(&seg)], 0);
+        assert!(
+            merged.violations.is_empty(),
+            "a truncated record cannot prove a hop gap: {:?}",
+            merged.violations
+        );
     }
 }

@@ -24,21 +24,32 @@
 pub mod export;
 pub mod metrics;
 pub mod prometheus;
+pub mod recorder;
+pub mod ring;
 pub mod trace;
 pub mod watchdog;
 
 pub use export::{
-    chrome_trace_json, parse_json, render_event_log, validate_chrome_trace, Json, ObsSnapshot,
+    chrome_trace_json, chrome_trace_json_flat, flatten_events, flight_dump_json,
+    merge_cluster_trace, parse_flight_dump, parse_json, render_event_log, validate_chrome_trace,
+    FlatEvent, FlatSegment, Json, MergedTrace, ObsSnapshot,
 };
 pub use metrics::{
-    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, COUNT_BOUNDS, LATENCY_BOUNDS_MS,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, COUNT_BOUNDS, HANDLER_BOUNDS_US,
+    LATENCY_BOUNDS_MS,
 };
-pub use prometheus::prometheus_text;
+pub use prometheus::{prometheus_text, prometheus_text_full, BuildInfo};
+pub use recorder::{FlightRecorder, TraceSegment, DEFAULT_RECORDER_CAPACITY};
+pub use ring::Ring;
 pub use trace::{ArgValue, TraceEvent, TraceKind, Tracer};
 pub use watchdog::{StallAlert, Watchdog, WatchdogConfig};
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use naplet_core::clock::Millis;
 use naplet_core::id::NapletId;
+use naplet_core::tracectx::TraceCtx;
 
 /// The shared observation endpoint: one per runtime, cloned into
 /// every server it drives.
@@ -51,10 +62,15 @@ pub struct ObsSink {
     /// The journey stall watchdog (disabled until
     /// [`ObsSink::enable_watchdog`]).
     pub watchdog: Watchdog,
+    /// The bounded flight recorder (disabled until
+    /// [`ObsSink::enable_recorder`]).
+    pub recorder: FlightRecorder,
+    /// Wall-clock profiling switch (see [`ObsSink::enable_profiling`]).
+    profiling: Arc<AtomicBool>,
 }
 
 impl ObsSink {
-    /// A fresh sink: metrics on, tracing and watchdog off.
+    /// A fresh sink: metrics on, tracing/watchdog/recorder off.
     pub fn new() -> ObsSink {
         ObsSink::default()
     }
@@ -70,9 +86,38 @@ impl ObsSink {
         self.watchdog.enable(config);
     }
 
-    /// Record one event; the `kind` closure runs only when the tracer
-    /// or the watchdog wants it, so instrumented hot paths allocate
-    /// nothing when both are off (two atomic loads).
+    /// Start the bounded flight recorder with a ring of `capacity`
+    /// recent events.
+    pub fn enable_recorder(&self, capacity: usize) {
+        self.recorder.enable(capacity);
+    }
+
+    /// Turn on wall-clock hot-path profiling (handler-latency
+    /// histograms). Off by default: wall-clock readings are
+    /// nondeterministic, so the simulation's byte-stable exports must
+    /// never see them — only live daemons opt in.
+    pub fn enable_profiling(&self) {
+        self.profiling.store(true, Ordering::Relaxed);
+    }
+
+    /// Is wall-clock profiling on?
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
+    }
+
+    /// Should drivers compute and propagate [`TraceCtx`] on sends?
+    /// True while any consumer of wire-level causality (tracer or
+    /// flight recorder) is on — when both are off, senders skip the
+    /// context table entirely and frames stay byte-identical to the
+    /// pre-tracing encoding.
+    pub fn ctx_enabled(&self) -> bool {
+        self.tracer.enabled() || self.recorder.enabled()
+    }
+
+    /// Record one event; the `kind` closure runs only when the tracer,
+    /// the watchdog, or the flight recorder wants it, so instrumented
+    /// hot paths allocate nothing when all are off (three atomic
+    /// loads).
     pub fn emit(
         &self,
         at: Millis,
@@ -80,7 +125,23 @@ impl ObsSink {
         naplet: Option<&NapletId>,
         kind: impl FnOnce() -> TraceKind,
     ) {
-        if !self.tracer.enabled() && !self.watchdog.enabled() {
+        self.emit_ctx(at, host, naplet, None, kind);
+    }
+
+    /// [`ObsSink::emit`] with a wire-propagated [`TraceCtx`] attached
+    /// to the recorded event — drivers use this for wire send/recv/drop
+    /// events so merged cluster traces can pair them across nodes.
+    pub fn emit_ctx(
+        &self,
+        at: Millis,
+        host: &str,
+        naplet: Option<&NapletId>,
+        ctx: Option<&TraceCtx>,
+        kind: impl FnOnce() -> TraceKind,
+    ) {
+        let want_trace = self.tracer.enabled();
+        let want_rec = self.recorder.enabled();
+        if !want_trace && !want_rec && !self.watchdog.enabled() {
             return;
         }
         let kind = kind();
@@ -88,12 +149,36 @@ impl ObsSink {
             let id = naplet.map(|id| id.to_string());
             self.watchdog.observe(at, host, id.as_deref(), &kind);
         }
-        self.tracer.emit(|| TraceEvent {
+        if !want_trace && !want_rec {
+            return;
+        }
+        let event = TraceEvent {
             at,
             host: host.to_string(),
             naplet: naplet.map(|id| id.to_string()),
+            ctx: ctx.cloned(),
             kind,
-        });
+        };
+        if want_rec {
+            if want_trace {
+                self.recorder.record(event.clone());
+            } else {
+                self.recorder.record(event);
+                return;
+            }
+        }
+        self.tracer.push(event);
+    }
+
+    /// Record an already-built event with every enabled consumer
+    /// (tracer and flight recorder) — used for watchdog alerts, which
+    /// are constructed by the watchdog itself rather than through
+    /// [`ObsSink::emit`].
+    pub fn push_event(&self, event: TraceEvent) {
+        if self.recorder.enabled() {
+            self.recorder.record(event.clone());
+        }
+        self.tracer.push(event);
     }
 
     /// Freeze everything observed so far into one exportable value.

@@ -23,6 +23,13 @@ pub const LATENCY_BOUNDS_MS: &[u64] = &[
 /// Small-count bounds (retry attempts, queue depths, journal sizes).
 pub const COUNT_BOUNDS: &[u64] = &[1, 2, 3, 4, 5, 8, 12, 16, 24, 32, 64];
 
+/// Microsecond bounds for wall-clock hot-path profiling (handler and
+/// journal latencies): protocol steps are typically single-digit µs,
+/// fsync-class work lands in the ms-range tail.
+pub const HANDLER_BOUNDS_US: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 100_000,
+];
+
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Histogram {
     bounds: Vec<u64>,

@@ -18,6 +18,42 @@ use std::fmt::Write as _;
 
 use crate::metrics::MetricsSnapshot;
 
+/// Build identity stamped into the `naplet_build_info` family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Crate version (`CARGO_PKG_VERSION` of the embedding binary).
+    pub version: String,
+    /// Git commit sha, or `"unknown"` outside a stamped build.
+    pub git_sha: String,
+}
+
+impl BuildInfo {
+    /// The build identity of this compilation: the obs crate's version
+    /// plus the `NAPLET_GIT_SHA` compile-time stamp when CI set one.
+    pub fn current() -> BuildInfo {
+        BuildInfo {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            git_sha: option_env!("NAPLET_GIT_SHA")
+                .unwrap_or("unknown")
+                .to_string(),
+        }
+    }
+}
+
+/// Escape a value for a Prometheus label position.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Map a dotted registry name onto the Prometheus grammar:
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*`, namespaced under `naplet_`.
 fn sanitize(name: &str) -> String {
@@ -41,8 +77,71 @@ fn sanitize(name: &str) -> String {
 /// the mandatory `le="+Inf"` bucket. Output order and bytes are
 /// deterministic for a given snapshot.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    render(snapshot, None)
+}
+
+/// [`prometheus_text`] plus the process-level families a daemon
+/// exposes: `naplet_build_info{version,git_sha} 1`,
+/// `naplet_uptime_seconds`, and the per-kind `alerts.*` counters
+/// remapped onto one labeled `naplet_watchdog_alerts_total{kind="…"}`
+/// family (`alerts.raised`, the cross-kind sum, stays a plain
+/// counter). Still a pure function — the caller supplies the uptime,
+/// which is virtual in simulation.
+pub fn prometheus_text_full(
+    snapshot: &MetricsSnapshot,
+    build: &BuildInfo,
+    uptime_seconds: u64,
+) -> String {
+    render(snapshot, Some((build, uptime_seconds)))
+}
+
+fn render(snapshot: &MetricsSnapshot, full: Option<(&BuildInfo, u64)>) -> String {
     let mut out = String::new();
+    if let Some((build, uptime_seconds)) = full {
+        let _ = writeln!(
+            out,
+            "# HELP naplet_build_info Build identity (value is always 1)."
+        );
+        let _ = writeln!(out, "# TYPE naplet_build_info gauge");
+        let _ = writeln!(
+            out,
+            "naplet_build_info{{version=\"{}\",git_sha=\"{}\"}} 1",
+            escape_label(&build.version),
+            escape_label(&build.git_sha)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP naplet_uptime_seconds Seconds since the exporter started."
+        );
+        let _ = writeln!(out, "# TYPE naplet_uptime_seconds gauge");
+        let _ = writeln!(out, "naplet_uptime_seconds {uptime_seconds}");
+        let kinds: Vec<(&str, u64)> = snapshot
+            .counters
+            .iter()
+            .filter_map(|(name, &value)| {
+                let kind = name.strip_prefix("alerts.")?;
+                (kind != "raised").then_some((kind, value))
+            })
+            .collect();
+        if !kinds.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP naplet_watchdog_alerts_total Watchdog alerts by kind."
+            );
+            let _ = writeln!(out, "# TYPE naplet_watchdog_alerts_total counter");
+            for (kind, value) in kinds {
+                let _ = writeln!(
+                    out,
+                    "naplet_watchdog_alerts_total{{kind=\"{}\"}} {value}",
+                    escape_label(kind)
+                );
+            }
+        }
+    }
     for (name, &value) in &snapshot.counters {
+        if full.is_some() && name.strip_prefix("alerts.").is_some_and(|k| k != "raised") {
+            continue; // remapped onto naplet_watchdog_alerts_total above
+        }
         let prom = sanitize(name);
         let _ = writeln!(out, "# HELP {prom}_total Counter `{name}`.");
         let _ = writeln!(out, "# TYPE {prom}_total counter");
@@ -106,6 +205,37 @@ mod tests {
         let j = a.find("naplet_journeys_completed_total").unwrap();
         let w = a.find("naplet_wire_sent_total").unwrap();
         assert!(j < w, "families must render in sorted order:\n{a}");
+    }
+
+    #[test]
+    fn full_page_carries_build_info_uptime_and_labeled_alerts() {
+        let m = MetricsRegistry::new();
+        m.incr("alerts.raised", 3);
+        m.incr("alerts.stalled", 2);
+        m.incr("alerts.orphan", 1);
+        m.incr("wire.sent", 9);
+        let build = BuildInfo {
+            version: "1.2.3".into(),
+            git_sha: "abc\"def".into(),
+        };
+        let page = prometheus_text_full(&m.snapshot(), &build, 42);
+        assert!(page.contains("naplet_build_info{version=\"1.2.3\",git_sha=\"abc\\\"def\"} 1"));
+        assert!(page.contains("naplet_uptime_seconds 42"));
+        assert!(page.contains("naplet_watchdog_alerts_total{kind=\"stalled\"} 2"));
+        assert!(page.contains("naplet_watchdog_alerts_total{kind=\"orphan\"} 1"));
+        assert!(
+            !page.contains("naplet_alerts_stalled_total"),
+            "per-kind counters must be remapped, not duplicated:\n{page}"
+        );
+        assert!(page.contains("naplet_alerts_raised_total 3"));
+        assert!(page.contains("naplet_wire_sent_total 9"));
+        let a = prometheus_text_full(&m.snapshot(), &build, 42);
+        assert_eq!(a, page, "full page must stay deterministic");
+        assert!(
+            !prometheus_text(&m.snapshot()).contains("naplet_build_info"),
+            "the plain page is unchanged"
+        );
+        assert!(!BuildInfo::current().version.is_empty());
     }
 
     #[test]

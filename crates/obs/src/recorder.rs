@@ -1,0 +1,239 @@
+//! The per-daemon flight recorder: a black box of recent trace
+//! events.
+//!
+//! The [`crate::Tracer`] keeps *everything* and is therefore opt-in
+//! and test/bench-oriented; the [`FlightRecorder`] keeps only the last
+//! `capacity` events in a [`Ring`] and is cheap enough for a daemon to
+//! leave on permanently. `napletd` dumps it to a file on SIGUSR1, on
+//! clean shutdown, and from a panic hook — a crash always leaves
+//! evidence. Remote readers page it out over the privileged status
+//! protocol as [`TraceSegment`]s, which `figures cluster-trace`
+//! stitches into one merged timeline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::ring::Ring;
+use crate::trace::TraceEvent;
+
+/// Default ring capacity a daemon enables the recorder with.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
+
+/// One paged-out slice of a node's flight recorder, self-describing
+/// enough for a remote merger: `start_seq`/`next_seq` are absolute
+/// event sequences (see [`Ring::page`]), `total`/`dropped` tell the
+/// reader whether the record is complete, and `epoch_unix_ms` anchors
+/// the node's event clock to the shared UNIX timeline (0 for
+/// virtual-time sources, whose clocks already agree).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSegment {
+    /// Node the segment came from.
+    pub host: String,
+    /// Absolute sequence of `events[0]` (equals `next_seq` when empty).
+    pub start_seq: u64,
+    /// Absolute sequence one past the last returned event; poll again
+    /// from here.
+    pub next_seq: u64,
+    /// Total events ever recorded at the node.
+    pub total: u64,
+    /// Events evicted from the ring (a non-zero value means the
+    /// retained record is truncated at the front).
+    pub dropped: u64,
+    /// UNIX ms corresponding to the node's event-clock zero.
+    pub epoch_unix_ms: u64,
+    /// The events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+struct RecorderInner {
+    enabled: AtomicBool,
+    epoch_unix_ms: AtomicU64,
+    ring: Mutex<Ring<TraceEvent>>,
+}
+
+/// Clone-shared bounded recorder of recent [`TraceEvent`]s. Disabled
+/// by default; when off, [`FlightRecorder::record`] is one atomic
+/// load.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                enabled: AtomicBool::new(false),
+                epoch_unix_ms: AtomicU64::new(0),
+                ring: Mutex::new(Ring::with_capacity(DEFAULT_RECORDER_CAPACITY)),
+            }),
+        }
+    }
+}
+
+impl FlightRecorder {
+    /// A fresh, disabled recorder.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::default()
+    }
+
+    /// Is recording on?
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on with a ring of `capacity` events.
+    pub fn enable(&self, capacity: usize) {
+        *self.inner.ring.lock() = Ring::with_capacity(capacity);
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn recording off (retained events stay readable).
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Anchor this recorder's event clock to the UNIX timeline:
+    /// `unix_ms` is the wall-clock instant at which the node's event
+    /// clock read zero. Virtual-time sources leave it at 0.
+    pub fn set_epoch_unix_ms(&self, unix_ms: u64) {
+        self.inner.epoch_unix_ms.store(unix_ms, Ordering::Relaxed);
+    }
+
+    /// The configured clock anchor.
+    pub fn epoch_unix_ms(&self) -> u64 {
+        self.inner.epoch_unix_ms.load(Ordering::Relaxed)
+    }
+
+    /// Record one event (no-op while disabled).
+    pub fn record(&self, event: TraceEvent) {
+        if self.enabled() {
+            self.inner.ring.lock().push(event);
+        }
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.inner.ring.lock().len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.ring.lock().dropped()
+    }
+
+    /// Page out retained events with absolute sequence ≥ `from_seq`,
+    /// at most `max` of them, stamped with `host`.
+    pub fn segment(&self, host: &str, from_seq: u64, max: usize) -> TraceSegment {
+        let ring = self.inner.ring.lock();
+        let (start_seq, events) = ring.page(from_seq, max);
+        TraceSegment {
+            host: host.to_string(),
+            start_seq,
+            next_seq: start_seq + events.len() as u64,
+            total: ring.pushed(),
+            dropped: ring.dropped(),
+            epoch_unix_ms: self.epoch_unix_ms(),
+            events,
+        }
+    }
+
+    /// The whole retained record as one segment (what a dump writes).
+    pub fn dump(&self, host: &str) -> TraceSegment {
+        self.segment(host, 0, usize::MAX)
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.enabled())
+            .field("events", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+    use naplet_core::clock::Millis;
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent {
+            at: Millis(at),
+            host: "n1".into(),
+            naplet: None,
+            ctx: None,
+            kind: TraceKind::Crash,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = FlightRecorder::new();
+        r.record(ev(1));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ring_bounds_and_dropped_counter() {
+        let r = FlightRecorder::new();
+        r.enable(3);
+        for i in 0..5 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let seg = r.dump("n1");
+        assert_eq!(seg.start_seq, 2);
+        assert_eq!(seg.next_seq, 5);
+        assert_eq!(seg.total, 5);
+        assert_eq!(seg.dropped, 2);
+        assert_eq!(seg.events.len(), 3);
+        assert_eq!(seg.events[0].at, Millis(2));
+    }
+
+    #[test]
+    fn paging_walks_the_ring_to_completion() {
+        let r = FlightRecorder::new();
+        r.enable(16);
+        for i in 0..7 {
+            r.record(ev(i));
+        }
+        let mut from = 0;
+        let mut got = Vec::new();
+        loop {
+            let seg = r.segment("n1", from, 3);
+            if seg.events.is_empty() {
+                break;
+            }
+            from = seg.next_seq;
+            got.extend(seg.events);
+        }
+        assert_eq!(got.len(), 7);
+        assert!(got.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn segment_round_trips_through_the_codec() {
+        let r = FlightRecorder::new();
+        r.enable(4);
+        r.set_epoch_unix_ms(1_700_000_000_000);
+        r.record(ev(9));
+        let seg = r.dump("n1");
+        let bytes = naplet_core::codec::to_bytes(&seg).unwrap();
+        let back: TraceSegment = naplet_core::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, seg);
+        assert_eq!(back.epoch_unix_ms, 1_700_000_000_000);
+    }
+}

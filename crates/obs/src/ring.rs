@@ -1,0 +1,182 @@
+//! One bounded-ring implementation for every "keep the last N"
+//! consumer.
+//!
+//! The flight recorder (recent [`crate::trace::TraceEvent`]s) and the
+//! server-side event log (recent log lines) share the same retention
+//! semantics: a fixed capacity, oldest-first eviction, and an exact
+//! count of what was evicted — so a reader can always tell a complete
+//! record from a truncated one. Entries also carry an *absolute*
+//! sequence number (total pushes since birth), which is what lets a
+//! remote reader page a ring out incrementally without re-fetching
+//! what it already has.
+
+use std::collections::VecDeque;
+
+/// A bounded ring with eviction accounting and absolute sequencing.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    entries: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+    pushed: u64,
+}
+
+// manual impl: `T` need not be Default for an empty ring to exist
+impl<T> Default for Ring<T> {
+    fn default() -> Ring<T> {
+        Ring::with_capacity(0)
+    }
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` entries (0 disables retention
+    /// entirely — every push is counted dropped).
+    pub fn with_capacity(capacity: usize) -> Ring<T> {
+        Ring {
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Append an entry, evicting the oldest if the ring is full.
+    pub fn push(&mut self, entry: T) {
+        self.pushed += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Retained entries, oldest first.
+    pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, T> {
+        self.entries.iter()
+    }
+
+    /// Retained entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted (or refused at capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total entries ever pushed; also the absolute sequence number the
+    /// *next* push will get.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Absolute sequence number of the oldest retained entry (equals
+    /// [`Ring::pushed`] when the ring is empty).
+    pub fn first_seq(&self) -> u64 {
+        self.pushed - self.entries.len() as u64
+    }
+
+    /// Retained entries with absolute sequence at or after `from_seq`,
+    /// capped at `max` entries; returns the absolute sequence of the
+    /// first returned entry (callers page with `from_seq = start +
+    /// returned.len()`).
+    pub fn page(&self, from_seq: u64, max: usize) -> (u64, Vec<T>)
+    where
+        T: Clone,
+    {
+        let first = self.first_seq();
+        let start = from_seq.max(first);
+        let skip = (start - first) as usize;
+        let out: Vec<T> = self.entries.iter().skip(skip).take(max).cloned().collect();
+        (start, out)
+    }
+
+    /// Drop every retained entry (eviction/push accounting is kept).
+    pub fn clear(&mut self) {
+        let n = self.entries.len() as u64;
+        self.entries.clear();
+        self.dropped += n;
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Ring<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::vec_deque::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_oldest_and_counts_drops() {
+        let mut r = Ring::with_capacity(3);
+        for i in 0..5u64 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.pushed(), 5);
+        assert_eq!(r.first_seq(), 2);
+        let kept: Vec<u64> = r.iter().copied().collect();
+        assert_eq!(kept, [2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = Ring::with_capacity(0);
+        r.push(1u8);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.pushed(), 1);
+        assert_eq!(r.first_seq(), 1);
+    }
+
+    #[test]
+    fn paging_respects_absolute_sequences() {
+        let mut r = Ring::with_capacity(4);
+        for i in 0..10u64 {
+            r.push(i);
+        }
+        // retained: seqs 6..10 hold values 6..10
+        let (start, page) = r.page(0, 2);
+        assert_eq!(start, 6, "evicted seqs are skipped");
+        assert_eq!(page, [6, 7]);
+        let (start, page) = r.page(start + page.len() as u64, 100);
+        assert_eq!(start, 8);
+        assert_eq!(page, [8, 9]);
+        let (start, page) = r.page(10, 100);
+        assert_eq!(start, 10);
+        assert!(page.is_empty());
+    }
+
+    #[test]
+    fn clear_counts_as_drops() {
+        let mut r = Ring::with_capacity(8);
+        r.push(1u8);
+        r.push(2u8);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.first_seq(), 2);
+    }
+}

@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use naplet_core::clock::Millis;
+use naplet_core::tracectx::TraceCtx;
 
 /// What happened (the event taxonomy). Span-like kinds carry the
 /// instant the span opened; everything else is instantaneous.
@@ -539,6 +540,11 @@ pub struct TraceEvent {
     /// The agent the event concerns (its id string doubles as the
     /// journey's trace id); `None` for host-level events.
     pub naplet: Option<String>,
+    /// Wire-propagated causal context, present on wire-level events of
+    /// a context-carrying journey. `(journey, seq, sending host)`
+    /// pairs a `wire.recv` at one node with the `wire.send` at another
+    /// when traces from different daemons are merged.
+    pub ctx: Option<TraceCtx>,
     /// What happened.
     pub kind: TraceKind,
 }
@@ -577,6 +583,15 @@ impl Tracer {
     pub fn emit(&self, make: impl FnOnce() -> TraceEvent) {
         if self.enabled() {
             self.inner.events.lock().push(make());
+        }
+    }
+
+    /// Record an already-built event (no-op while disabled). Callers
+    /// that share one constructed event between consumers (tracer +
+    /// flight recorder) use this instead of [`Tracer::emit`].
+    pub fn push(&self, event: TraceEvent) {
+        if self.enabled() {
+            self.inner.events.lock().push(event);
         }
     }
 
@@ -619,6 +634,7 @@ mod tests {
             at: Millis(at),
             host: "h".into(),
             naplet: None,
+            ctx: None,
             kind,
         }
     }
@@ -735,7 +751,7 @@ mod tests {
 
     #[test]
     fn event_codec_round_trip() {
-        let e = ev(
+        let mut e = ev(
             9,
             TraceKind::HandoffCommit {
                 dest: "s1".into(),
@@ -744,6 +760,12 @@ mod tests {
                 attempts: 2,
             },
         );
+        e.ctx = Some(TraceCtx {
+            journey: "naplet://u@h/1".into(),
+            origin: "h".into(),
+            hop: 2,
+            seq: 11,
+        });
         let bytes = naplet_core::codec::to_bytes(&e).unwrap();
         let back: TraceEvent = naplet_core::codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, e);

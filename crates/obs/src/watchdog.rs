@@ -221,6 +221,7 @@ impl Watchdog {
                     at: now,
                     host: j.last_host.clone(),
                     naplet: Some(id.clone()),
+                    ctx: None,
                     kind,
                 },
             });
@@ -250,6 +251,7 @@ impl Watchdog {
             at,
             host: host.to_string(),
             naplet: None,
+            ctx: None,
             kind,
         };
         state.alerts.push(event.clone());

@@ -99,6 +99,10 @@ pub struct BootstrapConfig {
     pub dwell_ms: Option<u64>,
     /// Transport frame-size ceiling override (bytes).
     pub max_frame_bytes: Option<usize>,
+    /// Directory daemons write flight-recorder dumps into (on SIGUSR1,
+    /// clean shutdown, and panic) as `<trace_dir>/<node>.trace.json`;
+    /// `None` falls back to the OS temp directory.
+    pub trace_dir: Option<PathBuf>,
     /// Replicated-directory configuration; `None` keeps every node in
     /// the default home-manager location mode.
     pub directory: Option<DirectoryConfig>,
@@ -205,8 +209,15 @@ impl BootstrapConfig {
         let mut lease_ms = None;
         let mut dwell_ms = None;
         let mut max_frame_bytes = None;
+        let mut trace_dir = None;
         for (key, value) in &raw.cluster {
             match (key.as_str(), value) {
+                ("trace_dir", RawValue::Str(s)) if !s.is_empty() => {
+                    trace_dir = Some(PathBuf::from(s))
+                }
+                ("trace_dir", _) => {
+                    errors.push("[cluster] `trace_dir` must be a non-empty string path".into())
+                }
                 ("lease_ms", RawValue::Int(n)) if *n >= 0 => lease_ms = Some(*n as u64),
                 ("lease_ms", _) => {
                     errors.push("[cluster] `lease_ms` must be a non-negative integer".into())
@@ -298,6 +309,7 @@ impl BootstrapConfig {
                 lease_ms,
                 dwell_ms,
                 max_frame_bytes,
+                trace_dir,
                 directory,
             })
         } else {

@@ -26,10 +26,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use std::path::PathBuf;
+
 use naplet_core::error::{NapletError, Result};
 use naplet_core::value::Value;
 use naplet_net::tcp::TcpTransport;
-use naplet_obs::WatchdogConfig;
+use naplet_obs::{flight_dump_json, ObsSink, WatchdogConfig, DEFAULT_RECORDER_CAPACITY};
 
 use crate::bootstrap::BootstrapConfig;
 use crate::journal::{FileStore, Journal, RecoveryStats};
@@ -64,6 +66,42 @@ pub struct Daemon {
     live: LiveRuntime<TcpTransport>,
     shutdown: Arc<AtomicBool>,
     recovery: RecoveryStats,
+    trace_path: PathBuf,
+}
+
+/// A detachable handle for writing the daemon's flight-recorder dump
+/// to disk — cloned into signal-watcher threads and the panic hook, so
+/// a dump can be taken at any moment without touching the [`Daemon`]
+/// itself.
+#[derive(Clone)]
+pub struct TraceDumper {
+    obs: ObsSink,
+    node: String,
+    path: PathBuf,
+}
+
+impl TraceDumper {
+    /// The single-line JSON flight dump (one [`naplet_obs::TraceSegment`]).
+    pub fn json(&self) -> String {
+        flight_dump_json(&self.obs.recorder.dump(&self.node))
+    }
+
+    /// Where [`TraceDumper::write`] puts the dump.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Write the dump to its configured path, creating parent
+    /// directories as needed. Returns the path written.
+    pub fn write(&self) -> Result<PathBuf> {
+        if let Some(parent) = self.path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&self.path, self.json()).map_err(|e| {
+            NapletError::Internal(format!("write trace dump {}: {e}", self.path.display()))
+        })?;
+        Ok(self.path.clone())
+    }
 }
 
 /// What a daemon reports when it exits cleanly.
@@ -80,6 +118,9 @@ pub struct DaemonSummary {
     pub reports: Vec<Value>,
     /// Stall alerts the watchdog raised over the daemon's lifetime.
     pub alerts: u64,
+    /// Where the shutdown flight-recorder dump was written (`None` if
+    /// the write failed).
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Daemon {
@@ -94,6 +135,16 @@ impl Daemon {
         let transport = TcpTransport::start(config.tcp_config(node)?)?;
         let mut live = LiveRuntime::over(transport);
         live.enable_watchdog(WatchdogConfig::default());
+        // every daemon keeps a bounded flight recorder (dumped on
+        // SIGUSR1 / shutdown / panic, fetched remotely by the trace
+        // protocol) and exports hot-path handler latencies
+        live.enable_recorder(DEFAULT_RECORDER_CAPACITY);
+        live.enable_profiling();
+        let trace_path = config
+            .trace_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir)
+            .join(format!("{node}.trace.json"));
 
         let mode = match &config.directory {
             Some(dir) => LocationMode::ReplicatedDirectory(dir.replicas.clone()),
@@ -126,7 +177,18 @@ impl Daemon {
             live,
             shutdown: Arc::new(AtomicBool::new(false)),
             recovery,
+            trace_path,
         })
+    }
+
+    /// A clonable handle for dumping this daemon's flight recorder —
+    /// hand it to signal watchers and panic hooks.
+    pub fn trace_dumper(&self) -> TraceDumper {
+        TraceDumper {
+            obs: self.live.obs().clone(),
+            node: self.node.clone(),
+            path: self.trace_path.clone(),
+        }
     }
 
     /// The cooperative shutdown flag. Storing `true` (from a signal
@@ -154,9 +216,14 @@ impl Daemon {
         }
         let alerts = self.live.alerts().len() as u64;
         let now = self.live.now();
+        let dumper = self.trace_dumper();
         let node = self.node;
         let recovery = self.recovery;
         let mut servers = self.live.shutdown();
+        // a clean shutdown always leaves a readable flight dump behind;
+        // written after the serve loops drain so the dump covers the
+        // final sends
+        let trace_path = dumper.write().ok();
         let server: NapletServer = servers
             .iter()
             .position(|(host, _)| *host == node)
@@ -170,6 +237,7 @@ impl Daemon {
             recovery,
             reports,
             alerts,
+            trace_path,
         })
     }
 }

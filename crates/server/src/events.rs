@@ -217,6 +217,31 @@ pub enum Wire {
         /// The probed server's report, or `None` on refusal.
         report: Option<crate::status::StatusReport>,
     },
+    /// Privileged flight-recorder read: page out the server's recent
+    /// trace events from absolute sequence `from_seq`. Gated by the
+    /// same `Permission::PrivilegedService("status")` grant as
+    /// [`Wire::StatusRequest`].
+    TraceSegmentRequest {
+        /// Correlation token (echoed in the reply).
+        token: u64,
+        /// Where to send the reply.
+        reply_to: String,
+        /// The reader's credential, checked against the policy matrix.
+        credential: naplet_core::credential::Credential,
+        /// First absolute event sequence wanted (see
+        /// [`naplet_obs::TraceSegment`] paging).
+        from_seq: u64,
+        /// Page-size ceiling.
+        max_events: u32,
+    },
+    /// Flight-recorder page. `segment` is `None` when the read was
+    /// refused by the security policy.
+    TraceSegmentReply {
+        /// Echoed token.
+        token: u64,
+        /// One page of the recorder, or `None` on refusal.
+        segment: Option<naplet_obs::TraceSegment>,
+    },
     /// Consensus traffic between directory replicas
     /// ([`crate::repl`]): elections, log replication, snapshots.
     Repl {
@@ -268,6 +293,8 @@ impl Wire {
             Wire::AppReply { .. } => "AppReply",
             Wire::StatusRequest { .. } => "StatusRequest",
             Wire::StatusReply { .. } => "StatusReply",
+            Wire::TraceSegmentRequest { .. } => "TraceSegmentRequest",
+            Wire::TraceSegmentReply { .. } => "TraceSegmentReply",
             Wire::Repl { .. } => "Repl",
         }
     }
@@ -294,6 +321,8 @@ impl Wire {
             | Wire::AppReply { .. }
             | Wire::StatusRequest { .. }
             | Wire::StatusReply { .. }
+            | Wire::TraceSegmentRequest { .. }
+            | Wire::TraceSegmentReply { .. }
             | Wire::Repl { .. } => None,
         }
     }
@@ -360,6 +389,21 @@ pub enum LocalEvent {
     ReplTick,
 }
 
+impl LocalEvent {
+    /// Stable short label for traces, logs, and profiling series.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LocalEvent::VisitDone { .. } => "VisitDone",
+            LocalEvent::CodeReady { .. } => "CodeReady",
+            LocalEvent::TransferTimeout { .. } => "TransferTimeout",
+            LocalEvent::RegisterTimeout { .. } => "RegisterTimeout",
+            LocalEvent::LeaseCheck { .. } => "LeaseCheck",
+            LocalEvent::PostTimeout { .. } => "PostTimeout",
+            LocalEvent::ReplTick => "ReplTick",
+        }
+    }
+}
+
 /// One input to a server's handler.
 #[allow(clippy::large_enum_variant)] // Wire carries whole agents
 #[derive(Debug)]
@@ -417,15 +461,15 @@ pub struct LogEntry {
 }
 
 /// Bounded ring of [`LogEntry`]s: when the configured capacity is
-/// reached, the oldest line is evicted and counted in `dropped` — the
-/// same retention philosophy that bounds the dedup table and the
-/// messenger's confirmation maps.
+/// reached, the oldest line is evicted and counted — the same
+/// retention philosophy that bounds the dedup table and the
+/// messenger's confirmation maps. Retention itself is
+/// [`naplet_obs::Ring`], the same ring the flight recorder uses, so
+/// "complete record or counted truncation" has exactly one
+/// implementation in the workspace.
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
-    entries: std::collections::VecDeque<LogEntry>,
-    capacity: usize,
-    /// Lines evicted to stay within capacity.
-    pub dropped: u64,
+    ring: naplet_obs::Ring<LogEntry>,
 }
 
 impl EventLog {
@@ -433,43 +477,38 @@ impl EventLog {
     /// entirely — every push is counted dropped).
     pub fn with_capacity(capacity: usize) -> EventLog {
         EventLog {
-            entries: std::collections::VecDeque::with_capacity(capacity.min(1024)),
-            capacity,
-            dropped: 0,
+            ring: naplet_obs::Ring::with_capacity(capacity),
         }
     }
 
     /// Append a line, evicting the oldest if the ring is full.
     pub fn push(&mut self, entry: LogEntry) {
-        if self.capacity == 0 {
-            self.dropped += 1;
-            return;
-        }
-        while self.entries.len() >= self.capacity {
-            self.entries.pop_front();
-            self.dropped += 1;
-        }
-        self.entries.push_back(entry);
+        self.ring.push(entry);
     }
 
     /// Retained lines, oldest first.
     pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, LogEntry> {
-        self.entries.iter()
+        self.ring.iter()
     }
 
     /// Retained line count.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ring.len()
     }
 
     /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ring.is_empty()
     }
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.ring.capacity()
+    }
+
+    /// Lines evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
     }
 }
 
@@ -478,7 +517,7 @@ impl<'a> IntoIterator for &'a EventLog {
     type IntoIter = std::collections::vec_deque::Iter<'a, LogEntry>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.entries.iter()
+        self.ring.iter()
     }
 }
 
@@ -550,7 +589,7 @@ mod tests {
             });
         }
         assert_eq!(log.len(), 3);
-        assert_eq!(log.dropped, 2);
+        assert_eq!(log.dropped(), 2);
         let lines: Vec<&str> = log.iter().map(|e| e.line.as_str()).collect();
         assert_eq!(lines, ["line 2", "line 3", "line 4"]);
         // for-loop sugar via IntoIterator
@@ -570,7 +609,7 @@ mod tests {
             line: "x".into(),
         });
         assert!(log.is_empty());
-        assert_eq!(log.dropped, 1);
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod service_channel;
 pub mod status;
 
 pub use bootstrap::{BootstrapConfig, NodeConfig};
-pub use daemon::{register_probe, Daemon, DaemonSummary, PROBE_CODEBASE};
+pub use daemon::{register_probe, Daemon, DaemonSummary, TraceDumper, PROBE_CODEBASE};
 pub use directory::{DirEntry, DirEvent, NapletDirectory};
 pub use events::{EventLog, Input, LocalEvent, LogEntry, Output, TransferEnvelope, Wire};
 pub use journal::{

@@ -18,8 +18,9 @@ use std::time::{Duration, Instant};
 use naplet_core::clock::Millis;
 use naplet_core::error::{NapletError, Result};
 use naplet_core::naplet::Naplet;
+use naplet_core::tracectx::CtxTable;
 use naplet_net::{Fabric, Frame, ThreadedNet, TrafficClass, Transport};
-use naplet_obs::{ObsSink, WatchdogConfig};
+use naplet_obs::{ObsSink, TraceKind, WatchdogConfig};
 
 use crate::events::{Input, LocalEvent, Output, Wire};
 use crate::server::{NapletServer, ServerConfig};
@@ -48,6 +49,10 @@ pub struct LiveRuntime<T: Transport = ThreadedNet> {
     obs: ObsSink,
     /// Watchdog sweep thread (armed by `enable_watchdog` + `start`).
     sweeper: Option<JoinHandle<()>>,
+    /// Trace contexts for sends enacted before `start` (launch and
+    /// recovery handshakes); each server thread keeps its own table
+    /// once running.
+    staging_ctxs: CtxTable,
 }
 
 impl LiveRuntime<ThreadedNet> {
@@ -77,6 +82,7 @@ impl<T: Transport> LiveRuntime<T> {
             staging: Vec::new(),
             obs: ObsSink::default(),
             sweeper: None,
+            staging_ctxs: CtxTable::new(),
         }
     }
 
@@ -94,6 +100,27 @@ impl<T: Transport> LiveRuntime<T> {
     /// servers added after the call or before [`LiveRuntime::start`].
     pub fn enable_tracing(&mut self) {
         self.obs.enable_tracing();
+    }
+
+    /// Turn on the bounded flight recorder and anchor its event clock
+    /// to the UNIX timeline, so segments from different daemons can be
+    /// merged on one shared axis.
+    pub fn enable_recorder(&mut self, capacity: usize) {
+        self.obs.enable_recorder(capacity);
+        let elapsed = self.epoch.elapsed().as_millis() as u64;
+        let unix_now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        self.obs
+            .recorder
+            .set_epoch_unix_ms(unix_now.saturating_sub(elapsed));
+    }
+
+    /// Turn on wall-clock hot-path profiling (handler-latency
+    /// histograms) for every server in the space.
+    pub fn enable_profiling(&mut self) {
+        self.obs.enable_profiling();
     }
 
     /// Arm the journey watchdog for the whole space. The sweep thread
@@ -147,7 +174,17 @@ impl<T: Transport> LiveRuntime<T> {
         // timers; the timers are handed to the server's thread on start
         let host = home.clone();
         let net = Arc::clone(&self.net);
-        enact(&host, net.as_ref(), outputs, timers, &mut Vec::new());
+        let obs = self.obs.clone();
+        enact(
+            &host,
+            net.as_ref(),
+            outputs,
+            timers,
+            &mut Vec::new(),
+            &obs,
+            &mut self.staging_ctxs,
+            now,
+        );
         Ok(())
     }
 
@@ -168,7 +205,17 @@ impl<T: Transport> LiveRuntime<T> {
         let outputs = server.recover(now);
         let stats = server.recovery_stats();
         let host = host.to_string();
-        enact(&host, net.as_ref(), outputs, timers, &mut Vec::new());
+        let obs = self.obs.clone();
+        enact(
+            &host,
+            net.as_ref(),
+            outputs,
+            timers,
+            &mut Vec::new(),
+            &obs,
+            &mut self.staging_ctxs,
+            now,
+        );
         Ok(stats)
     }
 
@@ -179,9 +226,15 @@ impl<T: Transport> LiveRuntime<T> {
             let net = Arc::clone(&self.net);
             let stop = Arc::clone(&self.stop);
             let epoch = self.epoch;
+            let obs = self.obs.clone();
+            // hand the staging-window contexts to every thread so a
+            // launch handshake and the hops after it share one journey
+            // sequence (receivers re-converge by adopting frame
+            // contexts anyway)
+            let ctxs = self.staging_ctxs.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("naplet-server-{host}"))
-                .spawn(move || serve(server, net, rx, timers, epoch, stop))
+                .spawn(move || serve(server, net, rx, timers, epoch, stop, obs, ctxs))
                 .expect("spawn server thread");
             self.threads.push((host, handle));
         }
@@ -206,8 +259,7 @@ impl<T: Transport> LiveRuntime<T> {
                                 },
                                 1,
                             );
-                            let ev = alert.event;
-                            obs.tracer.emit(move || ev);
+                            obs.push_event(alert.event);
                         }
                     }
                 })
@@ -242,6 +294,7 @@ impl<T: Transport> LiveRuntime<T> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve<T: Transport>(
     mut server: NapletServer,
     net: Arc<T>,
@@ -249,6 +302,8 @@ fn serve<T: Transport>(
     mut timers: Vec<(Instant, LocalEvent)>,
     epoch: Instant,
     stop: Arc<AtomicBool>,
+    obs: ObsSink,
+    mut ctxs: CtxTable,
 ) -> NapletServer {
     // one encode scratch per server thread: every outgoing wire reuses
     // its capacity instead of growing a fresh Vec per send
@@ -261,6 +316,21 @@ fn serve<T: Transport>(
             match naplet_core::codec::from_bytes::<Wire>(&frame.payload) {
                 Ok(wire) => {
                     let from = frame.from.clone();
+                    if obs.ctx_enabled() {
+                        if let Some(ctx) = &frame.ctx {
+                            ctxs.adopt(ctx);
+                        }
+                        obs.emit_ctx(
+                            now,
+                            server.host(),
+                            wire.subject(),
+                            frame.ctx.as_ref(),
+                            || TraceKind::WireRecv {
+                                from: from.clone(),
+                                label: wire.label().to_string(),
+                            },
+                        );
+                    }
                     let outputs = server.handle(now, Input::Wire { from, wire });
                     enact(
                         server.host(),
@@ -268,6 +338,9 @@ fn serve<T: Transport>(
                         outputs,
                         &mut timers,
                         &mut scratch,
+                        &obs,
+                        &mut ctxs,
+                        now,
                     );
                 }
                 Err(_) => { /* corrupt frame: drop */ }
@@ -286,23 +359,31 @@ fn serve<T: Transport>(
                 outputs,
                 &mut timers,
                 &mut scratch,
+                &obs,
+                &mut ctxs,
+                now,
             );
         }
     }
     server
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enact<T: Transport>(
     host: &str,
     net: &T,
     outputs: Vec<Output>,
     timers: &mut Vec<(Instant, LocalEvent)>,
     scratch: &mut Vec<u8>,
+    obs: &ObsSink,
+    ctxs: &mut CtxTable,
+    now: Millis,
 ) {
     for output in outputs {
         match output {
             Output::Send { to, wire } => {
-                if wire.retry_attempt() > 1 {
+                let attempt = wire.retry_attempt();
+                if attempt > 1 {
                     net.stats().record_retransmit();
                 }
                 // encode into the reused scratch, then copy exactly the
@@ -310,7 +391,24 @@ fn enact<T: Transport>(
                 // repeated grow-and-copy of a cold Vec is what the
                 // storm benchmarks flagged here
                 if naplet_core::codec::to_bytes_into(&wire, scratch).is_ok() {
-                    let frame = Frame::new(host, &to, wire.traffic_class(), scratch.clone());
+                    let mut frame = Frame::new(host, &to, wire.traffic_class(), scratch.clone());
+                    if obs.ctx_enabled() {
+                        let ctx = wire.subject().map(|id| {
+                            let new_hop = matches!(&wire, Wire::Transfer(env) if env.attempt == 1);
+                            ctxs.on_send(&id.to_string(), host, new_hop)
+                        });
+                        frame = frame.with_ctx(ctx.clone());
+                        let bytes = frame.wire_len();
+                        obs.emit_ctx(now, host, wire.subject(), ctx.as_ref(), || {
+                            TraceKind::WireSend {
+                                to: to.clone(),
+                                label: wire.label().to_string(),
+                                class: wire.traffic_class().label().to_string(),
+                                bytes,
+                                attempt,
+                            }
+                        });
+                    }
                     let _ = net.send(frame);
                 }
             }

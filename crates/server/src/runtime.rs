@@ -16,6 +16,7 @@ use naplet_core::error::{NapletError, Result};
 use naplet_core::id::NapletId;
 use naplet_core::message::Payload;
 use naplet_core::naplet::Naplet;
+use naplet_core::tracectx::{CtxTable, TraceCtx};
 use naplet_core::value::Value;
 use naplet_net::{EventQueue, Fabric, TrafficClass};
 use naplet_obs::{ObsSink, StallAlert, TraceKind, WatchdogConfig};
@@ -38,6 +39,9 @@ enum SimEvent {
         from: String,
         to: String,
         wire: Wire,
+        /// Trace context the frame carried (absent while tracing and
+        /// the flight recorder are both off).
+        ctx: Option<TraceCtx>,
     },
     Local {
         host: String,
@@ -92,6 +96,10 @@ pub struct SimRuntime {
     tick_pending: bool,
     /// Stall alerts raised by the watchdog, in raise order.
     alerts: Vec<StallAlert>,
+    /// Per-journey wire trace contexts (the sim's single table plays
+    /// every node's; seq/hop advancement is identical to a cluster of
+    /// per-node tables because delivery adoption is synchronous here).
+    ctxs: CtxTable,
 }
 
 impl SimRuntime {
@@ -111,6 +119,7 @@ impl SimRuntime {
             baseline_sizing: false,
             tick_pending: false,
             alerts: Vec::new(),
+            ctxs: CtxTable::new(),
         }
     }
 
@@ -384,7 +393,12 @@ impl SimRuntime {
         // in step with virtual time
         self.fabric.set_now(now.0);
         match ev {
-            SimEvent::Deliver { from, to, wire } => {
+            SimEvent::Deliver {
+                from,
+                to,
+                wire,
+                ctx,
+            } => {
                 if self.crashed.contains(&to) {
                     // the frame was already in flight when the host went
                     // down; it is lost at the dead NIC
@@ -392,16 +406,23 @@ impl SimRuntime {
                     self.fabric.stats().record_drop();
                     self.obs.metrics.incr("wire.dropped", 1);
                     self.obs
-                        .emit(now, &to, wire.subject(), || TraceKind::WireDrop {
-                            to: to.clone(),
-                            label: wire.label().to_string(),
+                        .emit_ctx(now, &to, wire.subject(), ctx.as_ref(), || {
+                            TraceKind::WireDrop {
+                                to: to.clone(),
+                                label: wire.label().to_string(),
+                            }
                         });
                     return;
                 }
+                if let Some(ctx) = &ctx {
+                    self.ctxs.adopt(ctx);
+                }
                 self.obs
-                    .emit(now, &to, wire.subject(), || TraceKind::WireRecv {
-                        from: from.clone(),
-                        label: wire.label().to_string(),
+                    .emit_ctx(now, &to, wire.subject(), ctx.as_ref(), || {
+                        TraceKind::WireRecv {
+                            from: from.clone(),
+                            label: wire.label().to_string(),
+                        }
                     });
                 if let Some(server) = self.servers.get_mut(&to) {
                     let outputs = server.handle(now, Input::Wire { from, wire });
@@ -468,8 +489,7 @@ impl SimRuntime {
                 },
                 1,
             );
-            let ev = alert.event.clone();
-            self.obs.tracer.emit(move || ev);
+            self.obs.push_event(alert.event.clone());
             if config.early_redispatch {
                 // pull the home server's lease check forward: the
                 // watchdog suspects an orphan before the lease window
@@ -502,7 +522,7 @@ impl SimRuntime {
                 if let Some(ev) = self.obs.watchdog.raise_server_alert(now, &host, kind) {
                     self.obs.metrics.incr("alerts.raised", 1);
                     self.obs.metrics.incr("alerts.mailbox", 1);
-                    self.obs.tracer.emit(move || ev);
+                    self.obs.push_event(ev);
                 }
             }
             if report.journal_entries >= config.journal_threshold {
@@ -514,7 +534,7 @@ impl SimRuntime {
                 if let Some(ev) = self.obs.watchdog.raise_server_alert(now, &host, kind) {
                     self.obs.metrics.incr("alerts.raised", 1);
                     self.obs.metrics.incr("alerts.journal", 1);
-                    self.obs.tracer.emit(move || ev);
+                    self.obs.push_event(ev);
                 }
             }
         }
@@ -643,14 +663,27 @@ impl SimRuntime {
         if wire.retry_attempt() > 1 {
             self.fabric.stats().record_retransmit();
         }
+        // the context table is consulted only while a causal consumer
+        // (tracer or flight recorder) is on, so the tracing-off hot
+        // path allocates nothing extra
+        let ctx = if self.obs.ctx_enabled() {
+            wire.subject().map(|id| {
+                let new_hop = matches!(&wire, Wire::Transfer(env) if env.attempt == 1);
+                self.ctxs.on_send(&id.to_string(), from, new_hop)
+            })
+        } else {
+            None
+        };
         self.obs.metrics.incr("wire.sent", 1);
         self.obs
-            .emit(now, from, wire.subject(), || TraceKind::WireSend {
-                to: to.to_string(),
-                label: wire.label().to_string(),
-                class: class.label().to_string(),
-                bytes,
-                attempt: wire.retry_attempt(),
+            .emit_ctx(now, from, wire.subject(), ctx.as_ref(), || {
+                TraceKind::WireSend {
+                    to: to.to_string(),
+                    label: wire.label().to_string(),
+                    class: class.label().to_string(),
+                    bytes,
+                    attempt: wire.retry_attempt(),
+                }
             });
         match self.fabric.transfer(from, to, class, bytes) {
             Ok(Some(delay)) => {
@@ -660,6 +693,7 @@ impl SimRuntime {
                         from: from.to_string(),
                         to: to.to_string(),
                         wire,
+                        ctx,
                     },
                 );
             }
@@ -667,9 +701,11 @@ impl SimRuntime {
                 self.dropped += 1;
                 self.obs.metrics.incr("wire.dropped", 1);
                 self.obs
-                    .emit(now, from, wire.subject(), || TraceKind::WireDrop {
-                        to: to.to_string(),
-                        label: wire.label().to_string(),
+                    .emit_ctx(now, from, wire.subject(), ctx.as_ref(), || {
+                        TraceKind::WireDrop {
+                            to: to.to_string(),
+                            label: wire.label().to_string(),
+                        }
                     });
             }
         }

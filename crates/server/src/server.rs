@@ -262,6 +262,9 @@ pub struct NapletServer {
     /// Status-probe replies received at this host (token, report);
     /// `None` reports mark probes the peer's security policy refused.
     pub status_replies: Vec<(u64, Option<StatusReport>)>,
+    /// Flight-recorder pages received at this host (token, segment);
+    /// `None` segments mark reads the peer's security policy refused.
+    pub trace_replies: Vec<(u64, Option<naplet_obs::TraceSegment>)>,
     /// Human-readable event log (bounded ring).
     pub log: EventLog,
     /// Structured observation endpoint (shared with the driver).
@@ -338,6 +341,7 @@ impl NapletServer {
             reports: Vec::new(),
             app_replies: Vec::new(),
             status_replies: Vec::new(),
+            trace_replies: Vec::new(),
             log: EventLog::with_capacity(config.log_capacity),
             obs: ObsSink::default(),
             repl,
@@ -621,7 +625,15 @@ impl NapletServer {
         };
         let woke = repl.client_activity(now);
         if repl.is_leader() {
+            let appending = self.obs.profiling_enabled().then(std::time::Instant::now);
             let (index, rout) = repl.propose(op, now, &mut self.journal);
+            if let Some(started) = appending {
+                self.obs.metrics.observe(
+                    "repl_append_us",
+                    naplet_obs::HANDLER_BOUNDS_US,
+                    started.elapsed().as_micros() as u64,
+                );
+            }
             if let Some(index) = index {
                 if let Wire::DirRegister {
                     id,
@@ -694,6 +706,8 @@ impl NapletServer {
                 }
             }
         }
+        let committing = (!rout.committed.is_empty() && self.obs.profiling_enabled())
+            .then(std::time::Instant::now);
         for (index, op, lag) in rout.committed {
             self.obs.metrics.incr("repl.commits", 1);
             if let Some(lag) = lag {
@@ -768,6 +782,13 @@ impl NapletServer {
                 }
             }
         }
+        if let Some(started) = committing {
+            self.obs.metrics.observe(
+                "repl_commit_us",
+                naplet_obs::HANDLER_BOUNDS_US,
+                started.elapsed().as_micros() as u64,
+            );
+        }
         if rout.rearm {
             self.arm_repl_tick(out);
         }
@@ -818,11 +839,32 @@ impl NapletServer {
 
     /// Handle one input, producing effects for the driver.
     pub fn handle(&mut self, now: Millis, input: Input) -> Vec<Output> {
+        // wall-clock profiling is opt-in (live daemons only): label
+        // resolution and the clock read cost nothing when off, and the
+        // simulation's deterministic exports never see these readings
+        let profile = if self.obs.profiling_enabled() {
+            Some((
+                match &input {
+                    Input::Wire { wire, .. } => wire.label(),
+                    Input::Local(ev) => ev.label(),
+                },
+                std::time::Instant::now(),
+            ))
+        } else {
+            None
+        };
         self.sweep_retention(now);
         let mut out = Vec::new();
         match input {
             Input::Wire { from, wire } => self.handle_wire(now, &from, wire, &mut out),
             Input::Local(ev) => self.handle_local(now, ev, &mut out),
+        }
+        if let Some((label, started)) = profile {
+            self.obs.metrics.observe(
+                &format!("handler_us.{label}"),
+                naplet_obs::HANDLER_BOUNDS_US,
+                started.elapsed().as_micros() as u64,
+            );
         }
         out
     }
@@ -1194,6 +1236,42 @@ impl NapletServer {
                 // collected for the polling side (peer server, the
                 // centralized manager, or a figures CLI station)
                 self.status_replies.push((token, report));
+            }
+            Wire::TraceSegmentRequest {
+                token,
+                reply_to,
+                credential,
+                from_seq,
+                max_events,
+            } => {
+                // the flight recorder holds the same internals as a
+                // status report (hosts, journeys, failures), so reads
+                // ride the same privileged-service grant
+                let segment = match self
+                    .security
+                    .check(&credential, Permission::PrivilegedService("status".into()))
+                {
+                    Ok(()) => {
+                        self.obs.metrics.incr("trace.reads", 1);
+                        Some(
+                            self.obs
+                                .recorder
+                                .segment(&self.host, from_seq, max_events as usize),
+                        )
+                    }
+                    Err(e) => {
+                        self.obs.metrics.incr("trace.refused", 1);
+                        self.logf(now, format!("TRACE read from {from} refused: {e}"));
+                        None
+                    }
+                };
+                out.push(Output::Send {
+                    to: reply_to,
+                    wire: Wire::TraceSegmentReply { token, segment },
+                });
+            }
+            Wire::TraceSegmentReply { token, segment } => {
+                self.trace_replies.push((token, segment));
             }
         }
     }
