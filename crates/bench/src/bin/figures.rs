@@ -97,6 +97,27 @@ fn main() {
             .unwrap();
         std::process::exit(cluster_trace(&raw[at + 1..]));
     }
+    // journey critical-path analysis over a merged trace: where did
+    // each journey's wall-clock go, which segment was critical, and
+    // did the run meet its `[slo]` budgets — `figures analyze ...`
+    if args.iter().any(|a| a == "analyze") {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let at = raw
+            .iter()
+            .position(|a| a.to_lowercase() == "analyze")
+            .unwrap();
+        std::process::exit(analyze(&raw[at + 1..]));
+    }
+    // live counterpart of `watch`: page every daemon's metrics-history
+    // ring and print per-host interval-delta rate tables
+    if args.iter().any(|a| a == "cluster-watch") {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let at = raw
+            .iter()
+            .position(|a| a.to_lowercase() == "cluster-watch")
+            .unwrap();
+        std::process::exit(cluster_watch(&raw[at + 1..]));
+    }
 }
 
 /// F1 — the hierarchical naplet id of Figure 1.
@@ -625,14 +646,15 @@ fn cluster_status(rest: &[String]) -> i32 {
 /// usage/IO errors — so CI can gate on it directly.
 fn cluster_trace(rest: &[String]) -> i32 {
     const USAGE: &str = "usage: figures cluster-trace <bootstrap.toml> [station] \
-                         [--out <file>] [--tolerance-ms <n>]\n\
+                         [--out <file>] [--tolerance-ms <n>] [--top <n>]\n\
                          \x20      figures cluster-trace --dumps <file...> \
-                         [--out <file>] [--tolerance-ms <n>]";
+                         [--out <file>] [--tolerance-ms <n>] [--top <n>]";
     let mut positional: Vec<&String> = Vec::new();
     let mut dumps: Vec<&String> = Vec::new();
     let mut in_dumps = false;
     let mut out_path = "cluster-trace.json".to_string();
     let mut tolerance_ms: u64 = 5;
+    let mut top: usize = 0;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -658,6 +680,15 @@ fn cluster_trace(rest: &[String]) -> i32 {
                 tolerance_ms = v;
                 i += 2;
             }
+            "--top" => {
+                in_dumps = false;
+                let Some(v) = rest.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("cluster-trace: --top needs a numeric argument\n{USAGE}");
+                    return 2;
+                };
+                top = v;
+                i += 2;
+            }
             other if other.starts_with("--") => {
                 eprintln!("cluster-trace: unknown flag `{other}`\n{USAGE}");
                 return 2;
@@ -673,64 +704,10 @@ fn cluster_trace(rest: &[String]) -> i32 {
         }
     }
 
-    let segments: Vec<naplet_obs::FlatSegment> = if !dumps.is_empty() {
-        let mut segments = Vec::new();
-        for path in dumps {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("cluster-trace: cannot read `{path}`: {e}");
-                    return 2;
-                }
-            };
-            match naplet_obs::parse_flight_dump(&text) {
-                Ok(seg) => segments.push(seg),
-                Err(e) => {
-                    eprintln!("cluster-trace: `{path}` is not a flight dump: {e}");
-                    return 2;
-                }
-            }
-        }
-        segments
-    } else {
-        let Some(path) = positional.first() else {
-            eprintln!("{USAGE}");
-            return 2;
-        };
-        let station = positional.get(1).map(|s| s.as_str()).unwrap_or("mon");
-        let config = match naplet_server::BootstrapConfig::load(std::path::Path::new(path)) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("cluster-trace: cannot load `{path}`: {e}");
-                return 2;
-            }
-        };
-        let targets: Vec<String> = config
-            .nodes
-            .iter()
-            .map(|n| n.name.clone())
-            .filter(|n| n != station)
-            .collect();
-        let mut poller = match naplet_man::ClusterTracePoller::connect(&config, station) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("cluster-trace: cannot bind station `{station}`: {e}");
-                return 2;
-            }
-        };
-        match poller.fetch_traces(&targets, std::time::Duration::from_secs(10)) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cluster-trace: fetch failed: {e}");
-                return 2;
-            }
-        }
+    let segments = match collect_segments("cluster-trace", &dumps, &positional, USAGE) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
-
-    if segments.is_empty() {
-        eprintln!("cluster-trace: no segments to merge");
-        return 2;
-    }
     let merged = naplet_obs::merge_cluster_trace(&segments, tolerance_ms);
     if out_path == "-" {
         print!("{}", merged.json);
@@ -753,6 +730,16 @@ fn cluster_trace(rest: &[String]) -> i32 {
             format!(" (truncated rings on: {})", truncated.join(", "))
         }
     );
+    if top > 0 {
+        let analysis = naplet_obs::analyze_segments(&segments);
+        eprintln!("cluster-trace: {top} slowest journey(s):");
+        for j in analysis.journeys.iter().take(top) {
+            eprintln!(
+                "  {} wall {} ms over {} hop(s), critical: {}",
+                j.journey, j.wall_ms, j.hops, j.critical
+            );
+        }
+    }
     if merged.violations.is_empty() {
         eprintln!("cluster-trace: causality clean");
         0
@@ -765,6 +752,407 @@ fn cluster_trace(rest: &[String]) -> i32 {
             eprintln!("  {v}");
         }
         1
+    }
+}
+
+/// Collect flight segments for a trace-consuming subcommand: from
+/// `--dumps` files when any were given, otherwise by live-polling the
+/// running cluster named by the bootstrap file (station defaults to
+/// `mon`). `Err` carries the exit code to return.
+fn collect_segments(
+    cmd: &str,
+    dumps: &[&String],
+    positional: &[&String],
+    usage: &str,
+) -> Result<Vec<naplet_obs::FlatSegment>, i32> {
+    let segments: Vec<naplet_obs::FlatSegment> = if !dumps.is_empty() {
+        let mut segments = Vec::new();
+        for path in dumps {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{cmd}: cannot read `{path}`: {e}");
+                    return Err(2);
+                }
+            };
+            match naplet_obs::parse_flight_dump(&text) {
+                Ok(seg) => segments.push(seg),
+                Err(e) => {
+                    eprintln!("{cmd}: `{path}` is not a flight dump: {e}");
+                    return Err(2);
+                }
+            }
+        }
+        segments
+    } else {
+        let Some(path) = positional.first() else {
+            eprintln!("{usage}");
+            return Err(2);
+        };
+        let station = positional.get(1).map(|s| s.as_str()).unwrap_or("mon");
+        let config = match naplet_server::BootstrapConfig::load(std::path::Path::new(path)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{cmd}: cannot load `{path}`: {e}");
+                return Err(2);
+            }
+        };
+        let targets: Vec<String> = config
+            .nodes
+            .iter()
+            .map(|n| n.name.clone())
+            .filter(|n| n != station)
+            .collect();
+        let mut poller = match naplet_man::ClusterTracePoller::connect(&config, station) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{cmd}: cannot bind station `{station}`: {e}");
+                return Err(2);
+            }
+        };
+        match poller.fetch_traces(&targets, std::time::Duration::from_secs(10)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{cmd}: fetch failed: {e}");
+                return Err(2);
+            }
+        }
+    };
+    if segments.is_empty() {
+        eprintln!("{cmd}: no segments to merge");
+        return Err(2);
+    }
+    Ok(segments)
+}
+
+/// Split the deterministic chaos run's shared event stream into
+/// per-host flight segments (complete, epoch 0) — the same ring
+/// migration `figures trace` exports, in the shape the analyzer
+/// consumes. Byte-identical across runs, so CI `cmp`s two of them and
+/// `--diff`s against the committed BENCH_PR10.json baseline.
+fn sim_segments() -> Vec<naplet_obs::FlatSegment> {
+    let out = traced_chaos_experiment(0.05, &[("s1", 10, 700)], 42);
+    let mut hosts: std::collections::BTreeMap<String, Vec<naplet_obs::FlatEvent>> =
+        Default::default();
+    for event in &out.obs.events {
+        hosts
+            .entry(event.host.clone())
+            .or_default()
+            .push(naplet_obs::FlatEvent::from_event(event));
+    }
+    hosts
+        .into_iter()
+        .map(|(host, events)| naplet_obs::FlatSegment {
+            host,
+            start_seq: 0,
+            next_seq: events.len() as u64,
+            total: events.len() as u64,
+            dropped: 0,
+            epoch_unix_ms: 0,
+            metrics: None,
+            events,
+        })
+        .collect()
+}
+
+/// `figures analyze` — the journey critical-path analyzer: partition
+/// every journey's wall-clock into named segments (dwell, wire, queue,
+/// stall, directory), blame the critical segment, and print per-segment
+/// percentile tables plus the top-K slowest journeys.
+///
+/// ```text
+/// figures analyze <bootstrap.toml> [station] [--out <f>] [--top <k>] [--slo <toml>]
+/// figures analyze --dumps <file...> [--out <f>] [--top <k>] [--slo <toml>]
+/// figures analyze --sim [--out <f>] [--top <k>] [--slo <toml>]
+/// figures analyze --diff <before.json> <after.json>
+/// ```
+///
+/// The first form live-polls a running cluster's flight recorders; the
+/// second reads dump files; `--sim` analyzes the deterministic chaos
+/// ring migration (the `figures trace` workload, byte-identical across
+/// runs). The machine-readable report goes to `--out`
+/// (default `analysis.json`, `-` for stdout in place of the text
+/// report). `--slo <toml>` evaluates the `[slo]` budgets from a
+/// bootstrap file against the analysis. `--diff` compares two saved
+/// reports per segment. Exit 0 when clean; 1 on an SLO breach, a
+/// regression, or a journey attributed below the 99% floor; 2 on
+/// usage/IO errors — CI gates on all three.
+fn analyze(rest: &[String]) -> i32 {
+    const USAGE: &str = "usage: figures analyze <bootstrap.toml> [station] \
+                         [--out <file>] [--top <k>] [--slo <bootstrap.toml>]\n\
+                         \x20      figures analyze --dumps <file...> \
+                         [--out <file>] [--top <k>] [--slo <bootstrap.toml>]\n\
+                         \x20      figures analyze --sim \
+                         [--out <file>] [--top <k>] [--slo <bootstrap.toml>]\n\
+                         \x20      figures analyze --diff <before.json> <after.json>";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut dumps: Vec<&String> = Vec::new();
+    let mut in_dumps = false;
+    let mut sim = false;
+    let mut out_path = "analysis.json".to_string();
+    let mut top: usize = 10;
+    let mut slo_path: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--dumps" => {
+                in_dumps = true;
+                i += 1;
+            }
+            "--sim" => {
+                in_dumps = false;
+                sim = true;
+                i += 1;
+            }
+            "--out" => {
+                in_dumps = false;
+                let Some(v) = rest.get(i + 1) else {
+                    eprintln!("analyze: --out needs a path\n{USAGE}");
+                    return 2;
+                };
+                out_path = v.clone();
+                i += 2;
+            }
+            "--top" => {
+                in_dumps = false;
+                let Some(v) = rest.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("analyze: --top needs a numeric argument\n{USAGE}");
+                    return 2;
+                };
+                top = v;
+                i += 2;
+            }
+            "--slo" => {
+                in_dumps = false;
+                let Some(v) = rest.get(i + 1) else {
+                    eprintln!("analyze: --slo needs a bootstrap file\n{USAGE}");
+                    return 2;
+                };
+                slo_path = Some(v.clone());
+                i += 2;
+            }
+            "--diff" => {
+                let (Some(a), Some(b)) = (rest.get(i + 1), rest.get(i + 2)) else {
+                    eprintln!("analyze: --diff needs two report files\n{USAGE}");
+                    return 2;
+                };
+                diff = Some((a.clone(), b.clone()));
+                i += 3;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("analyze: unknown flag `{other}`\n{USAGE}");
+                return 2;
+            }
+            _ => {
+                if in_dumps {
+                    dumps.push(&rest[i]);
+                } else {
+                    positional.push(&rest[i]);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // diff mode stands alone: compare two saved reports and exit
+    if let Some((before_path, after_path)) = diff {
+        let load = |path: &str| -> Result<naplet_obs::TraceAnalysis, i32> {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                eprintln!("analyze: cannot read `{path}`: {e}");
+                2
+            })?;
+            naplet_obs::parse_analysis(&text).map_err(|e| {
+                eprintln!("analyze: `{path}` is not an analysis report: {e}");
+                2
+            })
+        };
+        let (before, after) = match (load(&before_path), load(&after_path)) {
+            (Ok(b), Ok(a)) => (b, a),
+            (Err(c), _) | (_, Err(c)) => return c,
+        };
+        let report = naplet_obs::diff_analyses(&before, &after);
+        print!("{}", report.render_text());
+        return if report.has_regressions() {
+            eprintln!("analyze: regressions detected between {before_path} and {after_path}");
+            1
+        } else {
+            0
+        };
+    }
+
+    let segments = if sim {
+        sim_segments()
+    } else {
+        match collect_segments("analyze", &dumps, &positional, USAGE) {
+            Ok(s) => s,
+            Err(code) => return code,
+        }
+    };
+    let analysis = naplet_obs::analyze_segments(&segments);
+    if out_path == "-" {
+        print!("{}", analysis.to_json());
+    } else {
+        print!("{}", analysis.render_text(top));
+        if let Err(e) = std::fs::write(&out_path, analysis.to_json()) {
+            eprintln!("analyze: cannot write `{out_path}`: {e}");
+            return 2;
+        }
+        eprintln!("analyze: wrote {out_path}");
+    }
+
+    let mut failed = false;
+    if analysis.min_attributed_pct_tenths < 990 {
+        eprintln!(
+            "analyze: worst journey attribution {}.{}% is below the 99% floor",
+            analysis.min_attributed_pct_tenths / 10,
+            analysis.min_attributed_pct_tenths % 10
+        );
+        failed = true;
+    }
+    if let Some(slo_path) = slo_path {
+        let config = match naplet_server::BootstrapConfig::load(std::path::Path::new(&slo_path)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("analyze: cannot load `{slo_path}`: {e}");
+                return 2;
+            }
+        };
+        let Some(slo) = config.slo else {
+            eprintln!("analyze: `{slo_path}` has no [slo] section");
+            return 2;
+        };
+        let breaches = naplet_obs::check_slo(&analysis, &slo);
+        if breaches.is_empty() {
+            eprintln!("analyze: all SLO budgets met");
+        } else {
+            for b in &breaches {
+                eprintln!("analyze: SLO breach: {b}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
+/// `figures cluster-watch <bootstrap.toml> [station] [--watch <secs>
+/// [--rounds <n>]] [--rows <n>]` — the live counterpart of `figures
+/// watch`: page every daemon's metrics-history ring over the
+/// privileged history protocol and print per-host rate tables of the
+/// sweep-interval deltas (last `--rows` samples, default 10). With
+/// `--watch` it re-polls every `<secs>` seconds. Exit 1 when any node
+/// contributed nothing.
+fn cluster_watch(rest: &[String]) -> i32 {
+    const USAGE: &str = "usage: figures cluster-watch <bootstrap.toml> [station] \
+                         [--watch <secs> [--rounds <n>]] [--rows <n>]";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut watch_secs: Option<u64> = None;
+    let mut rounds: u64 = 0; // 0 = unbounded while watching
+    let mut rows: usize = 10;
+    let mut i = 0;
+    while i < rest.len() {
+        let flag_value = |name: &str| -> Option<u64> {
+            rest.get(i + 1).and_then(|v| v.parse().ok()).or_else(|| {
+                eprintln!("cluster-watch: {name} needs a numeric argument\n{USAGE}");
+                None
+            })
+        };
+        match rest[i].as_str() {
+            "--watch" => match flag_value("--watch") {
+                Some(v) => {
+                    watch_secs = Some(v);
+                    i += 2;
+                }
+                None => return 2,
+            },
+            "--rounds" => match flag_value("--rounds") {
+                Some(v) => {
+                    rounds = v;
+                    i += 2;
+                }
+                None => return 2,
+            },
+            "--rows" => match flag_value("--rows") {
+                Some(v) => {
+                    rows = v as usize;
+                    i += 2;
+                }
+                None => return 2,
+            },
+            other if other.starts_with("--") => {
+                eprintln!("cluster-watch: unknown flag `{other}`\n{USAGE}");
+                return 2;
+            }
+            _ => {
+                positional.push(&rest[i]);
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = positional.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let station = positional.get(1).map(|s| s.as_str()).unwrap_or("mon");
+    let config = match naplet_server::BootstrapConfig::load(std::path::Path::new(path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cluster-watch: cannot load `{path}`: {e}");
+            return 2;
+        }
+    };
+    let targets: Vec<String> = config
+        .nodes
+        .iter()
+        .map(|n| n.name.clone())
+        .filter(|n| n != station)
+        .collect();
+    let mut poller = match naplet_man::ClusterStatusPoller::connect(&config, station) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cluster-watch: cannot bind station `{station}`: {e}");
+            return 2;
+        }
+    };
+    let mut any_missing = false;
+    let mut round: u64 = 0;
+    loop {
+        round += 1;
+        let pages = match poller.fetch_metrics_history(&targets, std::time::Duration::from_secs(5))
+        {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cluster-watch: fetch failed: {e}");
+                return 2;
+            }
+        };
+        println!("-- poll {round}: {} node(s) answered --", pages.len());
+        print!(
+            "{}",
+            naplet_man::ClusterStatusPoller::render_rate_table(&pages, rows)
+        );
+        let heard: std::collections::BTreeSet<&str> =
+            pages.iter().map(|p| p.host.as_str()).collect();
+        for target in &targets {
+            if !heard.contains(target.as_str()) {
+                eprintln!("cluster-watch: no history from `{target}`");
+                any_missing = true;
+            }
+        }
+        let Some(secs) = watch_secs else { break };
+        if rounds > 0 && round >= rounds {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+    if any_missing {
+        1
+    } else {
+        0
     }
 }
 

@@ -7,7 +7,8 @@
 
 use naplet_bench::{traced_chaos_experiment, traced_crash_chaos_experiment};
 use naplet_obs::{
-    merge_cluster_trace, validate_chrome_trace, FlatEvent, FlatSegment, TraceEvent, TraceKind,
+    analyze_segments, merge_cluster_trace, validate_chrome_trace, FlatEvent, FlatSegment,
+    TraceEvent, TraceKind,
 };
 use proptest::prelude::*;
 
@@ -147,6 +148,7 @@ fn per_host_segments(events: &[TraceEvent]) -> Vec<FlatSegment> {
             total: events.len() as u64,
             dropped: 0,
             epoch_unix_ms: 0,
+            metrics: None,
             events,
         })
         .collect()
@@ -250,5 +252,47 @@ proptest! {
             "seed {}: identically-seeded merges diverged", seed
         );
         validate_chrome_trace(&merged_a.json).expect("merged trace is Chrome-loadable");
+    }
+
+    // The critical-path analyzer is as deterministic as the merger it
+    // reads: two identically-seeded sim runs must analyze to
+    // byte-identical JSON reports.
+    #[test]
+    fn analyze_output_is_byte_identical_across_seeded_runs(seed in 0u64..1024) {
+        let a = traced_chaos_experiment(0.05, &WINDOWS, seed);
+        let b = traced_chaos_experiment(0.05, &WINDOWS, seed);
+        let report_a = analyze_segments(&per_host_segments(&a.obs.events)).to_json();
+        let report_b = analyze_segments(&per_host_segments(&b.obs.events)).to_json();
+        prop_assert!(!report_a.is_empty());
+        prop_assert_eq!(
+            report_a, report_b,
+            "seed {}: identically-seeded analyses diverged", seed
+        );
+    }
+
+    // The segment model is a lossless partition of each journey's
+    // timeline: per-journey segment durations must sum to the
+    // journey's wall-clock exactly, and the named (non-`other`)
+    // segments must claim at least 99% of it.
+    #[test]
+    fn segment_model_is_a_lossless_partition(seed in 0u64..1024) {
+        let out = traced_chaos_experiment(0.05, &WINDOWS, seed);
+        let analysis = analyze_segments(&per_host_segments(&out.obs.events));
+        prop_assert!(!analysis.journeys.is_empty(), "seed {}: no journeys", seed);
+        for j in &analysis.journeys {
+            let total: u64 = j.segments.iter().sum();
+            prop_assert_eq!(
+                total, j.wall_ms,
+                "seed {}: journey {} segments sum to {} but wall-clock is {}",
+                seed, &j.journey, total, j.wall_ms
+            );
+            prop_assert!(
+                j.attributed_pct_tenths >= 990,
+                "seed {}: journey {} only {}.{}% attributed",
+                seed, &j.journey,
+                j.attributed_pct_tenths / 10, j.attributed_pct_tenths % 10
+            );
+        }
+        prop_assert!(analysis.min_attributed_pct_tenths >= 990);
     }
 }

@@ -23,7 +23,7 @@ use naplet_core::error::Result;
 use naplet_core::NapletId;
 use naplet_net::tcp::TcpTransport;
 use naplet_net::Frame;
-use naplet_obs::{FlatSegment, TraceSegment};
+use naplet_obs::{FlatSegment, MetricsHistoryPage, TraceSegment};
 use naplet_server::bootstrap::BootstrapConfig;
 use naplet_server::events::{Input, Wire};
 use naplet_server::status::StatusReport;
@@ -212,6 +212,125 @@ impl ClusterStatusPoller {
         }
         segments.sort_by(|a, b| a.host.cmp(&b.host));
         Ok(segments)
+    }
+
+    /// Page every target's metrics-history ring out over the
+    /// privileged `MetricsHistoryRequest` protocol. Returns one merged
+    /// [`MetricsHistoryPage`] per answering host (sorted by host). A
+    /// daemon that is down, refuses the privileged read, or never
+    /// enabled its history contributes nothing.
+    pub fn fetch_metrics_history(
+        &mut self,
+        targets: &[String],
+        timeout: Duration,
+    ) -> Result<Vec<MetricsHistoryPage>> {
+        const PAGE: u32 = 64;
+        let id = NapletId::new(&self.key.principal, &self.station, Millis(1))?;
+        let credential = Credential::issue(&self.key, id, "ops-plane", vec![]);
+        let deadline = Instant::now() + timeout;
+        let mut pages = Vec::new();
+        for target in targets {
+            // one host at a time, same as fetch_traces: token
+            // bookkeeping stays trivial and this is an ops activity
+            let mut merged: Option<MetricsHistoryPage> = None;
+            let mut from_seq = 0u64;
+            loop {
+                self.next_token += 1;
+                let token = self.next_token;
+                let wire = Wire::MetricsHistoryRequest {
+                    token,
+                    reply_to: self.station.clone(),
+                    credential: credential.clone(),
+                    from_seq,
+                    max_samples: PAGE,
+                };
+                if naplet_core::codec::to_bytes_into(&wire, &mut self.scratch).is_ok() {
+                    let frame = Frame::new(
+                        &self.station,
+                        target,
+                        wire.traffic_class(),
+                        self.scratch.clone(),
+                    );
+                    let _ = self.net.send(frame);
+                }
+                let mut page: Option<Option<MetricsHistoryPage>> = None;
+                while page.is_none() && Instant::now() < deadline {
+                    match self.rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(frame) => {
+                            if let Ok(wire) = naplet_core::codec::from_bytes::<Wire>(&frame.payload)
+                            {
+                                let now = self.now();
+                                let from = frame.from.clone();
+                                let _ = self.server.handle(now, Input::Wire { from, wire });
+                            }
+                            for (t, p) in std::mem::take(&mut self.server.metrics_history_replies) {
+                                if t == token {
+                                    page = Some(p);
+                                }
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                let Some(Some(p)) = page else {
+                    // refused, history off, or timed out: keep what we
+                    // have (possibly nothing) and move on
+                    break;
+                };
+                let got = p.samples.len();
+                let next_from = p.start_seq + got as u64;
+                match &mut merged {
+                    None => merged = Some(p),
+                    Some(m) => {
+                        m.next_seq = p.next_seq;
+                        m.dropped = p.dropped;
+                        m.total = p.total;
+                        m.samples.extend(p.samples);
+                    }
+                }
+                if got < PAGE as usize {
+                    break;
+                }
+                from_seq = next_from;
+            }
+            if let Some(p) = merged {
+                pages.push(p);
+            }
+        }
+        pages.sort_by(|a, b| a.host.cmp(&b.host));
+        Ok(pages)
+    }
+
+    /// Render fetched metrics histories as per-host rate tables: the
+    /// last `rows` interval deltas, newest last, one line per sample
+    /// with a few load-bearing counters pulled out. Drives
+    /// `figures cluster-watch`.
+    pub fn render_rate_table(pages: &[MetricsHistoryPage], rows: usize) -> String {
+        let mut out = String::new();
+        for page in pages {
+            out.push_str(&format!(
+                "{} ({} samples, {} dropped)\n",
+                page.host, page.total, page.dropped
+            ));
+            out.push_str(
+                "  at_ms       wire.sent  wire.drop  handoffs  retrans  probes  ops.reads\n",
+            );
+            let start = page.samples.len().saturating_sub(rows);
+            for sample in &page.samples[start..] {
+                let c = |name: &str| sample.delta.counters.get(name).copied().unwrap_or(0);
+                out.push_str(&format!(
+                    "  {:<10}  {:>9}  {:>9}  {:>8}  {:>7}  {:>6}  {:>9}\n",
+                    sample.at,
+                    c("wire.sent"),
+                    c("wire.dropped"),
+                    c("handoff.commits"),
+                    c("handoff.retransmits"),
+                    c("status.probes"),
+                    c("trace.reads") + c("history.reads"),
+                ));
+            }
+        }
+        out
     }
 
     /// Field-level diff between two polls of the same cluster: one
@@ -486,6 +605,62 @@ mod tests {
             daemon.shutdown_flag().store(true, Ordering::Relaxed);
             daemon.run().unwrap();
         }
+    }
+
+    #[test]
+    fn poller_fetches_metrics_history_from_live_daemons() {
+        let addrs = free_addrs(2);
+        let config = BootstrapConfig::parse(&format!(
+            "[[node]]\nname = \"alpha\"\nlisten = \"{}\"\n\
+             [[node]]\nname = \"mon\"\nlisten = \"{}\"\n",
+            addrs[0], addrs[1]
+        ))
+        .unwrap();
+        let alpha = Daemon::start(&config, "alpha").unwrap();
+
+        let mut poller = ClusterStatusPoller::connect(&config, "mon").unwrap();
+        let targets = vec!["alpha".to_string()];
+        // a status poll first so the daemon has wire traffic to sample,
+        // then wait out at least one sweep tick so the history ring
+        // holds a sample covering it
+        let reports = poller.poll(&targets, Duration::from_secs(10)).unwrap();
+        assert_eq!(reports.len(), 1);
+        let probes_in = |pages: &[MetricsHistoryPage]| -> u64 {
+            pages
+                .iter()
+                .flat_map(|p| &p.samples)
+                .filter_map(|s| s.delta.counters.get("status.probes"))
+                .sum()
+        };
+        let deadline = Instant::now() + Duration::from_secs(15);
+        let pages = loop {
+            let pages = poller
+                .fetch_metrics_history(&targets, Duration::from_secs(10))
+                .unwrap();
+            if probes_in(&pages) > 0 || Instant::now() > deadline {
+                break pages;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        };
+        assert_eq!(pages.len(), 1, "alpha must answer the history read");
+        let page = &pages[0];
+        assert_eq!(page.host, "alpha");
+        assert!(
+            page.epoch_unix_ms > 0,
+            "daemon histories anchor to UNIX time"
+        );
+        assert!(!page.samples.is_empty(), "sweep thread must have sampled");
+        assert!(
+            probes_in(&pages) > 0,
+            "the status poll must appear in some delta"
+        );
+
+        let table = ClusterStatusPoller::render_rate_table(&pages, 10);
+        assert!(table.contains("alpha"), "{table}");
+        assert!(table.contains("wire.sent"), "{table}");
+
+        alpha.shutdown_flag().store(true, Ordering::Relaxed);
+        alpha.run().unwrap();
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub struct ObsSnapshot {
     pub metrics: MetricsSnapshot,
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -564,6 +564,9 @@ pub struct FlatSegment {
     pub dropped: u64,
     /// UNIX ms at the node's event-clock zero (0 for virtual time).
     pub epoch_unix_ms: u64,
+    /// The node's metrics totals at dump time, when the dump embedded
+    /// them (daemon dumps do; paged live segments don't).
+    pub metrics: Option<MetricsSnapshot>,
     /// The events, oldest first.
     pub events: Vec<FlatEvent>,
 }
@@ -578,6 +581,7 @@ impl FlatSegment {
             total: segment.total,
             dropped: segment.dropped,
             epoch_unix_ms: segment.epoch_unix_ms,
+            metrics: None,
             events: flatten_events(&segment.events),
         }
     }
@@ -614,15 +618,26 @@ fn push_flat_event(out: &mut String, event: &FlatEvent) {
 /// human-readable, and parseable back by [`parse_flight_dump`]. Field
 /// order is fixed, so identical segments dump byte-identically.
 pub fn flight_dump_json(segment: &TraceSegment) -> String {
+    flight_dump_json_with(segment, None)
+}
+
+/// [`flight_dump_json`] with the node's [`MetricsSnapshot`] at dump
+/// time embedded, keeping trace and metrics evidence in one artifact.
+pub fn flight_dump_json_with(segment: &TraceSegment, metrics: Option<&MetricsSnapshot>) -> String {
     let flat = FlatSegment::from_segment(segment);
     let mut out = String::with_capacity(flat.events.len() * 160 + 256);
     out.push_str("{\"host\":\"");
     escape_into(&mut out, &flat.host);
     let _ = write!(
         out,
-        "\",\"start_seq\":{},\"next_seq\":{},\"total\":{},\"dropped\":{},\"epoch_unix_ms\":{},\"events\":[",
+        "\",\"start_seq\":{},\"next_seq\":{},\"total\":{},\"dropped\":{},\"epoch_unix_ms\":{}",
         flat.start_seq, flat.next_seq, flat.total, flat.dropped, flat.epoch_unix_ms
     );
+    if let Some(metrics) = metrics {
+        out.push_str(",\"metrics\":");
+        push_metrics_snapshot(&mut out, metrics);
+    }
+    out.push_str(",\"events\":[");
     for (i, event) in flat.events.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -631,6 +646,119 @@ pub fn flight_dump_json(segment: &TraceSegment) -> String {
     }
     out.push_str("]}\n");
     out
+}
+
+fn push_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (key, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, key);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push('}');
+}
+
+fn push_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, value) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{value}");
+    }
+    out.push(']');
+}
+
+fn push_metrics_snapshot(out: &mut String, snap: &MetricsSnapshot) {
+    out.push_str("{\"counters\":");
+    push_u64_map(out, &snap.counters);
+    out.push_str(",\"gauges\":");
+    push_u64_map(out, &snap.gauges);
+    out.push_str(",\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, name);
+        out.push_str("\":{\"bounds\":");
+        push_u64_array(out, &h.bounds);
+        out.push_str(",\"counts\":");
+        push_u64_array(out, &h.counts);
+        let _ = write!(
+            out,
+            ",\"total\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+            h.total, h.sum, h.min, h.max
+        );
+    }
+    out.push_str("}}");
+}
+
+fn parse_u64_map(doc: &Json, what: &str) -> Result<BTreeMap<String, u64>, String> {
+    let Json::Obj(members) = doc else {
+        return Err(format!("{what} is not an object"));
+    };
+    let mut map = BTreeMap::new();
+    for (key, value) in members {
+        let n = value
+            .as_num()
+            .ok_or_else(|| format!("{what} `{key}` is not a number"))?;
+        map.insert(key.clone(), n as u64);
+    }
+    Ok(map)
+}
+
+fn parse_u64_array(doc: &Json, what: &str) -> Result<Vec<u64>, String> {
+    let Json::Arr(items) = doc else {
+        return Err(format!("{what} is not an array"));
+    };
+    items
+        .iter()
+        .map(|v| {
+            v.as_num()
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("{what} holds a non-number"))
+        })
+        .collect()
+}
+
+/// Parse an embedded [`MetricsSnapshot`] JSON object back.
+fn parse_metrics_snapshot(doc: &Json) -> Result<MetricsSnapshot, String> {
+    let counters = parse_u64_map(doc.get("counters").unwrap_or(&Json::Null), "counters")?;
+    let gauges = parse_u64_map(doc.get("gauges").unwrap_or(&Json::Null), "gauges")?;
+    let mut histograms = BTreeMap::new();
+    match doc.get("histograms") {
+        Some(Json::Obj(members)) => {
+            for (name, h) in members {
+                histograms.insert(
+                    name.clone(),
+                    crate::metrics::HistogramSnapshot {
+                        bounds: parse_u64_array(
+                            h.get("bounds").unwrap_or(&Json::Null),
+                            "histogram bounds",
+                        )?,
+                        counts: parse_u64_array(
+                            h.get("counts").unwrap_or(&Json::Null),
+                            "histogram counts",
+                        )?,
+                        total: json_u64(h, "total")?,
+                        sum: json_u64(h, "sum")?,
+                        min: json_u64(h, "min")?,
+                        max: json_u64(h, "max")?,
+                    },
+                );
+            }
+        }
+        _ => return Err("histograms is not an object".into()),
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
 }
 
 fn json_u64(doc: &Json, key: &str) -> Result<u64, String> {
@@ -717,6 +845,10 @@ pub fn parse_flight_dump(text: &str) -> Result<FlatSegment, String> {
             .collect::<Result<Vec<_>, String>>()?,
         _ => return Err("missing events array".into()),
     };
+    let metrics = match doc.get("metrics") {
+        Some(metrics) => Some(parse_metrics_snapshot(metrics)?),
+        None => None,
+    };
     Ok(FlatSegment {
         host,
         start_seq: json_u64(&doc, "start_seq")?,
@@ -724,7 +856,69 @@ pub fn parse_flight_dump(text: &str) -> Result<FlatSegment, String> {
         total: json_u64(&doc, "total")?,
         dropped: json_u64(&doc, "dropped")?,
         epoch_unix_ms: json_u64(&doc, "epoch_unix_ms")?,
+        metrics,
         events,
+    })
+}
+
+/// Render a node's paged-out metrics history as a self-describing
+/// JSON dump (the `{node}.metrics.json` artifact `napletd` writes next
+/// to the flight recorder), parseable back by
+/// [`parse_metrics_history`]. Field order is fixed.
+pub fn metrics_history_json(page: &crate::history::MetricsHistoryPage) -> String {
+    let mut out = String::with_capacity(page.samples.len() * 128 + 256);
+    out.push_str("{\"host\":\"");
+    escape_into(&mut out, &page.host);
+    let _ = write!(
+        out,
+        "\",\"start_seq\":{},\"next_seq\":{},\"total\":{},\"dropped\":{},\"epoch_unix_ms\":{},\"samples\":[",
+        page.start_seq, page.next_seq, page.total, page.dropped, page.epoch_unix_ms
+    );
+    for (i, sample) in page.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"at\":{},\"delta\":", sample.at);
+        push_metrics_snapshot(&mut out, &sample.delta);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Parse a [`metrics_history_json`] document back.
+pub fn parse_metrics_history(text: &str) -> Result<crate::history::MetricsHistoryPage, String> {
+    let doc = parse_json(text.trim_end())?;
+    let host = doc
+        .get("host")
+        .and_then(Json::as_str)
+        .ok_or("missing host")?
+        .to_string();
+    let samples = match doc.get("samples") {
+        Some(Json::Arr(samples)) => samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Ok(crate::history::MetricsSample {
+                    at: json_u64(s, "at").map_err(|e| format!("sample {i}: {e}"))?,
+                    delta: parse_metrics_snapshot(
+                        s.get("delta")
+                            .ok_or_else(|| format!("sample {i}: missing delta"))?,
+                    )
+                    .map_err(|e| format!("sample {i}: {e}"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("missing samples array".into()),
+    };
+    Ok(crate::history::MetricsHistoryPage {
+        host,
+        start_seq: json_u64(&doc, "start_seq")?,
+        next_seq: json_u64(&doc, "next_seq")?,
+        total: json_u64(&doc, "total")?,
+        dropped: json_u64(&doc, "dropped")?,
+        epoch_unix_ms: json_u64(&doc, "epoch_unix_ms")?,
+        samples,
     })
 }
 
@@ -760,18 +954,36 @@ pub struct MergedTrace {
 ///   gap (checked only when every segment is complete — a truncated
 ///   ring legitimately loses early hops).
 pub fn merge_cluster_trace(segments: &[FlatSegment], skew_tolerance_ms: u64) -> MergedTrace {
-    let mut ordered: Vec<&FlatSegment> = segments.iter().collect();
-    ordered.sort_by(|a, b| a.host.cmp(&b.host));
-
     let mut truncated = false;
     let mut complete_hosts: BTreeSet<&str> = BTreeSet::new();
-    let mut events: Vec<FlatEvent> = Vec::new();
-    for seg in &ordered {
+    for seg in segments {
         if seg.dropped > 0 {
             truncated = true;
         } else {
             complete_hosts.insert(seg.host.as_str());
         }
+    }
+    let events = merge_flat_events(segments);
+    let violations = check_causality(&events, &complete_hosts, skew_tolerance_ms, truncated);
+    MergedTrace {
+        json: chrome_trace_json_flat(&events),
+        violations,
+        event_count: events.len(),
+    }
+}
+
+/// Merge per-node segments onto the shared timeline without
+/// rendering: every event is shifted by its segment's
+/// `epoch_unix_ms`, then the union is sorted by the fixed cluster
+/// tie-break `(at, host, journey, ctx seq, kind name)`. This is the
+/// event stream [`merge_cluster_trace`] renders and
+/// [`crate::analyze::analyze_segments`] partitions.
+pub fn merge_flat_events(segments: &[FlatSegment]) -> Vec<FlatEvent> {
+    let mut ordered: Vec<&FlatSegment> = segments.iter().collect();
+    ordered.sort_by(|a, b| a.host.cmp(&b.host));
+
+    let mut events: Vec<FlatEvent> = Vec::new();
+    for seg in &ordered {
         for event in &seg.events {
             let mut event = event.clone();
             event.at += seg.epoch_unix_ms;
@@ -799,13 +1011,7 @@ pub fn merge_cluster_trace(segments: &[FlatSegment], skew_tolerance_ms: u64) -> 
         );
         ka.cmp(&kb)
     });
-
-    let violations = check_causality(&events, &complete_hosts, skew_tolerance_ms, truncated);
-    MergedTrace {
-        json: chrome_trace_json_flat(&events),
-        violations,
-        event_count: events.len(),
-    }
+    events
 }
 
 fn check_causality(
@@ -1074,6 +1280,44 @@ mod tests {
         assert_eq!(back.events.len(), 4);
         assert_eq!(back.events[3].ctx.as_ref().unwrap().seq, 1);
         assert_eq!(back.events[3].arg_str("to"), Some("s0"));
+    }
+
+    #[test]
+    fn flight_dump_embeds_and_round_trips_a_metrics_snapshot() {
+        let seg = segment("home", 0, sample_events());
+        let registry = crate::metrics::MetricsRegistry::default();
+        registry.incr("handoff.commits", 3);
+        registry.gauge_max("mailbox.depth", 7);
+        registry.observe("handoff_rtt_ms", crate::metrics::LATENCY_BOUNDS_MS, 42);
+        let snap = registry.snapshot();
+        let a = flight_dump_json_with(&seg, Some(&snap));
+        assert_eq!(a, flight_dump_json_with(&seg, Some(&snap)));
+        let back = parse_flight_dump(&a).expect("dump with metrics must parse");
+        assert_eq!(back.metrics.as_ref(), Some(&snap));
+        assert_eq!(back.events, FlatSegment::from_segment(&seg).events);
+        // a metrics-less dump parses to None, keeping old dumps valid
+        let plain = parse_flight_dump(&flight_dump_json(&seg)).unwrap();
+        assert_eq!(plain.metrics, None);
+    }
+
+    #[test]
+    fn metrics_history_dump_round_trips() {
+        let history = crate::history::MetricsHistory::new();
+        history.enable(8);
+        history.set_epoch_unix_ms(1_700_000_000_000);
+        let registry = crate::metrics::MetricsRegistry::default();
+        registry.incr("wire.sent", 5);
+        history.sample(naplet_core::clock::Millis(100), &registry);
+        registry.incr("wire.sent", 2);
+        registry.observe("sweep_ms", crate::metrics::LATENCY_BOUNDS_MS, 3);
+        history.sample(naplet_core::clock::Millis(200), &registry);
+        let page = history.dump("n1");
+        let a = metrics_history_json(&page);
+        assert_eq!(a, metrics_history_json(&page), "dump must be byte-stable");
+        let back = parse_metrics_history(&a).expect("history dump must parse");
+        assert_eq!(back, page);
+        assert_eq!(back.samples[0].delta.counter("wire.sent"), 5);
+        assert_eq!(back.samples[1].delta.counter("wire.sent"), 2);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod export;
+pub mod history;
 pub mod metrics;
 pub mod prometheus;
 pub mod recorder;
@@ -29,11 +31,18 @@ pub mod ring;
 pub mod trace;
 pub mod watchdog;
 
+pub use analyze::{
+    analyze_events, analyze_segments, check_slo, diff_analyses, parse_analysis, AnalysisDiff,
+    DiffRow, JourneyBreakdown, SegmentStats, SloConfig, TraceAnalysis, ANALYZE_SCHEMA,
+    SEGMENT_NAMES,
+};
 pub use export::{
     chrome_trace_json, chrome_trace_json_flat, flatten_events, flight_dump_json,
-    merge_cluster_trace, parse_flight_dump, parse_json, render_event_log, validate_chrome_trace,
+    flight_dump_json_with, merge_cluster_trace, merge_flat_events, metrics_history_json,
+    parse_flight_dump, parse_json, parse_metrics_history, render_event_log, validate_chrome_trace,
     FlatEvent, FlatSegment, Json, MergedTrace, ObsSnapshot,
 };
+pub use history::{MetricsHistory, MetricsHistoryPage, MetricsSample, DEFAULT_HISTORY_CAPACITY};
 pub use metrics::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, COUNT_BOUNDS, HANDLER_BOUNDS_US,
     LATENCY_BOUNDS_MS,
@@ -65,6 +74,9 @@ pub struct ObsSink {
     /// The bounded flight recorder (disabled until
     /// [`ObsSink::enable_recorder`]).
     pub recorder: FlightRecorder,
+    /// The metrics time-series ring (disabled until
+    /// [`ObsSink::enable_metrics_history`]).
+    pub history: MetricsHistory,
     /// Wall-clock profiling switch (see [`ObsSink::enable_profiling`]).
     profiling: Arc<AtomicBool>,
 }
@@ -90,6 +102,13 @@ impl ObsSink {
     /// recent events.
     pub fn enable_recorder(&self, capacity: usize) {
         self.recorder.enable(capacity);
+    }
+
+    /// Start sampling metrics deltas into a ring of `capacity` recent
+    /// samples (the daemon sweep thread calls
+    /// [`MetricsHistory::sample`] on every tick).
+    pub fn enable_metrics_history(&self, capacity: usize) {
+        self.history.enable(capacity);
     }
 
     /// Turn on wall-clock hot-path profiling (handler-latency

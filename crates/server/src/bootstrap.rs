@@ -106,6 +106,9 @@ pub struct BootstrapConfig {
     /// Replicated-directory configuration; `None` keeps every node in
     /// the default home-manager location mode.
     pub directory: Option<DirectoryConfig>,
+    /// Service-level objectives from the `[slo]` section, evaluated by
+    /// `figures analyze --slo`; `None` means no budgets are declared.
+    pub slo: Option<naplet_obs::SloConfig>,
 }
 
 impl BootstrapConfig {
@@ -303,6 +306,42 @@ impl BootstrapConfig {
             directory = Some(dir);
         }
 
+        let mut slo = None;
+        if let Some(table) = &raw.slo {
+            let mut cfg = naplet_obs::SloConfig::default();
+            for (key, value) in table {
+                match (key.as_str(), value) {
+                    (
+                        k @ ("journey_p99_ms" | "dwell_p99_ms" | "wire_p99_ms" | "queue_p99_ms"
+                        | "stall_p99_ms" | "directory_p99_ms"),
+                        RawValue::Int(n),
+                    ) if *n > 0 => {
+                        let v = Some(*n as u64);
+                        match k {
+                            "journey_p99_ms" => cfg.journey_p99_ms = v,
+                            "dwell_p99_ms" => cfg.dwell_p99_ms = v,
+                            "wire_p99_ms" => cfg.wire_p99_ms = v,
+                            "queue_p99_ms" => cfg.queue_p99_ms = v,
+                            "stall_p99_ms" => cfg.stall_p99_ms = v,
+                            _ => cfg.directory_p99_ms = v,
+                        }
+                    }
+                    (
+                        k @ ("journey_p99_ms" | "dwell_p99_ms" | "wire_p99_ms" | "queue_p99_ms"
+                        | "stall_p99_ms" | "directory_p99_ms"),
+                        _,
+                    ) => errors.push(format!("[slo] `{k}` must be a positive integer")),
+                    ("max_stall_pct", RawValue::Int(n)) if (0..=100).contains(n) => {
+                        cfg.max_stall_pct = Some(*n as u64)
+                    }
+                    ("max_stall_pct", _) => errors
+                        .push("[slo] `max_stall_pct` must be an integer percent (0-100)".into()),
+                    (other, _) => errors.push(format!("[slo] unknown key `{other}`")),
+                }
+            }
+            slo = Some(cfg);
+        }
+
         if errors.is_empty() {
             Ok(BootstrapConfig {
                 nodes,
@@ -311,6 +350,7 @@ impl BootstrapConfig {
                 max_frame_bytes,
                 trace_dir,
                 directory,
+                slo,
             })
         } else {
             Err(NapletError::Parse(errors.join("\n")))
@@ -380,6 +420,7 @@ struct RawConfig {
     /// lets validation point at the offending definition.
     node_lines: Vec<usize>,
     directory: Option<BTreeMap<String, RawValue>>,
+    slo: Option<BTreeMap<String, RawValue>>,
 }
 
 /// Which table subsequent `key = value` lines land in.
@@ -388,6 +429,7 @@ enum Section {
     Cluster,
     Node,
     Directory,
+    Slo,
 }
 
 fn parse_toml_subset(text: &str) -> Result<RawConfig> {
@@ -413,9 +455,17 @@ fn parse_toml_subset(text: &str) -> Result<RawConfig> {
             }
             raw.directory = Some(BTreeMap::new());
             section = Section::Directory;
+        } else if line == "[slo]" {
+            if raw.slo.is_some() {
+                return Err(NapletError::Parse(format!(
+                    "line {lineno}: [slo] defined twice"
+                )));
+            }
+            raw.slo = Some(BTreeMap::new());
+            section = Section::Slo;
         } else if line.starts_with('[') {
             return Err(NapletError::Parse(format!(
-                "line {lineno}: unknown section `{line}` (expected [cluster], [directory], or [[node]])"
+                "line {lineno}: unknown section `{line}` (expected [cluster], [directory], [slo], or [[node]])"
             )));
         } else if let Some((key, value)) = line.split_once('=') {
             let key = key.trim().to_string();
@@ -425,6 +475,7 @@ fn parse_toml_subset(text: &str) -> Result<RawConfig> {
                 Section::Cluster => &mut raw.cluster,
                 Section::Node => raw.nodes.last_mut().expect("section implies a node"),
                 Section::Directory => raw.directory.as_mut().expect("section implies directory"),
+                Section::Slo => raw.slo.as_mut().expect("section implies slo"),
                 Section::None => {
                     return Err(NapletError::Parse(format!(
                         "line {lineno}: `{key}` appears before any [cluster] or [[node]] header"
@@ -619,6 +670,46 @@ listen = \"127.0.0.1:7403\"\n";
             .unwrap_err()
             .to_string();
         assert!(err.contains("`replicas` names no nodes"), "{err}");
+    }
+
+    #[test]
+    fn slo_section_parses_into_budgets() {
+        let text = format!(
+            "{GOOD}\n[slo]\njourney_p99_ms = 5000\nstall_p99_ms = 1500\nmax_stall_pct = 40\n"
+        );
+        let cfg = BootstrapConfig::parse(&text).unwrap();
+        let slo = cfg.slo.as_ref().unwrap();
+        assert_eq!(slo.journey_p99_ms, Some(5_000));
+        assert_eq!(slo.stall_p99_ms, Some(1_500));
+        assert_eq!(slo.max_stall_pct, Some(40));
+        assert_eq!(slo.dwell_p99_ms, None, "undeclared budgets stay unchecked");
+        assert_eq!(
+            BootstrapConfig::parse(GOOD).unwrap().slo,
+            None,
+            "no [slo] section, no budgets"
+        );
+    }
+
+    #[test]
+    fn slo_validation_reports_every_problem() {
+        let text =
+            format!("{GOOD}\n[slo]\njourney_p99_ms = \"fast\"\nmax_stall_pct = 250\nwat = 1\n");
+        let err = BootstrapConfig::parse(&text).unwrap_err().to_string();
+        assert!(
+            err.contains("`journey_p99_ms` must be a positive integer"),
+            "{err}"
+        );
+        assert!(
+            err.contains("`max_stall_pct` must be an integer percent (0-100)"),
+            "{err}"
+        );
+        assert!(err.contains("[slo] unknown key `wat`"), "{err}");
+
+        let err = BootstrapConfig::parse(&format!("{GOOD}\n[slo]\n[slo]\n"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("[slo] defined twice"), "{err}");
+        assert!(err.contains("line"), "{err}");
     }
 
     #[test]

@@ -31,7 +31,10 @@ use std::path::PathBuf;
 use naplet_core::error::{NapletError, Result};
 use naplet_core::value::Value;
 use naplet_net::tcp::TcpTransport;
-use naplet_obs::{flight_dump_json, ObsSink, WatchdogConfig, DEFAULT_RECORDER_CAPACITY};
+use naplet_obs::{
+    flight_dump_json_with, metrics_history_json, ObsSink, WatchdogConfig, DEFAULT_HISTORY_CAPACITY,
+    DEFAULT_RECORDER_CAPACITY,
+};
 
 use crate::bootstrap::BootstrapConfig;
 use crate::journal::{FileStore, Journal, RecoveryStats};
@@ -81,18 +84,36 @@ pub struct TraceDumper {
 }
 
 impl TraceDumper {
-    /// The single-line JSON flight dump (one [`naplet_obs::TraceSegment`]).
+    /// The single-line JSON flight dump (one [`naplet_obs::TraceSegment`]
+    /// with the node's metrics totals at dump time embedded).
     pub fn json(&self) -> String {
-        flight_dump_json(&self.obs.recorder.dump(&self.node))
+        flight_dump_json_with(
+            &self.obs.recorder.dump(&self.node),
+            Some(&self.obs.metrics.snapshot()),
+        )
     }
 
-    /// Where [`TraceDumper::write`] puts the dump.
+    /// The single-line JSON metrics-history dump (one
+    /// [`naplet_obs::MetricsHistoryPage`] of sweep-interval deltas).
+    pub fn metrics_json(&self) -> String {
+        metrics_history_json(&self.obs.history.dump(&self.node))
+    }
+
+    /// Where [`TraceDumper::write`] puts the trace dump.
     pub fn path(&self) -> &std::path::Path {
         &self.path
     }
 
-    /// Write the dump to its configured path, creating parent
-    /// directories as needed. Returns the path written.
+    /// Where [`TraceDumper::write`] puts the metrics-history dump:
+    /// `{node}.metrics.json` next to the trace dump.
+    pub fn metrics_path(&self) -> PathBuf {
+        self.path
+            .with_file_name(format!("{}.metrics.json", self.node))
+    }
+
+    /// Write both dumps (trace + metrics history) to their configured
+    /// paths, creating parent directories as needed. Returns the trace
+    /// path written; the metrics dump rides best-effort alongside.
     pub fn write(&self) -> Result<PathBuf> {
         if let Some(parent) = self.path.parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -100,6 +121,7 @@ impl TraceDumper {
         std::fs::write(&self.path, self.json()).map_err(|e| {
             NapletError::Internal(format!("write trace dump {}: {e}", self.path.display()))
         })?;
+        let _ = std::fs::write(self.metrics_path(), self.metrics_json());
         Ok(self.path.clone())
     }
 }
@@ -140,6 +162,9 @@ impl Daemon {
         // protocol) and exports hot-path handler latencies
         live.enable_recorder(DEFAULT_RECORDER_CAPACITY);
         live.enable_profiling();
+        // and a metrics time-series the sweep thread samples, paged
+        // out by the history protocol and dumped beside the trace
+        live.enable_metrics_history(DEFAULT_HISTORY_CAPACITY);
         let trace_path = config
             .trace_dir
             .clone()

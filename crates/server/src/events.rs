@@ -242,6 +242,32 @@ pub enum Wire {
         /// One page of the recorder, or `None` on refusal.
         segment: Option<naplet_obs::TraceSegment>,
     },
+    /// Privileged metrics time-series read: page out the server's
+    /// recent [`naplet_obs::MetricsSample`] deltas from absolute
+    /// sequence `from_seq`. Gated by the same
+    /// `Permission::PrivilegedService("status")` grant as
+    /// [`Wire::StatusRequest`].
+    MetricsHistoryRequest {
+        /// Correlation token (echoed in the reply).
+        token: u64,
+        /// Where to send the reply.
+        reply_to: String,
+        /// The reader's credential, checked against the policy matrix.
+        credential: naplet_core::credential::Credential,
+        /// First absolute sample sequence wanted (see
+        /// [`naplet_obs::MetricsHistoryPage`] paging).
+        from_seq: u64,
+        /// Page-size ceiling.
+        max_samples: u32,
+    },
+    /// Metrics time-series page. `page` is `None` when the read was
+    /// refused by the security policy.
+    MetricsHistoryReply {
+        /// Echoed token.
+        token: u64,
+        /// One page of the history ring, or `None` on refusal.
+        page: Option<naplet_obs::MetricsHistoryPage>,
+    },
     /// Consensus traffic between directory replicas
     /// ([`crate::repl`]): elections, log replication, snapshots.
     Repl {
@@ -295,6 +321,8 @@ impl Wire {
             Wire::StatusReply { .. } => "StatusReply",
             Wire::TraceSegmentRequest { .. } => "TraceSegmentRequest",
             Wire::TraceSegmentReply { .. } => "TraceSegmentReply",
+            Wire::MetricsHistoryRequest { .. } => "MetricsHistoryRequest",
+            Wire::MetricsHistoryReply { .. } => "MetricsHistoryReply",
             Wire::Repl { .. } => "Repl",
         }
     }
@@ -323,6 +351,8 @@ impl Wire {
             | Wire::StatusReply { .. }
             | Wire::TraceSegmentRequest { .. }
             | Wire::TraceSegmentReply { .. }
+            | Wire::MetricsHistoryRequest { .. }
+            | Wire::MetricsHistoryReply { .. }
             | Wire::Repl { .. } => None,
         }
     }
@@ -653,6 +683,47 @@ mod tests {
         };
         assert_eq!(reply.label(), "StatusReply");
         assert_eq!(reply.traffic_class(), TrafficClass::Control);
+        let bytes = naplet_core::codec::to_bytes(&reply).unwrap();
+        let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn metrics_history_frames_are_control_class_and_round_trip() {
+        let key = naplet_core::credential::SigningKey::new("ops", b"secret");
+        let id = NapletId::new("ops", "man", Millis(0)).unwrap();
+        let req = Wire::MetricsHistoryRequest {
+            token: 9,
+            reply_to: "man".into(),
+            credential: naplet_core::credential::Credential::issue(&key, id, "status", vec![]),
+            from_seq: 4,
+            max_samples: 64,
+        };
+        assert_eq!(req.traffic_class(), TrafficClass::Control);
+        assert_eq!(req.retry_attempt(), 1);
+        assert_eq!(req.label(), "MetricsHistoryRequest");
+        assert_eq!(req.subject(), None);
+        let bytes = naplet_core::codec::to_bytes(&req).unwrap();
+        let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, req);
+
+        let page = naplet_obs::MetricsHistoryPage {
+            host: "n1".into(),
+            next_seq: 2,
+            total: 2,
+            samples: vec![naplet_obs::MetricsSample {
+                at: 100,
+                delta: naplet_obs::MetricsSnapshot::default(),
+            }],
+            ..naplet_obs::MetricsHistoryPage::default()
+        };
+        let reply = Wire::MetricsHistoryReply {
+            token: 9,
+            page: Some(page),
+        };
+        assert_eq!(reply.label(), "MetricsHistoryReply");
+        assert_eq!(reply.traffic_class(), TrafficClass::Control);
+        assert_eq!(reply.subject(), None);
         let bytes = naplet_core::codec::to_bytes(&reply).unwrap();
         let back: Wire = naplet_core::codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, reply);

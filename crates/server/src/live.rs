@@ -123,6 +123,21 @@ impl<T: Transport> LiveRuntime<T> {
         self.obs.enable_profiling();
     }
 
+    /// Turn on the per-daemon metrics time-series and anchor its
+    /// sample clock to the UNIX timeline. The sweep thread started by
+    /// [`LiveRuntime::start`] takes one delta sample per tick.
+    pub fn enable_metrics_history(&mut self, capacity: usize) {
+        self.obs.enable_metrics_history(capacity);
+        let elapsed = self.epoch.elapsed().as_millis() as u64;
+        let unix_now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        self.obs
+            .history
+            .set_epoch_unix_ms(unix_now.saturating_sub(elapsed));
+    }
+
     /// Arm the journey watchdog for the whole space. The sweep thread
     /// started by [`LiveRuntime::start`] checks progress deadlines in
     /// wall-clock-since-epoch time; server-health sweeps are a
@@ -238,29 +253,41 @@ impl<T: Transport> LiveRuntime<T> {
                 .expect("spawn server thread");
             self.threads.push((host, handle));
         }
-        if self.obs.watchdog.enabled() && self.sweeper.is_none() {
+        let want_sweeper = self.obs.watchdog.enabled() || self.obs.history.enabled();
+        if want_sweeper && self.sweeper.is_none() {
             let obs = self.obs.clone();
             let stop = Arc::clone(&self.stop);
             let epoch = self.epoch;
-            let tick = Duration::from_millis(self.obs.watchdog.config().tick_ms.max(1));
+            // the watchdog config sets the sweep cadence when armed;
+            // a history-only sweeper samples once a second
+            let tick = if self.obs.watchdog.enabled() {
+                Duration::from_millis(self.obs.watchdog.config().tick_ms.max(1))
+            } else {
+                Duration::from_millis(1_000)
+            };
             let handle = std::thread::Builder::new()
                 .name("naplet-watchdog".to_string())
                 .spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         std::thread::sleep(tick);
                         let now = Millis(epoch.elapsed().as_millis() as u64);
-                        for alert in obs.watchdog.check(now) {
-                            obs.metrics.incr("alerts.raised", 1);
-                            obs.metrics.incr(
-                                if alert.orphan {
-                                    "alerts.orphan"
-                                } else {
-                                    "alerts.stalled"
-                                },
-                                1,
-                            );
-                            obs.push_event(alert.event);
+                        if obs.watchdog.enabled() {
+                            for alert in obs.watchdog.check(now) {
+                                obs.metrics.incr("alerts.raised", 1);
+                                obs.metrics.incr(
+                                    if alert.orphan {
+                                        "alerts.orphan"
+                                    } else {
+                                        "alerts.stalled"
+                                    },
+                                    1,
+                                );
+                                obs.push_event(alert.event);
+                            }
                         }
+                        // one metrics delta per sweep tick (no-op
+                        // while the history ring is disabled)
+                        obs.history.sample(now, &obs.metrics);
                     }
                 })
                 .expect("spawn watchdog thread");

@@ -265,6 +265,9 @@ pub struct NapletServer {
     /// Flight-recorder pages received at this host (token, segment);
     /// `None` segments mark reads the peer's security policy refused.
     pub trace_replies: Vec<(u64, Option<naplet_obs::TraceSegment>)>,
+    /// Metrics-history pages received at this host (token, page);
+    /// `None` pages mark reads the peer's security policy refused.
+    pub metrics_history_replies: Vec<(u64, Option<naplet_obs::MetricsHistoryPage>)>,
     /// Human-readable event log (bounded ring).
     pub log: EventLog,
     /// Structured observation endpoint (shared with the driver).
@@ -342,6 +345,7 @@ impl NapletServer {
             app_replies: Vec::new(),
             status_replies: Vec::new(),
             trace_replies: Vec::new(),
+            metrics_history_replies: Vec::new(),
             log: EventLog::with_capacity(config.log_capacity),
             obs: ObsSink::default(),
             repl,
@@ -1272,6 +1276,41 @@ impl NapletServer {
             }
             Wire::TraceSegmentReply { token, segment } => {
                 self.trace_replies.push((token, segment));
+            }
+            Wire::MetricsHistoryRequest {
+                token,
+                reply_to,
+                credential,
+                from_seq,
+                max_samples,
+            } => {
+                // the history ring is the metrics registry over time —
+                // same sensitivity, same privileged-service grant
+                let page = match self
+                    .security
+                    .check(&credential, Permission::PrivilegedService("status".into()))
+                {
+                    Ok(()) => {
+                        self.obs.metrics.incr("history.reads", 1);
+                        Some(
+                            self.obs
+                                .history
+                                .page(&self.host, from_seq, max_samples as usize),
+                        )
+                    }
+                    Err(e) => {
+                        self.obs.metrics.incr("history.refused", 1);
+                        self.logf(now, format!("HISTORY read from {from} refused: {e}"));
+                        None
+                    }
+                };
+                out.push(Output::Send {
+                    to: reply_to,
+                    wire: Wire::MetricsHistoryReply { token, page },
+                });
+            }
+            Wire::MetricsHistoryReply { token, page } => {
+                self.metrics_history_replies.push((token, page));
             }
         }
     }
